@@ -1,0 +1,55 @@
+// Design-choice ablation (Figures 10-11 quantified): exact workload-balance
+// factors (max device load / ideal) for every partitioner x mask pair, at
+// the paper's device counts. The step time of a synchronized context-
+// parallel step scales with this factor, so it is the single number that
+// decides between zigzag, striped and contiguous partitioning.
+//
+// The paper's remark "integrating BurstEngine and striped-way workload
+// balance achieves better performance" shows up here: striped matches
+// zigzag on causal masks and is the only strategy that also balances
+// block-sparse masks (any block size divisible by G).
+#include "bench_util.hpp"
+#include "core/partition.hpp"
+
+int main() {
+  using namespace burst;
+  using namespace burst::bench;
+  using core::Balance;
+  using kernels::MaskSpec;
+
+  const std::int64_t n = 8192;  // balance factors are scale-free beyond ~G^2
+
+  for (int g : {8, 32}) {
+    title("workload balance factor (max device / ideal), N=8192, G=" +
+          std::to_string(g));
+    struct Row {
+      const char* name;
+      MaskSpec mask;
+    };
+    const Row rows[] = {
+        {"causal", MaskSpec::causal()},
+        {"sliding window (N/8)", MaskSpec::sliding_window(n / 8)},
+        {"dilated (stride 4)", MaskSpec::dilated(4)},
+        {"block-SWA (blocks of 256)",
+         MaskSpec::block_sliding_window(n / 256, 2, 256)},
+    };
+    Table t({"mask", "contiguous", "zigzag", "striped"});
+    for (const auto& r : rows) {
+      t.row({r.name,
+             fmt(core::balance_factor(r.mask, Balance::kContiguous, n, g),
+                 "%.3f"),
+             fmt(core::balance_factor(r.mask, Balance::kZigzag, n, g),
+                 "%.3f"),
+             fmt(core::balance_factor(r.mask, Balance::kStriped, n, g),
+                 "%.3f")});
+    }
+    t.print();
+  }
+  std::printf(
+      "\n1.000 = perfect balance. Contiguous causal degrades toward 2x as G\n"
+      "grows (the last device owns the heaviest rows); zigzag fixes causal\n"
+      "exactly; striped fixes causal *and* block-wise sparse masks, which is\n"
+      "why BurstEngine integrates the striped strategy for sparse patterns\n"
+      "(Figure 11).\n");
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Figure 2: proportion of end-to-end training time spent in attention
+// modules for a 7B transformer as sequence length grows.
+//
+// Paper shape: attention becomes the dominant cost beyond 128K and is the
+// overwhelming majority at 1M+.
+#include "bench_util.hpp"
+#include "model/config.hpp"
+#include "perfmodel/flops.hpp"
+
+int main() {
+  using namespace burst;
+  using namespace burst::bench;
+
+  title("Figure 2 — attention share of end-to-end step time (7B model)");
+  model::ModelConfig cfg = model::ModelConfig::llama7b();
+  Table t({"seq len", "attention share (%)", "linear share (%)",
+           "LM head share (%)"});
+  for (double n : {32e3, 64e3, 128e3, 256e3, 512e3, 1e6, 2e6, 4e6}) {
+    auto f = perfmodel::step_flops(cfg, n,
+                                   {core::CkptStrategy::kNone, 0.5});
+    const double total = f.model_total();
+    t.row({seq_label(n), fmt(100.0 * (f.attn_fwd + f.attn_bwd) / total),
+           fmt(100.0 * (f.linear_fwd + f.linear_bwd) / total),
+           fmt(100.0 * (f.lm_head_fwd + f.lm_head_bwd) / total)});
+  }
+  t.print();
+  std::printf(
+      "\npaper: attention dominates beyond 128K tokens; >90%% at 1M+.\n");
+  return 0;
+}

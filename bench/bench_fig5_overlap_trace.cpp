@@ -1,0 +1,90 @@
+// Figure 5: fine-grained communication-computation overlap. Runs the
+// BurstAttention forward + backward on a simulated 2x4 cluster with overlap
+// on and off, prints per-device overlap fractions, and writes Chrome
+// trace-event JSON files (open in chrome://tracing or ui.perfetto.dev) that
+// show the compute / NVLink / InfiniBand tracks of Figure 5 directly.
+#include <cmath>
+#include <fstream>
+
+#include "bench_util.hpp"
+#include "comm/communicator.hpp"
+#include "core/dist_attention.hpp"
+#include "core/partition.hpp"
+#include "sim/cluster.hpp"
+#include "sim/trace.hpp"
+#include "tensor/rng.hpp"
+
+namespace {
+
+using namespace burst;
+
+double run_traced(bool overlap, sim::TraceRecorder& trace, double* makespan) {
+  const std::int64_t n = 1024;
+  const std::int64_t d = 32;
+  sim::Cluster::Config cc;
+  cc.topo = sim::Topology::multi_node(2, 4);
+  // Slow the links so communication is visible next to compute.
+  cc.topo.intra.bandwidth_bytes_per_s = 1e9;
+  cc.topo.inter.bandwidth_bytes_per_s = 0.25e9;
+  cc.flops_per_s = 8e9;
+  cc.trace = &trace;
+  sim::Cluster cluster(cc);
+
+  tensor::Rng rng(3);
+  tensor::Tensor q = rng.gaussian(n, d, 0.5f);
+  tensor::Tensor k = rng.gaussian(n, d, 0.5f);
+  tensor::Tensor v = rng.gaussian(n, d, 0.5f);
+  tensor::Tensor d_out = rng.gaussian(n, d, 0.5f);
+
+  trace.clear();
+  cluster.run([&](sim::DeviceContext& ctx) {
+    comm::Communicator comm(ctx);
+    const auto route = core::SweepRoute::double_ring(cc.topo);
+    core::DistAttnConfig cfg;
+    cfg.mask = kernels::MaskSpec::causal();
+    cfg.scale = 1.0f / std::sqrt(static_cast<float>(d));
+    cfg.balance = core::Balance::kZigzag;
+    cfg.backward = core::BackwardComm::kBurst;
+    cfg.overlap = overlap;
+    cfg.seq_len = n;
+    const auto map = core::route_index_map(route, cfg, ctx.rank());
+    core::LocalQKV local{core::shard_rows(q, map), core::shard_rows(k, map),
+                         core::shard_rows(v, map)};
+    auto fwd = core::dist_attention_forward(comm, route, cfg, local);
+    core::dist_attention_backward(comm, route, cfg, local, fwd,
+                                  core::shard_rows(d_out, map));
+  });
+  *makespan = cluster.makespan();
+  double avg = 0.0;
+  for (int r = 0; r < cc.topo.world_size(); ++r) {
+    avg += trace.overlap_fraction(r);
+  }
+  return avg / cc.topo.world_size();
+}
+
+}  // namespace
+
+int main() {
+  using namespace burst::bench;
+  title("Figure 5 — fine-grained comm/compute overlap (BurstAttention "
+        "fwd+bwd, 2x4 cluster, topology-aware ring)");
+
+  burst::sim::TraceRecorder trace;
+  Table t({"schedule", "virtual step (ms)", "avg comm hidden (%)", "trace"});
+  for (bool overlap : {false, true}) {
+    double makespan = 0.0;
+    const double frac = run_traced(overlap, trace, &makespan);
+    const std::string path = overlap ? "fig5_trace_overlapped.json"
+                                     : "fig5_trace_serialized.json";
+    std::ofstream os(path);
+    trace.write_chrome_trace(os);
+    t.row({overlap ? "fine-grained overlap (Burst)" : "no overlap",
+           fmt(makespan * 1e3, "%.2f"), fmt(100.0 * frac, "%.1f"), path});
+  }
+  t.print();
+  std::printf("\nopen the JSON files in chrome://tracing — the overlapped\n"
+              "schedule shows communication tracks running concurrently with\n"
+              "the compute track (the paper's Figure 5), the serialized one\n"
+              "alternates.\n");
+  return 0;
+}

@@ -1,0 +1,26 @@
+// Figure 8: LM-head logits memory versus sequence length for the
+// LLaMA-1/2 vocabulary (32K) and the LLaMA-3 vocabulary (128K), plus the
+// paper's 14B config (120K) and the fused alternative (Algorithm 3).
+#include "bench_util.hpp"
+#include "perfmodel/memory_model.hpp"
+
+int main() {
+  using namespace burst;
+  using namespace burst::bench;
+
+  title("Figure 8 — LM head logits memory (bf16), naive vs fused");
+  Table t({"seq len", "32K vocab (GB)", "120K vocab (GB)", "128K vocab (GB)",
+           "fused, any vocab<=128K (GB)"});
+  for (double n : {32e3, 128e3, 512e3, 1e6, 2e6, 4e6}) {
+    t.row({seq_label(n),
+           fmt_gb(perfmodel::lm_head_logits_bytes(n, 32e3, 2)),
+           fmt_gb(perfmodel::lm_head_logits_bytes(n, 120e3, 2)),
+           fmt_gb(perfmodel::lm_head_logits_bytes(n, 128e3, 2)),
+           fmt_gb(perfmodel::lm_head_logits_bytes(1024, 128e3, 2))});
+  }
+  t.print();
+  std::printf(
+      "\npaper: logits memory grows linearly in N and 4x with the LLaMA-3\n"
+      "vocabulary; the sequence-level fusion caps it at one Bs x v strip.\n");
+  return 0;
+}

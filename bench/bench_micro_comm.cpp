@@ -1,0 +1,68 @@
+// Microbenchmarks of the simulated collectives (google-benchmark): wall
+// time of the thread-per-device simulator itself (not virtual time), to
+// document simulator overheads, plus the virtual-time readings.
+#include <benchmark/benchmark.h>
+
+#include "comm/communicator.hpp"
+#include "sim/cluster.hpp"
+#include "tensor/rng.hpp"
+
+namespace {
+
+using namespace burst;
+using sim::Cluster;
+using sim::DeviceContext;
+using sim::Topology;
+using tensor::Tensor;
+
+void BM_AllGather(benchmark::State& state) {
+  const int g = static_cast<int>(state.range(0));
+  Cluster cluster({Topology::single_node(g)});
+  double virtual_time = 0.0;
+  for (auto _ : state) {
+    cluster.run([&](DeviceContext& ctx) {
+      comm::Communicator comm(ctx);
+      Tensor local = Tensor::zeros(64, 64);
+      auto full = comm.all_gather_rows(local);
+      benchmark::DoNotOptimize(full.data());
+    });
+    virtual_time = cluster.makespan();
+  }
+  state.counters["virtual_us"] = virtual_time * 1e6;
+}
+BENCHMARK(BM_AllGather)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMicrosecond);
+
+void BM_ReduceScatter(benchmark::State& state) {
+  const int g = static_cast<int>(state.range(0));
+  Cluster cluster({Topology::single_node(g)});
+  for (auto _ : state) {
+    cluster.run([&](DeviceContext& ctx) {
+      comm::Communicator comm(ctx);
+      Tensor full = Tensor::zeros(64 * g, 64);
+      auto shard = comm.reduce_scatter_rows(full);
+      benchmark::DoNotOptimize(shard.data());
+    });
+  }
+}
+BENCHMARK(BM_ReduceScatter)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMicrosecond);
+
+void BM_AllToAll(benchmark::State& state) {
+  const int g = static_cast<int>(state.range(0));
+  Cluster cluster({Topology::single_node(g)});
+  for (auto _ : state) {
+    cluster.run([&](DeviceContext& ctx) {
+      comm::Communicator comm(ctx);
+      std::vector<Tensor> send;
+      for (int i = 0; i < g; ++i) {
+        send.push_back(Tensor::zeros(32, 64));
+      }
+      auto got = comm.all_to_all(std::move(send));
+      benchmark::DoNotOptimize(got.data());
+    });
+  }
+}
+BENCHMARK(BM_AllToAll)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

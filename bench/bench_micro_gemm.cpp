@@ -1,0 +1,43 @@
+// GEMM microbenchmark (google-benchmark): throughput of the blocked kernel
+// behind every matmul in the functional path.
+#include <benchmark/benchmark.h>
+
+#include "tensor/gemm.hpp"
+#include "tensor/rng.hpp"
+
+namespace {
+
+using namespace burst::tensor;
+
+void BM_Gemm(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a = rng.gaussian(n, n, 1.0f);
+  Tensor b = rng.gaussian(n, n, 1.0f);
+  Tensor c(n, n);
+  for (auto _ : state) {
+    gemm(a.view(), Trans::No, b.view(), Trans::No, c.view());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      2.0 * static_cast<double>(n) * n * n * state.iterations() / 1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256)->Unit(benchmark::kMicrosecond);
+
+void BM_GemmTransposed(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  Rng rng(2);
+  Tensor a = rng.gaussian(n, n, 1.0f);
+  Tensor b = rng.gaussian(n, n, 1.0f);
+  Tensor c(n, n);
+  for (auto _ : state) {
+    gemm(a.view(), Trans::No, b.view(), Trans::Yes, c.view());
+    benchmark::DoNotOptimize(c.data());
+  }
+}
+BENCHMARK(BM_GemmTransposed)->Arg(128)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

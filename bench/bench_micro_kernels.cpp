@@ -1,0 +1,137 @@
+// Microbenchmarks of the single-device kernels (google-benchmark):
+// flash-style attention forward/backward across mask types, tile-skip
+// effectiveness, and the three LM-head implementations. These document the
+// substrate the functional simulator charges time against.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "kernels/flash_attention.hpp"
+#include "kernels/lm_head.hpp"
+#include "kernels/reference_attention.hpp"
+#include "tensor/rng.hpp"
+
+namespace {
+
+using namespace burst;
+using kernels::IndexMap;
+using kernels::MaskSpec;
+using tensor::Rng;
+using tensor::Tensor;
+
+MaskSpec mask_for(int kind, std::int64_t n) {
+  switch (kind) {
+    case 0:
+      return MaskSpec::full();
+    case 1:
+      return MaskSpec::causal();
+    case 2:
+      return MaskSpec::sliding_window(n / 8);
+    default:
+      return MaskSpec::block_sliding_window(n / 64, 2, 64);
+  }
+}
+
+void BM_FlashForward(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  const std::int64_t d = 32;
+  Rng rng(1);
+  Tensor q = rng.gaussian(n, d, 1.0f);
+  Tensor k = rng.gaussian(n, d, 1.0f);
+  Tensor v = rng.gaussian(n, d, 1.0f);
+  const MaskSpec mask = mask_for(static_cast<int>(state.range(1)), n);
+  const IndexMap id = IndexMap::range(0, n);
+  kernels::KernelStats stats;
+  for (auto _ : state) {
+    auto r = kernels::flash_forward(q, id, k, v, id, mask, 0.2f, &stats);
+    benchmark::DoNotOptimize(r.o.data());
+  }
+  state.counters["flops"] =
+      benchmark::Counter(static_cast<double>(stats.flops) /
+                             static_cast<double>(state.iterations()),
+                         benchmark::Counter::kIsRate);
+  state.counters["tiles_skipped"] = static_cast<double>(stats.tiles_skipped) /
+                                    static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_FlashForward)
+    ->ArgsProduct({{256, 512}, {0, 1, 2, 3}})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_FlashBackward(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  const std::int64_t d = 32;
+  Rng rng(2);
+  Tensor q = rng.gaussian(n, d, 1.0f);
+  Tensor k = rng.gaussian(n, d, 1.0f);
+  Tensor v = rng.gaussian(n, d, 1.0f);
+  Tensor d_out = rng.gaussian(n, d, 1.0f);
+  const MaskSpec mask = MaskSpec::causal();
+  const IndexMap id = IndexMap::range(0, n);
+  auto fwd = kernels::flash_forward(q, id, k, v, id, mask, 0.2f);
+  Tensor dvec = kernels::attention_dvec(d_out, fwd.o);
+  for (auto _ : state) {
+    Tensor dq = Tensor::zeros(n, d);
+    Tensor dk = Tensor::zeros(n, d);
+    Tensor dv = Tensor::zeros(n, d);
+    kernels::flash_backward_partial(q, id, k, v, id, mask, 0.2f, d_out,
+                                    fwd.lse, dvec, dq, dk, dv);
+    benchmark::DoNotOptimize(dq.data());
+  }
+}
+BENCHMARK(BM_FlashBackward)->Arg(256)->Arg(512)->Unit(benchmark::kMicrosecond);
+
+void BM_ReferenceAttention(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  const std::int64_t d = 32;
+  Rng rng(3);
+  Tensor q = rng.gaussian(n, d, 1.0f);
+  Tensor k = rng.gaussian(n, d, 1.0f);
+  Tensor v = rng.gaussian(n, d, 1.0f);
+  const IndexMap id = IndexMap::range(0, n);
+  for (auto _ : state) {
+    auto r = kernels::reference_attention_forward(q, id, k, v, id,
+                                                  MaskSpec::causal(), 0.2f);
+    benchmark::DoNotOptimize(r.o.data());
+  }
+}
+BENCHMARK(BM_ReferenceAttention)->Arg(256)->Arg(512)->Unit(benchmark::kMicrosecond);
+
+void BM_LmHead(benchmark::State& state) {
+  const std::int64_t n = 128;
+  const std::int64_t d = 64;
+  const std::int64_t v = 512;
+  Rng rng(4);
+  Tensor h = rng.gaussian(n, d, 0.7f);
+  Tensor w = rng.gaussian(v, d, 0.7f);
+  std::vector<std::int64_t> targets;
+  for (std::int64_t i = 0; i < n; ++i) {
+    targets.push_back(rng.next_index(v));
+  }
+  const int variant = static_cast<int>(state.range(0));
+  std::uint64_t scratch = 0;
+  for (auto _ : state) {
+    kernels::LmHeadResult r;
+    switch (variant) {
+      case 0:
+        r = kernels::naive_lm_head_loss(h, w, targets);
+        break;
+      case 1:
+        r = kernels::tiled_recompute_lm_head_loss(h, w, targets, 32, 64);
+        break;
+      default:
+        r = kernels::fused_lm_head_loss(h, w, targets, 32, 64);
+        break;
+    }
+    scratch = r.peak_scratch_bytes;
+    benchmark::DoNotOptimize(r.loss);
+  }
+  state.counters["scratch_bytes"] = static_cast<double>(scratch);
+  state.SetLabel(variant == 0   ? "naive"
+                 : variant == 1 ? "tiled-recompute"
+                                : "fused(Alg3)");
+}
+BENCHMARK(BM_LmHead)->Arg(0)->Arg(1)->Arg(2)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

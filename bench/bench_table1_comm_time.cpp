@@ -1,0 +1,100 @@
+// Table 1: per-layer attention communication time of RingAttention,
+// DoubleRingAttention and BurstAttention, from the closed-form model AND
+// cross-validated against the functional cluster simulator (time-only
+// sweeps at the same shard sizes).
+#include <mutex>
+
+#include "bench_util.hpp"
+#include "comm/communicator.hpp"
+#include "core/dist_attention.hpp"
+#include "core/sweep.hpp"
+#include "perfmodel/comm_model.hpp"
+#include "sim/cluster.hpp"
+#include "tensor/tensor.hpp"
+
+namespace {
+
+using namespace burst;
+using namespace burst::bench;
+
+// Simulated makespan of one activation pass + comparable gradient passes is
+// complex to map 1:1 onto Table 1's coefficients; instead we validate the
+// *forward* comparison: flat-ring K/V sweep vs double-ring K/V sweep over
+// identical shard bytes, no compute.
+double simulate_forward_sweep(int nodes, int gpus, double shard_bytes,
+                              bool topo_aware) {
+  sim::Cluster::Config cc;
+  cc.topo = sim::Topology::multi_node(nodes, gpus);
+  sim::Cluster cluster(cc);
+  cluster.run([&](sim::DeviceContext& ctx) {
+    comm::Communicator comm(ctx, 1.0);
+    const core::SweepRoute route =
+        topo_aware ? core::SweepRoute::double_ring(cc.topo)
+                   : core::SweepRoute::flat(comm::flat_ring(nodes * gpus));
+    // One tensor of shard_bytes elements at 1 B/element.
+    tensor::Tensor own(static_cast<std::int64_t>(shard_bytes / 8), 8);
+    core::ring_sweep_activation(comm, route, core::SweepOptions{}, {own},
+                                [](const std::vector<tensor::Tensor>&, int) {});
+  });
+  return cluster.makespan();
+}
+
+}  // namespace
+
+int main() {
+  title("Table 1 — attention communication time per layer (closed form)");
+  perfmodel::CommModel cm{perfmodel::HardwareModel{}};
+
+  for (int nodes : {2, 4, 8}) {
+    perfmodel::ClusterShape shape{nodes, 8};
+    subtitle("cluster " + std::to_string(nodes) + " nodes x 8 GPUs");
+    Table t({"shard size (MB)", "RingAttention (ms)", "DoubleRing (ms)",
+             "BurstAttention (ms)", "Burst/Ring"});
+    for (double mb : {8.0, 32.0, 128.0, 512.0}) {
+      const double bytes = mb * 1e6;
+      const double ring = cm.ring_attention_comm(bytes, shape);
+      const double dbl = cm.double_ring_comm(bytes, shape);
+      const double burst =
+          cm.burst_comm(bytes, bytes / 4096.0, shape, true, true);
+      t.row({fmt(mb, "%.0f"), fmt(ring * 1e3), fmt(dbl * 1e3),
+             fmt(burst * 1e3), fmt(burst / ring, "%.3f")});
+    }
+    t.print();
+  }
+
+  title("Cross-validation — simulator vs closed form (forward K/V sweep)");
+  Table v({"cluster", "shard (MB)", "sim flat (ms)", "model flat (ms)",
+           "sim double (ms)", "model double (ms)"});
+  for (int nodes : {2, 4}) {
+    for (double mb : {8.0, 64.0}) {
+      const double bytes = mb * 1e6;
+      perfmodel::ClusterShape shape{nodes, 4};
+      sim::Topology topo = sim::Topology::multi_node(nodes, 4);
+      perfmodel::HardwareModel hw;
+      hw.nvlink_bw = topo.intra.bandwidth_bytes_per_s;
+      hw.nvlink_latency = topo.intra.latency_s;
+      hw.ib_bw = topo.inter.bandwidth_bytes_per_s;
+      hw.ib_latency = topo.inter.latency_s;
+      perfmodel::CommModel cmv{hw};
+      // Forward sweep = (G-1)/G of one 2-tensor pass; compare single-tensor
+      // pass scaled accordingly.
+      const int g = shape.world();
+      const double scale = static_cast<double>(g - 1) / g;
+      const double sim_flat = simulate_forward_sweep(nodes, 4, bytes, false);
+      const double model_flat = cmv.pass_flat(bytes, shape) * scale;
+      const double sim_dbl = simulate_forward_sweep(nodes, 4, bytes, true);
+      const double model_dbl =
+          std::max(cmv.pass_intra_part(bytes, shape),
+                   cmv.pass_inter_part(bytes, shape)) *
+          scale;
+      v.row({std::to_string(nodes) + "x4", fmt(mb, "%.0f"),
+             fmt(sim_flat * 1e3), fmt(model_flat * 1e3), fmt(sim_dbl * 1e3),
+             fmt(model_dbl * 1e3)});
+    }
+  }
+  v.print();
+  std::printf(
+      "\npaper: Burst < DoubleRing < Ring whenever B_intra > B_inter; the\n"
+      "backward volume drop is ~25%% (3Nd+2N vs 4Nd).\n");
+  return 0;
+}

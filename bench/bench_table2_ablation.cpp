@@ -1,0 +1,66 @@
+// Table 2: ablation of BurstEngine's optimizations — 14B model, 1M tokens,
+// 32x A800. Rows toggle, cumulatively: backward communication optimization
+// (Algorithm 2), topology-aware ring + fine-grained overlap, sequence-level
+// LM-head/loss fusion, then either sequence-level selective checkpointing or
+// selective checkpointing++ on top.
+#include "bench_util.hpp"
+#include "perfmodel/estimator.hpp"
+
+int main() {
+  using namespace burst;
+  using namespace burst::bench;
+  using core::CkptConfig;
+  using core::CkptStrategy;
+
+  title("Table 2 — BurstEngine ablation (14B, 1M tokens, 32x A800)");
+
+  struct Row {
+    const char* label;
+    bool bwd_opt, topo, fuse;
+    CkptStrategy ckpt;
+    double paper_mfu, paper_tgs, paper_mem;
+  };
+  const Row rows[] = {
+      {"baseline (all off)", false, false, false, CkptStrategy::kFull, 36.75,
+       83.79, 48.47},
+      {"+ backward comm opt", true, false, false, CkptStrategy::kFull, 38.37,
+       87.48, 49.31},
+      {"+ topology-aware ring", true, true, false, CkptStrategy::kFull, 41.69,
+       95.06, 48.97},
+      {"+ LM head/loss fusion", true, true, true, CkptStrategy::kFull, 41.58,
+       94.81, 41.45},
+      {"+ seq-selective ckpt", true, true, true, CkptStrategy::kSeqSelective,
+       47.72, 108.82, 45.93},
+      {"(alt) selective ckpt++", true, true, true, CkptStrategy::kSelectivePP,
+       51.68, 117.83, 53.91},
+  };
+
+  Table t({"configuration", "MFU (%)", "TGS", "mem (GB)", "paper MFU",
+           "paper TGS", "paper mem"});
+  for (const auto& r : rows) {
+    perfmodel::RunConfig cfg;
+    cfg.model = model::ModelConfig::llama14b();
+    cfg.seq_len = 1e6;
+    cfg.cluster = {4, 8};
+    cfg.method = perfmodel::Method::kBurstEngine;
+    cfg.backward_comm_opt = r.bwd_opt;
+    cfg.topo_aware = r.topo;
+    cfg.fused_lm_head = r.fuse;
+    cfg.ckpt = CkptConfig{r.ckpt, 0.5};
+    auto est = estimate_step(cfg);
+    if (!est.ok) {
+      t.row({r.label, "-", "-", "-", fmt(r.paper_mfu), fmt(r.paper_tgs),
+             fmt(r.paper_mem)});
+      continue;
+    }
+    t.row({r.label, fmt(100.0 * est.mfu), fmt(est.tgs),
+           fmt_gb(est.memory.total()), fmt(r.paper_mfu), fmt(r.paper_tgs),
+           fmt(r.paper_mem)});
+  }
+  t.print();
+  std::printf(
+      "\npaper deltas: backward opt ~1.05x; topo ring+overlap ~1.08x; LM\n"
+      "fusion saves 15.3%% memory at equal speed; seq-selective ckpt saves\n"
+      "another 14.8%% memory and is 1.14x over full checkpointing.\n");
+  return 0;
+}

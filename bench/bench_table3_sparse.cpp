@@ -1,0 +1,117 @@
+// Table 3: throughput of BurstEngine with different sparse-attention
+// handling — measured on the functional cluster simulator (8 devices,
+// toy-scale tensors, virtual time driven by the kernels' actual post-skip
+// FLOP counts):
+//
+//   * "Attention Masking": causal semantics but no workload balance and no
+//     tile skipping (full-rectangle compute) — the paper's baseline;
+//   * "Causal Attention": zigzag balance + tile skipping;
+//   * "SWA": block-wise sliding window + striped balance.
+//
+// The paper measures 1.72x (causal) and 3.68x (SWA, 32K window at 1M) over
+// the baseline; the unbalanced/unskipped baseline's *ideal* ceiling is 2x
+// for causal and N/window for SWA, with real systems landing lower due to
+// communication, which the simulator reproduces in virtual time.
+#include <cstdio>
+#include <mutex>
+
+#include "bench_util.hpp"
+#include "comm/communicator.hpp"
+#include "core/dist_attention.hpp"
+#include "core/partition.hpp"
+#include "sim/cluster.hpp"
+#include "tensor/rng.hpp"
+
+namespace {
+
+using namespace burst;
+using namespace burst::bench;
+using core::Balance;
+using kernels::MaskSpec;
+
+struct Config {
+  const char* name;
+  MaskSpec mask;
+  Balance balance;
+  double paper_tgs;
+  double paper_speedup;
+};
+
+double run_config(const MaskSpec& mask, Balance balance, std::int64_t n,
+                  std::int64_t d, int g) {
+  sim::Cluster::Config cc;
+  cc.topo = sim::Topology::single_node(g);
+  cc.flops_per_s = 1e9;  // virtual device speed; only ratios matter
+  sim::Cluster cluster(cc);
+  tensor::Rng rng(7);
+  tensor::Tensor q = rng.gaussian(n, d, 0.5f);
+  tensor::Tensor k = rng.gaussian(n, d, 0.5f);
+  tensor::Tensor v = rng.gaussian(n, d, 0.5f);
+  tensor::Tensor d_out = rng.gaussian(n, d, 0.5f);
+  cluster.run([&](sim::DeviceContext& ctx) {
+    comm::Communicator comm(ctx);
+    const auto route = core::SweepRoute::flat(comm::flat_ring(g));
+    core::DistAttnConfig cfg;
+    cfg.mask = mask;
+    cfg.scale = 0.125f;
+    cfg.balance = balance;
+    cfg.backward = core::BackwardComm::kBurst;
+    cfg.seq_len = n;
+    const auto map = core::route_index_map(route, cfg, ctx.rank());
+    core::LocalQKV local{core::shard_rows(q, map), core::shard_rows(k, map),
+                         core::shard_rows(v, map)};
+    auto fwd = core::dist_attention_forward(comm, route, cfg, local);
+    core::dist_attention_backward(comm, route, cfg, local, fwd,
+                                  core::shard_rows(d_out, map));
+  });
+  return cluster.makespan();
+}
+
+}  // namespace
+
+int main() {
+  const std::int64_t n = 2048;
+  const std::int64_t d = 32;
+  const int g = 8;
+  const std::int64_t window_blocks = 2;
+  const std::int64_t block = 128;  // SWA window = 256 tokens
+
+  title("Table 3 — sparse attention workload balance (simulated, 8 devices)");
+
+  const Config configs[] = {
+      // The baseline computes the full rectangle: full mask timing with
+      // causal-result semantics. We time the full mask (identical cost).
+      {"Attention Masking (no balance)", MaskSpec::full(), Balance::kContiguous,
+       227.58, 1.00},
+      // Extra diagnostic row (not in the paper's table): causal with tile
+      // skipping but *no* balance — the last device's 1.75x overload gates
+      // the step, halving the benefit of skipping.
+      {"Causal (contiguous, unbalanced)", MaskSpec::causal(),
+       Balance::kContiguous, 0.0, 0.0},
+      {"Causal Attention (zigzag)", MaskSpec::causal(), Balance::kZigzag,
+       393.44, 1.72},
+      {"SWA (block-wise, striped)",
+       MaskSpec::block_sliding_window(n / block, window_blocks, block),
+       Balance::kStriped, 837.79, 3.68},
+  };
+
+  Table t({"implementation", "virtual step (ms)", "speedup", "balance factor",
+           "paper TGS", "paper speedup"});
+  double base = 0.0;
+  for (const auto& c : configs) {
+    const double time = run_config(c.mask, c.balance, n, d, g);
+    if (base == 0.0) {
+      base = time;
+    }
+    const double bf = core::balance_factor(c.mask, c.balance, n, g);
+    t.row({c.name, fmt(time * 1e3, "%.1f"), fmt(base / time, "%.2fx"),
+           fmt(bf, "%.3f"), fmt(c.paper_tgs), fmt(c.paper_speedup, "%.2fx")});
+  }
+  t.print();
+  std::printf(
+      "\nnote: the simulator is compute-dominated at toy scale, so speedups\n"
+      "approach the workload ceilings (2x causal, N/window for SWA); the\n"
+      "paper's measured 1.72x / 3.68x sit below them due to communication\n"
+      "and per-device kernel overheads.\n");
+  return 0;
+}

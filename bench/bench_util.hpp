@@ -1,0 +1,77 @@
+// Shared table-printing helpers for the reproduction benches. Every bench
+// prints the rows/series of one table or figure from the paper, with the
+// paper's reported value alongside where it is stated numerically.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace burst::bench {
+
+inline void title(const std::string& s) {
+  std::printf("\n=== %s ===\n", s.c_str());
+}
+
+inline void subtitle(const std::string& s) {
+  std::printf("--- %s ---\n", s.c_str());
+}
+
+/// Prints a simple aligned table. Rows are vectors of preformatted cells.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  void row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  void print() const {
+    std::vector<std::size_t> width(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      width[c] = header_[c].size();
+    }
+    for (const auto& r : rows_) {
+      for (std::size_t c = 0; c < r.size() && c < width.size(); ++c) {
+        width[c] = std::max(width[c], r[c].size());
+      }
+    }
+    const auto line = [&](const std::vector<std::string>& cells) {
+      std::printf("|");
+      for (std::size_t c = 0; c < header_.size(); ++c) {
+        const std::string& v = c < cells.size() ? cells[c] : std::string();
+        std::printf(" %-*s |", static_cast<int>(width[c]), v.c_str());
+      }
+      std::printf("\n");
+    };
+    line(header_);
+    std::printf("|");
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      std::printf("%s|", std::string(width[c] + 2, '-').c_str());
+    }
+    std::printf("\n");
+    for (const auto& r : rows_) {
+      line(r);
+    }
+  }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string fmt(double v, const char* f = "%.2f") {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), f, v);
+  return buf;
+}
+
+inline std::string fmt_gb(double bytes) { return fmt(bytes / 1e9, "%.2f"); }
+
+inline std::string seq_label(double n) {
+  if (n >= 1e6) {
+    return fmt(n / 1e6, "%.0fM");
+  }
+  return fmt(n / 1e3, "%.0fK");
+}
+
+}  // namespace burst::bench

@@ -1,0 +1,83 @@
+// Capacity planner: given a model (7b | 14b), a cluster (nodes x gpus) and a
+// sequence length, print — for every parallelization method — whether the
+// setting fits in 80 GB HBM and the predicted TGS / MFU / peak memory from
+// the calibrated A800 performance model.
+//
+// Usage: capacity_planner [7b|14b] [nodes] [gpus_per_node] [seq_tokens]
+// Defaults: 7b 4 8 2000000
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "perfmodel/estimator.hpp"
+
+int main(int argc, char** argv) {
+  using namespace burst;
+  using perfmodel::Method;
+
+  model::ModelConfig model = model::ModelConfig::llama7b();
+  const char* model_name = "7B";
+  int nodes = 4;
+  int gpus = 8;
+  double seq = 2e6;
+  if (argc > 1 && std::strcmp(argv[1], "14b") == 0) {
+    model = model::ModelConfig::llama14b();
+    model_name = "14B";
+  }
+  if (argc > 2) {
+    nodes = std::atoi(argv[2]);
+  }
+  if (argc > 3) {
+    gpus = std::atoi(argv[3]);
+  }
+  if (argc > 4) {
+    seq = std::atof(argv[4]);
+  }
+
+  std::printf("capacity plan: %s model, %d x %d GPUs, %.0f tokens\n\n",
+              model_name, nodes, gpus, seq);
+  std::printf("%-24s %-10s %-8s %-10s %-9s %s\n", "method", "TGS", "MFU%",
+              "mem (GB)", "degree", "notes");
+
+  for (Method m :
+       {Method::kMegatronCP, Method::kUlysses, Method::kDoubleRing,
+        Method::kUSP, Method::kBurstEngine}) {
+    perfmodel::RunConfig cfg;
+    cfg.model = model;
+    cfg.seq_len = seq;
+    cfg.cluster = {nodes, gpus};
+    cfg.method = m;
+    auto est = estimate_step(cfg);
+    if (est.ok) {
+      std::printf("%-24s %-10.1f %-8.1f %-10.1f %-9d %s\n",
+                  perfmodel::method_name(m), est.tgs, 100.0 * est.mfu,
+                  est.memory.total() / 1e9, est.parallel_degree, "");
+    } else {
+      std::printf("%-24s %-10s %-8s %-10s %-9d %s\n",
+                  perfmodel::method_name(m), "-", "-", "-",
+                  est.parallel_degree, est.failure.c_str());
+    }
+  }
+
+  // Show the BurstEngine breakdown for tuning intuition.
+  perfmodel::RunConfig cfg;
+  cfg.model = model;
+  cfg.seq_len = seq;
+  cfg.cluster = {nodes, gpus};
+  cfg.method = Method::kBurstEngine;
+  auto est = estimate_step(cfg);
+  if (est.ok) {
+    std::printf("\nBurstEngine step breakdown (s): compute %.1f, recompute "
+                "%.1f, exposed ring comm %.2f, FSDP exposed %.2f\n",
+                est.compute_s, est.recompute_s, est.attn_comm_exposed_s,
+                est.fsdp_exposed_s);
+    const auto& mm = est.memory;
+    std::printf("memory breakdown (GB): states %.1f, activations %.1f, "
+                "working %.1f, LM head %.2f, buffers %.1f, reserved %.1f\n",
+                (mm.param_shard + mm.grad_shard + mm.optimizer +
+                 mm.gathered_layer) / 1e9,
+                mm.activations / 1e9, mm.working_set / 1e9, mm.lm_head / 1e9,
+                mm.comm_buffers / 1e9, mm.reserved / 1e9);
+  }
+  return 0;
+}

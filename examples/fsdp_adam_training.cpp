@@ -1,0 +1,129 @@
+// The paper's full training stack, end to end on the simulator:
+//   FSDP parameter sharding (ZeRO-3) + Adam with optimizer offload
+//   + BurstAttention with zigzag balance + sequence-level selective
+//   checkpointing + fused LM head.
+//
+// Each device permanently stores 1/G of the weights; full layers are
+// gathered on the fly; gradients are reduce-scattered; Adam updates the
+// local shard only. Compare the printed per-device memory to what the
+// replicated setup would hold.
+#include <cmath>
+#include <cstdio>
+#include <mutex>
+
+#include "comm/communicator.hpp"
+#include "model/fsdp.hpp"
+#include "model/optimizer.hpp"
+#include "model/transformer.hpp"
+#include "sim/cluster.hpp"
+#include "tensor/rng.hpp"
+
+namespace {
+
+// Shard-only Adam: moments sized to the local shard tensors.
+class ShardAdam {
+ public:
+  ShardAdam(const burst::model::FsdpShards& shards, float lr) : lr_(lr) {
+    visit(shards, [this](const burst::tensor::Tensor& t) {
+      m_.emplace_back(static_cast<std::size_t>(t.numel()), 0.0f);
+      v_.emplace_back(static_cast<std::size_t>(t.numel()), 0.0f);
+    });
+  }
+
+  void step(burst::model::FsdpShards& w,
+            const burst::model::FsdpShards& g) {
+    ++t_;
+    std::size_t idx = 0;
+    std::vector<burst::tensor::Tensor*> wt;
+    std::vector<const burst::tensor::Tensor*> gt;
+    visit(w, [&](burst::tensor::Tensor& t) { wt.push_back(&t); });
+    visit(g, [&](const burst::tensor::Tensor& t) { gt.push_back(&t); });
+    const float bc1 = 1.0f - std::pow(0.9f, static_cast<float>(t_));
+    const float bc2 = 1.0f - std::pow(0.999f, static_cast<float>(t_));
+    for (; idx < wt.size(); ++idx) {
+      auto& m = m_[idx];
+      auto& v = v_[idx];
+      for (std::int64_t i = 0; i < wt[idx]->numel(); ++i) {
+        const float grad = gt[idx]->data()[i];
+        const std::size_t si = static_cast<std::size_t>(i);
+        m[si] = 0.9f * m[si] + 0.1f * grad;
+        v[si] = 0.999f * v[si] + 0.001f * grad * grad;
+        wt[idx]->data()[i] -=
+            lr_ * (m[si] / bc1) / (std::sqrt(v[si] / bc2) + 1e-8f);
+      }
+    }
+  }
+
+ private:
+  template <typename W, typename Fn>
+  static void visit(W& shards, Fn&& fn) {
+    for (auto& l : shards.layers) {
+      fn(l.wq);
+      fn(l.wk);
+      fn(l.wv);
+      fn(l.wo);
+      fn(l.w1);
+      fn(l.w2);
+    }
+    fn(shards.w_embed);
+    fn(shards.w_head);
+  }
+
+  float lr_;
+  int t_ = 0;
+  std::vector<std::vector<float>> m_, v_;
+};
+
+}  // namespace
+
+int main() {
+  using namespace burst;
+
+  model::ModelConfig cfg = model::ModelConfig::toy();
+  model::ModelWeights init = model::ModelWeights::init(cfg, 42);
+
+  model::DistTrainConfig dc;
+  dc.model = cfg;
+  dc.impl = model::AttnImpl::kBurst;
+  dc.balance = core::Balance::kZigzag;
+  dc.ckpt = {core::CkptStrategy::kSeqSelective, 0.5};
+  dc.fused_lm_head = true;
+
+  const int g = 4;
+  sim::Cluster cluster({sim::Topology::single_node(g)});
+  tensor::Rng rng(7);
+  tensor::Tensor tokens = rng.token_ids(33, cfg.vocab);
+
+  std::printf("FSDP + Adam (offloaded) + BurstAttention on %d simulated "
+              "GPUs\n\n", g);
+  std::printf("%-5s %-12s\n", "step", "loss");
+
+  std::mutex mu;
+  std::uint64_t shard_bytes = 0;
+  cluster.run([&](sim::DeviceContext& ctx) {
+    comm::Communicator comm(ctx);
+    model::FsdpShards shards =
+        model::FsdpShards::shard(cfg, init, g, ctx.rank());
+    ShardAdam adam(shards, 0.02f);
+    for (int step = 0; step < 10; ++step) {
+      auto r = model::fsdp_train_step(comm, dc, shards, tokens);
+      adam.step(shards, r.grad_shards);
+      if (ctx.rank() == 0) {
+        std::lock_guard lock(mu);
+        std::printf("%-5d %-12.6f\n", step, r.loss);
+      }
+    }
+    if (ctx.rank() == 0) {
+      std::lock_guard lock(mu);
+      shard_bytes = shards.shard_bytes();
+    }
+  });
+
+  std::printf("\nper-device parameter shard: %.1f KiB (1/%d of the model; "
+              "replicated would hold %.1f KiB)\n",
+              static_cast<double>(shard_bytes) / 1024.0, g,
+              static_cast<double>(shard_bytes) * g / 1024.0);
+  std::printf("Adam moments live host-side (ZeRO-Offload), so no 12x "
+              "parameter bytes on device.\n");
+  return 0;
+}

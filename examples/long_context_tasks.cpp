@@ -1,0 +1,85 @@
+// Long-context task suite: train the toy model on synthetic tasks whose
+// targets require attention at different ranges (model/data.hpp) and report
+// cross-entropy on exactly the rows each task determines. The copy and
+// induction tasks are unlearnable without long-range attention — they are
+// the miniature version of why the paper cares about 1M-token training.
+#include <cstdio>
+#include <numeric>
+
+#include "model/data.hpp"
+#include "model/optimizer.hpp"
+#include "model/transformer.hpp"
+#include "tensor/rng.hpp"
+
+namespace {
+
+using namespace burst;
+
+double determined_loss(const model::ModelConfig& cfg,
+                       const model::ModelWeights& w,
+                       const tensor::Tensor& tokens, model::TaskKind kind) {
+  auto per_row = model::serial_per_row_loss(cfg, w, tokens,
+                                            kernels::MaskSpec::causal());
+  auto rows = model::task_determined_rows(
+      kind, static_cast<std::int64_t>(per_row.size()));
+  double total = 0.0;
+  for (auto r : rows) {
+    total += per_row[static_cast<std::size_t>(r)];
+  }
+  return total / static_cast<double>(rows.size());
+}
+
+}  // namespace
+
+int main() {
+  model::ModelConfig cfg = model::ModelConfig::toy();
+  cfg.layers = 2;
+  const std::int64_t n = 32;
+  const int steps = 60;
+
+  std::printf("long-context task suite: %lld tokens, %d training steps per "
+              "task (Adam)\n\n", static_cast<long long>(n), steps);
+  std::printf("%-11s %-16s %-16s %-10s\n", "task", "CE before", "CE after",
+              "learned?");
+
+  for (model::TaskKind kind :
+       {model::TaskKind::kMarkov, model::TaskKind::kCopy,
+        model::TaskKind::kInduction, model::TaskKind::kNeedle}) {
+    model::ModelWeights w = model::ModelWeights::init(cfg, 99);
+    model::AdamConfig ac;
+    ac.lr = 0.02f;
+    model::AdamOptimizer opt(w, ac);
+
+    // Fixed small task pool so the model can actually fit it at toy scale.
+    std::vector<tensor::Tensor> pool;
+    for (std::uint64_t s = 0; s < 4; ++s) {
+      pool.push_back(model::make_task_sequence(kind, 1000 + s, n, cfg.vocab));
+    }
+
+    double before = 0.0;
+    for (const auto& t : pool) {
+      before += determined_loss(cfg, w, t, kind);
+    }
+    before /= static_cast<double>(pool.size());
+
+    for (int step = 0; step < steps; ++step) {
+      const auto& t = pool[static_cast<std::size_t>(step) % pool.size()];
+      auto r = model::serial_train_step(cfg, w, t, kernels::MaskSpec::causal());
+      opt.step(w, r.grads);
+    }
+
+    double after = 0.0;
+    for (const auto& t : pool) {
+      after += determined_loss(cfg, w, t, kind);
+    }
+    after /= static_cast<double>(pool.size());
+
+    std::printf("%-11s %-16.4f %-16.4f %-10s\n", model::task_name(kind),
+                before, after, after < 0.5 * before ? "yes" : "partly");
+  }
+
+  std::printf("\ncopy/induction/needle targets sit far from their evidence —"
+              " exactly the dependency ranges context parallelism exists to "
+              "train.\n");
+  return 0;
+}

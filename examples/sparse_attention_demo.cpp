@@ -1,0 +1,90 @@
+// Sparse attention integration demo (Section 3.4): run distributed
+// attention with a block-wise sliding-window mask under each workload
+// balance strategy, verify numerics against the reference, and print the
+// per-device FLOP distribution that makes striped balance the right choice
+// for block-sparse masks (Figure 11).
+#include <cmath>
+#include <cstdio>
+#include <mutex>
+#include <vector>
+
+#include "comm/communicator.hpp"
+#include "core/dist_attention.hpp"
+#include "core/partition.hpp"
+#include "kernels/reference_attention.hpp"
+#include "sim/cluster.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/rng.hpp"
+
+int main() {
+  using namespace burst;
+
+  const std::int64_t n = 512;
+  const std::int64_t d = 16;
+  const int gpus = 8;
+  const std::int64_t block = 64;  // multiple of G, as Section 3.4 requires
+  const auto mask =
+      kernels::MaskSpec::block_sliding_window(n / block, 2, block);
+
+  tensor::Rng rng(11);
+  tensor::Tensor q = rng.gaussian(n, d, 0.6f);
+  tensor::Tensor k = rng.gaussian(n, d, 0.6f);
+  tensor::Tensor v = rng.gaussian(n, d, 0.6f);
+
+  const auto id = kernels::IndexMap::range(0, n);
+  auto ref = kernels::reference_attention_forward(q, id, k, v, id, mask,
+                                                  1.0f / std::sqrt(16.0f));
+
+  std::printf("block-sparse sliding window: %lld tokens, %lld-token blocks, "
+              "window 2 blocks, %d devices\n\n",
+              static_cast<long long>(n), static_cast<long long>(block), gpus);
+
+  for (core::Balance b : {core::Balance::kContiguous, core::Balance::kZigzag,
+                          core::Balance::kStriped}) {
+    core::DistAttnConfig cfg;
+    cfg.mask = mask;
+    cfg.scale = 1.0f / std::sqrt(16.0f);
+    cfg.balance = b;
+    cfg.seq_len = n;
+
+    sim::Cluster cluster({sim::Topology::single_node(gpus)});
+    tensor::Tensor o_global = tensor::Tensor::zeros(n, d);
+    std::vector<std::uint64_t> flops(gpus, 0);
+    std::mutex mu;
+    cluster.run([&](sim::DeviceContext& ctx) {
+      comm::Communicator comm(ctx);
+      const auto route = core::SweepRoute::flat(comm::flat_ring(gpus));
+      const auto map = core::route_index_map(route, cfg, ctx.rank());
+      core::LocalQKV local{core::shard_rows(q, map), core::shard_rows(k, map),
+                           core::shard_rows(v, map)};
+      kernels::KernelStats stats;
+      auto fwd = core::dist_attention_forward(comm, route, cfg, local, &stats);
+      std::lock_guard lock(mu);
+      core::unshard_rows(o_global, map, fwd.o);
+      flops[static_cast<std::size_t>(ctx.rank())] = stats.flops;
+    });
+
+    std::uint64_t max_f = 0;
+    std::uint64_t sum_f = 0;
+    for (auto f : flops) {
+      max_f = std::max(max_f, f);
+      sum_f += f;
+    }
+    const double imbalance =
+        static_cast<double>(max_f) / (static_cast<double>(sum_f) / gpus);
+    std::printf("%-11s max|O-ref| = %.2e   per-device FLOPs (M):",
+                core::balance_name(b), tensor::max_abs_diff(o_global, ref.o));
+    for (auto f : flops) {
+      std::printf(" %5.1f", static_cast<double>(f) / 1e6);
+    }
+    std::printf("   imbalance %.2fx   virtual time %.0f us\n", imbalance,
+                cluster.makespan() * 1e6);
+  }
+  std::printf("\nstriped balance gives every device an identical share of "
+              "every block (Figure 11), so its imbalance factor is 1.00x.\n"
+              "note: striped shards interleave tokens, so kernel tiles span "
+              "scattered global positions and skip fewer fully-masked tiles —\n"
+              "the per-device totals are higher but *equal*, which is what "
+              "removes the idle time that gates the unbalanced variants.\n");
+  return 0;
+}

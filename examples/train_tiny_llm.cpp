@@ -1,0 +1,90 @@
+// End-to-end demo: train a tiny LLaMA-style model on a synthetic
+// repeated-pattern language with the full BurstEngine pipeline — zigzag
+// context parallelism, BurstAttention, sequence-level selective
+// checkpointing, fused LM head — on a simulated 2-node x 2-GPU cluster, and
+// watch the loss fall in lockstep with serial training.
+#include <cstdio>
+#include <mutex>
+
+#include "comm/communicator.hpp"
+#include "model/dist_model.hpp"
+#include "model/transformer.hpp"
+#include "sim/cluster.hpp"
+#include "tensor/rng.hpp"
+
+namespace {
+
+// Synthetic "language": token t is followed by (3t + 7) mod V with noise —
+// learnable by a 2-layer model in a few dozen steps.
+burst::tensor::Tensor make_sequence(std::uint64_t seed, std::int64_t len,
+                                    std::int64_t vocab) {
+  burst::tensor::Rng rng(seed);
+  burst::tensor::Tensor t(len);
+  std::int64_t cur = rng.next_index(vocab);
+  for (std::int64_t i = 0; i < len; ++i) {
+    t[i] = static_cast<float>(cur);
+    cur = rng.next_uniform() < 0.9 ? (3 * cur + 7) % vocab
+                                   : rng.next_index(vocab);
+  }
+  return t;
+}
+
+}  // namespace
+
+int main() {
+  using namespace burst;
+
+  model::ModelConfig cfg = model::ModelConfig::toy();
+  model::ModelWeights weights = model::ModelWeights::init(cfg, 7);
+  model::ModelWeights serial_weights = weights;
+
+  model::DistTrainConfig dist_cfg;
+  dist_cfg.model = cfg;
+  dist_cfg.impl = model::AttnImpl::kBurst;
+  dist_cfg.balance = core::Balance::kZigzag;
+  dist_cfg.ckpt = {core::CkptStrategy::kSeqSelective, 0.5};
+  dist_cfg.fused_lm_head = true;
+  dist_cfg.topo_aware = true;
+
+  sim::Cluster cluster({sim::Topology::multi_node(2, 2)});
+  const float lr = 0.05f;
+  const int steps = 12;
+
+  std::printf("training a %lld-layer d=%lld toy LLM on a simulated 2x2 "
+              "cluster (BurstAttention, zigzag, seq-selective ckpt)\n\n",
+              static_cast<long long>(cfg.layers),
+              static_cast<long long>(cfg.d_model));
+  std::printf("%-5s %-14s %-14s %-10s\n", "step", "dist loss", "serial loss",
+              "|diff|");
+
+  tensor::Tensor tokens = make_sequence(100, 33, cfg.vocab);
+  for (int step = 0; step < steps; ++step) {
+    auto serial = model::serial_train_step(cfg, serial_weights, tokens,
+                                           kernels::MaskSpec::causal());
+    model::apply_sgd(serial_weights, serial.grads, lr);
+
+    double dist_loss = 0.0;
+    std::mutex mu;
+    model::ModelGrads dist_grads = model::ModelGrads::zeros(cfg);
+    cluster.run([&](sim::DeviceContext& ctx) {
+      comm::Communicator comm(ctx);
+      auto r = model::dist_train_step(comm, dist_cfg, weights, tokens);
+      if (ctx.rank() == 0) {
+        std::lock_guard lock(mu);
+        dist_loss = r.loss;
+        dist_grads = std::move(r.grads);
+      }
+    });
+    model::apply_sgd(weights, dist_grads, lr);
+
+    std::printf("%-5d %-14.6f %-14.6f %-10.2e\n", step, dist_loss,
+                serial.loss, std::abs(dist_loss - serial.loss));
+  }
+
+  std::printf("\nfinal virtual step time on the simulated cluster: %.2f ms\n",
+              cluster.makespan() * 1e3);
+  std::printf("peak simulated device memory: %.1f KiB (activations + LM-head "
+              "scratch, as-if bf16)\n",
+              static_cast<double>(cluster.stats()[0].peak_mem_bytes) / 1024.0);
+  return 0;
+}

@@ -1,0 +1,215 @@
+#include "comm/communicator.hpp"
+
+#include <cassert>
+
+#include "tensor/ops.hpp"
+
+namespace burst::comm {
+
+using tensor::Tensor;
+
+std::uint64_t Communicator::wire_bytes(const std::vector<Tensor>& ts) const {
+  double total = 0.0;
+  for (const auto& t : ts) {
+    total += static_cast<double>(t.numel()) * wire_bytes_per_element_;
+  }
+  return static_cast<std::uint64_t>(total);
+}
+
+int Communicator::stream_for(int peer) const {
+  return ctx_.topo().same_node(ctx_.rank(), peer) ? sim::kIntraComm
+                                                  : sim::kInterComm;
+}
+
+void Communicator::send(int dst, int tag, std::vector<Tensor> tensors) {
+  send_on(dst, tag, std::move(tensors), stream_for(dst));
+}
+
+void Communicator::send_on(int dst, int tag, std::vector<Tensor> tensors,
+                           int stream) {
+  sim::Message msg;
+  msg.bytes = wire_bytes(tensors);
+  msg.tensors = std::move(tensors);
+  ctx_.send(dst, tag, std::move(msg), stream);
+}
+
+std::vector<Tensor> Communicator::recv(int src, int tag) {
+  return recv_on(src, tag, stream_for(src));
+}
+
+std::vector<Tensor> Communicator::recv_on(int src, int tag, int stream) {
+  return ctx_.recv(src, tag, stream).tensors;
+}
+
+void Communicator::send_bundle(int dst, int tag, Bundle bundle, int stream) {
+  sim::Message msg;
+  msg.bytes = wire_bytes(bundle.tensors);  // meta excluded: control plane
+  msg.tensors = std::move(bundle.tensors);
+  Tensor meta(1);
+  meta[0] = static_cast<float>(bundle.meta);
+  msg.tensors.push_back(std::move(meta));
+  ctx_.send(dst, tag, std::move(msg), stream);
+}
+
+Communicator::Bundle Communicator::recv_bundle(int src, int tag, int stream) {
+  sim::Message msg = ctx_.recv(src, tag, stream);
+  Bundle b;
+  b.meta = static_cast<int>(msg.tensors.back()[0]);
+  msg.tensors.pop_back();
+  b.tensors = std::move(msg.tensors);
+  return b;
+}
+
+int Communicator::fresh_tag_block() {
+  const int base = tag_counter_;
+  tag_counter_ += 1024;  // room for per-step tags inside one collective
+  return base;
+}
+
+Tensor Communicator::all_gather_rows(const Tensor& local) {
+  const int g = world_size();
+  const int r = rank();
+  const int base = fresh_tag_block();
+  assert(local.rank() == 2);
+  const std::int64_t m = local.rows();
+  Tensor full(m * g, local.cols());
+  full.set_rows(r * m, local);
+  // Canonical ring all-gather: at step s forward chunk (r - s) mod g.
+  for (int s = 0; s < g - 1; ++s) {
+    const int send_idx = ((r - s) % g + g) % g;
+    const int recv_idx = ((r - s - 1) % g + g) % g;
+    const int next = (r + 1) % g;
+    const int prev = (r + g - 1) % g;
+    send(next, base + s, {full.copy_rows(send_idx * m, m)});
+    auto got = recv(prev, base + s);
+    full.set_rows(recv_idx * m, got.at(0));
+  }
+  return full;
+}
+
+Tensor Communicator::reduce_scatter_rows(const Tensor& full) {
+  const int g = world_size();
+  const int r = rank();
+  const int base = fresh_tag_block();
+  assert(full.rank() == 2 && full.rows() % g == 0);
+  const std::int64_t m = full.rows() / g;
+  Tensor work = full;  // chunks accumulate in place
+  // Shifted canonical ring reduce-scatter: device r ends owning chunk r.
+  for (int s = 0; s < g - 1; ++s) {
+    const int send_idx = ((r - s - 1) % g + g) % g;
+    const int recv_idx = ((r - s - 2) % g + g) % g;
+    const int next = (r + 1) % g;
+    const int prev = (r + g - 1) % g;
+    send(next, base + s, {work.copy_rows(send_idx * m, m)});
+    auto got = recv(prev, base + s);
+    Tensor chunk = work.copy_rows(recv_idx * m, m);
+    tensor::add_inplace(chunk, got.at(0));
+    work.set_rows(recv_idx * m, chunk);
+  }
+  return work.copy_rows(r * m, m);
+}
+
+void Communicator::all_reduce_inplace(Tensor& t) {
+  const int g = world_size();
+  if (g == 1) {
+    return;
+  }
+  assert(t.rank() == 2 && t.rows() % g == 0);
+  Tensor shard = reduce_scatter_rows(t);
+  t = all_gather_rows(shard);
+}
+
+std::vector<Tensor> Communicator::all_to_all(std::vector<Tensor> send_bufs) {
+  const int g = world_size();
+  const int r = rank();
+  const int base = fresh_tag_block();
+  assert(static_cast<int>(send_bufs.size()) == g);
+  std::vector<Tensor> out(static_cast<std::size_t>(g));
+  out[static_cast<std::size_t>(r)] =
+      std::move(send_bufs[static_cast<std::size_t>(r)]);
+  // Pairwise exchange schedule (standard MPI_Alltoall for power-of-two-free
+  // sizes): at step s exchange with (r + s) and (r - s).
+  for (int s = 1; s < g; ++s) {
+    const int dst = (r + s) % g;
+    const int src = (r - s + g) % g;
+    send(dst, base + s, {std::move(send_bufs[static_cast<std::size_t>(dst)])});
+    auto got = recv(src, base + s);
+    out[static_cast<std::size_t>(src)] = std::move(got.at(0));
+  }
+  return out;
+}
+
+std::vector<Tensor> Communicator::all_to_all_group(
+    const std::vector<int>& group, std::vector<Tensor> send_bufs) {
+  const int gm = static_cast<int>(group.size());
+  const int base = fresh_tag_block();
+  int pos = -1;
+  for (int i = 0; i < gm; ++i) {
+    if (group[static_cast<std::size_t>(i)] == rank()) {
+      pos = i;
+    }
+  }
+  assert(pos >= 0 && static_cast<int>(send_bufs.size()) == gm);
+  std::vector<Tensor> out(static_cast<std::size_t>(gm));
+  out[static_cast<std::size_t>(pos)] =
+      std::move(send_bufs[static_cast<std::size_t>(pos)]);
+  for (int s = 1; s < gm; ++s) {
+    const int dst_pos = (pos + s) % gm;
+    const int src_pos = (pos - s + gm) % gm;
+    send(group[static_cast<std::size_t>(dst_pos)], base + s,
+         {std::move(send_bufs[static_cast<std::size_t>(dst_pos)])});
+    auto got = recv(group[static_cast<std::size_t>(src_pos)], base + s);
+    out[static_cast<std::size_t>(src_pos)] = std::move(got.at(0));
+  }
+  return out;
+}
+
+void Communicator::all_reduce_group_inplace(const std::vector<int>& group,
+                                            Tensor& t) {
+  const int gm = static_cast<int>(group.size());
+  const int base = fresh_tag_block();
+  if (gm == 1) {
+    return;
+  }
+  int pos = -1;
+  for (int i = 0; i < gm; ++i) {
+    if (group[static_cast<std::size_t>(i)] == rank()) {
+      pos = i;
+    }
+  }
+  assert(pos >= 0);
+  // Flat exchange: everyone sends to everyone, sums locally. O(G^2) traffic
+  // but only used for small subgroups / toy validation.
+  for (int i = 0; i < gm; ++i) {
+    if (i != pos) {
+      send(group[static_cast<std::size_t>(i)], base + pos, {t});
+    }
+  }
+  Tensor acc = t;
+  for (int i = 0; i < gm; ++i) {
+    if (i != pos) {
+      auto got = recv(group[static_cast<std::size_t>(i)], base + i);
+      tensor::add_inplace(acc, got.at(0));
+    }
+  }
+  t = std::move(acc);
+}
+
+void Communicator::broadcast(Tensor& t, int root) {
+  const int g = world_size();
+  const int base = fresh_tag_block();
+  if (g == 1) {
+    return;
+  }
+  if (rank() == root) {
+    for (int dst = 0; dst < g; ++dst) {
+      if (dst != root) {
+        send(dst, base, {t});
+      }
+    }
+  } else {
+    t = recv(root, base).at(0);
+  }
+}
+
+}  // namespace burst::comm

@@ -1,0 +1,43 @@
+#include "core/checkpoint.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace burst::core {
+
+const char* ckpt_name(CkptStrategy s) {
+  switch (s) {
+    case CkptStrategy::kNone:
+      return "none";
+    case CkptStrategy::kFull:
+      return "full";
+    case CkptStrategy::kSelectivePP:
+      return "selective++";
+    case CkptStrategy::kSeqSelective:
+      return "seq-selective";
+  }
+  return "?";
+}
+
+std::int64_t stored_boundary(const CkptConfig& cfg, std::int64_t seq_len) {
+  switch (cfg.strategy) {
+    case CkptStrategy::kNone:
+    case CkptStrategy::kSelectivePP:
+      return 0;  // everything stored
+    case CkptStrategy::kFull:
+      return seq_len;  // nothing stored
+    case CkptStrategy::kSeqSelective: {
+      const double frac = std::clamp(cfg.store_fraction, 0.0, 1.0);
+      return static_cast<std::int64_t>(
+          std::llround(static_cast<double>(seq_len) * (1.0 - frac)));
+    }
+  }
+  return 0;
+}
+
+bool stores_position(const CkptConfig& cfg, std::int64_t pos,
+                     std::int64_t seq_len) {
+  return pos >= stored_boundary(cfg, seq_len);
+}
+
+}  // namespace burst::core

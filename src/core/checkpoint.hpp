@@ -1,0 +1,49 @@
+// Gradient checkpointing strategies (Section 3.2, Figures 6-7).
+//
+//  * kNone         — store every intermediate (no recomputation; the memory
+//                    hog).
+//  * kFull         — classic gradient checkpointing [4]: store only each
+//                    layer's input; recompute everything in backward,
+//                    including the attention forward (expensive with
+//                    FlashAttention because O/LSE must be rebuilt).
+//  * kSelectivePP  — selective checkpointing++ [13, 21]: additionally store
+//                    FlashAttention's outputs (O and LSE) so attention is
+//                    never recomputed; costs one extra [N, d] per layer.
+//  * kSeqSelective — the paper's sequence-level selective checkpointing:
+//                    store O/LSE only for the *latter* `store_fraction` of
+//                    the sequence and recompute the former part. Under a
+//                    causal mask the front half of the rows covers only ~1/4
+//                    of the attention area, so half the memory of
+//                    SelectivePP buys back most of its recompute savings.
+#pragma once
+
+#include <cstdint>
+
+namespace burst::core {
+
+enum class CkptStrategy {
+  kNone,
+  kFull,
+  kSelectivePP,
+  kSeqSelective,
+};
+
+const char* ckpt_name(CkptStrategy s);
+
+struct CkptConfig {
+  CkptStrategy strategy = CkptStrategy::kFull;
+  /// kSeqSelective: fraction of the sequence (from the back) whose attention
+  /// outputs are stored. 0.5 reproduces the paper's configuration.
+  double store_fraction = 0.5;
+};
+
+/// Whether the attention output of global token `pos` is stored between
+/// forward and backward under `cfg`.
+bool stores_position(const CkptConfig& cfg, std::int64_t pos,
+                     std::int64_t seq_len);
+
+/// First global position that is stored (positions below are recomputed).
+/// kNone/kSelectivePP -> 0; kFull -> seq_len.
+std::int64_t stored_boundary(const CkptConfig& cfg, std::int64_t seq_len);
+
+}  // namespace burst::core

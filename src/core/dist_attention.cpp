@@ -1,0 +1,189 @@
+#include "core/dist_attention.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+#include "tensor/ops.hpp"
+
+namespace burst::core {
+
+using comm::Communicator;
+using kernels::AttnResult;
+using kernels::IndexMap;
+using kernels::KernelStats;
+using tensor::Tensor;
+
+namespace {
+
+constexpr float kNegInf = -std::numeric_limits<float>::infinity();
+
+// Position of `rank` within the route (0..G-1).
+int route_position(const SweepRoute& route, int rank) {
+  const auto& ranks = route.ranks();
+  for (std::size_t i = 0; i < ranks.size(); ++i) {
+    if (ranks[i] == rank) {
+      return static_cast<int>(i);
+    }
+  }
+  assert(false);
+  return -1;
+}
+
+void charge(comm::Communicator& comm, const KernelStats& st,
+            KernelStats* out) {
+  comm.ctx().compute(static_cast<double>(st.flops));
+  if (out != nullptr) {
+    out->flops += st.flops;
+    out->tiles_computed += st.tiles_computed;
+    out->tiles_skipped += st.tiles_skipped;
+  }
+}
+
+}  // namespace
+
+IndexMap route_index_map(const SweepRoute& route, const DistAttnConfig& cfg,
+                         int rank) {
+  return device_index_map(cfg.balance, cfg.seq_len, route.size(),
+                          route_position(route, rank));
+}
+
+AttnResult dist_attention_forward_subset(
+    Communicator& comm, const SweepRoute& route, const DistAttnConfig& cfg,
+    const Tensor& q_sub, const IndexMap& qmap_sub, const Tensor& k_local,
+    const Tensor& v_local, KernelStats* stats) {
+  assert(q_sub.rows() == qmap_sub.size() || q_sub.rows() == 0);
+
+  AttnResult result;
+  result.o = Tensor::zeros(q_sub.rows(), k_local.cols());
+  result.lse = Tensor(q_sub.rows());
+  result.lse.fill(kNegInf);
+
+  SweepOptions opt;
+  opt.overlap = cfg.overlap;
+  opt.tag_base = cfg.tag_base;
+  ring_sweep_activation(
+      comm, route, opt, {k_local, v_local},
+      [&](const std::vector<Tensor>& kv, int origin) {
+        if (q_sub.rows() == 0) {
+          return;  // nothing to compute; we only feed the ring
+        }
+        const IndexMap kmap = route_index_map(route, cfg, origin);
+        KernelStats st;
+        kernels::flash_forward_partial(q_sub, qmap_sub, kv[0], kv[1], kmap,
+                                       cfg.mask, cfg.scale, result.o,
+                                       result.lse, &st);
+        charge(comm, st, stats);
+      });
+  return result;
+}
+
+AttnResult dist_attention_forward(Communicator& comm, const SweepRoute& route,
+                                  const DistAttnConfig& cfg,
+                                  const LocalQKV& local, KernelStats* stats) {
+  const IndexMap qmap = route_index_map(route, cfg, comm.rank());
+  assert(local.q.rows() == qmap.size());
+  return dist_attention_forward_subset(comm, route, cfg, local.q, qmap,
+                                       local.k, local.v, stats);
+}
+
+namespace {
+
+// Algorithm 1: circulate (K, V) as immutable parts and (∇K, ∇V) as
+// accumulators; D is recomputed from (∇O, O) at every visit, as written.
+LocalGrads backward_ring(Communicator& comm, const SweepRoute& route,
+                         const DistAttnConfig& cfg, const LocalQKV& local,
+                         const AttnResult& fwd, const Tensor& d_out,
+                         KernelStats* stats) {
+  const int me = comm.rank();
+  const IndexMap qmap = route_index_map(route, cfg, me);
+  const std::int64_t d = local.q.cols();
+
+  LocalGrads g;
+  g.dq = Tensor::zeros(local.q.rows(), d);
+
+  SweepOptions opt;
+  opt.overlap = cfg.overlap;
+  opt.tag_base = cfg.tag_base;
+  std::vector<Tensor> returned = ring_sweep_gradient(
+      comm, route, opt, {local.k, local.v},
+      {Tensor::zeros(local.k.rows(), d), Tensor::zeros(local.v.rows(), d)},
+      [&](const std::vector<Tensor>& kv, int origin) {
+        const IndexMap kmap = route_index_map(route, cfg, origin);
+        // Algorithm 1 line 10: D_i recomputed inside every ring step — the
+        // redundant work BurstAttention eliminates. Charged accordingly.
+        Tensor dvec = kernels::attention_dvec(d_out, fwd.o);
+        KernelStats st;
+        st.flops += static_cast<std::uint64_t>(2 * d_out.numel());
+        Tensor dk_part = Tensor::zeros(kv[0].rows(), d);
+        Tensor dv_part = Tensor::zeros(kv[1].rows(), d);
+        kernels::flash_backward_partial(local.q, qmap, kv[0], kv[1], kmap,
+                                        cfg.mask, cfg.scale, d_out, fwd.lse,
+                                        dvec, g.dq, dk_part, dv_part, &st);
+        charge(comm, st, stats);
+        return std::vector<Tensor>{std::move(dk_part), std::move(dv_part)};
+      });
+  g.dk = std::move(returned[0]);
+  g.dv = std::move(returned[1]);
+  return g;
+}
+
+// Algorithm 2: keep K/V local, circulate (Q, ∇O, Lse, D) immutably with ∇Q
+// as the accumulator. D is computed once, up front (line 2).
+LocalGrads backward_burst(Communicator& comm, const SweepRoute& route,
+                          const DistAttnConfig& cfg, const LocalQKV& local,
+                          const AttnResult& fwd, const Tensor& d_out,
+                          KernelStats* stats) {
+  const int me = comm.rank();
+  const std::int64_t d = local.q.cols();
+
+  LocalGrads g;
+  g.dk = Tensor::zeros(local.k.rows(), d);
+  g.dv = Tensor::zeros(local.v.rows(), d);
+
+  // D_i once per device (Algorithm 2 line 2).
+  Tensor dvec = kernels::attention_dvec(d_out, fwd.o);
+  comm.ctx().compute(static_cast<double>(2 * d_out.numel()));
+  if (stats != nullptr) {
+    stats->flops += static_cast<std::uint64_t>(2 * d_out.numel());
+  }
+
+  SweepOptions opt;
+  opt.overlap = cfg.overlap;
+  opt.tag_base = cfg.tag_base;
+  std::vector<Tensor> returned = ring_sweep_gradient(
+      comm, route, opt, {local.q, d_out, fwd.lse, dvec},
+      {Tensor::zeros(local.q.rows(), d)},
+      [&](const std::vector<Tensor>& imm, int origin) {
+        const Tensor& q_j = imm[0];
+        const Tensor& d_out_j = imm[1];
+        const Tensor& lse_j = imm[2];
+        const Tensor& dvec_j = imm[3];
+        const IndexMap qmap_j = route_index_map(route, cfg, origin);
+        const IndexMap kmap = route_index_map(route, cfg, me);
+        KernelStats st;
+        Tensor dq_part = Tensor::zeros(q_j.rows(), d);
+        kernels::flash_backward_partial(q_j, qmap_j, local.k, local.v, kmap,
+                                        cfg.mask, cfg.scale, d_out_j, lse_j,
+                                        dvec_j, dq_part, g.dk, g.dv, &st);
+        charge(comm, st, stats);
+        return std::vector<Tensor>{std::move(dq_part)};
+      });
+  g.dq = std::move(returned[0]);
+  return g;
+}
+
+}  // namespace
+
+LocalGrads dist_attention_backward(Communicator& comm, const SweepRoute& route,
+                                   const DistAttnConfig& cfg,
+                                   const LocalQKV& local,
+                                   const AttnResult& fwd, const Tensor& d_out,
+                                   KernelStats* stats) {
+  if (cfg.backward == BackwardComm::kRing) {
+    return backward_ring(comm, route, cfg, local, fwd, d_out, stats);
+  }
+  return backward_burst(comm, route, cfg, local, fwd, d_out, stats);
+}
+
+}  // namespace burst::core

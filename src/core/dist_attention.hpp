@@ -1,0 +1,98 @@
+// Distributed context-parallel attention: BurstAttention and the
+// RingAttention baseline (Section 3.1, Algorithms 1 and 2).
+//
+// Both share the forward pass (ring K/V sweep with online-softmax
+// aggregation, communication volume 2Nd per GPU). They differ in backward:
+//
+//  * RingAttention (Algorithm 1) circulates (K, V, ∇K, ∇V): volume 4Nd, and
+//    recomputes D = rowsum(∇O ∘ O) every ring step.
+//  * BurstAttention (Algorithm 2) keeps K/V/∇K/∇V local and circulates
+//    (Q, ∇Q, ∇O, D, Lse): volume 3Nd + 2N (~25% less), computing D once.
+//
+// The route decides the communication pattern: flat ring (vanilla /
+// Megatron-CP style), or the topology-aware double ring (BurstAttention,
+// DoubleRingAttention). Workload balance (contiguous / zigzag / striped) is
+// orthogonal and handled through IndexMaps.
+//
+// Note on Algorithm 2 line 11: the paper writes ∇S_{j,i} = P ∘ (∇P − D_i);
+// the softmax-Jacobian row term must belong to the *query* row, i.e. D_j.
+// We implement D_j (and validate against reference gradients).
+#pragma once
+
+#include <cstdint>
+
+#include "comm/communicator.hpp"
+#include "core/partition.hpp"
+#include "core/sweep.hpp"
+#include "kernels/flash_attention.hpp"
+#include "kernels/mask.hpp"
+#include "tensor/tensor.hpp"
+
+namespace burst::core {
+
+enum class BackwardComm {
+  kRing,   // Algorithm 1: circulate K, V, ∇K, ∇V
+  kBurst,  // Algorithm 2: circulate Q, ∇Q, ∇O, D, Lse
+};
+
+struct DistAttnConfig {
+  kernels::MaskSpec mask = kernels::MaskSpec::full();
+  float scale = 1.0f;
+  Balance balance = Balance::kContiguous;
+  BackwardComm backward = BackwardComm::kBurst;
+  bool overlap = true;
+  std::int64_t seq_len = 0;  // global N
+  /// Context-parallel group size (route size); ranks outside take no part.
+  int tag_base = 0;
+};
+
+/// This device's Q/K/V shard, rows ordered by its IndexMap.
+struct LocalQKV {
+  tensor::Tensor q;
+  tensor::Tensor k;
+  tensor::Tensor v;
+};
+
+struct LocalGrads {
+  tensor::Tensor dq;
+  tensor::Tensor dk;
+  tensor::Tensor dv;
+};
+
+/// Ring forward (both methods): local O and LSE shards.
+/// `stats` (optional) accumulates post-skip kernel FLOPs, which are also
+/// charged to the device's virtual compute stream.
+kernels::AttnResult dist_attention_forward(comm::Communicator& comm,
+                                           const SweepRoute& route,
+                                           const DistAttnConfig& cfg,
+                                           const LocalQKV& local,
+                                           kernels::KernelStats* stats = nullptr);
+
+/// Ring forward for an arbitrary subset of this device's queries (`q_sub`
+/// rows at global positions `qmap_sub`), attending to the full distributed
+/// K/V. Used by sequence-level selective checkpointing to recompute only the
+/// non-stored front rows during backward. `q_sub` may have zero rows — the
+/// device still participates in the K/V ring (its keys are needed by peers).
+kernels::AttnResult dist_attention_forward_subset(
+    comm::Communicator& comm, const SweepRoute& route,
+    const DistAttnConfig& cfg, const tensor::Tensor& q_sub,
+    const kernels::IndexMap& qmap_sub, const tensor::Tensor& k_local,
+    const tensor::Tensor& v_local, kernels::KernelStats* stats = nullptr);
+
+/// Backward per `cfg.backward`. Needs the forward's O/LSE and the local
+/// output gradient shard.
+LocalGrads dist_attention_backward(comm::Communicator& comm,
+                                   const SweepRoute& route,
+                                   const DistAttnConfig& cfg,
+                                   const LocalQKV& local,
+                                   const kernels::AttnResult& fwd,
+                                   const tensor::Tensor& d_out,
+                                   kernels::KernelStats* stats = nullptr);
+
+/// IndexMap of a route member's shard. Balance strategies partition over the
+/// route's *positions* (0..G-1), not global ranks, so sub-group rings (USP)
+/// work unchanged.
+kernels::IndexMap route_index_map(const SweepRoute& route,
+                                  const DistAttnConfig& cfg, int rank);
+
+}  // namespace burst::core

@@ -1,0 +1,39 @@
+// Packing helpers for the sequence-shard <-> head-shard all-to-all exchange
+// used by DeepSpeed-Ulysses and the Ulysses stage of USP.
+//
+// Layout convention: a device holds per-head tensors of shape [n_local, dh].
+// Before the all-to-all, heads are packed heads-major per destination; after
+// it, each owned head's full sequence is assembled by concatenating source
+// shards in group order.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace burst::core {
+
+/// For each of `g` destinations, stacks the local shard of every head that
+/// destination owns (`heads_per_dev` heads, heads-major).
+std::vector<tensor::Tensor> pack_by_owner(
+    const std::vector<tensor::Tensor>& per_head, int g, int heads_per_dev);
+
+/// Receive-side inverse: per owned head, concatenates all `g` source shards
+/// (each `n_local` rows) into the full segment.
+std::vector<tensor::Tensor> assemble_full_seq(
+    const std::vector<tensor::Tensor>& recv, int g, int heads_per_dev,
+    std::int64_t n_local);
+
+/// Head-sharded full segments -> per-destination packed buffers (sending
+/// outputs/gradients back to sequence sharding).
+std::vector<tensor::Tensor> pack_by_shard(
+    const std::vector<tensor::Tensor>& full, int g, std::int64_t n_local);
+
+/// Receive-side inverse of pack_by_shard: per-head local shards indexed by
+/// global head (source at group position s owns heads [s*hpd, (s+1)*hpd)).
+std::vector<tensor::Tensor> unpack_to_heads(
+    const std::vector<tensor::Tensor>& recv, int g, int heads_per_dev,
+    std::int64_t n_local);
+
+}  // namespace burst::core

@@ -1,0 +1,120 @@
+#include "core/partition.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace burst::core {
+
+using kernels::IndexMap;
+using kernels::MaskSpec;
+using tensor::Tensor;
+
+const char* balance_name(Balance b) {
+  switch (b) {
+    case Balance::kContiguous:
+      return "contiguous";
+    case Balance::kZigzag:
+      return "zigzag";
+    case Balance::kStriped:
+      return "striped";
+  }
+  return "?";
+}
+
+IndexMap device_index_map(Balance b, std::int64_t n, int g, int rank) {
+  assert(rank >= 0 && rank < g);
+  switch (b) {
+    case Balance::kContiguous: {
+      if (n % g != 0) {
+        throw std::invalid_argument("contiguous balance needs G | N");
+      }
+      const std::int64_t chunk = n / g;
+      return IndexMap::range(rank * chunk, chunk);
+    }
+    case Balance::kZigzag: {
+      if (n % (2 * static_cast<std::int64_t>(g)) != 0) {
+        throw std::invalid_argument("zigzag balance needs 2G | N");
+      }
+      const std::int64_t p = n / (2 * g);
+      // Chunk `rank` from the front, chunk `2G-1-rank` from the back (Eq. 11).
+      return IndexMap::segments(
+          {{rank * p, p}, {(2 * g - 1 - rank) * p, p}});
+    }
+    case Balance::kStriped: {
+      if (n % g != 0) {
+        throw std::invalid_argument("striped balance needs G | N");
+      }
+      return IndexMap::strided(rank, g, n / g);
+    }
+  }
+  throw std::invalid_argument("unknown balance");
+}
+
+Tensor shard_rows(const Tensor& global, const IndexMap& map) {
+  Tensor local(map.size(), global.cols());
+  for (std::int64_t i = 0; i < map.size(); ++i) {
+    const std::int64_t gidx = map.global(i);
+    for (std::int64_t c = 0; c < global.cols(); ++c) {
+      local(i, c) = global(gidx, c);
+    }
+  }
+  return local;
+}
+
+void unshard_rows(Tensor& global, const IndexMap& map, const Tensor& local) {
+  assert(local.rows() == map.size() && local.cols() == global.cols());
+  for (std::int64_t i = 0; i < map.size(); ++i) {
+    const std::int64_t gidx = map.global(i);
+    for (std::int64_t c = 0; c < global.cols(); ++c) {
+      global(gidx, c) = local(i, c);
+    }
+  }
+}
+
+void unshard_vec(Tensor& global, const IndexMap& map, const Tensor& local) {
+  assert(local.numel() == map.size());
+  for (std::int64_t i = 0; i < map.size(); ++i) {
+    global[map.global(i)] = local[i];
+  }
+}
+
+IndexMap submap(const IndexMap& map, std::int64_t begin, std::int64_t len) {
+  assert(begin >= 0 && begin + len <= map.size());
+  std::vector<std::pair<std::int64_t, std::int64_t>> segs;
+  for (std::int64_t i = 0; i < len; ++i) {
+    const std::int64_t g = map.global(begin + i);
+    if (!segs.empty() && segs.back().first + segs.back().second == g) {
+      ++segs.back().second;
+    } else {
+      segs.push_back({g, 1});
+    }
+  }
+  return IndexMap::segments(std::move(segs));
+}
+
+std::uint64_t device_workload(const MaskSpec& mask, const IndexMap& qmap,
+                              std::int64_t n) {
+  std::uint64_t total = 0;
+  for (std::int64_t i = 0; i < qmap.size(); ++i) {
+    const std::int64_t q = qmap.global(i);
+    total += mask.count_allowed(q, q + 1, 0, n);
+  }
+  return total;
+}
+
+double balance_factor(const MaskSpec& mask, Balance b, std::int64_t n, int g) {
+  const std::uint64_t total = mask.count_allowed(0, n, 0, n);
+  if (total == 0) {
+    return 1.0;
+  }
+  const double ideal = static_cast<double>(total) / g;
+  std::uint64_t worst = 0;
+  for (int r = 0; r < g; ++r) {
+    worst = std::max(worst,
+                     device_workload(mask, device_index_map(b, n, g, r), n));
+  }
+  return static_cast<double>(worst) / ideal;
+}
+
+}  // namespace burst::core

@@ -1,0 +1,65 @@
+// Sequence partitioners / workload balancers for context parallelism
+// (Section 3.4 and Figures 10–11 of the paper).
+//
+//  * Contiguous — device i gets tokens [i*N/G, (i+1)*N/G). Simple, but under
+//    a causal mask device G-1 does ~2x the average work (the "Attention
+//    Masking" baseline row of Table 3).
+//  * Zigzag     — the sequence is cut into 2G chunks; device i gets chunk i
+//    and chunk 2G-1-i (Eq. 11), pairing a cheap front chunk with an
+//    expensive back chunk.
+//  * Striped    — device i gets tokens {i, i+G, i+2G, ...} (Eq. 13). Also
+//    the strategy BurstEngine applies to block-wise sparse masks
+//    (Figure 11): any block whose size is a multiple of G contributes the
+//    same number of tokens to every device, so block-sparse workload is
+//    balanced automatically.
+#pragma once
+
+#include <cstdint>
+
+#include "kernels/index_map.hpp"
+#include "kernels/mask.hpp"
+#include "tensor/tensor.hpp"
+
+namespace burst::core {
+
+enum class Balance {
+  kContiguous,
+  kZigzag,
+  kStriped,
+};
+
+const char* balance_name(Balance b);
+
+/// Global positions owned by `rank` under a balance strategy.
+/// Requirements: contiguous/striped need G | N; zigzag needs 2G | N.
+kernels::IndexMap device_index_map(Balance b, std::int64_t n, int g, int rank);
+
+/// Copies the rows of `global` ([N, d]) owned by `map` into a local shard.
+tensor::Tensor shard_rows(const tensor::Tensor& global,
+                          const kernels::IndexMap& map);
+
+/// Writes a local shard back into the owned rows of `global`.
+void unshard_rows(tensor::Tensor& global, const kernels::IndexMap& map,
+                  const tensor::Tensor& local);
+
+/// Scatter a local vector shard back into a global vector.
+void unshard_vec(tensor::Tensor& global, const kernels::IndexMap& map,
+                 const tensor::Tensor& local);
+
+/// The IndexMap covering local rows [begin, begin+len) of `map` (consecutive
+/// globals are merged into segments). Used to slice a ring shard across the
+/// members of a USP head group.
+kernels::IndexMap submap(const kernels::IndexMap& map, std::int64_t begin,
+                         std::int64_t len);
+
+/// Unmasked (q, k) pairs device `rank` computes when it owns the query shard
+/// and attends to the whole sequence — the per-device attention workload.
+std::uint64_t device_workload(const kernels::MaskSpec& mask,
+                              const kernels::IndexMap& qmap, std::int64_t n);
+
+/// max over devices of (workload / ideal), ideal = total/G. 1.0 == perfectly
+/// balanced. This is the quantity Figures 10–11 are about.
+double balance_factor(const kernels::MaskSpec& mask, Balance b, std::int64_t n,
+                      int g);
+
+}  // namespace burst::core

@@ -1,0 +1,118 @@
+#include "core/ulysses.hpp"
+
+#include <cassert>
+
+#include "core/head_exchange.hpp"
+#include "kernels/index_map.hpp"
+#include "tensor/ops.hpp"
+
+namespace burst::core {
+
+using comm::Communicator;
+using kernels::IndexMap;
+using kernels::KernelStats;
+using tensor::Tensor;
+
+std::vector<Tensor> ulysses_forward(Communicator& comm,
+                                    const UlyssesConfig& cfg,
+                                    const std::vector<Tensor>& q,
+                                    const std::vector<Tensor>& k,
+                                    const std::vector<Tensor>& v,
+                                    UlyssesSaved* saved, KernelStats* stats) {
+  const int g = comm.world_size();
+  if (cfg.num_heads % g != 0) {
+    throw UlyssesConfigError(cfg.num_heads, g);
+  }
+  const int hpd = cfg.num_heads / g;
+  assert(static_cast<int>(q.size()) == cfg.num_heads);
+  const std::int64_t n_local = q.front().rows();
+  assert(n_local * g == cfg.seq_len);
+
+  // seq-sharded -> head-sharded (scatter heads, gather sequence).
+  auto qr = comm.all_to_all(pack_by_owner(q, g, hpd));
+  auto kr = comm.all_to_all(pack_by_owner(k, g, hpd));
+  auto vr = comm.all_to_all(pack_by_owner(v, g, hpd));
+  std::vector<Tensor> qf = assemble_full_seq(qr, g, hpd, n_local);
+  std::vector<Tensor> kf = assemble_full_seq(kr, g, hpd, n_local);
+  std::vector<Tensor> vf = assemble_full_seq(vr, g, hpd, n_local);
+
+  // Local full-sequence attention per owned head.
+  const IndexMap full_map = IndexMap::range(0, cfg.seq_len);
+  std::vector<Tensor> o_full;
+  std::vector<Tensor> lse_full;
+  for (int t = 0; t < hpd; ++t) {
+    KernelStats st;
+    auto r = kernels::flash_forward(qf[static_cast<std::size_t>(t)], full_map,
+                                    kf[static_cast<std::size_t>(t)],
+                                    vf[static_cast<std::size_t>(t)], full_map,
+                                    cfg.mask, cfg.scale, &st);
+    comm.ctx().compute(static_cast<double>(st.flops));
+    if (stats != nullptr) {
+      stats->flops += st.flops;
+      stats->tiles_computed += st.tiles_computed;
+      stats->tiles_skipped += st.tiles_skipped;
+    }
+    o_full.push_back(std::move(r.o));
+    lse_full.push_back(std::move(r.lse));
+  }
+
+  // head-sharded -> seq-sharded outputs.
+  auto out_recv = comm.all_to_all(pack_by_shard(o_full, g, n_local));
+  std::vector<Tensor> o_local = unpack_to_heads(out_recv, g, hpd, n_local);
+
+  if (saved != nullptr) {
+    saved->q = std::move(qf);
+    saved->k = std::move(kf);
+    saved->v = std::move(vf);
+    saved->o = std::move(o_full);
+    saved->lse = std::move(lse_full);
+  }
+  return o_local;
+}
+
+UlyssesGrads ulysses_backward(Communicator& comm, const UlyssesConfig& cfg,
+                              const UlyssesSaved& saved,
+                              const std::vector<Tensor>& d_out,
+                              KernelStats* stats) {
+  const int g = comm.world_size();
+  const int hpd = cfg.num_heads / g;
+  const std::int64_t n_local = d_out.front().rows();
+  const std::int64_t dh = d_out.front().cols();
+
+  // seq-sharded gradient -> head-sharded full-sequence gradient.
+  auto dr = comm.all_to_all(pack_by_owner(d_out, g, hpd));
+  std::vector<Tensor> do_full = assemble_full_seq(dr, g, hpd, n_local);
+
+  const IndexMap full_map = IndexMap::range(0, cfg.seq_len);
+  std::vector<Tensor> dq_full, dk_full, dv_full;
+  for (int t = 0; t < hpd; ++t) {
+    const std::size_t ti = static_cast<std::size_t>(t);
+    Tensor dq = Tensor::zeros(cfg.seq_len, dh);
+    Tensor dk = Tensor::zeros(cfg.seq_len, dh);
+    Tensor dv = Tensor::zeros(cfg.seq_len, dh);
+    Tensor dvec = kernels::attention_dvec(do_full[ti], saved.o[ti]);
+    KernelStats st;
+    kernels::flash_backward_partial(saved.q[ti], full_map, saved.k[ti],
+                                    saved.v[ti], full_map, cfg.mask, cfg.scale,
+                                    do_full[ti], saved.lse[ti], dvec, dq, dk,
+                                    dv, &st);
+    comm.ctx().compute(static_cast<double>(st.flops));
+    if (stats != nullptr) {
+      stats->flops += st.flops;
+    }
+    dq_full.push_back(std::move(dq));
+    dk_full.push_back(std::move(dk));
+    dv_full.push_back(std::move(dv));
+  }
+
+  UlyssesGrads out;
+  auto dq_recv = comm.all_to_all(pack_by_shard(dq_full, g, n_local));
+  out.dq = unpack_to_heads(dq_recv, g, hpd, n_local);
+  auto dk_recv = comm.all_to_all(pack_by_shard(dk_full, g, n_local));
+  out.dk = unpack_to_heads(dk_recv, g, hpd, n_local);
+  auto dv_recv = comm.all_to_all(pack_by_shard(dv_full, g, n_local));
+  out.dv = unpack_to_heads(dv_recv, g, hpd, n_local);
+  return out;
+}
+
+}  // namespace burst::core

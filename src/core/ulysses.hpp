@@ -1,0 +1,68 @@
+// DeepSpeed-Ulysses-style head parallelism (baseline, Section 4.1).
+//
+// Sequence-sharded activations are converted to head-sharded, full-sequence
+// activations with an all-to-all, attention runs locally per owned head, and
+// a second all-to-all restores the sequence sharding. Communication volume
+// per device is O(N·d_model/G) per all-to-all — cheap — but the all-to-all
+// cannot overlap with computation (the paper's explanation for Ulysses
+// trailing LoongTrain/BurstEngine), and head parallelism requires
+// heads % G == 0 (why Ulysses is inapplicable to the 40-head 14B model on
+// 32/64 GPUs, Figure 14).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "comm/communicator.hpp"
+#include "kernels/flash_attention.hpp"
+#include "kernels/mask.hpp"
+#include "tensor/tensor.hpp"
+
+namespace burst::core {
+
+struct UlyssesConfig {
+  kernels::MaskSpec mask = kernels::MaskSpec::causal();
+  float scale = 1.0f;
+  std::int64_t seq_len = 0;  // global N
+  int num_heads = 1;         // total H; must satisfy H % G == 0
+};
+
+/// Thrown when the head count is not divisible by the device count — the
+/// structural limitation of head parallelism.
+class UlyssesConfigError : public std::invalid_argument {
+ public:
+  explicit UlyssesConfigError(int heads, int g)
+      : std::invalid_argument("Ulysses head parallelism needs heads % G == 0 "
+                              "(heads=" +
+                              std::to_string(heads) +
+                              ", G=" + std::to_string(g) + ")") {}
+};
+
+/// Full-sequence per-owned-head state kept between forward and backward.
+struct UlyssesSaved {
+  std::vector<tensor::Tensor> q, k, v;  // [N, dh] per owned head
+  std::vector<tensor::Tensor> o, lse;
+};
+
+/// Inputs/outputs are sequence-sharded (contiguous partition), one tensor of
+/// shape [N/G, dh] per *global* head index 0..H-1.
+std::vector<tensor::Tensor> ulysses_forward(comm::Communicator& comm,
+                                            const UlyssesConfig& cfg,
+                                            const std::vector<tensor::Tensor>& q,
+                                            const std::vector<tensor::Tensor>& k,
+                                            const std::vector<tensor::Tensor>& v,
+                                            UlyssesSaved* saved,
+                                            kernels::KernelStats* stats = nullptr);
+
+struct UlyssesGrads {
+  std::vector<tensor::Tensor> dq, dk, dv;  // seq-sharded, per global head
+};
+
+UlyssesGrads ulysses_backward(comm::Communicator& comm,
+                              const UlyssesConfig& cfg,
+                              const UlyssesSaved& saved,
+                              const std::vector<tensor::Tensor>& d_out,
+                              kernels::KernelStats* stats = nullptr);
+
+}  // namespace burst::core

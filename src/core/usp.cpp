@@ -1,0 +1,161 @@
+#include "core/usp.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "core/head_exchange.hpp"
+#include "core/ulysses.hpp"
+
+namespace burst::core {
+
+using comm::Communicator;
+using kernels::IndexMap;
+using kernels::KernelStats;
+using tensor::Tensor;
+
+namespace {
+
+struct Grid {
+  int g = 1;
+  int gh = 1;   // head-parallel size
+  int gr = 1;   // ring size
+  int hg = 0;   // this rank's head-group index == ring position
+  int hp = 0;   // position within head group
+  std::vector<int> head_group;  // ranks sharing my sequence segment
+  std::vector<int> ring_group;  // ranks sharing my heads
+};
+
+Grid make_grid(const UspConfig& cfg, int world_size, int rank) {
+  Grid grid;
+  grid.g = world_size;
+  grid.gh = cfg.head_parallel;
+  if (grid.gh <= 0 || grid.g % grid.gh != 0) {
+    throw std::invalid_argument("USP: head_parallel must divide world size");
+  }
+  if (cfg.num_heads % grid.gh != 0) {
+    throw UlyssesConfigError(cfg.num_heads, grid.gh);
+  }
+  grid.gr = grid.g / grid.gh;
+  grid.hg = rank / grid.gh;
+  grid.hp = rank % grid.gh;
+  for (int j = 0; j < grid.gh; ++j) {
+    grid.head_group.push_back(grid.hg * grid.gh + j);
+  }
+  for (int m = 0; m < grid.gr; ++m) {
+    grid.ring_group.push_back(m * grid.gh + grid.hp);
+  }
+  return grid;
+}
+
+DistAttnConfig ring_cfg(const UspConfig& cfg) {
+  DistAttnConfig rc;
+  rc.mask = cfg.mask;
+  rc.scale = cfg.scale;
+  rc.balance = cfg.balance;
+  rc.backward = cfg.backward;
+  rc.overlap = cfg.overlap;
+  rc.seq_len = cfg.seq_len;
+  return rc;
+}
+
+}  // namespace
+
+IndexMap usp_local_index_map(const UspConfig& cfg, int world_size, int rank) {
+  Grid grid = make_grid(cfg, world_size, rank);
+  const std::int64_t n_local = cfg.seq_len / grid.g;
+  IndexMap ring_map =
+      device_index_map(cfg.balance, cfg.seq_len, grid.gr, grid.hg);
+  return submap(ring_map, grid.hp * n_local, n_local);
+}
+
+std::vector<Tensor> usp_forward(Communicator& comm, const UspConfig& cfg,
+                                const std::vector<Tensor>& q,
+                                const std::vector<Tensor>& k,
+                                const std::vector<Tensor>& v, UspSaved* saved,
+                                KernelStats* stats) {
+  Grid grid = make_grid(cfg, comm.world_size(), comm.rank());
+  const int hl = cfg.num_heads / grid.gh;  // heads per device after exchange
+  assert(static_cast<int>(q.size()) == cfg.num_heads);
+  const std::int64_t n_local = q.front().rows();
+  assert(n_local * grid.g == cfg.seq_len);
+
+  // Stage 1: Ulysses all-to-all inside the head group.
+  auto qr = comm.all_to_all_group(grid.head_group, pack_by_owner(q, grid.gh, hl));
+  auto kr = comm.all_to_all_group(grid.head_group, pack_by_owner(k, grid.gh, hl));
+  auto vr = comm.all_to_all_group(grid.head_group, pack_by_owner(v, grid.gh, hl));
+  std::vector<Tensor> qf = assemble_full_seq(qr, grid.gh, hl, n_local);
+  std::vector<Tensor> kf = assemble_full_seq(kr, grid.gh, hl, n_local);
+  std::vector<Tensor> vf = assemble_full_seq(vr, grid.gh, hl, n_local);
+
+  // Stage 2: ring attention across the ring group, per owned head.
+  const SweepRoute route = SweepRoute::flat(comm::RingOrder(grid.ring_group));
+  const DistAttnConfig rc = ring_cfg(cfg);
+  std::vector<Tensor> o_full(static_cast<std::size_t>(hl));
+  std::vector<Tensor> lse_full(static_cast<std::size_t>(hl));
+  for (int t = 0; t < hl; ++t) {
+    const std::size_t ti = static_cast<std::size_t>(t);
+    LocalQKV local{qf[ti], kf[ti], vf[ti]};
+    auto r = dist_attention_forward(comm, route, rc, local, stats);
+    o_full[ti] = std::move(r.o);
+    lse_full[ti] = std::move(r.lse);
+  }
+
+  // Stage 3: reverse all-to-all back to sequence sharding.
+  auto out_recv = comm.all_to_all_group(grid.head_group,
+                                        pack_by_shard(o_full, grid.gh, n_local));
+  std::vector<Tensor> o_local =
+      unpack_to_heads(out_recv, grid.gh, hl, n_local);
+
+  if (saved != nullptr) {
+    saved->q = std::move(qf);
+    saved->k = std::move(kf);
+    saved->v = std::move(vf);
+    saved->o = std::move(o_full);
+    saved->lse = std::move(lse_full);
+  }
+  return o_local;
+}
+
+UspGrads usp_backward(Communicator& comm, const UspConfig& cfg,
+                      const UspSaved& saved, const std::vector<Tensor>& d_out,
+                      KernelStats* stats) {
+  Grid grid = make_grid(cfg, comm.world_size(), comm.rank());
+  const int hl = cfg.num_heads / grid.gh;
+  const std::int64_t n_local = d_out.front().rows();
+
+  auto dr = comm.all_to_all_group(grid.head_group,
+                                  pack_by_owner(d_out, grid.gh, hl));
+  std::vector<Tensor> do_full = assemble_full_seq(dr, grid.gh, hl, n_local);
+
+  const SweepRoute route = SweepRoute::flat(comm::RingOrder(grid.ring_group));
+  const DistAttnConfig rc = ring_cfg(cfg);
+  std::vector<Tensor> dq_full(static_cast<std::size_t>(hl));
+  std::vector<Tensor> dk_full(static_cast<std::size_t>(hl));
+  std::vector<Tensor> dv_full(static_cast<std::size_t>(hl));
+  for (int t = 0; t < hl; ++t) {
+    const std::size_t ti = static_cast<std::size_t>(t);
+    LocalQKV local{saved.q[ti], saved.k[ti], saved.v[ti]};
+    kernels::AttnResult fwd;
+    fwd.o = saved.o[ti];
+    fwd.lse = saved.lse[ti];
+    auto g = dist_attention_backward(comm, route, rc, local, fwd, do_full[ti],
+                                     stats);
+    dq_full[ti] = std::move(g.dq);
+    dk_full[ti] = std::move(g.dk);
+    dv_full[ti] = std::move(g.dv);
+  }
+
+  UspGrads out;
+  auto dq_recv = comm.all_to_all_group(grid.head_group,
+                                       pack_by_shard(dq_full, grid.gh, n_local));
+  out.dq = unpack_to_heads(dq_recv, grid.gh, hl, n_local);
+  auto dk_recv = comm.all_to_all_group(grid.head_group,
+                                       pack_by_shard(dk_full, grid.gh, n_local));
+  out.dk = unpack_to_heads(dk_recv, grid.gh, hl, n_local);
+  auto dv_recv = comm.all_to_all_group(grid.head_group,
+                                       pack_by_shard(dv_full, grid.gh, n_local));
+  out.dv = unpack_to_heads(dv_recv, grid.gh, hl, n_local);
+  return out;
+}
+
+}  // namespace burst::core

@@ -1,0 +1,123 @@
+#include "core/vocab_parallel.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "tensor/gemm.hpp"
+#include "tensor/ops.hpp"
+
+namespace burst::core {
+
+using tensor::Tensor;
+using tensor::Trans;
+
+namespace {
+constexpr float kNegInf = -std::numeric_limits<float>::infinity();
+}
+
+VocabParallelResult vocab_parallel_lm_head_loss(
+    comm::Communicator& comm, const Tensor& h_local,
+    const std::vector<std::int64_t>& targets_local, const Tensor& w_shard,
+    std::int64_t vocab) {
+  const int g = comm.world_size();
+  const int r = comm.rank();
+  const std::int64_t n_loc = h_local.rows();
+  const std::int64_t d = h_local.cols();
+  const std::int64_t vs = w_shard.rows();
+  assert(vs * g == vocab);
+  assert(static_cast<std::int64_t>(targets_local.size()) == n_loc);
+  const std::int64_t v0 = r * vs;  // first vocab id this rank owns
+
+  // Gather everyone's hidden rows and targets (rank-block order).
+  Tensor h_full = comm.all_gather_rows(h_local);
+  Tensor targets_t(n_loc, 1);
+  for (std::int64_t i = 0; i < n_loc; ++i) {
+    targets_t(i, 0) =
+        static_cast<float>(targets_local[static_cast<std::size_t>(i)]);
+  }
+  Tensor targets_full = comm.all_gather_rows(targets_t);
+  const std::int64_t n_tot = h_full.rows();
+
+  // Partial logits against this rank's vocabulary slice.
+  Tensor logits = tensor::matmul_nt(h_full, w_shard);
+  VocabParallelResult out;
+  out.logits_bytes =
+      static_cast<std::uint64_t>(logits.numel()) * sizeof(float);
+  comm.ctx().compute(2.0 * static_cast<double>(n_tot) * vs * d);
+
+  // Global LSE: exchange per-shard LSEs, logaddexp locally.
+  Tensor lse_part = tensor::row_lse(logits);
+  lse_part.reshape(n_tot, 1);
+  Tensor lse_all = comm.all_gather_rows(lse_part);  // [g*n_tot, 1]
+  Tensor lse(n_tot);
+  for (std::int64_t i = 0; i < n_tot; ++i) {
+    float acc = kNegInf;
+    for (int s = 0; s < g; ++s) {
+      const float v = lse_all(s * n_tot + i, 0);
+      if (v == kNegInf) {
+        continue;
+      }
+      if (acc == kNegInf) {
+        acc = v;
+      } else {
+        const float mx = std::max(acc, v);
+        acc = mx + std::log(std::exp(acc - mx) + std::exp(v - mx));
+      }
+    }
+    lse[i] = acc;
+  }
+
+  // Target logits: each rank contributes the dot products for targets it
+  // owns; summed across ranks via the same gather.
+  Tensor tl_part(n_tot, 1);
+  for (std::int64_t i = 0; i < n_tot; ++i) {
+    const auto t = static_cast<std::int64_t>(targets_full(i, 0));
+    float val = 0.0f;
+    if (t >= v0 && t < v0 + vs) {
+      double acc = 0.0;
+      for (std::int64_t c = 0; c < d; ++c) {
+        acc += static_cast<double>(h_full(i, c)) * w_shard(t - v0, c);
+      }
+      val = static_cast<float>(acc);
+    }
+    tl_part(i, 0) = val;
+  }
+  Tensor tl_all = comm.all_gather_rows(tl_part);
+  double loss = 0.0;
+  for (std::int64_t i = 0; i < n_tot; ++i) {
+    double tl = 0.0;
+    for (int s = 0; s < g; ++s) {
+      tl += tl_all(s * n_tot + i, 0);
+    }
+    loss += static_cast<double>(lse[i]) - tl;
+  }
+  out.loss = loss / static_cast<double>(n_tot);
+
+  // Backward: dLogits = (softmax - onehot)/N restricted to this slice.
+  const float inv_n = 1.0f / static_cast<float>(n_tot);
+  for (std::int64_t i = 0; i < n_tot; ++i) {
+    const float l = lse[i];
+    for (std::int64_t j = 0; j < vs; ++j) {
+      logits(i, j) = std::exp(logits(i, j) - l) * inv_n;
+    }
+    const auto t = static_cast<std::int64_t>(targets_full(i, 0));
+    if (t >= v0 && t < v0 + vs) {
+      logits(i, t - v0) -= inv_n;
+    }
+  }
+  out.dw_shard = tensor::matmul_tn(logits, h_full);
+
+  // dH needs every slice's contribution: partial product + all-reduce.
+  Tensor dh_full = tensor::matmul(logits, w_shard);
+  comm.ctx().compute(4.0 * static_cast<double>(n_tot) * vs * d);
+  std::vector<int> world(static_cast<std::size_t>(g));
+  for (int s = 0; s < g; ++s) {
+    world[static_cast<std::size_t>(s)] = s;
+  }
+  comm.all_reduce_group_inplace(world, dh_full);
+  out.dh_local = dh_full.copy_rows(r * n_loc, n_loc);
+  return out;
+}
+
+}  // namespace burst::core

@@ -1,0 +1,99 @@
+// Mapping from a device-local row index to a global token position.
+//
+// Context parallelism assigns each device a subset of the sequence; *which*
+// subset depends on the workload-balance strategy (Section 3.4):
+//   - contiguous range        (naive partition),
+//   - two ranges              (zigzag balance: one front chunk + one back),
+//   - strided positions       (striped balance: token i, i+G, i+2G, ...).
+// Attention masks are defined on global positions, so kernels consult an
+// IndexMap to decide masking for local tiles regardless of the partitioner.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace burst::kernels {
+
+class IndexMap {
+ public:
+  /// Contiguous [offset, offset+len).
+  static IndexMap range(std::int64_t offset, std::int64_t len) {
+    IndexMap m;
+    m.kind_ = Kind::kRange;
+    m.start_ = offset;
+    m.len_ = len;
+    return m;
+  }
+
+  /// start, start+stride, start+2*stride, ... (len entries).
+  static IndexMap strided(std::int64_t start, std::int64_t stride,
+                          std::int64_t len) {
+    IndexMap m;
+    m.kind_ = Kind::kStrided;
+    m.start_ = start;
+    m.stride_ = stride;
+    m.len_ = len;
+    return m;
+  }
+
+  /// Concatenation of contiguous (offset, len) segments, in local order.
+  static IndexMap segments(std::vector<std::pair<std::int64_t, std::int64_t>> segs) {
+    IndexMap m;
+    m.kind_ = Kind::kSegments;
+    m.segs_ = std::move(segs);
+    m.len_ = 0;
+    for (const auto& [off, len] : m.segs_) {
+      (void)off;
+      m.len_ += len;
+    }
+    return m;
+  }
+
+  std::int64_t size() const { return len_; }
+
+  std::int64_t global(std::int64_t local) const {
+    assert(local >= 0 && local < len_);
+    switch (kind_) {
+      case Kind::kRange:
+        return start_ + local;
+      case Kind::kStrided:
+        return start_ + local * stride_;
+      case Kind::kSegments: {
+        for (const auto& [off, len] : segs_) {
+          if (local < len) {
+            return off + local;
+          }
+          local -= len;
+        }
+        assert(false);
+        return -1;
+      }
+    }
+    return -1;
+  }
+
+  bool is_contiguous() const {
+    return kind_ == Kind::kRange ||
+           (kind_ == Kind::kStrided && stride_ == 1) ||
+           (kind_ == Kind::kSegments && segs_.size() == 1);
+  }
+
+  /// For contiguous maps: the global offset of local row 0.
+  std::int64_t offset() const {
+    assert(is_contiguous());
+    return kind_ == Kind::kSegments ? segs_.front().first : start_;
+  }
+
+ private:
+  enum class Kind { kRange, kStrided, kSegments };
+
+  Kind kind_ = Kind::kRange;
+  std::int64_t start_ = 0;
+  std::int64_t stride_ = 1;
+  std::int64_t len_ = 0;
+  std::vector<std::pair<std::int64_t, std::int64_t>> segs_;
+};
+
+}  // namespace burst::kernels

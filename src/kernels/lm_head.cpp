@@ -1,0 +1,197 @@
+#include "kernels/lm_head.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "tensor/gemm.hpp"
+#include "tensor/ops.hpp"
+
+namespace burst::kernels {
+
+using tensor::Tensor;
+using tensor::Trans;
+
+namespace {
+
+constexpr float kNegInf = -std::numeric_limits<float>::infinity();
+
+double dot_row(const Tensor& a, std::int64_t ra, const Tensor& b,
+               std::int64_t rb) {
+  double acc = 0.0;
+  for (std::int64_t c = 0; c < a.cols(); ++c) {
+    acc += static_cast<double>(a(ra, c)) * b(rb, c);
+  }
+  return acc;
+}
+
+}  // namespace
+
+LmHeadResult naive_lm_head_loss(const Tensor& h, const Tensor& w,
+                                const std::vector<std::int64_t>& targets) {
+  const std::int64_t n = h.rows();
+  const std::int64_t d = h.cols();
+  const std::int64_t v = w.rows();
+  assert(w.cols() == d);
+  assert(static_cast<std::int64_t>(targets.size()) == n);
+
+  LmHeadResult out;
+  // Logits = H W^T, the N x v matrix whose storage is the Figure 8 problem.
+  Tensor logits = tensor::matmul_nt(h, w);
+  out.peak_scratch_bytes =
+      static_cast<std::uint64_t>(logits.numel()) * sizeof(float);
+  out.flops += static_cast<std::uint64_t>(2) * n * v * d;
+
+  Tensor lse = tensor::row_lse(logits);
+  double loss = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    loss += static_cast<double>(lse[i]) - logits(i, targets[static_cast<std::size_t>(i)]);
+  }
+  out.loss = loss / static_cast<double>(n);
+
+  // dLogits = (softmax(logits) - onehot) / N, reusing the logits storage.
+  tensor::exp_sub_row_inplace(logits, lse);
+  const float inv_n = 1.0f / static_cast<float>(n);
+  tensor::scale_inplace(logits, inv_n);
+  for (std::int64_t i = 0; i < n; ++i) {
+    logits(i, targets[static_cast<std::size_t>(i)]) -= inv_n;
+  }
+
+  out.dh = tensor::matmul(logits, w);
+  out.dw = tensor::matmul_tn(logits, h);
+  out.flops += static_cast<std::uint64_t>(4) * n * v * d;
+  return out;
+}
+
+namespace {
+
+// Shared implementation for the two tiled variants. `cache_strip` selects
+// Algorithm 3 (true: keep the Bs x v strip from the forward loop, reuse it in
+// backward) versus the recompute baseline (false: recompute each tile).
+LmHeadResult tiled_lm_head_impl(const Tensor& h, const Tensor& w,
+                                const std::vector<std::int64_t>& targets,
+                                std::int64_t block_s, std::int64_t block_v,
+                                bool cache_strip) {
+  const std::int64_t n = h.rows();
+  const std::int64_t d = h.cols();
+  const std::int64_t v = w.rows();
+  assert(w.cols() == d);
+  assert(static_cast<std::int64_t>(targets.size()) == n);
+  block_s = std::min(block_s, n);
+  block_v = std::min(block_v, v);
+
+  LmHeadResult out;
+  out.dh = Tensor::zeros(n, d);
+  out.dw = Tensor::zeros(v, d);
+  const float inv_n = 1.0f / static_cast<float>(n);
+  double loss = 0.0;
+
+  const std::int64_t num_vtiles = (v + block_v - 1) / block_v;
+  std::vector<Tensor> strip;  // cached logits tiles for the current strip
+  if (cache_strip) {
+    strip.resize(static_cast<std::size_t>(num_vtiles));
+  }
+
+  for (std::int64_t s0 = 0; s0 < n; s0 += block_s) {
+    const std::int64_t s1 = std::min(n, s0 + block_s);
+    const std::int64_t bs = s1 - s0;
+
+    // ---- forward over vocab tiles: online LSE per strip row --------------
+    Tensor lse(bs);
+    lse.fill(kNegInf);
+    std::uint64_t strip_bytes = 0;
+    for (std::int64_t j = 0, vt = 0; j < v; j += block_v, ++vt) {
+      const std::int64_t j1 = std::min(v, j + block_v);
+      const std::int64_t bv = j1 - j;
+      Tensor logits(bs, bv);
+      tensor::gemm(h.row_block(s0, bs), Trans::No, w.row_block(j, bv),
+                   Trans::Yes, logits.view(), 1.0f, 0.0f);
+      out.flops += static_cast<std::uint64_t>(2) * bs * bv * d;
+      Tensor tile_lse = tensor::row_lse(logits);
+      for (std::int64_t r = 0; r < bs; ++r) {
+        // lse <- logaddexp(lse, tile_lse), numerically stable.
+        const float a = lse[r];
+        const float b = tile_lse[r];
+        if (b == kNegInf) {
+          continue;
+        }
+        if (a == kNegInf) {
+          lse[r] = b;
+        } else {
+          const float mx = std::max(a, b);
+          lse[r] = mx + std::log(std::exp(a - mx) + std::exp(b - mx));
+        }
+      }
+      if (cache_strip) {
+        strip[static_cast<std::size_t>(vt)] = std::move(logits);
+        strip_bytes += static_cast<std::uint64_t>(bs) * bv * sizeof(float);
+      } else {
+        strip_bytes = std::max<std::uint64_t>(
+            strip_bytes, static_cast<std::uint64_t>(bs) * bv * sizeof(float));
+      }
+    }
+    out.peak_scratch_bytes = std::max(out.peak_scratch_bytes, strip_bytes);
+
+    // ---- loss: -logit[target] + lse (Algorithm 3 line 7) -----------------
+    for (std::int64_t r = 0; r < bs; ++r) {
+      const std::int64_t t = targets[static_cast<std::size_t>(s0 + r)];
+      loss += static_cast<double>(lse[r]) - dot_row(h, s0 + r, w, t);
+    }
+
+    // ---- backward immediately, per vocab tile -----------------------------
+    for (std::int64_t j = 0, vt = 0; j < v; j += block_v, ++vt) {
+      const std::int64_t j1 = std::min(v, j + block_v);
+      const std::int64_t bv = j1 - j;
+      Tensor dlogits;
+      if (cache_strip) {
+        dlogits = std::move(strip[static_cast<std::size_t>(vt)]);
+      } else {
+        dlogits = Tensor(bs, bv);
+        tensor::gemm(h.row_block(s0, bs), Trans::No, w.row_block(j, bv),
+                     Trans::Yes, dlogits.view(), 1.0f, 0.0f);
+        out.flops += static_cast<std::uint64_t>(2) * bs * bv * d;
+      }
+      // dLogits = (exp(logits - lse) - onehot) / N. (The paper's Algorithm 3
+      // writes "+E"; the CE gradient is softmax minus the one-hot indicator —
+      // see EXPERIMENTS.md, "paper typos".)
+      for (std::int64_t r = 0; r < bs; ++r) {
+        const float l = lse[r];
+        for (std::int64_t c = 0; c < bv; ++c) {
+          dlogits(r, c) = std::exp(dlogits(r, c) - l) * inv_n;
+        }
+        const std::int64_t t = targets[static_cast<std::size_t>(s0 + r)];
+        if (t >= j && t < j1) {
+          dlogits(r, t - j) -= inv_n;
+        }
+      }
+      tensor::gemm(dlogits.view(), Trans::No, w.row_block(j, bv), Trans::No,
+                   out.dh.row_block(s0, bs), 1.0f, 1.0f);
+      tensor::gemm(dlogits.view(), Trans::Yes, h.row_block(s0, bs), Trans::No,
+                   out.dw.row_block(j, bv), 1.0f, 1.0f);
+      out.flops += static_cast<std::uint64_t>(4) * bs * bv * d;
+    }
+  }
+
+  out.loss = loss / static_cast<double>(n);
+  return out;
+}
+
+}  // namespace
+
+LmHeadResult tiled_recompute_lm_head_loss(
+    const Tensor& h, const Tensor& w,
+    const std::vector<std::int64_t>& targets, std::int64_t block_s,
+    std::int64_t block_v) {
+  return tiled_lm_head_impl(h, w, targets, block_s, block_v,
+                            /*cache_strip=*/false);
+}
+
+LmHeadResult fused_lm_head_loss(const Tensor& h, const Tensor& w,
+                                const std::vector<std::int64_t>& targets,
+                                std::int64_t block_s, std::int64_t block_v) {
+  return tiled_lm_head_impl(h, w, targets, block_s, block_v,
+                            /*cache_strip=*/true);
+}
+
+}  // namespace burst::kernels

@@ -1,0 +1,136 @@
+#include "kernels/mask.hpp"
+
+#include <algorithm>
+
+namespace burst::kernels {
+
+MaskSpec MaskSpec::block_sliding_window(std::int64_t num_blocks,
+                                        std::int64_t window_blocks,
+                                        std::int64_t block_size) {
+  tensor::Tensor m = tensor::Tensor::zeros(num_blocks, num_blocks);
+  for (std::int64_t i = 0; i < num_blocks; ++i) {
+    const std::int64_t lo = std::max<std::int64_t>(0, i - window_blocks + 1);
+    for (std::int64_t j = lo; j <= i; ++j) {
+      m(i, j) = 1.0f;
+    }
+  }
+  return block_sparse(std::move(m), block_size);
+}
+
+MaskSpec MaskSpec::document(std::vector<std::int64_t> doc_of) {
+  MaskSpec m(MaskKind::kDocument);
+  m.doc_of_ =
+      std::make_shared<const std::vector<std::int64_t>>(std::move(doc_of));
+  return m;
+}
+
+MaskSpec MaskSpec::document_from_lengths(
+    const std::vector<std::int64_t>& lengths) {
+  std::vector<std::int64_t> doc_of;
+  for (std::size_t d = 0; d < lengths.size(); ++d) {
+    for (std::int64_t i = 0; i < lengths[d]; ++i) {
+      doc_of.push_back(static_cast<std::int64_t>(d));
+    }
+  }
+  return document(std::move(doc_of));
+}
+
+namespace {
+
+// Allowed pairs for a causal band mask `0 <= q - k < w` intersected with the
+// rectangle [q0,q1) x [k0,k1). w = +inf expresses plain causal.
+std::uint64_t count_band(std::int64_t q0, std::int64_t q1, std::int64_t k0,
+                         std::int64_t k1, std::int64_t w) {
+  std::uint64_t total = 0;
+  for (std::int64_t q = q0; q < q1; ++q) {
+    // k range: max(k0, q - w + 1) .. min(k1 - 1, q)
+    const std::int64_t lo = std::max(k0, w == 0 ? k0 : q - w + 1);
+    const std::int64_t hi = std::min(k1 - 1, q);
+    if (hi >= lo) {
+      total += static_cast<std::uint64_t>(hi - lo + 1);
+    }
+  }
+  return total;
+}
+
+}  // namespace
+
+std::uint64_t MaskSpec::count_allowed(std::int64_t q0, std::int64_t q1,
+                                      std::int64_t k0, std::int64_t k1) const {
+  if (q1 <= q0 || k1 <= k0) {
+    return 0;
+  }
+  const std::uint64_t qn = static_cast<std::uint64_t>(q1 - q0);
+  const std::uint64_t kn = static_cast<std::uint64_t>(k1 - k0);
+  switch (kind_) {
+    case MaskKind::kFull:
+      return qn * kn;
+    case MaskKind::kCausal:
+      // Band with effectively infinite window.
+      return count_band(q0, q1, k0, k1, q1 + 1);
+    case MaskKind::kSlidingWindow:
+      return count_band(q0, q1, k0, k1, window_);
+    case MaskKind::kDilated:
+    case MaskKind::kBlockSparse:
+    case MaskKind::kDocument: {
+      std::uint64_t total = 0;
+      for (std::int64_t q = q0; q < q1; ++q) {
+        for (std::int64_t k = k0; k < k1; ++k) {
+          total += allowed(q, k) ? 1 : 0;
+        }
+      }
+      return total;
+    }
+  }
+  return 0;
+}
+
+MaskSpec::TileClass MaskSpec::classify(std::int64_t q0, std::int64_t q1,
+                                       std::int64_t k0,
+                                       std::int64_t k1) const {
+  switch (kind_) {
+    case MaskKind::kFull:
+      return TileClass::kAll;
+    case MaskKind::kCausal:
+      if (k1 - 1 <= q0) {
+        return TileClass::kAll;  // entire tile below the diagonal
+      }
+      if (k0 > q1 - 1) {
+        return TileClass::kNone;  // entire tile above the diagonal
+      }
+      return TileClass::kPartial;
+    case MaskKind::kSlidingWindow: {
+      if (k0 > q1 - 1 || k1 - 1 < q0 - window_ + 1) {
+        return TileClass::kNone;  // beyond diagonal or behind the window
+      }
+      if (k1 - 1 <= q0 && k0 >= q1 - window_) {
+        return TileClass::kAll;  // tile fits inside the band for every row
+      }
+      return TileClass::kPartial;
+    }
+    case MaskKind::kDilated:
+    case MaskKind::kBlockSparse:
+    case MaskKind::kDocument: {
+      // Exact scan; tiles are small. Early-out as soon as the tile is mixed.
+      bool any = false;
+      bool all = true;
+      for (std::int64_t q = q0; q < q1; ++q) {
+        for (std::int64_t k = k0; k < k1; ++k) {
+          const bool a = allowed(q, k);
+          any = any || a;
+          all = all && a;
+          if (any && !all) {
+            return TileClass::kPartial;
+          }
+        }
+      }
+      if (!any) {
+        return TileClass::kNone;
+      }
+      return all ? TileClass::kAll : TileClass::kPartial;
+    }
+  }
+  return TileClass::kPartial;
+}
+
+}  // namespace burst::kernels

@@ -1,0 +1,76 @@
+#include "kernels/reference_attention.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "tensor/gemm.hpp"
+#include "tensor/ops.hpp"
+
+namespace burst::kernels {
+
+using tensor::Tensor;
+using tensor::Trans;
+
+namespace {
+constexpr float kNegInf = -std::numeric_limits<float>::infinity();
+}
+
+RefAttnForward reference_attention_forward(const Tensor& q,
+                                           const IndexMap& qmap,
+                                           const Tensor& k, const Tensor& v,
+                                           const IndexMap& kmap,
+                                           const MaskSpec& mask, float scale) {
+  const std::int64_t nq = q.rows();
+  const std::int64_t nk = k.rows();
+  assert(qmap.size() == nq && kmap.size() == nk);
+
+  Tensor s(nq, nk);
+  tensor::gemm(q.view(), Trans::No, k.view(), Trans::Yes, s.view(), scale,
+               0.0f);
+  for (std::int64_t i = 0; i < nq; ++i) {
+    const std::int64_t qg = qmap.global(i);
+    for (std::int64_t j = 0; j < nk; ++j) {
+      if (!mask.allowed(qg, kmap.global(j))) {
+        s(i, j) = kNegInf;
+      }
+    }
+  }
+
+  RefAttnForward out;
+  out.lse = tensor::row_lse(s);
+  tensor::exp_sub_row_inplace(s, out.lse);
+  out.p = s;
+  out.o = tensor::matmul(out.p, v);
+  return out;
+}
+
+RefAttnGrads reference_attention_backward(const Tensor& q, const Tensor& k,
+                                          const Tensor& v,
+                                          const RefAttnForward& fwd,
+                                          const Tensor& d_out, float scale) {
+  const std::int64_t nq = q.rows();
+  const std::int64_t nk = k.rows();
+
+  RefAttnGrads g;
+  // dV = P^T dO.
+  g.dv = tensor::matmul_tn(fwd.p, d_out);
+  // dP = dO V^T.
+  Tensor dp = tensor::matmul_nt(d_out, v);
+  // dS = P ∘ (dP - D), D = rowsum(dO ∘ O)  (softmax Jacobian applied rowwise).
+  Tensor d = tensor::rowsum_product(d_out, fwd.o);
+  Tensor ds(nq, nk);
+  for (std::int64_t i = 0; i < nq; ++i) {
+    for (std::int64_t j = 0; j < nk; ++j) {
+      ds(i, j) = fwd.p(i, j) * (dp(i, j) - d[i]);
+    }
+  }
+  // dQ = dS K * scale; dK = dS^T Q * scale.
+  g.dq = tensor::matmul(ds, k);
+  tensor::scale_inplace(g.dq, scale);
+  g.dk = tensor::matmul_tn(ds, q);
+  tensor::scale_inplace(g.dk, scale);
+  return g;
+}
+
+}  // namespace burst::kernels

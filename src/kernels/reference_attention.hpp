@@ -1,0 +1,40 @@
+// Naive O(N^2)-memory attention: materializes S and P. The ground truth that
+// every flash-style and distributed implementation is validated against.
+#pragma once
+
+#include "kernels/index_map.hpp"
+#include "kernels/mask.hpp"
+#include "tensor/tensor.hpp"
+
+namespace burst::kernels {
+
+struct RefAttnForward {
+  tensor::Tensor o;
+  tensor::Tensor lse;
+  tensor::Tensor p;  // kept for the backward pass
+};
+
+struct RefAttnGrads {
+  tensor::Tensor dq;
+  tensor::Tensor dk;
+  tensor::Tensor dv;
+};
+
+/// O = softmax(mask(Q K^T * scale)) V over global positions given by the
+/// index maps. Fully-masked rows produce O = 0 and lse = -inf.
+RefAttnForward reference_attention_forward(const tensor::Tensor& q,
+                                           const IndexMap& qmap,
+                                           const tensor::Tensor& k,
+                                           const tensor::Tensor& v,
+                                           const IndexMap& kmap,
+                                           const MaskSpec& mask, float scale);
+
+/// Exact gradients through the reference forward.
+RefAttnGrads reference_attention_backward(const tensor::Tensor& q,
+                                          const tensor::Tensor& k,
+                                          const tensor::Tensor& v,
+                                          const RefAttnForward& fwd,
+                                          const tensor::Tensor& d_out,
+                                          float scale);
+
+}  // namespace burst::kernels

@@ -1,0 +1,25 @@
+// Rotary position embeddings (RoPE), as used by LLaMA.
+//
+// RoPE rotates each (2i, 2i+1) feature pair of Q and K by an angle
+// proportional to the token's *global* position. Under context parallelism
+// this is a classic correctness trap: a device's local row index is not its
+// token position once zigzag/striped balance reorders the sequence, so the
+// rotation must consult the shard's IndexMap — exactly what these helpers
+// take. The rotation is orthogonal, so the backward pass is the inverse
+// rotation applied to the gradients.
+#pragma once
+
+#include "kernels/index_map.hpp"
+#include "tensor/tensor.hpp"
+
+namespace burst::kernels {
+
+/// Rotates rows of `x` ([n, d], d even) by their global positions.
+void apply_rope_inplace(tensor::Tensor& x, const IndexMap& positions,
+                        float theta_base = 10000.0f);
+
+/// Inverse rotation (backward pass for gradients w.r.t. pre-RoPE values).
+void apply_rope_inverse_inplace(tensor::Tensor& x, const IndexMap& positions,
+                                float theta_base = 10000.0f);
+
+}  // namespace burst::kernels

@@ -1,0 +1,124 @@
+#include "model/data.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "tensor/rng.hpp"
+
+namespace burst::model {
+
+using tensor::Tensor;
+
+const char* task_name(TaskKind kind) {
+  switch (kind) {
+    case TaskKind::kMarkov:
+      return "markov";
+    case TaskKind::kCopy:
+      return "copy";
+    case TaskKind::kInduction:
+      return "induction";
+    case TaskKind::kNeedle:
+      return "needle";
+  }
+  return "?";
+}
+
+Tensor make_task_sequence(TaskKind kind, std::uint64_t seed, std::int64_t n,
+                          std::int64_t vocab) {
+  if (vocab < 8) {
+    throw std::invalid_argument("task generators need vocab >= 8");
+  }
+  tensor::Rng rng(seed);
+  Tensor t(n + 1);
+  switch (kind) {
+    case TaskKind::kMarkov: {
+      std::int64_t cur = rng.next_index(vocab);
+      for (std::int64_t i = 0; i <= n; ++i) {
+        t[i] = static_cast<float>(cur);
+        cur = rng.next_uniform() < 0.9 ? (3 * cur + 7) % vocab
+                                       : rng.next_index(vocab);
+      }
+      break;
+    }
+    case TaskKind::kCopy: {
+      if (n % 2 != 0) {
+        throw std::invalid_argument("copy task needs even N");
+      }
+      const std::int64_t half = n / 2;
+      for (std::int64_t i = 0; i < half; ++i) {
+        t[i] = static_cast<float>(rng.next_index(vocab));
+      }
+      for (std::int64_t i = half; i <= n; ++i) {
+        t[i] = t[i - half];
+      }
+      break;
+    }
+    case TaskKind::kInduction: {
+      // Pairs (key, value) drawn from disjoint vocabulary halves; keys
+      // repeat so later occurrences are predictable from earlier ones.
+      const std::int64_t keys = vocab / 2;
+      std::vector<std::int64_t> value_of(static_cast<std::size_t>(keys), -1);
+      std::int64_t i = 0;
+      while (i <= n) {
+        const std::int64_t key = rng.next_index(keys);
+        auto& val = value_of[static_cast<std::size_t>(key)];
+        if (val < 0) {
+          val = keys + rng.next_index(vocab - keys);
+        }
+        t[i] = static_cast<float>(key);
+        if (i + 1 <= n) {
+          t[i + 1] = static_cast<float>(val);
+        }
+        i += 2;
+      }
+      break;
+    }
+    case TaskKind::kNeedle: {
+      // Haystack of filler tokens from [2, vocab); needle "0 v" planted
+      // early; query "0" as the second-to-last token, answer v last.
+      for (std::int64_t i = 0; i <= n; ++i) {
+        t[i] = static_cast<float>(2 + rng.next_index(vocab - 2));
+      }
+      const std::int64_t needle_val = 2 + rng.next_index(vocab - 2);
+      const std::int64_t pos = 1 + rng.next_index(std::max<std::int64_t>(
+                                       1, n / 4));
+      t[pos] = 0.0f;  // key sentinel
+      t[pos + 1] = static_cast<float>(needle_val);
+      t[n - 1] = 0.0f;  // query
+      t[n] = static_cast<float>(needle_val);
+      break;
+    }
+  }
+  return t;
+}
+
+std::vector<std::int64_t> task_determined_rows(TaskKind kind, std::int64_t n) {
+  std::vector<std::int64_t> rows;
+  switch (kind) {
+    case TaskKind::kMarkov:
+      for (std::int64_t i = 0; i < n; ++i) {
+        rows.push_back(i);
+      }
+      break;
+    case TaskKind::kCopy:
+      // Rows predicting the repeated half: i >= N/2 - 1 predicts token
+      // i+1 which equals token i+1-N/2 (known once the first half is seen).
+      for (std::int64_t i = n / 2 - 1; i < n; ++i) {
+        rows.push_back(i);
+      }
+      break;
+    case TaskKind::kInduction:
+      // Value positions: odd indices predict a value determined by their
+      // key, learnable once the (key, value) pair occurred before.
+      for (std::int64_t i = 0; i < n; i += 2) {
+        rows.push_back(i);  // row i predicts token i+1 (the value)
+      }
+      break;
+    case TaskKind::kNeedle:
+      rows.push_back(n - 1);  // the final answer
+      break;
+  }
+  return rows;
+}
+
+}  // namespace burst::model

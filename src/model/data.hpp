@@ -1,0 +1,47 @@
+// Synthetic long-context task generators.
+//
+// The paper motivates 1M-token training with documents/code/video; to
+// exercise long-range behaviour at toy scale the examples and tests use
+// tasks with *controllable* dependency ranges:
+//
+//   * kMarkov    — token t+1 = f(token t) with noise: learnable from local
+//                  context only (baseline task);
+//   * kCopy      — the second half of the sequence repeats the first half:
+//                  position i must attend exactly N/2 tokens back;
+//   * kInduction — random [key value ... key ?] pairs: predicting `?`
+//                  requires finding the earlier occurrence of `key`
+//                  (induction-head behaviour, arbitrary-range attention);
+//   * kNeedle    — a sentinel key/value pair is planted at a random early
+//                  position and queried at the end (needle in a haystack).
+//
+// All generators emit N+1 token ids (inputs + next-token targets) and are
+// fully deterministic in the seed.
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/tensor.hpp"
+
+namespace burst::model {
+
+enum class TaskKind {
+  kMarkov,
+  kCopy,
+  kInduction,
+  kNeedle,
+};
+
+const char* task_name(TaskKind kind);
+
+/// Generates N+1 token ids for the task, in [0, vocab).
+/// Requirements: vocab >= 8; for kCopy, N even.
+tensor::Tensor make_task_sequence(TaskKind kind, std::uint64_t seed,
+                                  std::int64_t n, std::int64_t vocab);
+
+/// Positions (0-based prediction indices, i.e. row i predicts token i+1)
+/// whose targets are *determined* by the task structure — the ones a model
+/// must learn long-range attention to get right. Loss restricted to these
+/// rows measures task success rather than noise modeling.
+std::vector<std::int64_t> task_determined_rows(TaskKind kind, std::int64_t n);
+
+}  // namespace burst::model

@@ -1,0 +1,76 @@
+// Distributed (context/head-parallel) training step over the simulated
+// cluster — the functional end-to-end integration of BurstEngine:
+//
+//   * sequence sharding with any workload balance (zigzag/striped/...);
+//   * distributed attention per layer via BurstAttention, RingAttention,
+//     DeepSpeed-Ulysses, or LoongTrain-USP;
+//   * gradient checkpointing (none / full / selective++ / sequence-level
+//     selective, Section 3.2) with *real* recomputation — including the
+//     distributed ring re-execution sequence-level checkpointing needs for
+//     its non-stored front rows;
+//   * fused or naive LM head + loss (Section 3.3);
+//   * data-parallel weight-gradient all-reduce.
+//
+// Weights are replicated (the paper's FSDP is a memory-sharding optimization
+// modeled analytically in perfmodel; replication keeps the functional math
+// identical). Stored activations and LM-head scratch are charged to the
+// device MemoryTracker at 2 bytes/element ("as-if bf16") so strategies are
+// comparable with the paper's units.
+#pragma once
+
+#include "comm/communicator.hpp"
+#include "core/checkpoint.hpp"
+#include "core/dist_attention.hpp"
+#include "core/partition.hpp"
+#include "kernels/mask.hpp"
+#include "model/config.hpp"
+#include "model/transformer.hpp"
+
+namespace burst::model {
+
+enum class AttnImpl {
+  kBurst,    // BurstAttention (Algorithm 2 backward)
+  kRing,     // RingAttention baseline (Algorithm 1 backward)
+  kUlysses,  // head parallelism
+  kUsp,      // hybrid head+context
+};
+
+const char* attn_impl_name(AttnImpl impl);
+
+struct DistTrainConfig {
+  ModelConfig model;
+  kernels::MaskSpec mask = kernels::MaskSpec::causal();
+  AttnImpl impl = AttnImpl::kBurst;
+  core::Balance balance = core::Balance::kZigzag;
+  /// Use the topology-aware double ring when the cluster spans nodes.
+  bool topo_aware = true;
+  bool overlap = true;
+  core::CkptConfig ckpt{core::CkptStrategy::kSelectivePP, 0.5};
+  bool fused_lm_head = true;
+  int usp_head_parallel = 1;
+  /// All-reduce weight gradients at the end (replicated data parallel).
+  /// FSDP training sets this false and reduce-scatters instead
+  /// (model/fsdp.hpp).
+  bool sync_grads = true;
+};
+
+struct DistStepResult {
+  double loss = 0.0;   // global mean next-token CE (identical on all ranks)
+  ModelGrads grads;    // all-reduced: identical on all ranks
+};
+
+/// One SPMD training step; call from within a Cluster::run functor. `tokens`
+/// holds the full global sequence (N+1 ids) — each device shards it locally
+/// by its index map.
+DistStepResult dist_train_step(comm::Communicator& comm,
+                               const DistTrainConfig& cfg,
+                               const ModelWeights& weights,
+                               const tensor::Tensor& tokens);
+
+/// The sequence shard (global positions) owned by `rank` under `cfg` for a
+/// global sequence of `seq_len` tokens.
+kernels::IndexMap dist_index_map(const DistTrainConfig& cfg,
+                                 std::int64_t seq_len, int world_size,
+                                 int rank);
+
+}  // namespace burst::model

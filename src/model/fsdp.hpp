@@ -1,0 +1,74 @@
+// Functional FSDP (ZeRO-3 style, BMTrain-like block granularity) over the
+// simulated cluster.
+//
+// Each device permanently stores a 1/G row-shard of every parameter tensor.
+// Before a layer is used its full parameters are materialized with a ring
+// all-gather (charged to communication time and, transiently, to device
+// memory); after backward, gradients are reduce-scattered so each device
+// keeps only its shard's gradient. The optimizer then updates shards
+// locally — no gradient all-reduce, exactly the paper's training setup
+// ("we adopt the FSDP implementation from BMTrain").
+//
+// Requirements: every parameter tensor's row count divisible by the world
+// size (true for the toy configs used in tests/examples).
+#pragma once
+
+#include "comm/communicator.hpp"
+#include "model/config.hpp"
+#include "model/dist_model.hpp"
+#include "model/transformer.hpp"
+
+namespace burst::model {
+
+/// This device's row-shards of every parameter tensor.
+struct FsdpShards {
+  std::vector<LayerWeights> layers;  // row-sharded tensors
+  tensor::Tensor w_embed;
+  tensor::Tensor w_head;
+
+  /// Slices `full` into this rank's shards (every rank calls with identical
+  /// `full`, e.g. from a shared initialization seed).
+  static FsdpShards shard(const ModelConfig& cfg, const ModelWeights& full,
+                          int world, int rank);
+
+  /// Bytes this device holds permanently (as-if bf16).
+  std::uint64_t shard_bytes() const;
+};
+
+/// Materializes one layer's full weights via all-gather (block-level FSDP).
+LayerWeights fsdp_gather_layer(comm::Communicator& comm,
+                               const FsdpShards& shards, std::int64_t layer);
+
+/// Materializes the embedding / LM-head weights.
+tensor::Tensor fsdp_gather_embed(comm::Communicator& comm,
+                                 const FsdpShards& shards);
+tensor::Tensor fsdp_gather_head(comm::Communicator& comm,
+                                const FsdpShards& shards);
+
+/// Reduce-scatters full gradients; returns this rank's gradient shards
+/// (summed over devices, same layout as FsdpShards).
+FsdpShards fsdp_reduce_scatter_grads(comm::Communicator& comm,
+                                     const ModelConfig& cfg,
+                                     const ModelGrads& full);
+
+/// SGD on the local shards: shard -= lr * grad_shard.
+void fsdp_apply_sgd(FsdpShards& shards, const FsdpShards& grad_shards,
+                    float lr);
+
+/// Rebuilds the full replicated weights (for evaluation / tests).
+ModelWeights fsdp_gather_all(comm::Communicator& comm,
+                             const FsdpShards& shards);
+
+struct FsdpStepResult {
+  double loss = 0.0;
+  FsdpShards grad_shards;  // this rank's reduce-scattered gradient shards
+};
+
+/// One FSDP training step: gather parameters, run the distributed step with
+/// gradient synchronization disabled, reduce-scatter the gradients. Combine
+/// with fsdp_apply_sgd (or a sharded optimizer) to update the local shards.
+FsdpStepResult fsdp_train_step(comm::Communicator& comm,
+                               DistTrainConfig cfg, const FsdpShards& shards,
+                               const tensor::Tensor& tokens);
+
+}  // namespace burst::model

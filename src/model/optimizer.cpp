@@ -1,0 +1,82 @@
+#include "model/optimizer.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace burst::model {
+
+namespace {
+
+// Visits every parameter tensor of the model in a fixed order so the
+// optimizer state layout is stable.
+template <typename W, typename Fn>
+void for_each_tensor(W& weights, Fn&& fn) {
+  for (auto& l : weights.layers) {
+    fn(l.wq);
+    fn(l.wk);
+    fn(l.wv);
+    fn(l.wo);
+    fn(l.w1);
+    fn(l.w2);
+  }
+  fn(weights.w_embed);
+  fn(weights.w_head);
+}
+
+}  // namespace
+
+AdamOptimizer::AdamOptimizer(const ModelWeights& weights,
+                             const AdamConfig& cfg, sim::MemoryTracker* mem)
+    : cfg_(cfg), mem_(mem) {
+  num_params_ = 0;
+  for_each_tensor(weights, [this](const tensor::Tensor& t) {
+    num_params_ += t.numel();
+  });
+  m_.assign(static_cast<std::size_t>(num_params_), 0.0f);
+  v_.assign(static_cast<std::size_t>(num_params_), 0.0f);
+  if (mem_ != nullptr && !cfg_.offload) {
+    // fp32 master + m + v = 12 bytes per parameter on device.
+    charged_ = static_cast<std::uint64_t>(num_params_) * 12;
+    mem_->alloc(charged_, "adam state");
+  }
+}
+
+AdamOptimizer::~AdamOptimizer() {
+  if (charged_ > 0) {
+    mem_->free(charged_);
+  }
+}
+
+void AdamOptimizer::update_tensor(tensor::Tensor& w, const tensor::Tensor& g,
+                                  std::size_t state_offset) {
+  assert(w.numel() == g.numel());
+  const float bc1 = 1.0f - std::pow(cfg_.beta1, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(cfg_.beta2, static_cast<float>(t_));
+  for (std::int64_t i = 0; i < w.numel(); ++i) {
+    const std::size_t s = state_offset + static_cast<std::size_t>(i);
+    const float grad = g.data()[i];
+    m_[s] = cfg_.beta1 * m_[s] + (1.0f - cfg_.beta1) * grad;
+    v_[s] = cfg_.beta2 * v_[s] + (1.0f - cfg_.beta2) * grad * grad;
+    const float mhat = m_[s] / bc1;
+    const float vhat = v_[s] / bc2;
+    w.data()[i] -= cfg_.lr * mhat / (std::sqrt(vhat) + cfg_.eps);
+  }
+}
+
+void AdamOptimizer::step(ModelWeights& w, const ModelGrads& g) {
+  ++t_;
+  std::size_t offset = 0;
+  std::size_t gi = 0;
+  std::vector<tensor::Tensor*> wt;
+  std::vector<const tensor::Tensor*> gt;
+  for_each_tensor(w, [&](tensor::Tensor& t) { wt.push_back(&t); });
+  for_each_tensor(g, [&](const tensor::Tensor& t) { gt.push_back(&t); });
+  assert(wt.size() == gt.size());
+  for (; gi < wt.size(); ++gi) {
+    update_tensor(*wt[gi], *gt[gi], offset);
+    offset += static_cast<std::size_t>(wt[gi]->numel());
+  }
+  assert(offset == static_cast<std::size_t>(num_params_));
+}
+
+}  // namespace burst::model

@@ -1,0 +1,330 @@
+#include "model/transformer.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "kernels/flash_attention.hpp"
+#include "kernels/lm_head.hpp"
+#include "kernels/rope.hpp"
+#include "tensor/gemm.hpp"
+#include "tensor/ops.hpp"
+
+namespace burst::model {
+
+using kernels::IndexMap;
+using kernels::MaskSpec;
+using tensor::Tensor;
+
+ModelWeights ModelWeights::init(const ModelConfig& cfg, std::uint64_t seed) {
+  tensor::Rng rng(seed);
+  const float ws = 1.0f / std::sqrt(static_cast<float>(cfg.d_model));
+  ModelWeights w;
+  for (std::int64_t l = 0; l < cfg.layers; ++l) {
+    LayerWeights lw;
+    lw.wq = rng.gaussian(cfg.d_model, cfg.d_model, ws);
+    lw.wk = rng.gaussian(cfg.d_model, cfg.d_kv(), ws);
+    lw.wv = rng.gaussian(cfg.d_model, cfg.d_kv(), ws);
+    lw.wo = rng.gaussian(cfg.d_model, cfg.d_model, ws);
+    lw.w1 = rng.gaussian(cfg.d_model, cfg.d_ff, ws);
+    lw.w2 = rng.gaussian(cfg.d_ff, cfg.d_model,
+                         1.0f / std::sqrt(static_cast<float>(cfg.d_ff)));
+    w.layers.push_back(std::move(lw));
+  }
+  w.w_embed = rng.gaussian(cfg.vocab, cfg.d_model, 0.5f);
+  w.w_head = rng.gaussian(cfg.vocab, cfg.d_model, ws);
+  return w;
+}
+
+LayerGrads LayerGrads::zeros(const ModelConfig& cfg) {
+  LayerGrads g;
+  g.wq = Tensor::zeros(cfg.d_model, cfg.d_model);
+  g.wk = Tensor::zeros(cfg.d_model, cfg.d_kv());
+  g.wv = Tensor::zeros(cfg.d_model, cfg.d_kv());
+  g.wo = Tensor::zeros(cfg.d_model, cfg.d_model);
+  g.w1 = Tensor::zeros(cfg.d_model, cfg.d_ff);
+  g.w2 = Tensor::zeros(cfg.d_ff, cfg.d_model);
+  return g;
+}
+
+ModelGrads ModelGrads::zeros(const ModelConfig& cfg) {
+  ModelGrads g;
+  for (std::int64_t l = 0; l < cfg.layers; ++l) {
+    g.layers.push_back(LayerGrads::zeros(cfg));
+  }
+  g.w_embed = Tensor::zeros(cfg.vocab, cfg.d_model);
+  g.w_head = Tensor::zeros(cfg.vocab, cfg.d_model);
+  return g;
+}
+
+void ModelGrads::add(const ModelGrads& other) {
+  assert(layers.size() == other.layers.size());
+  for (std::size_t l = 0; l < layers.size(); ++l) {
+    tensor::add_inplace(layers[l].wq, other.layers[l].wq);
+    tensor::add_inplace(layers[l].wk, other.layers[l].wk);
+    tensor::add_inplace(layers[l].wv, other.layers[l].wv);
+    tensor::add_inplace(layers[l].wo, other.layers[l].wo);
+    tensor::add_inplace(layers[l].w1, other.layers[l].w1);
+    tensor::add_inplace(layers[l].w2, other.layers[l].w2);
+  }
+  tensor::add_inplace(w_embed, other.w_embed);
+  tensor::add_inplace(w_head, other.w_head);
+}
+
+float ModelGrads::max_abs() const {
+  float mx = 0.0f;
+  const auto upd = [&mx](const Tensor& t) {
+    for (std::int64_t i = 0; i < t.numel(); ++i) {
+      mx = std::max(mx, std::fabs(t.data()[i]));
+    }
+  };
+  for (const auto& l : layers) {
+    upd(l.wq);
+    upd(l.wk);
+    upd(l.wv);
+    upd(l.wo);
+    upd(l.w1);
+    upd(l.w2);
+  }
+  upd(w_embed);
+  upd(w_head);
+  return mx;
+}
+
+void apply_sgd(ModelWeights& w, const ModelGrads& g, float lr) {
+  const auto step = [lr](Tensor& t, const Tensor& grad) {
+    tensor::axpy(-lr, grad, t);
+  };
+  for (std::size_t l = 0; l < w.layers.size(); ++l) {
+    step(w.layers[l].wq, g.layers[l].wq);
+    step(w.layers[l].wk, g.layers[l].wk);
+    step(w.layers[l].wv, g.layers[l].wv);
+    step(w.layers[l].wo, g.layers[l].wo);
+    step(w.layers[l].w1, g.layers[l].w1);
+    step(w.layers[l].w2, g.layers[l].w2);
+  }
+  step(w.w_embed, g.w_embed);
+  step(w.w_head, g.w_head);
+}
+
+namespace {
+
+struct LayerForwardCache {
+  Tensor x_in;               // block input
+  std::vector<Tensor> q, k, v, o, lse;  // per head
+  Tensor attn_concat;        // concatenated head outputs
+  Tensor h;                  // attention residual output
+  Tensor u;                  // FFN hidden (pre-W2, post-ReLU)
+  Tensor u_pre;              // FFN hidden pre-activation
+};
+
+LayerForwardCache layer_forward(const ModelConfig& cfg, const LayerWeights& w,
+                                const Tensor& x, const MaskSpec& mask) {
+  LayerForwardCache c;
+  c.x_in = x;
+  const std::int64_t dh = cfg.head_dim();
+  const float scale = 1.0f / std::sqrt(static_cast<float>(dh));
+  Tensor q_all = tensor::matmul(x, w.wq);
+  Tensor k_all = tensor::matmul(x, w.wk);
+  Tensor v_all = tensor::matmul(x, w.wv);
+  const IndexMap map = IndexMap::range(0, x.rows());
+  c.attn_concat = Tensor::zeros(x.rows(), cfg.d_model);
+  const std::int64_t group = cfg.group_size();
+  for (std::int64_t kvh = 0; kvh < cfg.num_kv_heads(); ++kvh) {
+    Tensor kh = tensor::copy_cols(k_all, kvh * dh, dh);
+    if (cfg.use_rope) {
+      kernels::apply_rope_inplace(kh, map);
+    }
+    c.k.push_back(std::move(kh));
+    c.v.push_back(tensor::copy_cols(v_all, kvh * dh, dh));
+  }
+  for (std::int64_t h = 0; h < cfg.heads; ++h) {
+    Tensor qh = tensor::copy_cols(q_all, h * dh, dh);
+    if (cfg.use_rope) {
+      kernels::apply_rope_inplace(qh, map);
+    }
+    const std::size_t kvh = static_cast<std::size_t>(h / group);
+    auto r = kernels::flash_forward(qh, map, c.k[kvh], c.v[kvh], map, mask,
+                                    scale);
+    tensor::set_cols(c.attn_concat, h * dh, r.o);
+    c.q.push_back(std::move(qh));
+    c.o.push_back(std::move(r.o));
+    c.lse.push_back(std::move(r.lse));
+  }
+  Tensor a = tensor::matmul(c.attn_concat, w.wo);
+  c.h = tensor::add(a, x);
+  c.u_pre = tensor::matmul(c.h, w.w1);
+  c.u = tensor::relu(c.u_pre);
+  return c;
+}
+
+Tensor layer_output(const LayerForwardCache& c, const LayerWeights& w) {
+  Tensor f = tensor::matmul(c.u, w.w2);
+  tensor::add_inplace(f, c.h);
+  return f;
+}
+
+// Returns dX given dY; accumulates weight grads.
+Tensor layer_backward(const ModelConfig& cfg, const LayerWeights& w,
+                      const LayerForwardCache& c, const Tensor& d_y,
+                      const MaskSpec& mask, LayerGrads& g) {
+  const std::int64_t dh = cfg.head_dim();
+  const float scale = 1.0f / std::sqrt(static_cast<float>(dh));
+  // Y = U W2 + H.
+  Tensor du = tensor::matmul_nt(d_y, w.w2);
+  tensor::add_inplace(g.w2, tensor::matmul_tn(c.u, d_y));
+  du = tensor::relu_backward(du, c.u_pre);
+  Tensor dh_total = tensor::matmul_nt(du, w.w1);
+  tensor::add_inplace(g.w1, tensor::matmul_tn(c.h, du));
+  tensor::add_inplace(dh_total, d_y);  // residual
+
+  // H = attn_concat Wo + X.
+  Tensor d_attn = tensor::matmul_nt(dh_total, w.wo);
+  tensor::add_inplace(g.wo, tensor::matmul_tn(c.attn_concat, dh_total));
+
+  // Per-head attention backward.
+  const IndexMap map = IndexMap::range(0, c.x_in.rows());
+  Tensor dq_all = Tensor::zeros(c.x_in.rows(), cfg.d_model);
+  Tensor dk_all = Tensor::zeros(c.x_in.rows(), cfg.d_kv());
+  Tensor dv_all = Tensor::zeros(c.x_in.rows(), cfg.d_kv());
+  const std::int64_t group = cfg.group_size();
+  for (std::int64_t h = 0; h < cfg.heads; ++h) {
+    const std::size_t hi = static_cast<std::size_t>(h);
+    const std::size_t kvh = static_cast<std::size_t>(h / group);
+    Tensor d_oh = tensor::copy_cols(d_attn, h * dh, dh);
+    Tensor dvec = kernels::attention_dvec(d_oh, c.o[hi]);
+    Tensor dq = Tensor::zeros(c.x_in.rows(), dh);
+    Tensor dk = Tensor::zeros(c.x_in.rows(), dh);
+    Tensor dv = Tensor::zeros(c.x_in.rows(), dh);
+    kernels::flash_backward_partial(c.q[hi], map, c.k[kvh], c.v[kvh], map,
+                                    mask, scale, d_oh, c.lse[hi], dvec, dq,
+                                    dk, dv);
+    if (cfg.use_rope) {
+      // Gradients w.r.t. pre-rotation Q/K: apply the inverse rotation.
+      kernels::apply_rope_inverse_inplace(dq, map);
+      kernels::apply_rope_inverse_inplace(dk, map);
+    }
+    tensor::set_cols(dq_all, h * dh, dq);
+    // Query heads of one group accumulate into their shared K/V head.
+    tensor::add_cols_inplace(dk_all, static_cast<std::int64_t>(kvh) * dh, dk);
+    tensor::add_cols_inplace(dv_all, static_cast<std::int64_t>(kvh) * dh, dv);
+  }
+
+  // Q = X Wq etc.
+  Tensor dx = dh_total;  // residual path
+  tensor::add_inplace(dx, tensor::matmul_nt(dq_all, w.wq));
+  tensor::add_inplace(dx, tensor::matmul_nt(dk_all, w.wk));
+  tensor::add_inplace(dx, tensor::matmul_nt(dv_all, w.wv));
+  tensor::add_inplace(g.wq, tensor::matmul_tn(c.x_in, dq_all));
+  tensor::add_inplace(g.wk, tensor::matmul_tn(c.x_in, dk_all));
+  tensor::add_inplace(g.wv, tensor::matmul_tn(c.x_in, dv_all));
+  return dx;
+}
+
+}  // namespace
+
+TrainStepResult serial_train_step(const ModelConfig& cfg,
+                                  const ModelWeights& w, const Tensor& tokens,
+                                  const MaskSpec& mask) {
+  const std::int64_t n = tokens.numel() - 1;
+  assert(n > 0);
+
+  // Embedding lookup.
+  Tensor x(n, cfg.d_model);
+  for (std::int64_t i = 0; i < n; ++i) {
+    const auto tok = static_cast<std::int64_t>(tokens[i]);
+    for (std::int64_t c = 0; c < cfg.d_model; ++c) {
+      x(i, c) = w.w_embed(tok, c);
+    }
+  }
+
+  std::vector<LayerForwardCache> caches;
+  caches.reserve(static_cast<std::size_t>(cfg.layers));
+  for (std::int64_t l = 0; l < cfg.layers; ++l) {
+    caches.push_back(layer_forward(cfg, w.layers[static_cast<std::size_t>(l)],
+                                   x, mask));
+    x = layer_output(caches.back(), w.layers[static_cast<std::size_t>(l)]);
+  }
+
+  std::vector<std::int64_t> targets(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    targets[static_cast<std::size_t>(i)] =
+        static_cast<std::int64_t>(tokens[i + 1]);
+  }
+  auto lm =
+      kernels::fused_lm_head_loss(x, w.w_head, targets, /*block_s=*/32,
+                                  /*block_v=*/64);
+
+  TrainStepResult out;
+  out.loss = lm.loss;
+  out.grads = ModelGrads::zeros(cfg);
+  out.grads.w_head = std::move(lm.dw);
+
+  Tensor dx = std::move(lm.dh);
+  for (std::int64_t l = cfg.layers - 1; l >= 0; --l) {
+    dx = layer_backward(cfg, w.layers[static_cast<std::size_t>(l)],
+                        caches[static_cast<std::size_t>(l)], dx, mask,
+                        out.grads.layers[static_cast<std::size_t>(l)]);
+  }
+  // Embedding gradient: scatter-add rows by token id.
+  for (std::int64_t i = 0; i < n; ++i) {
+    const auto tok = static_cast<std::int64_t>(tokens[i]);
+    for (std::int64_t c = 0; c < cfg.d_model; ++c) {
+      out.grads.w_embed(tok, c) += dx(i, c);
+    }
+  }
+  return out;
+}
+
+std::vector<double> serial_per_row_loss(const ModelConfig& cfg,
+                                        const ModelWeights& w,
+                                        const Tensor& tokens,
+                                        const MaskSpec& mask) {
+  const std::int64_t n = tokens.numel() - 1;
+  Tensor x(n, cfg.d_model);
+  for (std::int64_t i = 0; i < n; ++i) {
+    const auto tok = static_cast<std::int64_t>(tokens[i]);
+    for (std::int64_t c = 0; c < cfg.d_model; ++c) {
+      x(i, c) = w.w_embed(tok, c);
+    }
+  }
+  for (std::int64_t l = 0; l < cfg.layers; ++l) {
+    LayerForwardCache c =
+        layer_forward(cfg, w.layers[static_cast<std::size_t>(l)], x, mask);
+    x = layer_output(c, w.layers[static_cast<std::size_t>(l)]);
+  }
+  // Per-row CE: lse(logits_i) - logit_i[target_i].
+  Tensor logits = tensor::matmul_nt(x, w.w_head);
+  Tensor lse = tensor::row_lse(logits);
+  std::vector<double> out(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    const auto t = static_cast<std::int64_t>(tokens[i + 1]);
+    out[static_cast<std::size_t>(i)] =
+        static_cast<double>(lse[i]) - logits(i, t);
+  }
+  return out;
+}
+
+double serial_loss(const ModelConfig& cfg, const ModelWeights& w,
+                   const Tensor& tokens, const MaskSpec& mask) {
+  const std::int64_t n = tokens.numel() - 1;
+  Tensor x(n, cfg.d_model);
+  for (std::int64_t i = 0; i < n; ++i) {
+    const auto tok = static_cast<std::int64_t>(tokens[i]);
+    for (std::int64_t c = 0; c < cfg.d_model; ++c) {
+      x(i, c) = w.w_embed(tok, c);
+    }
+  }
+  for (std::int64_t l = 0; l < cfg.layers; ++l) {
+    LayerForwardCache c =
+        layer_forward(cfg, w.layers[static_cast<std::size_t>(l)], x, mask);
+    x = layer_output(c, w.layers[static_cast<std::size_t>(l)]);
+  }
+  std::vector<std::int64_t> targets(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    targets[static_cast<std::size_t>(i)] =
+        static_cast<std::int64_t>(tokens[i + 1]);
+  }
+  return kernels::fused_lm_head_loss(x, w.w_head, targets, 32, 64).loss;
+}
+
+}  // namespace burst::model

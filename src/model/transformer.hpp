@@ -1,0 +1,81 @@
+// Functional LLaMA-style toy transformer (Eq. 2-3 of the paper):
+//   H = ATTN(X) + X,  Y = FFN(H) + H  per block, stacked `layers` times,
+// followed by the LM head + cross-entropy loss. Multi-head attention splits
+// d_model into `heads` column slices. FFN is a two-matrix ReLU MLP (the
+// paper's Eq. 2 does not prescribe gating; FLOP formulas in perfmodel use
+// the gated LLaMA counts).
+//
+// The serial train step here is the ground truth that the distributed step
+// in dist_model.hpp is validated against, and the workhorse of the toy
+// training example.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "kernels/mask.hpp"
+#include "model/config.hpp"
+#include "tensor/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace burst::model {
+
+struct LayerWeights {
+  tensor::Tensor wq, wk, wv, wo;  // [d, d]
+  tensor::Tensor w1;              // [d, d_ff]
+  tensor::Tensor w2;              // [d_ff, d]
+};
+
+struct ModelWeights {
+  std::vector<LayerWeights> layers;
+  tensor::Tensor w_embed;  // [vocab, d]
+  tensor::Tensor w_head;   // [vocab, d]
+
+  static ModelWeights init(const ModelConfig& cfg, std::uint64_t seed);
+};
+
+struct LayerGrads {
+  tensor::Tensor wq, wk, wv, wo, w1, w2;
+  static LayerGrads zeros(const ModelConfig& cfg);
+};
+
+struct ModelGrads {
+  std::vector<LayerGrads> layers;
+  tensor::Tensor w_embed;
+  tensor::Tensor w_head;
+
+  static ModelGrads zeros(const ModelConfig& cfg);
+  void add(const ModelGrads& other);
+  /// Largest |g| across all parameters (for comparisons / step sanity).
+  float max_abs() const;
+};
+
+/// SGD update: w -= lr * g.
+void apply_sgd(ModelWeights& w, const ModelGrads& g, float lr);
+
+struct TrainStepResult {
+  double loss = 0.0;  // mean next-token cross-entropy
+  ModelGrads grads;
+};
+
+/// Full serial forward+backward for next-token prediction. `tokens` holds
+/// N+1 token ids (float-encoded); rows 0..N-1 are inputs, 1..N targets.
+TrainStepResult serial_train_step(const ModelConfig& cfg,
+                                  const ModelWeights& w,
+                                  const tensor::Tensor& tokens,
+                                  const kernels::MaskSpec& mask);
+
+/// Forward-only mean loss (for quick evaluation in examples).
+double serial_loss(const ModelConfig& cfg, const ModelWeights& w,
+                   const tensor::Tensor& tokens,
+                   const kernels::MaskSpec& mask);
+
+/// Forward-only per-prediction-row cross-entropy (row i predicts token
+/// i+1). Used to score synthetic long-context tasks on exactly the rows the
+/// task determines (model/data.hpp).
+std::vector<double> serial_per_row_loss(const ModelConfig& cfg,
+                                        const ModelWeights& w,
+                                        const tensor::Tensor& tokens,
+                                        const kernels::MaskSpec& mask);
+
+}  // namespace burst::model

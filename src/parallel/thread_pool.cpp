@@ -1,0 +1,99 @@
+#include "parallel/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace burst::parallel {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& w : workers_) {
+    w.join();
+  }
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard lock(mutex_);
+    queue_.push(std::move(task));
+  }
+  cv_work_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mutex_);
+  cv_idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_work_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // stop_ && drained
+      }
+      task = std::move(queue_.front());
+      queue_.pop();
+      ++in_flight_;
+    }
+    task();
+    {
+      std::lock_guard lock(mutex_);
+      --in_flight_;
+      if (queue_.empty() && in_flight_ == 0) {
+        cv_idle_.notify_all();
+      }
+    }
+  }
+}
+
+void parallel_for(std::size_t n, std::size_t grain,
+                  const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (n == 0) {
+    return;
+  }
+  grain = std::max<std::size_t>(1, grain);
+  ThreadPool& pool = ThreadPool::global();
+  const std::size_t max_chunks = pool.size() * 4;
+  const std::size_t chunks =
+      std::max<std::size_t>(1, std::min(max_chunks, (n + grain - 1) / grain));
+  if (chunks == 1 || pool.size() == 1) {
+    fn(0, n);
+    return;
+  }
+  const std::size_t step = (n + chunks - 1) / chunks;
+  // Run chunk 0 on the caller to keep one chunk off the queue; the pool
+  // executes the rest.
+  std::size_t submitted = 0;
+  for (std::size_t begin = step; begin < n; begin += step) {
+    const std::size_t end = std::min(n, begin + step);
+    pool.submit([&fn, begin, end] { fn(begin, end); });
+    ++submitted;
+  }
+  fn(0, std::min(n, step));
+  if (submitted > 0) {
+    pool.wait_idle();
+  }
+}
+
+}  // namespace burst::parallel

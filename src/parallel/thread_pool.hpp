@@ -1,0 +1,64 @@
+// Minimal fixed-size thread pool used for intra-op parallelism (blocked GEMM,
+// attention tiles). Follows C++ Core Guidelines CP.*: threads are joined in the
+// destructor (RAII), work is expressed as tasks, and all shared state is
+// guarded by a single mutex + condition variable pair.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace burst::parallel {
+
+/// A fixed pool of worker threads executing `std::function<void()>` tasks.
+///
+/// The pool is intentionally simple: a single locked queue. Intra-op tasks in
+/// this codebase are coarse (whole GEMM panels / attention tile rows), so
+/// queue contention is negligible compared to task cost.
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers. `num_threads == 0` selects
+  /// `std::thread::hardware_concurrency()` (at least 1).
+  explicit ThreadPool(std::size_t num_threads = 0);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Joins all workers. Pending tasks are drained before shutdown.
+  ~ThreadPool();
+
+  /// Enqueues a task. Never blocks (unbounded queue).
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished executing.
+  void wait_idle();
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Process-wide shared pool (lazily constructed, sized to hardware).
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_idle_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+/// Splits `[0, n)` into roughly equal chunks of at least `grain` elements and
+/// runs `fn(begin, end)` for each chunk on the global pool. Blocks until all
+/// chunks complete. Falls back to a serial call when the range is small or the
+/// pool has a single worker.
+void parallel_for(std::size_t n, std::size_t grain,
+                  const std::function<void(std::size_t, std::size_t)>& fn);
+
+}  // namespace burst::parallel

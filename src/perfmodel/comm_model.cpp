@@ -1,0 +1,87 @@
+#include "perfmodel/comm_model.hpp"
+
+#include <algorithm>
+
+namespace burst::perfmodel {
+
+double CommModel::pass_flat(double shard_bytes, const ClusterShape& c) const {
+  const int g = c.world();
+  const bool multi_node = c.nodes > 1;
+  // Every step of a flat multi-node ring is gated by its inter-node edge.
+  return g * link_time(shard_bytes, multi_node);
+}
+
+double CommModel::pass_intra_part(double shard_bytes,
+                                  const ClusterShape& c) const {
+  // Single node: the "double ring" degenerates to the flat NVLink ring.
+  const int intra_hops =
+      c.nodes > 1 ? c.world() - c.nodes : c.world();
+  return intra_hops * link_time(shard_bytes, false);
+}
+
+double CommModel::pass_inter_part(double shard_bytes,
+                                  const ClusterShape& c) const {
+  if (c.nodes <= 1) {
+    return 0.0;
+  }
+  return c.nodes * link_time(shard_bytes, true);
+}
+
+double CommModel::ring_attention_comm(double shard_bytes,
+                                      const ClusterShape& c) const {
+  return 6.0 * pass_flat(shard_bytes, c);
+}
+
+double CommModel::double_ring_comm(double shard_bytes,
+                                   const ClusterShape& c) const {
+  const double intra = pass_intra_part(shard_bytes, c);
+  const double inter = pass_inter_part(shard_bytes, c);
+  // 4 passes with intra/inter overlapped + 2 gradient passes serialized.
+  return 4.0 * std::max(intra, inter) + 2.0 * (intra + inter);
+}
+
+double CommModel::burst_comm(double shard_bytes, double vec_bytes,
+                             const ClusterShape& c, bool backward_opt,
+                             bool topo_aware) const {
+  const double tensor_passes = backward_opt ? 5.0 : 6.0;
+  const double vector_passes = backward_opt ? 2.0 : 0.0;
+  if (!topo_aware) {
+    return tensor_passes * pass_flat(shard_bytes, c) +
+           vector_passes * pass_flat(vec_bytes, c);
+  }
+  const double intra = tensor_passes * pass_intra_part(shard_bytes, c) +
+                       vector_passes * pass_intra_part(vec_bytes, c);
+  const double inter = tensor_passes * pass_inter_part(shard_bytes, c) +
+                       vector_passes * pass_inter_part(vec_bytes, c);
+  // Fine-grained triple buffering overlaps the two rails for activations
+  // *and* gradients (Figure 5).
+  return std::max(intra, inter);
+}
+
+double CommModel::all_to_all(double per_dev_bytes, const ClusterShape& c,
+                             bool over_nvlink) const {
+  if (over_nvlink || c.nodes == 1) {
+    return hw_.intra_time(per_dev_bytes);
+  }
+  // Fraction of each device's traffic that must cross the node boundary.
+  // Inter-node all-to-all suffers incast congestion; NCCL sustains only a
+  // fraction of line rate (hw.a2a_efficiency).
+  const double g = c.world();
+  const double l = c.gpus_per_node;
+  const double inter_bytes = per_dev_bytes * (g - l) / g;
+  const double intra_bytes = per_dev_bytes - inter_bytes;
+  return std::max(hw_.intra_time(intra_bytes),
+                  hw_.inter_time(inter_bytes) / hw_.a2a_efficiency);
+}
+
+double CommModel::fsdp_step_comm(double param_bytes,
+                                 const ClusterShape& c) const {
+  const double g = c.world();
+  const double per_collective = param_bytes * (g - 1.0) / g;
+  // all-gather (forward) + all-gather (backward) + reduce-scatter (grads).
+  const double total = 3.0 * per_collective;
+  // Ring collectives over the rank order: inter links are the bottleneck.
+  return c.nodes > 1 ? hw_.inter_time(total) : hw_.intra_time(total);
+}
+
+}  // namespace burst::perfmodel

@@ -1,0 +1,77 @@
+// Communication-time model (Table 1 of the paper, extended to every
+// evaluated method).
+//
+// Vocabulary: a "pass" moves one sequence-shard tensor around a ring — every
+// device forwards [n_loc, d] once per hop, so a pass over a flat ring costs
+// G * T_link(shard_bytes) on the critical path (each step is gated by the
+// slowest link, the inter-node one when the ring crosses nodes). The
+// topology-aware double ring splits a pass into (G - nodes) intra hops and
+// `nodes` inter hops riding disjoint rails, so the two parts can overlap:
+// time = max(intra_part, inter_part) when the implementation overlaps them,
+// intra_part + inter_part when it does not.
+//
+// Per-layer attention pass counts (matching Table 1's leading coefficients):
+//   RingAttention   fwd 2 (K, V)         bwd 4 (K, V, ∇K, ∇V)      -> 6
+//   DoubleRing      fwd 2 overlapped     bwd 2 overlapped + 2 summed
+//   BurstAttention  fwd 2 overlapped     bwd 3 (Q, ∇Q, ∇O) + 2 vector
+//                                        passes (Lse, D), all overlapped -> 5
+#pragma once
+
+#include "perfmodel/hardware.hpp"
+
+namespace burst::perfmodel {
+
+struct ClusterShape {
+  int nodes = 1;
+  int gpus_per_node = 8;
+  int world() const { return nodes * gpus_per_node; }
+};
+
+class CommModel {
+ public:
+  explicit CommModel(HardwareModel hw) : hw_(hw) {}
+
+  const HardwareModel& hw() const { return hw_; }
+
+  /// One flat-ring pass: G hops, each gated by the slowest link in the ring.
+  double pass_flat(double shard_bytes, const ClusterShape& c) const;
+
+  /// NVLink part of one topology-aware pass: (G - nodes) intra hops.
+  double pass_intra_part(double shard_bytes, const ClusterShape& c) const;
+
+  /// InfiniBand part of one topology-aware pass: `nodes` inter hops.
+  double pass_inter_part(double shard_bytes, const ClusterShape& c) const;
+
+  /// Table 1 row "RingAttention": fwd+bwd attention communication per layer.
+  double ring_attention_comm(double shard_bytes, const ClusterShape& c) const;
+
+  /// Table 1 row "DoubleRing": 4 overlapped passes + 2 serialized gradient
+  /// passes (LoongTrain fails to overlap gradient communication).
+  double double_ring_comm(double shard_bytes, const ClusterShape& c) const;
+
+  /// Table 1 row "BurstAttention", with ablation toggles: `backward_opt`
+  /// selects Algorithm 2 volumes (5 passes + 2 vector passes) vs Algorithm 1
+  /// (6 passes); `topo_aware` selects double-ring overlapped hops vs the
+  /// flat ring. `vec_bytes` is an Lse/D vector pass (n_loc elements).
+  double burst_comm(double shard_bytes, double vec_bytes,
+                    const ClusterShape& c, bool backward_opt,
+                    bool topo_aware) const;
+
+  /// One all-to-all phase: every device exchanges `per_dev_bytes` with the
+  /// group. `over_nvlink` for intra-node groups (USP head groups).
+  double all_to_all(double per_dev_bytes, const ClusterShape& c,
+                    bool over_nvlink) const;
+
+  /// FSDP traffic per step: parameter all-gather in forward and backward
+  /// plus gradient reduce-scatter (BMTrain-style ZeRO-3).
+  double fsdp_step_comm(double param_bytes, const ClusterShape& c) const;
+
+ private:
+  double link_time(double bytes, bool inter) const {
+    return inter ? hw_.inter_time(bytes) : hw_.intra_time(bytes);
+  }
+
+  HardwareModel hw_;
+};
+
+}  // namespace burst::perfmodel

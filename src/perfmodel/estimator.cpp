@@ -1,0 +1,302 @@
+#include "perfmodel/estimator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace burst::perfmodel {
+
+using core::CkptConfig;
+using core::CkptStrategy;
+
+const char* method_name(Method m) {
+  switch (m) {
+    case Method::kMegatronCP:
+      return "Megatron-CP";
+    case Method::kUlysses:
+      return "DeepSpeed-Ulysses";
+    case Method::kDoubleRing:
+      return "LoongTrain-DoubleRing";
+    case Method::kUSP:
+      return "LoongTrain-USP";
+    case Method::kBurstEngine:
+      return "BurstEngine";
+  }
+  return "?";
+}
+
+namespace {
+
+// Largest degree <= world that divides both the head count and the world
+// size — the feasibility constraint of head parallelism.
+int ulysses_degree(int heads, int world) {
+  for (int d = world; d >= 1; --d) {
+    if (world % d == 0 && heads % d == 0) {
+      return d;
+    }
+  }
+  return 1;
+}
+
+struct MethodProfile {
+  bool fsdp = true;
+  bool offload = false;
+  bool fused_lm_head = false;
+  bool lm_head_recompute = false;
+  CkptConfig ckpt{CkptStrategy::kFull, 0.5};
+  /// End-to-end implementation efficiency relative to BurstEngine's kernels
+  /// and scheduling, calibrated to the paper's measured inter-method gaps
+  /// (Figure 12; see EXPERIMENTS.md "calibration"). Captures framework
+  /// overheads the alpha-beta model cannot see (stream synchronization,
+  /// kernel launch gaps, suboptimal kernels).
+  double impl_efficiency = 1.0;
+};
+
+MethodProfile profile_for(const RunConfig& cfg) {
+  MethodProfile p;
+  switch (cfg.method) {
+    case Method::kMegatronCP:
+      p.fsdp = false;  // no FSDP / no offload in Megatron's CP setup
+      p.impl_efficiency = 0.75;
+      break;
+    case Method::kUlysses:
+      p.offload = true;
+      p.ckpt = CkptConfig{CkptStrategy::kSelectivePP, 0.5};
+      p.impl_efficiency = 0.72;
+      break;
+    case Method::kDoubleRing:
+      p.ckpt = CkptConfig{CkptStrategy::kSelectivePP, 0.5};
+      p.impl_efficiency = 0.80;
+      break;
+    case Method::kUSP:
+      // LoongTrain ships DISTFLASHATTN-style selective checkpointing++.
+      p.ckpt = CkptConfig{CkptStrategy::kSelectivePP, 0.5};
+      p.impl_efficiency = 0.88;
+      break;
+    case Method::kBurstEngine:
+      p.fused_lm_head = cfg.fused_lm_head;
+      p.ckpt = cfg.ckpt;
+      p.offload = cfg.optimizer_offload;
+      break;
+  }
+  return p;
+}
+
+}  // namespace
+
+StepEstimate estimate_step(const RunConfig& cfg, const HardwareModel& hw) {
+  StepEstimate out;
+  const CommModel comm(hw);
+  const auto& m = cfg.model;
+  const double g = cfg.cluster.world();
+  const double b = m.bytes_per_el;
+  const MethodProfile prof = profile_for(cfg);
+
+  // ---- effective parallel degree -------------------------------------------
+  int degree = cfg.cluster.world();
+  if (cfg.method == Method::kUlysses) {
+    degree = ulysses_degree(static_cast<int>(m.heads), cfg.cluster.world());
+  }
+  out.parallel_degree = degree;
+  const double n_loc = cfg.seq_len / degree;
+
+  // ---- memory (checked first: OOM settings never report a throughput) -----
+  MemoryInputs mem_in;
+  mem_in.model = m;
+  mem_in.tokens_per_gpu = n_loc;
+  mem_in.world = cfg.cluster.world();
+  mem_in.fsdp = prof.fsdp;
+  mem_in.optimizer_offload = prof.offload;
+  mem_in.ckpt = prof.ckpt;
+  mem_in.fused_lm_head = prof.fused_lm_head;
+  out.memory = peak_memory(mem_in, hw);
+  if (out.memory.total() > hw.hbm_bytes) {
+    out.failure = "OOM: needs " +
+                  std::to_string(out.memory.total() / 1e9) + " GB > " +
+                  std::to_string(hw.hbm_bytes / 1e9) + " GB";
+    return out;
+  }
+
+  // ---- compute --------------------------------------------------------------
+  FlopsBreakdown fl =
+      step_flops(m, cfg.seq_len, prof.ckpt, prof.lm_head_recompute);
+  const double rate =
+      hw.peak_flops * hw.kernel_efficiency * prof.impl_efficiency;
+  out.compute_s = fl.model_total() / g / rate;
+  out.recompute_s = fl.recompute / g / rate;
+  const double attn_compute_layer =
+      (fl.attn_fwd + fl.attn_bwd) / m.layers / g / rate;
+  const double linear_compute =
+      (fl.linear_fwd + fl.linear_bwd + fl.lm_head_fwd + fl.lm_head_bwd) / g /
+      rate;
+
+  // ---- attention communication per layer ------------------------------------
+  const double shard_bytes = n_loc * m.d_model * b;
+  const double vec_bytes = n_loc * b;
+  double overlappable = 0.0;  // hidden behind attention compute
+  double serial = 0.0;        // always exposed
+  switch (cfg.method) {
+    case Method::kMegatronCP:
+      overlappable = comm.ring_attention_comm(shard_bytes, cfg.cluster);
+      break;
+    case Method::kUlysses: {
+      // 8 tensor exchanges per layer (Q,K,V,O forward; dO,dQ,dK,dV
+      // backward), none overlapped with compute.
+      const double vol = 8.0 * n_loc * m.d_model * b;
+      out.a2a_s += m.layers * comm.all_to_all(vol, cfg.cluster,
+                                              /*over_nvlink=*/false);
+      break;
+    }
+    case Method::kDoubleRing: {
+      const double intra = comm.pass_intra_part(shard_bytes, cfg.cluster);
+      const double inter = comm.pass_inter_part(shard_bytes, cfg.cluster);
+      overlappable = 4.0 * std::max(intra, inter);
+      serial = 2.0 * (intra + inter);  // unoverlapped gradient passes
+      break;
+    }
+    case Method::kUSP: {
+      const int gh = cfg.usp_head_parallel > 0 ? cfg.usp_head_parallel
+                                               : cfg.cluster.gpus_per_node;
+      const int gr = std::max(1, cfg.cluster.world() / gh);
+      // Ring stage: shards of N/gr tokens x d/gh features over a ring of gr
+      // devices (one per node with head-first placement).
+      const double usp_shard = (cfg.seq_len / gr) * (m.d_model / gh) * b;
+      ClusterShape ring_shape{gr, 1};
+      const double pass = comm.pass_flat(usp_shard, ring_shape);
+      overlappable = 4.0 * pass;
+      serial = 2.0 * pass;  // RingAttention gradients, unoverlapped
+      // Head-group all-to-all rides NVLink; not overlapped.
+      const double vol = 4.0 * n_loc * m.d_model * b;
+      out.a2a_s +=
+          m.layers * comm.all_to_all(vol, cfg.cluster, /*over_nvlink=*/true);
+      break;
+    }
+    case Method::kBurstEngine:
+      overlappable = comm.burst_comm(shard_bytes, vec_bytes, cfg.cluster,
+                                     cfg.backward_comm_opt, cfg.topo_aware);
+      break;
+  }
+  // Calibrated overlap: only a fraction of the attention compute can hide
+  // ring traffic once FSDP contends for the NICs (Table 2 fit).
+  const double overlap_budget =
+      hw.attn_overlap_fraction * attn_compute_layer;
+  out.attn_comm_exposed_s =
+      m.layers * (std::max(0.0, overlappable - overlap_budget) + serial);
+
+  // ---- FSDP / gradient synchronization ---------------------------------------
+  double sync_comm = 0.0;
+  if (prof.fsdp) {
+    sync_comm = comm.fsdp_step_comm(b * m.param_count(), cfg.cluster);
+  } else {
+    // Replicated data parallel still all-reduces gradients (2x volume of a
+    // reduce-scatter).
+    const double vol = 2.0 * b * m.param_count() * (g - 1.0) / g;
+    sync_comm = cfg.cluster.nodes > 1 ? hw.inter_time(vol)
+                                      : hw.intra_time(vol);
+  }
+  // Block-level overlap with the linear compute (BMTrain-style).
+  out.fsdp_exposed_s = std::max(0.0, sync_comm - 0.5 * linear_compute);
+
+  // ---- total ------------------------------------------------------------------
+  out.step_time_s = out.compute_s + out.recompute_s +
+                    out.attn_comm_exposed_s + out.a2a_s + out.fsdp_exposed_s;
+  out.tgs = cfg.seq_len / (g * out.step_time_s);
+  out.mfu = fl.model_total() / (g * hw.peak_flops * out.step_time_s);
+  out.ok = true;
+  return out;
+}
+
+AttnEstimate estimate_attention_only(const RunConfig& cfg,
+                                     const HardwareModel& hw) {
+  AttnEstimate out;
+  const CommModel comm(hw);
+  const auto& m = cfg.model;
+  const double g = cfg.cluster.world();
+  const double b = m.bytes_per_el;
+
+  if (cfg.method == Method::kUlysses &&
+      m.heads % cfg.cluster.world() != 0) {
+    out.failure = "config: " + std::to_string(m.heads) + " heads not divisible by " +
+                  std::to_string(cfg.cluster.world()) + " GPUs";
+    return out;
+  }
+
+  const double n_loc = cfg.seq_len / g;
+  // Attention working state: Q/K/V/O/dO shards + workspace. Megatron's CP
+  // attention keeps per-head P2P exchange workspace that grows with both the
+  // local shard and the global length — calibrated so the OOM point lands
+  // just past 256K on 32 GPUs as in Figure 14.
+  double working = 10.0 * n_loc * m.d_model * b;
+  if (cfg.method == Method::kMegatronCP) {
+    working += static_cast<double>(m.heads) * n_loc * cfg.seq_len * b / 8.0;
+  }
+  if (working > hw.usable_hbm()) {
+    out.failure = "OOM: attention working set " +
+                  std::to_string(working / 1e9) + " GB";
+    return out;
+  }
+
+  // Implementation efficiency of the attention microbenchmark (no FSDP in
+  // play); calibrated to Figure 14's measured gaps.
+  double impl = 1.0;
+  switch (cfg.method) {
+    case Method::kMegatronCP:
+      impl = 0.70;
+      break;
+    case Method::kDoubleRing:
+      impl = 0.75;
+      break;
+    case Method::kUSP:
+      impl = 0.95;
+      break;
+    default:
+      break;
+  }
+  const double flops = attention_layer_flops(m, cfg.seq_len, true);
+  const double rate = hw.peak_flops * hw.kernel_efficiency * impl;
+  const double compute = flops / g / rate;
+
+  const double shard_bytes = n_loc * m.d_model * b;
+  const double vec_bytes = n_loc * b;
+  double comm_time = 0.0;
+  double serial = 0.0;
+  switch (cfg.method) {
+    case Method::kMegatronCP:
+      comm_time = comm.ring_attention_comm(shard_bytes, cfg.cluster);
+      break;
+    case Method::kUlysses: {
+      serial = 4.0 * comm.all_to_all(4.0 * n_loc * m.d_model * b / 4.0,
+                                     cfg.cluster, false);
+      break;
+    }
+    case Method::kDoubleRing: {
+      const double intra = comm.pass_intra_part(shard_bytes, cfg.cluster);
+      const double inter = comm.pass_inter_part(shard_bytes, cfg.cluster);
+      comm_time = 4.0 * std::max(intra, inter);
+      serial = 2.0 * (intra + inter);
+      break;
+    }
+    case Method::kUSP: {
+      const int gh = cfg.usp_head_parallel > 0 ? cfg.usp_head_parallel
+                                               : cfg.cluster.gpus_per_node;
+      const int gr = std::max(1, cfg.cluster.world() / gh);
+      const double usp_shard = (cfg.seq_len / gr) * (m.d_model / gh) * b;
+      ClusterShape ring_shape{gr, 1};
+      const double pass = comm.pass_flat(usp_shard, ring_shape);
+      comm_time = 4.0 * pass;
+      serial = 2.0 * pass +
+               4.0 * comm.all_to_all(n_loc * m.d_model * b, cfg.cluster, true);
+      break;
+    }
+    case Method::kBurstEngine:
+      comm_time = comm.burst_comm(shard_bytes, vec_bytes, cfg.cluster,
+                                  cfg.backward_comm_opt, cfg.topo_aware);
+      break;
+  }
+
+  out.time_s = std::max(compute, comm_time) + serial;
+  out.tflops_per_gpu = flops / g / out.time_s / 1e12;
+  out.ok = true;
+  return out;
+}
+
+}  // namespace burst::perfmodel

@@ -1,0 +1,98 @@
+// End-to-end training-step estimator: combines the FLOP, communication and
+// memory models into per-method TGS / MFU / peak-memory predictions — the
+// engine behind the Figure 12/13/14 and Table 2/4/5 benches.
+//
+// Method configurations mirror the paper's baselines (Section 4.1):
+//   Megatron-CP    flat-ring RingAttention (Alg. 1), zigzag balance, NO FSDP
+//                  and no optimizer offload (whole replicated state per GPU —
+//                  the reason it OOMs first), unfused LM head, full ckpt.
+//   Ulysses        head parallelism; degree limited to divisors of the head
+//                  count; all-to-all is not overlapped; FSDP + offload;
+//                  unfused LM head; full ckpt.
+//   DoubleRing     LoongTrain DoubleRingAttention: topology-aware forward
+//                  overlap but serialized gradient passes; FSDP; unfused LM
+//                  head; full ckpt.
+//   USP            LoongTrain hybrid: NVLink all-to-all across the head
+//                  group + inter-node RingAttention (volume / Gh); FSDP;
+//                  unfused LM head; full ckpt.
+//   BurstEngine    BurstAttention (Alg. 2 volumes, topology-aware,
+//                  fine-grained overlap), fused LM head + loss, sequence-
+//                  level selective checkpointing; FSDP. Individual
+//                  optimizations toggle off for the Table 2 ablation.
+#pragma once
+
+#include <string>
+
+#include "core/checkpoint.hpp"
+#include "model/config.hpp"
+#include "perfmodel/comm_model.hpp"
+#include "perfmodel/flops.hpp"
+#include "perfmodel/hardware.hpp"
+#include "perfmodel/memory_model.hpp"
+
+namespace burst::perfmodel {
+
+enum class Method {
+  kMegatronCP,
+  kUlysses,
+  kDoubleRing,
+  kUSP,
+  kBurstEngine,
+};
+
+const char* method_name(Method m);
+
+struct RunConfig {
+  model::ModelConfig model;
+  double seq_len = 0;
+  ClusterShape cluster;
+  Method method = Method::kBurstEngine;
+
+  // BurstEngine ablation toggles (defaults = full BurstEngine).
+  bool backward_comm_opt = true;
+  bool topo_aware = true;
+  bool fused_lm_head = true;
+  core::CkptConfig ckpt{core::CkptStrategy::kSeqSelective, 0.5};
+  bool optimizer_offload = false;
+
+  /// USP head-parallel degree; 0 selects gpus_per_node (head-first
+  /// placement keeps the all-to-all on NVLink).
+  int usp_head_parallel = 0;
+};
+
+struct StepEstimate {
+  bool ok = false;
+  std::string failure;  // "OOM: ..." or "config: ..." when !ok
+
+  double step_time_s = 0;
+  double tgs = 0;  // tokens / s / GPU
+  double mfu = 0;  // model FLOPs (causal counting) / peak
+
+  // Breakdown (seconds).
+  double compute_s = 0;
+  double recompute_s = 0;
+  double attn_comm_exposed_s = 0;
+  double a2a_s = 0;
+  double fsdp_exposed_s = 0;
+
+  MemoryBreakdown memory;
+  int parallel_degree = 0;  // effective context/head-parallel degree
+};
+
+StepEstimate estimate_step(const RunConfig& cfg,
+                           const HardwareModel& hw = HardwareModel{});
+
+/// Attention-module-only step time (forward+backward of one layer's
+/// attention across the cluster) — the Figure 14 microbenchmark. Memory
+/// checks only cover attention working state.
+struct AttnEstimate {
+  bool ok = false;
+  std::string failure;
+  double time_s = 0;
+  double tflops_per_gpu = 0;  // achieved, causal counting
+};
+
+AttnEstimate estimate_attention_only(const RunConfig& cfg,
+                                     const HardwareModel& hw = HardwareModel{});
+
+}  // namespace burst::perfmodel

@@ -1,0 +1,63 @@
+#include "perfmodel/flops.hpp"
+
+namespace burst::perfmodel {
+
+using core::CkptConfig;
+using core::CkptStrategy;
+using model::ModelConfig;
+
+FlopsBreakdown step_flops(const ModelConfig& cfg, double n,
+                          const CkptConfig& ckpt, bool lm_head_recompute) {
+  FlopsBreakdown f;
+  const double d = static_cast<double>(cfg.d_model);
+  const double layers = static_cast<double>(cfg.layers);
+  const double p_linear = static_cast<double>(cfg.params_per_layer());
+  const double pairs = causal_pairs(n);
+
+  f.linear_fwd = 2.0 * n * p_linear * layers;
+  f.linear_bwd = 2.0 * f.linear_fwd;
+
+  const double attn_fwd_layer = 4.0 * d * pairs;
+  f.attn_fwd = attn_fwd_layer * layers;
+  f.attn_bwd = 2.5 * f.attn_fwd;
+
+  const double v = static_cast<double>(cfg.vocab);
+  f.lm_head_fwd = 2.0 * n * d * v;
+  f.lm_head_bwd = 2.0 * f.lm_head_fwd;
+  if (lm_head_recompute) {
+    f.recompute += f.lm_head_fwd;  // logits rebuilt during backward
+  }
+
+  // Checkpointing: the layer forward rerun during backward.
+  switch (ckpt.strategy) {
+    case CkptStrategy::kNone:
+      break;
+    case CkptStrategy::kFull:
+      f.recompute += f.linear_fwd + f.attn_fwd;
+      break;
+    case CkptStrategy::kSelectivePP:
+      f.recompute += f.linear_fwd;  // attention outputs stored
+      break;
+    case CkptStrategy::kSeqSelective: {
+      // Only the front (1 - store_fraction) of queries is recomputed; under
+      // a causal mask that front covers (1-f)^2 of the attention area.
+      const double front = 1.0 - ckpt.store_fraction;
+      f.recompute += f.linear_fwd + f.attn_fwd * front * front;
+      break;
+    }
+  }
+  return f;
+}
+
+double attention_layer_flops(const ModelConfig& cfg, double n,
+                             bool forward_and_backward) {
+  const double fwd = 4.0 * static_cast<double>(cfg.d_model) * causal_pairs(n);
+  return forward_and_backward ? 3.5 * fwd : fwd;
+}
+
+double attention_time_share(const ModelConfig& cfg, double n) {
+  FlopsBreakdown f = step_flops(cfg, n, {CkptStrategy::kNone, 0.5});
+  return (f.attn_fwd + f.attn_bwd) / f.model_total();
+}
+
+}  // namespace burst::perfmodel

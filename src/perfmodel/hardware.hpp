@@ -1,0 +1,53 @@
+// Calibrated hardware constants for the paper's testbed: nodes of 8x
+// A800-SXM4-80GB (NVLink 400 GB/s, 8x HDR InfiniBand NICs at 200 Gb/s each,
+// one rail per GPU). See DESIGN.md ("Substitutions") — these constants drive
+// the analytic performance path; the functional simulator uses
+// sim::Topology's link parameters directly.
+#pragma once
+
+#include <cstdint>
+
+namespace burst::perfmodel {
+
+struct HardwareModel {
+  /// Peak dense bf16 throughput per GPU (A800 == A100 compute die).
+  double peak_flops = 312e12;
+  /// Sustained fraction of peak for large fused kernels (FlashAttention +
+  /// GEMM mix). Calibrated so the 8x A800 / 256K single-node setting lands
+  /// near the paper's ~52% end-to-end MFU (Table 5).
+  double kernel_efficiency = 0.62;
+
+  /// Effective per-direction neighbor bandwidth over NVLink (400 GB/s
+  /// aggregate fabric).
+  double nvlink_bw = 200e9;
+  double nvlink_latency = 3e-6;
+
+  /// One HDR InfiniBand rail per GPU: 200 Gb/s.
+  double ib_bw = 25e9;
+  double ib_latency = 6e-6;
+
+  /// Sustained fraction of IB line rate for inter-node all-to-all (incast
+  /// congestion; ring patterns do not pay this).
+  double a2a_efficiency = 0.6;
+
+  /// Fraction of the attention compute that ring communication can hide
+  /// behind in end-to-end training. Calibrated from the paper's Table 2:
+  /// the measured exposure of the flat-ring configurations (rows 1-2)
+  /// implies only ~18% of attention compute is available for overlap once
+  /// FSDP traffic contends for the NICs.
+  double attn_overlap_fraction = 0.18;
+
+  /// HBM capacity, minus a reservation for CUDA context, NCCL buffers and
+  /// allocator fragmentation.
+  double hbm_bytes = 80e9;
+  double reserved_bytes = 4e9;
+
+  double usable_hbm() const { return hbm_bytes - reserved_bytes; }
+
+  double intra_time(double bytes) const {
+    return nvlink_latency + bytes / nvlink_bw;
+  }
+  double inter_time(double bytes) const { return ib_latency + bytes / ib_bw; }
+};
+
+}  // namespace burst::perfmodel

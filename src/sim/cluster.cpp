@@ -1,0 +1,212 @@
+#include "sim/cluster.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <thread>
+
+namespace burst::sim {
+
+DeviceContext::DeviceContext(Cluster& cluster, int rank)
+    : cluster_(cluster),
+      rank_(rank),
+      mem_(rank, cluster.config().device_memory_capacity) {}
+
+int DeviceContext::world_size() const { return cluster_.world_size(); }
+
+const Topology& DeviceContext::topo() const { return cluster_.config().topo; }
+
+void DeviceContext::compute(double flops, int stream, const char* label) {
+  const double begin = clock_.now(stream);
+  clock_.advance(stream, flops / cluster_.config().flops_per_s);
+  if (auto* trace = cluster_.config().trace) {
+    trace->record(rank_, stream, label, begin, clock_.now(stream));
+  }
+}
+
+void DeviceContext::busy(double seconds, int stream, const char* label) {
+  const double begin = clock_.now(stream);
+  clock_.advance(stream, seconds);
+  if (auto* trace = cluster_.config().trace) {
+    trace->record(rank_, stream, label, begin, clock_.now(stream));
+  }
+}
+
+void DeviceContext::send(int dst, int tag, Message msg, int stream) {
+  const LinkParams& link = topo().link(rank_, dst);
+  const double serialize =
+      static_cast<double>(msg.bytes) / link.bandwidth_bytes_per_s;
+  const double begin = clock_.now(stream);
+  msg.ready_time = begin + link.latency_s + serialize;
+  clock_.advance(stream, serialize);
+  bytes_sent_ += msg.bytes;
+  ++messages_sent_;
+  if (auto* trace = cluster_.config().trace) {
+    trace->record(rank_, stream, "send->" + std::to_string(dst), begin,
+                  clock_.now(stream));
+  }
+  cluster_.post(rank_, dst, tag, std::move(msg));
+}
+
+Message DeviceContext::recv(int src, int tag, int stream) {
+  Message msg = cluster_.take(src, rank_, tag);
+  const double begin = clock_.now(stream);
+  clock_.advance_to(stream, msg.ready_time);
+  if (auto* trace = cluster_.config().trace) {
+    if (clock_.now(stream) > begin) {
+      trace->record(rank_, stream, "recv<-" + std::to_string(src), begin,
+                    clock_.now(stream));
+    }
+  }
+  return msg;
+}
+
+void DeviceContext::barrier() { cluster_.barrier_and_sync(*this); }
+
+void Cluster::run(const std::function<void(DeviceContext&)>& fn) {
+  const int g = world_size();
+  stats_.assign(static_cast<std::size_t>(g), DeviceStats{});
+  {
+    std::lock_guard lock(mail_mutex_);
+    aborted_ = false;
+  }
+  {
+    std::lock_guard lock(barrier_mutex_);
+    barrier_arrived_ = 0;
+    barrier_max_time_ = 0.0;
+  }
+
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(g));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(g));
+  for (int r = 0; r < g; ++r) {
+    threads.emplace_back([this, r, &fn, &errors] {
+      DeviceContext ctx(*this, r);
+      try {
+        fn(ctx);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+        abort();
+      }
+      auto& s = stats_[static_cast<std::size_t>(r)];
+      s.elapsed_s = ctx.clock().elapsed();
+      s.peak_mem_bytes = ctx.mem().peak();
+      s.bytes_sent = ctx.bytes_sent();
+      s.messages_sent = ctx.messages_sent();
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+
+  // Prefer the root-cause exception over secondary ClusterAbortedErrors that
+  // peers raised while unwinding.
+  std::exception_ptr root_cause;
+  std::exception_ptr any_error;
+  for (auto& e : errors) {
+    if (!e) {
+      continue;
+    }
+    if (!any_error) {
+      any_error = e;
+    }
+    if (!root_cause) {
+      try {
+        std::rethrow_exception(e);
+      } catch (const ClusterAbortedError&) {
+        // secondary
+      } catch (...) {
+        root_cause = e;
+      }
+    }
+  }
+  if (any_error) {
+    // Leftover messages are expected when a run aborts mid-flight.
+    std::lock_guard lock(mail_mutex_);
+    mailboxes_.clear();
+    std::rethrow_exception(root_cause ? root_cause : any_error);
+  }
+
+  // A clean run must have drained every mailbox, otherwise an algorithm
+  // produced an unmatched send — a real protocol bug worth failing loudly on.
+  std::lock_guard lock(mail_mutex_);
+  for (const auto& [key, box] : mailboxes_) {
+    if (!box.empty()) {
+      throw std::logic_error("Cluster::run finished with undelivered messages");
+    }
+  }
+  mailboxes_.clear();
+}
+
+double Cluster::makespan() const {
+  double m = 0.0;
+  for (const auto& s : stats_) {
+    m = std::max(m, s.elapsed_s);
+  }
+  return m;
+}
+
+void Cluster::post(int src, int dst, int tag, Message msg) {
+  {
+    std::lock_guard lock(mail_mutex_);
+    mailboxes_[{src, dst, tag}].push_back(std::move(msg));
+  }
+  mail_cv_.notify_all();
+}
+
+Message Cluster::take(int src, int dst, int tag) {
+  std::unique_lock lock(mail_mutex_);
+  auto& box = mailboxes_[{src, dst, tag}];
+  mail_cv_.wait(lock, [this, &box] { return aborted_ || !box.empty(); });
+  if (box.empty()) {
+    throw ClusterAbortedError();
+  }
+  Message msg = std::move(box.front());
+  box.pop_front();
+  return msg;
+}
+
+void Cluster::abort() {
+  {
+    std::lock_guard lock(mail_mutex_);
+    aborted_ = true;
+  }
+  mail_cv_.notify_all();
+  // Wake devices blocked inside the barrier as well.
+  {
+    std::lock_guard lock(barrier_mutex_);
+    barrier_arrived_ = 0;
+    ++barrier_generation_;
+  }
+  barrier_cv_.notify_all();
+}
+
+void Cluster::barrier_and_sync(DeviceContext& ctx) {
+  std::unique_lock lock(barrier_mutex_);
+  {
+    // A peer may already have failed; bail out instead of waiting forever.
+    std::lock_guard mail_lock(mail_mutex_);
+    if (aborted_) {
+      throw ClusterAbortedError();
+    }
+  }
+  barrier_max_time_ = std::max(barrier_max_time_, ctx.clock().elapsed());
+  const std::uint64_t gen = barrier_generation_;
+  if (++barrier_arrived_ == world_size()) {
+    barrier_release_time_ = barrier_max_time_;
+    barrier_arrived_ = 0;
+    barrier_max_time_ = 0.0;
+    ++barrier_generation_;
+    barrier_cv_.notify_all();
+  } else {
+    barrier_cv_.wait(lock, [this, gen] { return barrier_generation_ != gen; });
+    std::lock_guard mail_lock(mail_mutex_);
+    if (aborted_) {
+      throw ClusterAbortedError();
+    }
+  }
+  for (int s = 0; s < kNumStreams; ++s) {
+    ctx.clock().advance_to(s, barrier_release_time_);
+  }
+}
+
+}  // namespace burst::sim

@@ -1,0 +1,166 @@
+// Thread-per-device cluster simulator.
+//
+// Each simulated GPU runs the user's SPMD function on its own std::thread
+// with a private virtual clock (sim/clock.hpp) and memory tracker
+// (sim/memory.hpp). Devices exchange Messages through mailboxes keyed by
+// (src, dst, tag); a message carries optional tensor payloads (functional
+// mode) or just a byte count (time-only mode), and always carries a virtual
+// `ready_time` so the receiver's clock reflects link latency/bandwidth.
+//
+// Error semantics: if any device throws (e.g. DeviceOomError), the cluster
+// aborts — every blocked receive wakes up with ClusterAbortedError so all
+// threads can unwind and join — and Cluster::run rethrows the original
+// exception. This is what lets OOM experiments (Figure 12/13) fail cleanly.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <condition_variable>
+#include <stdexcept>
+#include <tuple>
+#include <vector>
+
+#include "sim/clock.hpp"
+#include "sim/memory.hpp"
+#include "sim/topology.hpp"
+#include "sim/trace.hpp"
+#include "tensor/tensor.hpp"
+
+namespace burst::sim {
+
+/// Raised in devices blocked on communication when a peer device failed.
+class ClusterAbortedError : public std::runtime_error {
+ public:
+  ClusterAbortedError() : std::runtime_error("cluster aborted by peer failure") {}
+};
+
+/// A point-to-point message. `tensors` may be empty for time-only runs;
+/// `bytes` is what is charged on the wire (the caller decides the simulated
+/// dtype width, e.g. 2 bytes/element for bf16 even though the functional
+/// payload is fp32).
+struct Message {
+  std::vector<tensor::Tensor> tensors;
+  std::uint64_t bytes = 0;
+  double ready_time = 0.0;
+};
+
+class Cluster;
+
+/// Everything a device-side SPMD function can touch. Created by Cluster::run,
+/// one per rank, destroyed when the run ends. Not thread-shared.
+class DeviceContext {
+ public:
+  DeviceContext(Cluster& cluster, int rank);
+
+  int rank() const { return rank_; }
+  int world_size() const;
+  const Topology& topo() const;
+
+  VirtualClock& clock() { return clock_; }
+  MemoryTracker& mem() { return mem_; }
+
+  /// Charges `flops` of work to `stream` at the cluster's configured
+  /// per-device compute rate. `label` names the interval in traces.
+  void compute(double flops, int stream = kCompute,
+               const char* label = "compute");
+
+  /// Charges `seconds` of work directly (for modeled non-FLOP costs).
+  void busy(double seconds, int stream = kCompute,
+            const char* label = "busy");
+
+  /// Non-blocking send. Serialization occupies `stream` on this device;
+  /// the message becomes visible to `dst` at
+  ///   now(stream) + link.latency + bytes/link.bandwidth.
+  void send(int dst, int tag, Message msg, int stream = kIntraComm);
+
+  /// Blocking receive; advances `stream` to the message's ready time.
+  Message recv(int src, int tag, int stream = kIntraComm);
+
+  /// Thread barrier + virtual-clock join: after this call every device's
+  /// streams sit at the cluster-wide max elapsed time.
+  void barrier();
+
+  // Wire-traffic counters (used by communication-volume invariant tests).
+  std::uint64_t bytes_sent() const { return bytes_sent_; }
+  std::uint64_t messages_sent() const { return messages_sent_; }
+
+ private:
+  Cluster& cluster_;
+  int rank_;
+  VirtualClock clock_;
+  MemoryTracker mem_;
+  std::uint64_t bytes_sent_ = 0;
+  std::uint64_t messages_sent_ = 0;
+};
+
+/// Final per-device statistics captured after a run.
+struct DeviceStats {
+  double elapsed_s = 0.0;
+  std::uint64_t peak_mem_bytes = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t messages_sent = 0;
+};
+
+class Cluster {
+ public:
+  struct Config {
+    Topology topo = Topology::single_node(1);
+    /// Per-device sustained compute rate used to convert FLOPs to virtual
+    /// seconds. Defaults to a deliberately round 100 TFLOP/s.
+    double flops_per_s = 100e12;
+    /// Per-device memory capacity; infinite unless an experiment sets it.
+    std::uint64_t device_memory_capacity =
+        std::numeric_limits<std::uint64_t>::max();
+    /// Optional execution-trace sink (not owned); see sim/trace.hpp.
+    TraceRecorder* trace = nullptr;
+  };
+
+  explicit Cluster(Config cfg) : cfg_(std::move(cfg)) {}
+
+  const Config& config() const { return cfg_; }
+  int world_size() const { return cfg_.topo.world_size(); }
+
+  /// Runs `fn(ctx)` on world_size() threads, one per rank. Blocks until all
+  /// devices finish; rethrows the first device exception (after all threads
+  /// have unwound). May be called repeatedly; mailboxes must be empty at the
+  /// end of each run (checked).
+  void run(const std::function<void(DeviceContext&)>& fn);
+
+  /// Stats of the most recent run, indexed by rank.
+  const std::vector<DeviceStats>& stats() const { return stats_; }
+
+  /// Cluster-wide makespan of the most recent run.
+  double makespan() const;
+
+ private:
+  friend class DeviceContext;
+
+  using MailboxKey = std::tuple<int, int, int>;  // (src, dst, tag)
+
+  void post(int src, int dst, int tag, Message msg);
+  Message take(int src, int dst, int tag);
+  void abort();
+  void barrier_and_sync(DeviceContext& ctx);
+
+  Config cfg_;
+
+  std::mutex mail_mutex_;
+  std::condition_variable mail_cv_;
+  std::map<MailboxKey, std::deque<Message>> mailboxes_;
+  bool aborted_ = false;
+
+  std::mutex barrier_mutex_;
+  std::condition_variable barrier_cv_;
+  int barrier_arrived_ = 0;
+  std::uint64_t barrier_generation_ = 0;
+  double barrier_max_time_ = 0.0;
+  double barrier_release_time_ = 0.0;
+
+  std::vector<DeviceStats> stats_;
+};
+
+}  // namespace burst::sim

@@ -1,0 +1,73 @@
+// Cluster topology description for the simulated A800 cluster.
+//
+// The paper's testbed: nodes of 8x A800-SXM4-80GB linked by 400 GB/s NVLink,
+// 8x HDR InfiniBand NICs (200 Gb/s each) per node. The simulator models two
+// link classes (intra-node NVLink, inter-node IB rail) with an alpha-beta
+// cost: time = latency + bytes / bandwidth. Each GPU owns one IB rail, which
+// is exactly the assumption behind the paper's topology-aware ring (Figure 4:
+// the per-slot inter-node rings use all NICs concurrently).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+
+namespace burst::sim {
+
+/// One link class: fixed launch latency plus serialization at `bandwidth`.
+struct LinkParams {
+  double latency_s = 0.0;
+  double bandwidth_bytes_per_s = 1.0;
+
+  double transfer_time(std::uint64_t bytes) const {
+    return latency_s +
+           static_cast<double>(bytes) / bandwidth_bytes_per_s;
+  }
+};
+
+struct Topology {
+  int num_nodes = 1;
+  int gpus_per_node = 1;
+
+  // Defaults calibrated to the paper's hardware:
+  //  - NVLink 400 GB/s aggregate; a ring neighbor exchange effectively uses
+  //    ~200 GB/s per direction per GPU.
+  //  - One HDR IB NIC per GPU: 200 Gb/s = 25 GB/s.
+  LinkParams intra{2e-6, 200e9};
+  LinkParams inter{5e-6, 25e9};
+
+  int world_size() const { return num_nodes * gpus_per_node; }
+
+  int node_of(int rank) const {
+    assert(rank >= 0 && rank < world_size());
+    return rank / gpus_per_node;
+  }
+
+  int local_rank(int rank) const { return rank % gpus_per_node; }
+
+  bool same_node(int a, int b) const { return node_of(a) == node_of(b); }
+
+  const LinkParams& link(int src, int dst) const {
+    return same_node(src, dst) ? intra : inter;
+  }
+
+  double transfer_time(int src, int dst, std::uint64_t bytes) const {
+    return link(src, dst).transfer_time(bytes);
+  }
+
+  /// Flat single-node topology with `g` devices (default link parameters).
+  static Topology single_node(int g) {
+    Topology t;
+    t.gpus_per_node = g;
+    return t;
+  }
+
+  /// Multi-node topology with paper-like defaults.
+  static Topology multi_node(int nodes, int gpus) {
+    Topology t;
+    t.num_nodes = nodes;
+    t.gpus_per_node = gpus;
+    return t;
+  }
+};
+
+}  // namespace burst::sim

@@ -1,0 +1,95 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+
+#include "sim/clock.hpp"
+
+namespace burst::sim {
+
+namespace {
+
+const char* stream_name(int stream) {
+  switch (stream) {
+    case kCompute:
+      return "compute";
+    case kIntraComm:
+      return "intra-node (NVLink)";
+    case kInterComm:
+      return "inter-node (IB)";
+    default:
+      return "stream";
+  }
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+void TraceRecorder::write_chrome_trace(std::ostream& os) const {
+  std::lock_guard lock(mu_);
+  os << "{\"traceEvents\":[\n";
+  bool first = true;
+  // Thread-name metadata makes the streams readable in the viewer.
+  std::vector<std::pair<int, int>> named;
+  for (const auto& e : events_) {
+    if (std::find(named.begin(), named.end(),
+                  std::make_pair(e.rank, e.stream)) == named.end()) {
+      named.emplace_back(e.rank, e.stream);
+    }
+  }
+  for (const auto& [rank, stream] : named) {
+    if (!first) {
+      os << ",\n";
+    }
+    first = false;
+    os << "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":" << rank
+       << ",\"tid\":" << stream << ",\"args\":{\"name\":\""
+       << stream_name(stream) << "\"}}";
+  }
+  for (const auto& e : events_) {
+    if (!first) {
+      os << ",\n";
+    }
+    first = false;
+    os << "{\"ph\":\"X\",\"name\":\"" << json_escape(e.name)
+       << "\",\"pid\":" << e.rank << ",\"tid\":" << e.stream
+       << ",\"ts\":" << e.begin_s * 1e6
+       << ",\"dur\":" << (e.end_s - e.begin_s) * 1e6 << "}";
+  }
+  os << "\n]}\n";
+}
+
+double TraceRecorder::overlap_fraction(int rank) const {
+  std::lock_guard lock(mu_);
+  double compute = 0.0;
+  double comm = 0.0;
+  double makespan = 0.0;
+  for (const auto& e : events_) {
+    if (e.rank != rank) {
+      continue;
+    }
+    makespan = std::max(makespan, e.end_s);
+    if (e.stream == kCompute) {
+      compute += e.end_s - e.begin_s;
+    } else {
+      comm += e.end_s - e.begin_s;
+    }
+  }
+  if (comm <= 0.0) {
+    return 1.0;
+  }
+  const double exposed = std::max(0.0, makespan - compute);
+  return std::clamp(1.0 - exposed / comm, 0.0, 1.0);
+}
+
+}  // namespace burst::sim

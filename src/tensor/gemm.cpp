@@ -1,0 +1,104 @@
+#include "tensor/gemm.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "parallel/thread_pool.hpp"
+
+namespace burst::tensor {
+
+namespace {
+
+// Cache-blocking tile sizes; small because test matrices are small and we
+// want the blocked path exercised (not just the remainder loop).
+constexpr std::int64_t kTileM = 32;
+constexpr std::int64_t kTileN = 64;
+constexpr std::int64_t kTileK = 64;
+
+inline float at(ConstMatView m, Trans t, std::int64_t r, std::int64_t c) {
+  return t == Trans::No ? m(r, c) : m(c, r);
+}
+
+}  // namespace
+
+void gemm(ConstMatView a, Trans ta, ConstMatView b, Trans tb, MatView c,
+          float alpha, float beta) {
+  const std::int64_t m = (ta == Trans::No) ? a.rows : a.cols;
+  const std::int64_t k = (ta == Trans::No) ? a.cols : a.rows;
+  const std::int64_t kb = (tb == Trans::No) ? b.rows : b.cols;
+  const std::int64_t n = (tb == Trans::No) ? b.cols : b.rows;
+  assert(k == kb);
+  (void)kb;
+  assert(c.rows == m && c.cols == n);
+
+  // Scale / clear C first so the K-blocked accumulation below can always add.
+  for (std::int64_t i = 0; i < m; ++i) {
+    float* crow = c.data + i * c.stride;
+    if (beta == 0.0f) {
+      std::fill(crow, crow + n, 0.0f);
+    } else if (beta != 1.0f) {
+      for (std::int64_t j = 0; j < n; ++j) {
+        crow[j] *= beta;
+      }
+    }
+  }
+
+  const auto run_rows = [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t ib = i0; ib < i1; ib += kTileM) {
+      const std::int64_t ie = std::min(i1, ib + kTileM);
+      for (std::int64_t kb2 = 0; kb2 < k; kb2 += kTileK) {
+        const std::int64_t ke = std::min(k, kb2 + kTileK);
+        for (std::int64_t jb = 0; jb < n; jb += kTileN) {
+          const std::int64_t je = std::min(n, jb + kTileN);
+          for (std::int64_t i = ib; i < ie; ++i) {
+            float* crow = c.data + i * c.stride;
+            for (std::int64_t kk = kb2; kk < ke; ++kk) {
+              const float av = alpha * at(a, ta, i, kk);
+              if (av == 0.0f) {
+                continue;
+              }
+              if (tb == Trans::No) {
+                const float* brow = b.data + kk * b.stride;
+                for (std::int64_t j = jb; j < je; ++j) {
+                  crow[j] += av * brow[j];
+                }
+              } else {
+                for (std::int64_t j = jb; j < je; ++j) {
+                  crow[j] += av * b(j, kk);
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  };
+
+  // Parallelize across output rows; grain keeps per-task work meaningful.
+  burst::parallel::parallel_for(
+      static_cast<std::size_t>(m), 64,
+      [&](std::size_t begin, std::size_t end) {
+        run_rows(static_cast<std::int64_t>(begin),
+                 static_cast<std::int64_t>(end));
+      });
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  Tensor c(a.rows(), b.cols());
+  gemm(a.view(), Trans::No, b.view(), Trans::No, c.view());
+  return c;
+}
+
+Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+  Tensor c(a.rows(), b.rows());
+  gemm(a.view(), Trans::No, b.view(), Trans::Yes, c.view());
+  return c;
+}
+
+Tensor matmul_tn(const Tensor& a, const Tensor& b) {
+  Tensor c(a.cols(), b.cols());
+  gemm(a.view(), Trans::Yes, b.view(), Trans::No, c.view());
+  return c;
+}
+
+}  // namespace burst::tensor

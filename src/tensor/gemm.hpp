@@ -1,0 +1,29 @@
+// Blocked general matrix multiply on MatViews. This is the single compute
+// primitive behind attention, FFN, and LM-head math in the functional path.
+//
+// It is written for clarity + cache-friendliness, not peak FLOPs: the
+// reproduction validates *algorithms* at toy scale; paper-scale throughput is
+// produced by the analytic performance model (src/perfmodel).
+#pragma once
+
+#include "tensor/tensor.hpp"
+
+namespace burst::tensor {
+
+enum class Trans { No, Yes };
+
+/// C = alpha * op(A) @ op(B) + beta * C, where op is identity or transpose.
+/// Shapes are validated with assertions: op(A) is MxK, op(B) is KxN, C MxN.
+void gemm(ConstMatView a, Trans ta, ConstMatView b, Trans tb, MatView c,
+          float alpha = 1.0f, float beta = 0.0f);
+
+/// Returns A @ B.
+Tensor matmul(const Tensor& a, const Tensor& b);
+
+/// Returns A @ B^T.
+Tensor matmul_nt(const Tensor& a, const Tensor& b);
+
+/// Returns A^T @ B.
+Tensor matmul_tn(const Tensor& a, const Tensor& b);
+
+}  // namespace burst::tensor

@@ -1,0 +1,64 @@
+#include "tensor/rng.hpp"
+
+#include <cmath>
+
+namespace burst::tensor {
+
+std::uint64_t Rng::next_u64() {
+  std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+double Rng::next_uniform() {
+  // 53 random mantissa bits -> uniform double in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::next_gaussian() {
+  if (has_spare_) {
+    has_spare_ = false;
+    return spare_;
+  }
+  double u = 0.0;
+  do {
+    u = next_uniform();
+  } while (u <= 1e-300);
+  const double v = next_uniform();
+  const double r = std::sqrt(-2.0 * std::log(u));
+  const double theta = 2.0 * M_PI * v;
+  spare_ = r * std::sin(theta);
+  has_spare_ = true;
+  return r * std::cos(theta);
+}
+
+std::int64_t Rng::next_index(std::int64_t n) {
+  return static_cast<std::int64_t>(next_u64() % static_cast<std::uint64_t>(n));
+}
+
+Tensor Rng::gaussian(std::int64_t rows, std::int64_t cols, float stddev) {
+  Tensor t(rows, cols);
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    t.data()[i] = stddev * static_cast<float>(next_gaussian());
+  }
+  return t;
+}
+
+Tensor Rng::gaussian(std::int64_t n, float stddev) {
+  Tensor t(n);
+  for (std::int64_t i = 0; i < n; ++i) {
+    t.data()[i] = stddev * static_cast<float>(next_gaussian());
+  }
+  return t;
+}
+
+Tensor Rng::token_ids(std::int64_t len, std::int64_t vocab) {
+  Tensor t(len);
+  for (std::int64_t i = 0; i < len; ++i) {
+    t.data()[i] = static_cast<float>(next_index(vocab));
+  }
+  return t;
+}
+
+}  // namespace burst::tensor

@@ -1,0 +1,44 @@
+// Deterministic random number generation. Every stochastic artifact in the
+// reproduction (weights, activations, synthetic workloads) is seeded
+// explicitly so that tests and benches are bit-reproducible across runs.
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/tensor.hpp"
+
+namespace burst::tensor {
+
+/// splitmix64-based generator: tiny state, high quality for non-crypto use,
+/// and trivially seedable per (test, rank) without correlation.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed + 0x9E3779B97F4A7C15ull) {}
+
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, 1).
+  double next_uniform();
+
+  /// Standard normal via Box-Muller.
+  double next_gaussian();
+
+  /// Uniform integer in [0, n).
+  std::int64_t next_index(std::int64_t n);
+
+  /// Matrix of i.i.d. N(0, stddev^2) entries.
+  Tensor gaussian(std::int64_t rows, std::int64_t cols, float stddev = 1.0f);
+
+  /// Vector of i.i.d. N(0, stddev^2) entries.
+  Tensor gaussian(std::int64_t n, float stddev = 1.0f);
+
+  /// Vector of uniform integers in [0, n) stored as floats (token ids).
+  Tensor token_ids(std::int64_t len, std::int64_t vocab);
+
+ private:
+  std::uint64_t state_;
+  bool has_spare_ = false;
+  double spare_ = 0.0;
+};
+
+}  // namespace burst::tensor

@@ -1,0 +1,113 @@
+#include "tensor/tensor.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+
+namespace burst::tensor {
+
+Tensor::Tensor(std::int64_t n)
+    : shape_{n}, data_(static_cast<std::size_t>(n)) {
+  assert(n >= 0);
+}
+
+Tensor::Tensor(std::int64_t rows, std::int64_t cols)
+    : shape_{rows, cols}, data_(static_cast<std::size_t>(rows * cols)) {
+  assert(rows >= 0 && cols >= 0);
+}
+
+Tensor Tensor::zeros(std::int64_t n) {
+  Tensor t(n);
+  t.fill(0.0f);
+  return t;
+}
+
+Tensor Tensor::zeros(std::int64_t rows, std::int64_t cols) {
+  Tensor t(rows, cols);
+  t.fill(0.0f);
+  return t;
+}
+
+Tensor Tensor::full(std::int64_t rows, std::int64_t cols, float value) {
+  Tensor t(rows, cols);
+  t.fill(value);
+  return t;
+}
+
+MatView Tensor::view() {
+  assert(rank() == 2);
+  return MatView{data(), shape_[0], shape_[1], shape_[1]};
+}
+
+ConstMatView Tensor::view() const {
+  assert(rank() == 2);
+  return ConstMatView{data(), shape_[0], shape_[1], shape_[1]};
+}
+
+MatView Tensor::row_block(std::int64_t row_begin, std::int64_t num_rows) {
+  assert(rank() == 2);
+  assert(row_begin >= 0 && num_rows >= 0 && row_begin + num_rows <= shape_[0]);
+  return MatView{data() + row_begin * shape_[1], num_rows, shape_[1], shape_[1]};
+}
+
+ConstMatView Tensor::row_block(std::int64_t row_begin,
+                               std::int64_t num_rows) const {
+  assert(rank() == 2);
+  assert(row_begin >= 0 && num_rows >= 0 && row_begin + num_rows <= shape_[0]);
+  return ConstMatView{data() + row_begin * shape_[1], num_rows, shape_[1],
+                      shape_[1]};
+}
+
+MatView Tensor::col_block(std::int64_t col_begin, std::int64_t num_cols) {
+  assert(rank() == 2);
+  assert(col_begin >= 0 && num_cols >= 0 && col_begin + num_cols <= shape_[1]);
+  return MatView{data() + col_begin, shape_[0], num_cols, shape_[1]};
+}
+
+ConstMatView Tensor::col_block(std::int64_t col_begin,
+                               std::int64_t num_cols) const {
+  assert(rank() == 2);
+  assert(col_begin >= 0 && num_cols >= 0 && col_begin + num_cols <= shape_[1]);
+  return ConstMatView{data() + col_begin, shape_[0], num_cols, shape_[1]};
+}
+
+Tensor Tensor::copy_rows(std::int64_t row_begin, std::int64_t num_rows) const {
+  assert(rank() == 2);
+  assert(row_begin >= 0 && row_begin + num_rows <= shape_[0]);
+  Tensor out(num_rows, shape_[1]);
+  std::memcpy(out.data(), data() + row_begin * shape_[1],
+              static_cast<std::size_t>(num_rows * shape_[1]) * sizeof(float));
+  return out;
+}
+
+void Tensor::set_rows(std::int64_t row_begin, const Tensor& src) {
+  assert(rank() == 2 && src.rank() == 2);
+  assert(src.cols() == cols());
+  assert(row_begin >= 0 && row_begin + src.rows() <= rows());
+  std::memcpy(data() + row_begin * shape_[1], src.data(),
+              static_cast<std::size_t>(src.numel()) * sizeof(float));
+}
+
+void Tensor::fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+void Tensor::reshape(std::int64_t rows, std::int64_t cols) {
+  if (rows * cols != numel()) {
+    throw std::invalid_argument("reshape: numel mismatch " + shape_str());
+  }
+  shape_ = {rows, cols};
+}
+
+std::string Tensor::shape_str() const {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < shape_.size(); ++i) {
+    os << (i ? ", " : "") << shape_[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace burst::tensor

@@ -1,0 +1,101 @@
+// Numerical fidelity under the training dtype: the distributed algorithms
+// must stay close to the fp32 reference when activations are rounded to
+// bf16 at the communication boundary (what real NCCL transfers carry).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/dist_attention.hpp"
+#include "core/partition.hpp"
+#include "kernels/reference_attention.hpp"
+#include "sim/cluster.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/rng.hpp"
+
+namespace burst {
+namespace {
+
+using tensor::Rng;
+using tensor::Tensor;
+
+TEST(Bf16, RoundingIdentityForRepresentables) {
+  Tensor t(1, 4);
+  t(0, 0) = 1.0f;
+  t(0, 1) = -2.5f;
+  t(0, 2) = 0.0f;
+  t(0, 3) = 96.0f;
+  Tensor before = t;
+  tensor::round_bf16_inplace(t);
+  EXPECT_FLOAT_EQ(tensor::max_abs_diff(t, before), 0.0f);
+}
+
+TEST(Bf16, RelativeErrorBounded) {
+  Rng rng(5);
+  Tensor t = rng.gaussian(64, 64, 3.0f);
+  Tensor orig = t;
+  tensor::round_bf16_inplace(t);
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    const float a = orig.data()[i];
+    const float b = t.data()[i];
+    // bf16 has 8 mantissa bits: relative error <= 2^-8.
+    EXPECT_LE(std::fabs(a - b), std::fabs(a) * (1.0f / 256.0f) + 1e-30f);
+  }
+}
+
+TEST(Bf16, RoundToNearestEven) {
+  // 1 + 2^-9 sits exactly between two bf16 values; ties go to even (1.0).
+  Tensor t(1, 1);
+  t(0, 0) = 1.0f + std::ldexp(1.0f, -9);
+  tensor::round_bf16_inplace(t);
+  EXPECT_FLOAT_EQ(t(0, 0), 1.0f);
+}
+
+// Distributed BurstAttention with inputs quantized to bf16 must track the
+// fp32 reference to bf16-level error — the rounding must not be amplified
+// by the online-softmax merges or the ring accumulation order.
+TEST(Bf16, BurstAttentionStableUnderQuantizedInputs) {
+  const std::int64_t n = 64;
+  const std::int64_t d = 16;
+  const int g = 4;
+  Rng rng(11);
+  Tensor q = rng.gaussian(n, d, 0.7f);
+  Tensor k = rng.gaussian(n, d, 0.7f);
+  Tensor v = rng.gaussian(n, d, 0.7f);
+  tensor::round_bf16_inplace(q);
+  tensor::round_bf16_inplace(k);
+  tensor::round_bf16_inplace(v);
+
+  const auto id = kernels::IndexMap::range(0, n);
+  auto ref = kernels::reference_attention_forward(
+      q, id, k, v, id, kernels::MaskSpec::causal(), 0.25f);
+
+  core::DistAttnConfig cfg;
+  cfg.mask = kernels::MaskSpec::causal();
+  cfg.scale = 0.25f;
+  cfg.balance = core::Balance::kZigzag;
+  cfg.seq_len = n;
+
+  sim::Cluster cluster({sim::Topology::single_node(g)});
+  Tensor o_global = Tensor::zeros(n, d);
+  std::mutex mu;
+  cluster.run([&](sim::DeviceContext& ctx) {
+    comm::Communicator comm(ctx);
+    const auto route = core::SweepRoute::flat(comm::flat_ring(g));
+    const auto map = core::route_index_map(route, cfg, ctx.rank());
+    core::LocalQKV local{core::shard_rows(q, map), core::shard_rows(k, map),
+                         core::shard_rows(v, map)};
+    // Quantize what would ride the wire each hop.
+    tensor::round_bf16_inplace(local.k);
+    tensor::round_bf16_inplace(local.v);
+    auto fwd = core::dist_attention_forward(comm, route, cfg, local);
+    std::lock_guard lock(mu);
+    core::unshard_rows(o_global, map, fwd.o);
+  });
+
+  // Inputs were identical (already bf16); only fp32-accumulation order
+  // differs from the reference, so agreement should be tight.
+  EXPECT_LT(tensor::max_abs_diff(o_global, ref.o), 1e-4f);
+}
+
+}  // namespace
+}  // namespace burst

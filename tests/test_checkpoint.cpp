@@ -1,0 +1,41 @@
+#include "core/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+namespace burst::core {
+namespace {
+
+TEST(Checkpoint, Names) {
+  EXPECT_STREQ(ckpt_name(CkptStrategy::kNone), "none");
+  EXPECT_STREQ(ckpt_name(CkptStrategy::kFull), "full");
+  EXPECT_STREQ(ckpt_name(CkptStrategy::kSelectivePP), "selective++");
+  EXPECT_STREQ(ckpt_name(CkptStrategy::kSeqSelective), "seq-selective");
+}
+
+TEST(Checkpoint, BoundaryPerStrategy) {
+  const std::int64_t n = 1000;
+  EXPECT_EQ(stored_boundary({CkptStrategy::kNone, 0.5}, n), 0);
+  EXPECT_EQ(stored_boundary({CkptStrategy::kSelectivePP, 0.5}, n), 0);
+  EXPECT_EQ(stored_boundary({CkptStrategy::kFull, 0.5}, n), n);
+  EXPECT_EQ(stored_boundary({CkptStrategy::kSeqSelective, 0.5}, n), 500);
+  EXPECT_EQ(stored_boundary({CkptStrategy::kSeqSelective, 0.25}, n), 750);
+  EXPECT_EQ(stored_boundary({CkptStrategy::kSeqSelective, 1.0}, n), 0);
+  EXPECT_EQ(stored_boundary({CkptStrategy::kSeqSelective, 0.0}, n), n);
+}
+
+TEST(Checkpoint, StoresPositionConsistentWithBoundary) {
+  const CkptConfig cfg{CkptStrategy::kSeqSelective, 0.5};
+  const std::int64_t n = 100;
+  EXPECT_FALSE(stores_position(cfg, 0, n));
+  EXPECT_FALSE(stores_position(cfg, 49, n));
+  EXPECT_TRUE(stores_position(cfg, 50, n));
+  EXPECT_TRUE(stores_position(cfg, 99, n));
+}
+
+TEST(Checkpoint, FractionClamped) {
+  EXPECT_EQ(stored_boundary({CkptStrategy::kSeqSelective, 2.0}, 100), 0);
+  EXPECT_EQ(stored_boundary({CkptStrategy::kSeqSelective, -1.0}, 100), 100);
+}
+
+}  // namespace
+}  // namespace burst::core

@@ -1,0 +1,109 @@
+#include "model/data.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace burst::model {
+namespace {
+
+using tensor::Tensor;
+
+TEST(Data, DeterministicInSeed) {
+  for (TaskKind k : {TaskKind::kMarkov, TaskKind::kCopy, TaskKind::kInduction,
+                     TaskKind::kNeedle}) {
+    Tensor a = make_task_sequence(k, 42, 64, 32);
+    Tensor b = make_task_sequence(k, 42, 64, 32);
+    Tensor c = make_task_sequence(k, 43, 64, 32);
+    ASSERT_EQ(a.numel(), 65);
+    bool identical = true;
+    bool differs = false;
+    for (std::int64_t i = 0; i < a.numel(); ++i) {
+      identical = identical && a[i] == b[i];
+      differs = differs || a[i] != c[i];
+    }
+    EXPECT_TRUE(identical) << task_name(k);
+    EXPECT_TRUE(differs) << task_name(k);
+  }
+}
+
+TEST(Data, TokensInVocabulary) {
+  for (TaskKind k : {TaskKind::kMarkov, TaskKind::kCopy, TaskKind::kInduction,
+                     TaskKind::kNeedle}) {
+    Tensor t = make_task_sequence(k, 7, 128, 16);
+    for (std::int64_t i = 0; i < t.numel(); ++i) {
+      EXPECT_GE(t[i], 0.0f);
+      EXPECT_LT(t[i], 16.0f);
+    }
+  }
+}
+
+TEST(Data, CopySecondHalfRepeatsFirst) {
+  const std::int64_t n = 32;
+  Tensor t = make_task_sequence(TaskKind::kCopy, 11, n, 24);
+  for (std::int64_t i = n / 2; i <= n; ++i) {
+    EXPECT_EQ(t[i], t[i - n / 2]) << "pos " << i;
+  }
+}
+
+TEST(Data, CopyOddLengthThrows) {
+  EXPECT_THROW(make_task_sequence(TaskKind::kCopy, 1, 33, 24),
+               std::invalid_argument);
+}
+
+TEST(Data, InductionKeysAlwaysMapToSameValue) {
+  const std::int64_t n = 128;
+  const std::int64_t vocab = 20;
+  Tensor t = make_task_sequence(TaskKind::kInduction, 13, n, vocab);
+  std::map<int, int> seen;
+  for (std::int64_t i = 0; i + 1 <= n; i += 2) {
+    const int key = static_cast<int>(t[i]);
+    const int val = static_cast<int>(t[i + 1]);
+    EXPECT_LT(key, vocab / 2);
+    EXPECT_GE(val, vocab / 2);
+    auto [it, inserted] = seen.emplace(key, val);
+    if (!inserted) {
+      EXPECT_EQ(it->second, val) << "key " << key << " changed value";
+    }
+  }
+  EXPECT_GE(seen.size(), 2u);
+}
+
+TEST(Data, NeedleQueryAndAnswer) {
+  const std::int64_t n = 64;
+  Tensor t = make_task_sequence(TaskKind::kNeedle, 17, n, 32);
+  EXPECT_EQ(t[n - 1], 0.0f);  // query sentinel
+  // The answer equals the value following the planted sentinel.
+  std::int64_t planted = -1;
+  for (std::int64_t i = 0; i < n - 1; ++i) {
+    if (t[i] == 0.0f) {
+      planted = i;
+      break;
+    }
+  }
+  ASSERT_GE(planted, 0);
+  EXPECT_EQ(t[n], t[planted + 1]);
+}
+
+TEST(Data, DeterminedRowsInRange) {
+  const std::int64_t n = 64;
+  for (TaskKind k : {TaskKind::kMarkov, TaskKind::kCopy, TaskKind::kInduction,
+                     TaskKind::kNeedle}) {
+    auto rows = task_determined_rows(k, n);
+    EXPECT_FALSE(rows.empty()) << task_name(k);
+    for (auto r : rows) {
+      EXPECT_GE(r, 0);
+      EXPECT_LT(r, n);
+    }
+  }
+  EXPECT_EQ(task_determined_rows(TaskKind::kNeedle, n).size(), 1u);
+}
+
+TEST(Data, SmallVocabRejected) {
+  EXPECT_THROW(make_task_sequence(TaskKind::kMarkov, 1, 16, 4),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace burst::model

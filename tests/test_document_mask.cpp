@@ -1,0 +1,134 @@
+// Document-packing masks (extension): block-diagonal x causal attention for
+// packed sequences, through the kernels and the distributed ring.
+#include <gtest/gtest.h>
+
+#include <mutex>
+
+#include "comm/communicator.hpp"
+#include "core/dist_attention.hpp"
+#include "core/partition.hpp"
+#include "kernels/mask.hpp"
+#include "kernels/reference_attention.hpp"
+#include "sim/cluster.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/rng.hpp"
+
+namespace burst {
+namespace {
+
+using kernels::IndexMap;
+using kernels::MaskSpec;
+using tensor::Rng;
+using tensor::Tensor;
+
+TEST(DocumentMask, Semantics) {
+  MaskSpec m = MaskSpec::document_from_lengths({3, 2, 4});
+  // doc 0: tokens 0-2; doc 1: 3-4; doc 2: 5-8.
+  EXPECT_TRUE(m.allowed(2, 0));   // within doc 0, causal
+  EXPECT_FALSE(m.allowed(0, 2));  // future within doc
+  EXPECT_FALSE(m.allowed(3, 2));  // across documents
+  EXPECT_TRUE(m.allowed(4, 3));
+  EXPECT_FALSE(m.allowed(8, 4));
+  EXPECT_TRUE(m.allowed(8, 5));
+}
+
+TEST(DocumentMask, CountMatchesPerDocumentTriangles) {
+  MaskSpec m = MaskSpec::document_from_lengths({4, 6});
+  // 4*5/2 + 6*7/2 = 10 + 21.
+  EXPECT_EQ(m.count_allowed(0, 10, 0, 10), 31u);
+}
+
+TEST(DocumentMask, ClassifyConsistent) {
+  MaskSpec m = MaskSpec::document_from_lengths({8, 8});
+  EXPECT_EQ(m.classify(0, 4, 8, 12), MaskSpec::TileClass::kNone);  // cross-doc
+  EXPECT_EQ(m.classify(4, 8, 0, 4), MaskSpec::TileClass::kAll);    // past, same doc
+}
+
+TEST(DocumentMask, FlashMatchesReference) {
+  Rng rng(3);
+  const std::int64_t n = 48;
+  const std::int64_t d = 8;
+  MaskSpec mask = MaskSpec::document_from_lengths({16, 8, 24});
+  Tensor q = rng.gaussian(n, d, 0.8f);
+  Tensor k = rng.gaussian(n, d, 0.8f);
+  Tensor v = rng.gaussian(n, d, 0.8f);
+  const IndexMap id = IndexMap::range(0, n);
+  auto flash = kernels::flash_forward(q, id, k, v, id, mask, 0.35f);
+  auto ref = kernels::reference_attention_forward(q, id, k, v, id, mask,
+                                                  0.35f);
+  EXPECT_LT(tensor::max_abs_diff(flash.o, ref.o), 2e-5f);
+  // First token of every document attends only to itself.
+  for (std::int64_t start : {std::int64_t{0}, std::int64_t{16},
+                             std::int64_t{24}}) {
+    for (std::int64_t c = 0; c < d; ++c) {
+      EXPECT_NEAR(flash.o(start, c), v(start, c), 1e-5f)
+          << "doc start " << start;
+    }
+  }
+}
+
+// Packed documents through the distributed ring with zigzag balance: the
+// mask is evaluated on global positions, so document boundaries survive the
+// repartitioning.
+TEST(DocumentMask, DistributedMatchesReference) {
+  Rng rng(7);
+  const std::int64_t n = 64;
+  const std::int64_t d = 8;
+  const int g = 4;
+  MaskSpec mask = MaskSpec::document_from_lengths({24, 8, 32});
+  Tensor q = rng.gaussian(n, d, 0.8f);
+  Tensor k = rng.gaussian(n, d, 0.8f);
+  Tensor v = rng.gaussian(n, d, 0.8f);
+  Tensor d_out = rng.gaussian(n, d, 0.8f);
+
+  const IndexMap id = IndexMap::range(0, n);
+  auto ref_fwd =
+      kernels::reference_attention_forward(q, id, k, v, id, mask, 0.35f);
+  auto ref_bwd =
+      kernels::reference_attention_backward(q, k, v, ref_fwd, d_out, 0.35f);
+
+  for (core::Balance b : {core::Balance::kZigzag, core::Balance::kStriped}) {
+    core::DistAttnConfig cfg;
+    cfg.mask = mask;
+    cfg.scale = 0.35f;
+    cfg.balance = b;
+    cfg.backward = core::BackwardComm::kBurst;
+    cfg.seq_len = n;
+    sim::Cluster cluster({sim::Topology::single_node(g)});
+    Tensor o_global = Tensor::zeros(n, d);
+    Tensor dk_global = Tensor::zeros(n, d);
+    std::mutex mu;
+    cluster.run([&](sim::DeviceContext& ctx) {
+      comm::Communicator comm(ctx);
+      const auto route = core::SweepRoute::flat(comm::flat_ring(g));
+      const auto map = core::route_index_map(route, cfg, ctx.rank());
+      core::LocalQKV local{core::shard_rows(q, map), core::shard_rows(k, map),
+                           core::shard_rows(v, map)};
+      auto fwd = core::dist_attention_forward(comm, route, cfg, local);
+      auto grads = core::dist_attention_backward(
+          comm, route, cfg, local, fwd, core::shard_rows(d_out, map));
+      std::lock_guard lock(mu);
+      core::unshard_rows(o_global, map, fwd.o);
+      core::unshard_rows(dk_global, map, grads.dk);
+    });
+    EXPECT_LT(tensor::max_abs_diff(o_global, ref_fwd.o), 3e-4f)
+        << core::balance_name(b);
+    EXPECT_LT(tensor::max_abs_diff(dk_global, ref_bwd.dk), 3e-4f)
+        << core::balance_name(b);
+  }
+}
+
+TEST(DocumentMask, BalanceFactorsForPackedDocs) {
+  // Heavily skewed documents: contiguous partitioning is badly imbalanced
+  // (one device owns the long document's tail rows), striped is near 1.
+  MaskSpec m = MaskSpec::document_from_lengths({96, 16, 16});
+  const double contiguous =
+      core::balance_factor(m, core::Balance::kContiguous, 128, 4);
+  const double striped =
+      core::balance_factor(m, core::Balance::kStriped, 128, 4);
+  EXPECT_GT(contiguous, 1.3);
+  EXPECT_LT(striped, 1.1);
+}
+
+}  // namespace
+}  // namespace burst

@@ -1,0 +1,152 @@
+// Property sweeps over the performance model: invariants that must hold for
+// *every* setting, not just the paper's. These guard the model against
+// regressions when calibration constants move.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "perfmodel/estimator.hpp"
+
+namespace burst::perfmodel {
+namespace {
+
+using core::CkptConfig;
+using core::CkptStrategy;
+using model::ModelConfig;
+
+using Sweep = std::tuple<int, int, double>;  // nodes, gpus, seq
+
+class EstimatorSweep : public ::testing::TestWithParam<Sweep> {};
+
+TEST_P(EstimatorSweep, BurstNeverLosesToBaselinesWhenAllFeasible) {
+  const auto [nodes, gpus, seq] = GetParam();
+  RunConfig cfg;
+  cfg.model = ModelConfig::llama7b();
+  cfg.cluster = {nodes, gpus};
+  cfg.seq_len = seq;
+  cfg.method = Method::kBurstEngine;
+  auto burst = estimate_step(cfg);
+  if (!burst.ok) {
+    GTEST_SKIP() << burst.failure;
+  }
+  for (Method m : {Method::kUlysses, Method::kDoubleRing, Method::kUSP}) {
+    cfg.method = m;
+    auto est = estimate_step(cfg);
+    if (est.ok) {
+      EXPECT_GT(burst.tgs, est.tgs) << method_name(m);
+      // Memory comparison only against like-for-like state placement:
+      // Ulysses offloads optimizer state, which can dominate at short
+      // sequences (the Table 5 motivation), so it is excluded here.
+      if (m != Method::kUlysses) {
+        EXPECT_LT(burst.memory.total(), est.memory.total()) << method_name(m);
+      }
+    }
+  }
+}
+
+TEST_P(EstimatorSweep, StepTimeGrowsSuperlinearlyInSequence) {
+  const auto [nodes, gpus, seq] = GetParam();
+  RunConfig cfg;
+  cfg.model = ModelConfig::llama7b();
+  cfg.cluster = {nodes, gpus};
+  cfg.method = Method::kBurstEngine;
+  cfg.seq_len = seq;
+  auto a = estimate_step(cfg);
+  cfg.seq_len = 2 * seq;
+  auto b = estimate_step(cfg);
+  if (!a.ok || !b.ok) {
+    GTEST_SKIP();
+  }
+  // Quadratic attention: doubling N more than doubles the step.
+  EXPECT_GT(b.step_time_s, 2.0 * a.step_time_s);
+  // ... and TGS falls.
+  EXPECT_LT(b.tgs, a.tgs);
+}
+
+TEST_P(EstimatorSweep, MemoryMonotoneInSequenceLength) {
+  const auto [nodes, gpus, seq] = GetParam();
+  RunConfig cfg;
+  cfg.model = ModelConfig::llama7b();
+  cfg.cluster = {nodes, gpus};
+  cfg.method = Method::kBurstEngine;
+  cfg.seq_len = seq;
+  const double m1 = estimate_step(cfg).memory.total();
+  cfg.seq_len = 2 * seq;
+  const double m2 = estimate_step(cfg).memory.total();
+  EXPECT_GT(m2, m1);
+}
+
+TEST_P(EstimatorSweep, BreakdownSumsToStepTime) {
+  const auto [nodes, gpus, seq] = GetParam();
+  RunConfig cfg;
+  cfg.model = ModelConfig::llama14b();
+  cfg.cluster = {nodes, gpus};
+  cfg.seq_len = seq;
+  cfg.method = Method::kBurstEngine;
+  auto est = estimate_step(cfg);
+  if (!est.ok) {
+    GTEST_SKIP();
+  }
+  EXPECT_NEAR(est.step_time_s,
+              est.compute_s + est.recompute_s + est.attn_comm_exposed_s +
+                  est.a2a_s + est.fsdp_exposed_s,
+              1e-9 * est.step_time_s);
+  EXPECT_GT(est.mfu, 0.0);
+  EXPECT_LT(est.mfu, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, EstimatorSweep,
+                         ::testing::Values(Sweep{1, 8, 131072.0},
+                                           Sweep{2, 8, 262144.0},
+                                           Sweep{4, 8, 524288.0},
+                                           Sweep{4, 8, 1048576.0},
+                                           Sweep{8, 8, 1048576.0}));
+
+TEST(EstimatorProperties, OomBoundaryIsMonotone) {
+  // If a sequence length OOMs, every longer one does too (same setting).
+  RunConfig cfg;
+  cfg.model = ModelConfig::llama14b();
+  cfg.cluster = {4, 8};
+  cfg.method = Method::kUlysses;
+  bool failed_before = false;
+  for (double n = 65536.0; n <= 8 * 1048576.0; n *= 2.0) {
+    cfg.seq_len = n;
+    const bool ok = estimate_step(cfg).ok;
+    if (failed_before) {
+      EXPECT_FALSE(ok) << "recovered at " << n << " after failing earlier";
+    }
+    failed_before = failed_before || !ok;
+  }
+  EXPECT_TRUE(failed_before);  // the sweep must eventually OOM
+}
+
+TEST(EstimatorProperties, MoreGpusNeverIncreaseStepTime) {
+  RunConfig cfg;
+  cfg.model = ModelConfig::llama7b();
+  cfg.seq_len = 524288.0;
+  cfg.method = Method::kBurstEngine;
+  double prev = 1e300;
+  for (int nodes : {1, 2, 4, 8}) {
+    cfg.cluster = {nodes, 8};
+    auto est = estimate_step(cfg);
+    ASSERT_TRUE(est.ok) << est.failure;
+    EXPECT_LT(est.step_time_s, prev);
+    prev = est.step_time_s;
+  }
+}
+
+TEST(EstimatorProperties, AttentionOnlyScalesWithCluster) {
+  RunConfig cfg;
+  cfg.model = ModelConfig::llama7b();  // 32 heads: Ulysses feasible too
+  cfg.seq_len = 524288.0;
+  cfg.method = Method::kBurstEngine;
+  cfg.cluster = {2, 8};
+  auto small = estimate_attention_only(cfg);
+  cfg.cluster = {8, 8};
+  auto big = estimate_attention_only(cfg);
+  ASSERT_TRUE(small.ok && big.ok);
+  EXPECT_LT(big.time_s, small.time_s);
+}
+
+}  // namespace
+}  // namespace burst::perfmodel

@@ -1,0 +1,148 @@
+// Failure injection: the simulator must turn resource exhaustion and
+// stragglers into clean, observable outcomes — the mechanism behind the
+// OOM entries of Figures 12-14 — without deadlocking the cluster.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "comm/communicator.hpp"
+#include "model/dist_model.hpp"
+#include "model/transformer.hpp"
+#include "sim/cluster.hpp"
+#include "tensor/rng.hpp"
+
+namespace burst {
+namespace {
+
+using model::AttnImpl;
+using model::DistTrainConfig;
+using model::ModelConfig;
+using model::ModelWeights;
+using sim::Cluster;
+using sim::DeviceContext;
+using sim::DeviceOomError;
+using sim::Topology;
+using tensor::Rng;
+using tensor::Tensor;
+
+// A memory cap below the training step's working set must abort the whole
+// cluster mid-step with the OOM as the root cause — peers blocked in ring
+// receives must unwind, not hang.
+TEST(FailureInjection, OomDuringDistributedTrainingAborts) {
+  ModelConfig cfg = ModelConfig::toy();
+  ModelWeights w = ModelWeights::init(cfg, 3);
+  Rng rng(5);
+  Tensor tokens = rng.token_ids(33, cfg.vocab);
+
+  DistTrainConfig dc;
+  dc.model = cfg;
+  dc.impl = AttnImpl::kBurst;
+  dc.ckpt = {core::CkptStrategy::kNone, 0.5};  // store everything: most memory
+
+  // First find the real demand, then cap below it.
+  Cluster::Config cc;
+  cc.topo = Topology::single_node(4);
+  std::uint64_t peak = 0;
+  {
+    Cluster probe(cc);
+    probe.run([&](DeviceContext& ctx) {
+      comm::Communicator comm(ctx);
+      model::dist_train_step(comm, dc, w, tokens);
+    });
+    peak = probe.stats()[0].peak_mem_bytes;
+  }
+  ASSERT_GT(peak, 0u);
+
+  cc.device_memory_capacity = peak / 2;
+  Cluster capped(cc);
+  EXPECT_THROW(capped.run([&](DeviceContext& ctx) {
+    comm::Communicator comm(ctx);
+    model::dist_train_step(comm, dc, w, tokens);
+  }),
+               DeviceOomError);
+}
+
+// With the cap just above the measured peak, the same step must succeed —
+// the boundary is tight, not an artifact of slack in the accounting.
+TEST(FailureInjection, CapJustAbovePeakSucceeds) {
+  ModelConfig cfg = ModelConfig::toy();
+  ModelWeights w = ModelWeights::init(cfg, 3);
+  Rng rng(5);
+  Tensor tokens = rng.token_ids(33, cfg.vocab);
+  DistTrainConfig dc;
+  dc.model = cfg;
+  dc.impl = AttnImpl::kBurst;
+
+  Cluster::Config cc;
+  cc.topo = Topology::single_node(4);
+  Cluster probe(cc);
+  probe.run([&](DeviceContext& ctx) {
+    comm::Communicator comm(ctx);
+    model::dist_train_step(comm, dc, w, tokens);
+  });
+  cc.device_memory_capacity = probe.stats()[0].peak_mem_bytes;
+  Cluster capped(cc);
+  capped.run([&](DeviceContext& ctx) {
+    comm::Communicator comm(ctx);
+    model::dist_train_step(comm, dc, w, tokens);
+  });
+  SUCCEED();
+}
+
+// A straggler device slows the whole ring: makespan tracks the slowest
+// device, and every peer's attention step is gated behind it.
+TEST(FailureInjection, StragglerGatesTheRing) {
+  Cluster::Config cc;
+  cc.topo = Topology::single_node(4);
+  cc.flops_per_s = 1e9;
+  Cluster cluster(cc);
+
+  const auto run_with_straggler = [&](double extra_s) {
+    cluster.run([&](DeviceContext& ctx) {
+      comm::Communicator comm(ctx);
+      if (ctx.rank() == 2) {
+        ctx.busy(extra_s);  // e.g. thermal throttling
+      }
+      // A barrier-synchronized phase (like each training step boundary).
+      ctx.compute(1e6);
+      ctx.barrier();
+    });
+    return cluster.makespan();
+  };
+
+  const double clean = run_with_straggler(0.0);
+  const double slowed = run_with_straggler(0.5);
+  EXPECT_NEAR(slowed - clean, 0.5, 1e-9);
+}
+
+// Exceptions raised in user SPMD code (not just OOM) also abort cleanly.
+TEST(FailureInjection, UserExceptionAbortsBlockedCollective) {
+  Cluster cluster({Topology::single_node(3)});
+  EXPECT_THROW(cluster.run([&](DeviceContext& ctx) {
+    comm::Communicator comm(ctx);
+    if (ctx.rank() == 1) {
+      throw std::runtime_error("injected fault");
+    }
+    Tensor t = Tensor::zeros(3, 3);
+    comm.all_reduce_inplace(t);  // blocks on rank 1 forever otherwise
+  }),
+               std::runtime_error);
+}
+
+// After an aborted run the cluster is reusable: mailboxes were drained.
+TEST(FailureInjection, ClusterRecoversAfterAbort) {
+  Cluster cluster({Topology::single_node(2)});
+  EXPECT_THROW(cluster.run([&](DeviceContext& ctx) {
+    if (ctx.rank() == 0) {
+      throw std::runtime_error("boom");
+    }
+    ctx.recv(0, 9, sim::kIntraComm);
+  }),
+               std::runtime_error);
+  std::atomic<int> ran{0};
+  cluster.run([&](DeviceContext&) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 2);
+}
+
+}  // namespace
+}  // namespace burst

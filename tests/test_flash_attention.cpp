@@ -1,0 +1,307 @@
+#include "kernels/flash_attention.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "kernels/reference_attention.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/rng.hpp"
+
+namespace burst::kernels {
+namespace {
+
+using tensor::Rng;
+using tensor::Tensor;
+
+constexpr float kNegInf = -std::numeric_limits<float>::infinity();
+
+MaskSpec mask_by_name(const std::string& name) {
+  if (name == "full") {
+    return MaskSpec::full();
+  }
+  if (name == "causal") {
+    return MaskSpec::causal();
+  }
+  if (name == "swa") {
+    return MaskSpec::sliding_window(17);
+  }
+  if (name == "dilated") {
+    return MaskSpec::dilated(3);
+  }
+  return MaskSpec::block_sliding_window(/*num_blocks=*/8, /*window_blocks=*/2,
+                                        /*block_size=*/12);
+}
+
+class FlashVsReference : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(FlashVsReference, ForwardMatchesReference) {
+  Rng rng(11);
+  const std::int64_t n = 96;
+  const std::int64_t d = 16;
+  const float scale = 1.0f / std::sqrt(static_cast<float>(d));
+  const MaskSpec mask = mask_by_name(GetParam());
+  Tensor q = rng.gaussian(n, d, 1.0f);
+  Tensor k = rng.gaussian(n, d, 1.0f);
+  Tensor v = rng.gaussian(n, d, 1.0f);
+  IndexMap id = IndexMap::range(0, n);
+
+  AttnResult flash = flash_forward(q, id, k, v, id, mask, scale);
+  RefAttnForward ref = reference_attention_forward(q, id, k, v, id, mask, scale);
+
+  EXPECT_LT(tensor::max_abs_diff(flash.o, ref.o), 2e-5f);
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (ref.lse[i] == kNegInf) {
+      EXPECT_EQ(flash.lse[i], kNegInf);
+    } else {
+      EXPECT_NEAR(flash.lse[i], ref.lse[i], 2e-4f) << "row " << i;
+    }
+  }
+}
+
+TEST_P(FlashVsReference, BackwardMatchesReference) {
+  Rng rng(23);
+  const std::int64_t n = 80;
+  const std::int64_t d = 12;
+  const float scale = 1.0f / std::sqrt(static_cast<float>(d));
+  const MaskSpec mask = mask_by_name(GetParam());
+  Tensor q = rng.gaussian(n, d, 1.0f);
+  Tensor k = rng.gaussian(n, d, 1.0f);
+  Tensor v = rng.gaussian(n, d, 1.0f);
+  Tensor d_out = rng.gaussian(n, d, 1.0f);
+  IndexMap id = IndexMap::range(0, n);
+
+  RefAttnForward ref = reference_attention_forward(q, id, k, v, id, mask, scale);
+  RefAttnGrads rg = reference_attention_backward(q, k, v, ref, d_out, scale);
+
+  Tensor dq = Tensor::zeros(n, d);
+  Tensor dk = Tensor::zeros(n, d);
+  Tensor dv = Tensor::zeros(n, d);
+  Tensor dvec = attention_dvec(d_out, ref.o);
+  flash_backward_partial(q, id, k, v, id, mask, scale, d_out, ref.lse, dvec,
+                         dq, dk, dv);
+
+  EXPECT_LT(tensor::max_abs_diff(dq, rg.dq), 5e-5f);
+  EXPECT_LT(tensor::max_abs_diff(dk, rg.dk), 5e-5f);
+  EXPECT_LT(tensor::max_abs_diff(dv, rg.dv), 5e-5f);
+}
+
+// Splitting K/V into partitions and merging online must equal the monolithic
+// result — the exact invariant the ring forward relies on.
+TEST_P(FlashVsReference, PartitionedForwardEqualsMonolithic) {
+  Rng rng(31);
+  const std::int64_t n = 96;
+  const std::int64_t d = 8;
+  const std::int64_t parts = 4;
+  const float scale = 0.3f;
+  const MaskSpec mask = mask_by_name(GetParam());
+  Tensor q = rng.gaussian(n, d, 1.0f);
+  Tensor k = rng.gaussian(n, d, 1.0f);
+  Tensor v = rng.gaussian(n, d, 1.0f);
+  IndexMap id = IndexMap::range(0, n);
+
+  AttnResult mono = flash_forward(q, id, k, v, id, mask, scale);
+
+  Tensor o = Tensor::zeros(n, d);
+  Tensor lse(n);
+  lse.fill(kNegInf);
+  const std::int64_t chunk = n / parts;
+  // Merge partitions in a rotated order to also exercise order independence.
+  for (std::int64_t step = 0; step < parts; ++step) {
+    const std::int64_t p = (step + 2) % parts;
+    Tensor kp = k.copy_rows(p * chunk, chunk);
+    Tensor vp = v.copy_rows(p * chunk, chunk);
+    IndexMap kmap = IndexMap::range(p * chunk, chunk);
+    flash_forward_partial(q, id, kp, vp, kmap, mask, scale, o, lse);
+  }
+
+  EXPECT_LT(tensor::max_abs_diff(o, mono.o), 3e-5f);
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (mono.lse[i] == kNegInf) {
+      EXPECT_EQ(lse[i], kNegInf);
+    } else {
+      EXPECT_NEAR(lse[i], mono.lse[i], 3e-4f);
+    }
+  }
+}
+
+// Summing per-partition backward contributions must equal the monolithic
+// gradients — the invariant behind Algorithms 1 and 2.
+TEST_P(FlashVsReference, PartitionedBackwardEqualsMonolithic) {
+  Rng rng(37);
+  const std::int64_t n = 64;
+  const std::int64_t d = 8;
+  const std::int64_t parts = 4;
+  const float scale = 0.25f;
+  const MaskSpec mask = mask_by_name(GetParam());
+  Tensor q = rng.gaussian(n, d, 1.0f);
+  Tensor k = rng.gaussian(n, d, 1.0f);
+  Tensor v = rng.gaussian(n, d, 1.0f);
+  Tensor d_out = rng.gaussian(n, d, 1.0f);
+  IndexMap id = IndexMap::range(0, n);
+
+  RefAttnForward ref = reference_attention_forward(q, id, k, v, id, mask, scale);
+  RefAttnGrads rg = reference_attention_backward(q, k, v, ref, d_out, scale);
+  Tensor dvec = attention_dvec(d_out, ref.o);
+
+  Tensor dq = Tensor::zeros(n, d);
+  Tensor dk = Tensor::zeros(n, d);
+  Tensor dv = Tensor::zeros(n, d);
+  const std::int64_t chunk = n / parts;
+  for (std::int64_t p = 0; p < parts; ++p) {
+    Tensor kp = k.copy_rows(p * chunk, chunk);
+    Tensor vp = v.copy_rows(p * chunk, chunk);
+    IndexMap kmap = IndexMap::range(p * chunk, chunk);
+    Tensor dkp = Tensor::zeros(chunk, d);
+    Tensor dvp = Tensor::zeros(chunk, d);
+    flash_backward_partial(q, id, kp, vp, kmap, mask, scale, d_out, ref.lse,
+                           dvec, dq, dkp, dvp);
+    for (std::int64_t i = 0; i < chunk; ++i) {
+      for (std::int64_t c = 0; c < d; ++c) {
+        dk(p * chunk + i, c) += dkp(i, c);
+        dv(p * chunk + i, c) += dvp(i, c);
+      }
+    }
+  }
+
+  EXPECT_LT(tensor::max_abs_diff(dq, rg.dq), 5e-5f);
+  EXPECT_LT(tensor::max_abs_diff(dk, rg.dk), 5e-5f);
+  EXPECT_LT(tensor::max_abs_diff(dv, rg.dv), 5e-5f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Masks, FlashVsReference,
+                         ::testing::Values("full", "causal", "swa", "dilated",
+                                           "blocksparse"));
+
+// Finite-difference check of the full attention gradient chain on a tiny
+// problem (loss = sum(O ∘ W) for a fixed random W).
+TEST(FlashGradcheck, FiniteDifferences) {
+  Rng rng(41);
+  const std::int64_t n = 10;
+  const std::int64_t d = 4;
+  const float scale = 0.5f;
+  const MaskSpec mask = MaskSpec::causal();
+  Tensor q = rng.gaussian(n, d, 0.7f);
+  Tensor k = rng.gaussian(n, d, 0.7f);
+  Tensor v = rng.gaussian(n, d, 0.7f);
+  Tensor wloss = rng.gaussian(n, d, 1.0f);
+  IndexMap id = IndexMap::range(0, n);
+
+  const auto loss_of = [&](const Tensor& qq, const Tensor& kk,
+                           const Tensor& vv) {
+    AttnResult r = flash_forward(qq, id, kk, vv, id, mask, scale);
+    double s = 0.0;
+    for (std::int64_t i = 0; i < r.o.numel(); ++i) {
+      s += static_cast<double>(r.o.data()[i]) * wloss.data()[i];
+    }
+    return s;
+  };
+
+  AttnResult fwd = flash_forward(q, id, k, v, id, mask, scale);
+  Tensor dvec = attention_dvec(wloss, fwd.o);
+  Tensor dq = Tensor::zeros(n, d);
+  Tensor dk = Tensor::zeros(n, d);
+  Tensor dv = Tensor::zeros(n, d);
+  flash_backward_partial(q, id, k, v, id, mask, scale, wloss, fwd.lse, dvec,
+                         dq, dk, dv);
+
+  const float eps = 1e-3f;
+  auto check = [&](Tensor& param, const Tensor& grad, const char* name) {
+    for (std::int64_t idx : {std::int64_t{0}, n * d / 2, n * d - 1}) {
+      const float orig = param.data()[idx];
+      param.data()[idx] = orig + eps;
+      const double lp = loss_of(q, k, v);
+      param.data()[idx] = orig - eps;
+      const double lm = loss_of(q, k, v);
+      param.data()[idx] = orig;
+      const double fd = (lp - lm) / (2.0 * eps);
+      EXPECT_NEAR(grad.data()[idx], fd, 5e-2 * std::max(1.0, std::fabs(fd)))
+          << name << " idx " << idx;
+    }
+  };
+  check(q, dq, "dq");
+  check(k, dk, "dk");
+  check(v, dv, "dv");
+}
+
+TEST(Flash, FullyMaskedQueryRowsProduceZeroOutput) {
+  Rng rng(43);
+  const std::int64_t n = 8;
+  const std::int64_t d = 4;
+  // Causal mask, but keys all from *later* positions: nothing allowed.
+  Tensor q = rng.gaussian(n, d, 1.0f);
+  Tensor k = rng.gaussian(n, d, 1.0f);
+  Tensor v = rng.gaussian(n, d, 1.0f);
+  AttnResult r = flash_forward(q, IndexMap::range(0, n), k, v,
+                               IndexMap::range(100, n), MaskSpec::causal(),
+                               1.0f);
+  for (std::int64_t i = 0; i < n; ++i) {
+    EXPECT_EQ(r.lse[i], kNegInf);
+    for (std::int64_t c = 0; c < d; ++c) {
+      EXPECT_FLOAT_EQ(r.o(i, c), 0.0f);
+    }
+  }
+}
+
+TEST(Flash, StatsSkipFullyMaskedTiles) {
+  Rng rng(47);
+  const std::int64_t n = 128;
+  const std::int64_t d = 8;
+  Tensor q = rng.gaussian(n, d, 1.0f);
+  Tensor k = rng.gaussian(n, d, 1.0f);
+  Tensor v = rng.gaussian(n, d, 1.0f);
+  // Queries earlier than all keys under a causal mask: everything skipped.
+  KernelStats stats;
+  flash_forward(q, IndexMap::range(0, n), k, v, IndexMap::range(1000, n),
+                MaskSpec::causal(), 1.0f, &stats);
+  EXPECT_EQ(stats.tiles_computed, 0u);
+  EXPECT_GT(stats.tiles_skipped, 0u);
+  EXPECT_EQ(stats.flops, 0u);
+
+  // Queries later than all keys: nothing skipped, everything computed.
+  KernelStats stats2;
+  flash_forward(q, IndexMap::range(1000, n), k, v, IndexMap::range(0, n),
+                MaskSpec::causal(), 1.0f, &stats2);
+  EXPECT_EQ(stats2.tiles_skipped, 0u);
+  EXPECT_GT(stats2.flops, 0u);
+}
+
+TEST(Flash, StridedIndexMapsMatchReference) {
+  // Striped workload balance: device holds tokens {1, 5, 9, ...}. The kernel
+  // must apply causal masking by *global* position.
+  Rng rng(53);
+  const std::int64_t n = 32;
+  const std::int64_t d = 8;
+  const float scale = 0.4f;
+  Tensor q = rng.gaussian(n / 4, d, 1.0f);
+  Tensor k = rng.gaussian(n / 4, d, 1.0f);
+  Tensor v = rng.gaussian(n / 4, d, 1.0f);
+  IndexMap qmap = IndexMap::strided(1, 4, n / 4);
+  IndexMap kmap = IndexMap::strided(2, 4, n / 4);
+
+  AttnResult flash =
+      flash_forward(q, qmap, k, v, kmap, MaskSpec::causal(), scale);
+  RefAttnForward ref = reference_attention_forward(q, qmap, k, v, kmap,
+                                                   MaskSpec::causal(), scale);
+  EXPECT_LT(tensor::max_abs_diff(flash.o, ref.o), 1e-5f);
+}
+
+TEST(Flash, AttentionDvecMatchesDefinition) {
+  Rng rng(59);
+  Tensor o = rng.gaussian(4, 3, 1.0f);
+  Tensor d_out = rng.gaussian(4, 3, 1.0f);
+  Tensor dvec = attention_dvec(d_out, o);
+  for (std::int64_t i = 0; i < 4; ++i) {
+    double acc = 0.0;
+    for (std::int64_t j = 0; j < 3; ++j) {
+      acc += static_cast<double>(d_out(i, j)) * o(i, j);
+    }
+    EXPECT_NEAR(dvec[i], acc, 1e-5);
+  }
+}
+
+}  // namespace
+}  // namespace burst::kernels

@@ -1,0 +1,137 @@
+#include "tensor/gemm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tensor/ops.hpp"
+#include "tensor/rng.hpp"
+
+namespace burst::tensor {
+namespace {
+
+Tensor naive_matmul(const Tensor& a, Trans ta, const Tensor& b, Trans tb) {
+  const std::int64_t m = ta == Trans::No ? a.rows() : a.cols();
+  const std::int64_t k = ta == Trans::No ? a.cols() : a.rows();
+  const std::int64_t n = tb == Trans::No ? b.cols() : b.rows();
+  Tensor c = Tensor::zeros(m, n);
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        const float av = ta == Trans::No ? a(i, kk) : a(kk, i);
+        const float bv = tb == Trans::No ? b(kk, j) : b(j, kk);
+        acc += static_cast<double>(av) * bv;
+      }
+      c(i, j) = static_cast<float>(acc);
+    }
+  }
+  return c;
+}
+
+struct GemmCase {
+  std::int64_t m, k, n;
+};
+
+class GemmShapes : public ::testing::TestWithParam<GemmCase> {};
+
+TEST_P(GemmShapes, MatchesNaiveAllTransposeCombos) {
+  const auto p = GetParam();
+  Rng rng(42 + p.m * 131 + p.k * 17 + p.n);
+  Tensor a_nn = rng.gaussian(p.m, p.k, 1.0f);
+  Tensor a_t = rng.gaussian(p.k, p.m, 1.0f);
+  Tensor b_nn = rng.gaussian(p.k, p.n, 1.0f);
+  Tensor b_t = rng.gaussian(p.n, p.k, 1.0f);
+
+  {
+    Tensor c(p.m, p.n);
+    gemm(a_nn.view(), Trans::No, b_nn.view(), Trans::No, c.view());
+    EXPECT_LT(max_abs_diff(c, naive_matmul(a_nn, Trans::No, b_nn, Trans::No)),
+              2e-4f);
+  }
+  {
+    Tensor c(p.m, p.n);
+    gemm(a_nn.view(), Trans::No, b_t.view(), Trans::Yes, c.view());
+    EXPECT_LT(max_abs_diff(c, naive_matmul(a_nn, Trans::No, b_t, Trans::Yes)),
+              2e-4f);
+  }
+  {
+    Tensor c(p.m, p.n);
+    gemm(a_t.view(), Trans::Yes, b_nn.view(), Trans::No, c.view());
+    EXPECT_LT(max_abs_diff(c, naive_matmul(a_t, Trans::Yes, b_nn, Trans::No)),
+              2e-4f);
+  }
+  {
+    Tensor c(p.m, p.n);
+    gemm(a_t.view(), Trans::Yes, b_t.view(), Trans::Yes, c.view());
+    EXPECT_LT(max_abs_diff(c, naive_matmul(a_t, Trans::Yes, b_t, Trans::Yes)),
+              2e-4f);
+  }
+}
+
+// Shapes straddle the blocking tile sizes (32/64) to exercise full tiles,
+// remainders, and degenerate K=1 paths.
+INSTANTIATE_TEST_SUITE_P(Shapes, GemmShapes,
+                         ::testing::Values(GemmCase{1, 1, 1},
+                                           GemmCase{3, 5, 7},
+                                           GemmCase{32, 64, 64},
+                                           GemmCase{33, 65, 66},
+                                           GemmCase{64, 1, 64},
+                                           GemmCase{100, 40, 9},
+                                           GemmCase{17, 128, 31}));
+
+TEST(Gemm, AlphaBetaSemantics) {
+  Rng rng(5);
+  Tensor a = rng.gaussian(4, 3, 1.0f);
+  Tensor b = rng.gaussian(3, 5, 1.0f);
+  Tensor c0 = rng.gaussian(4, 5, 1.0f);
+
+  Tensor c = c0;
+  gemm(a.view(), Trans::No, b.view(), Trans::No, c.view(), 2.0f, 0.5f);
+
+  Tensor expected = naive_matmul(a, Trans::No, b, Trans::No);
+  for (std::int64_t i = 0; i < expected.numel(); ++i) {
+    expected.data()[i] = 2.0f * expected.data()[i] + 0.5f * c0.data()[i];
+  }
+  EXPECT_LT(max_abs_diff(c, expected), 2e-4f);
+}
+
+TEST(Gemm, AccumulateWithBetaOne) {
+  Rng rng(6);
+  Tensor a = rng.gaussian(2, 2, 1.0f);
+  Tensor b = rng.gaussian(2, 2, 1.0f);
+  Tensor c = Tensor::full(2, 2, 1.0f);
+  gemm(a.view(), Trans::No, b.view(), Trans::No, c.view(), 1.0f, 1.0f);
+  Tensor expected = naive_matmul(a, Trans::No, b, Trans::No);
+  for (std::int64_t i = 0; i < 4; ++i) {
+    expected.data()[i] += 1.0f;
+  }
+  EXPECT_LT(max_abs_diff(c, expected), 1e-5f);
+}
+
+TEST(Gemm, WorksOnRowBlockViews) {
+  Rng rng(8);
+  Tensor big = rng.gaussian(8, 4, 1.0f);
+  Tensor b = rng.gaussian(4, 4, 1.0f);
+  Tensor c(2, 4);
+  gemm(big.row_block(2, 2), Trans::No, b.view(), Trans::No, c.view());
+  Tensor sub = big.copy_rows(2, 2);
+  EXPECT_LT(max_abs_diff(c, naive_matmul(sub, Trans::No, b, Trans::No)), 1e-4f);
+}
+
+TEST(Gemm, ConvenienceWrappers) {
+  Rng rng(9);
+  Tensor a = rng.gaussian(3, 4, 1.0f);
+  Tensor b = rng.gaussian(4, 2, 1.0f);
+  EXPECT_LT(max_abs_diff(matmul(a, b), naive_matmul(a, Trans::No, b, Trans::No)),
+            1e-4f);
+  Tensor bt = rng.gaussian(2, 4, 1.0f);
+  EXPECT_LT(
+      max_abs_diff(matmul_nt(a, bt), naive_matmul(a, Trans::No, bt, Trans::Yes)),
+      1e-4f);
+  Tensor at = rng.gaussian(4, 3, 1.0f);
+  EXPECT_LT(
+      max_abs_diff(matmul_tn(at, b), naive_matmul(at, Trans::Yes, b, Trans::No)),
+      1e-4f);
+}
+
+}  // namespace
+}  // namespace burst::tensor

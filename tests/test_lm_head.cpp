@@ -1,0 +1,197 @@
+#include "kernels/lm_head.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "tensor/ops.hpp"
+#include "tensor/rng.hpp"
+
+namespace burst::kernels {
+namespace {
+
+using tensor::Rng;
+using tensor::Tensor;
+
+std::vector<std::int64_t> random_targets(Rng& rng, std::int64_t n,
+                                         std::int64_t v) {
+  std::vector<std::int64_t> t(static_cast<std::size_t>(n));
+  for (auto& x : t) {
+    x = rng.next_index(v);
+  }
+  return t;
+}
+
+TEST(NaiveLmHead, LossMatchesManualTwoTokenCase) {
+  // d=1, v=2, W = [[1], [0]]; H = [[2], [3]]; logits rows: [2,0], [3,0].
+  Tensor h(2, 1);
+  h(0, 0) = 2.0f;
+  h(1, 0) = 3.0f;
+  Tensor w(2, 1);
+  w(0, 0) = 1.0f;
+  w(1, 0) = 0.0f;
+  std::vector<std::int64_t> targets = {0, 1};
+  LmHeadResult r = naive_lm_head_loss(h, w, targets);
+  const double l0 = std::log(std::exp(2.0) + 1.0) - 2.0;
+  const double l1 = std::log(std::exp(3.0) + 1.0) - 0.0;
+  EXPECT_NEAR(r.loss, (l0 + l1) / 2.0, 1e-6);
+}
+
+TEST(NaiveLmHead, GradcheckFiniteDifferences) {
+  Rng rng(71);
+  const std::int64_t n = 6;
+  const std::int64_t d = 5;
+  const std::int64_t v = 7;
+  Tensor h = rng.gaussian(n, d, 0.8f);
+  Tensor w = rng.gaussian(v, d, 0.8f);
+  auto targets = random_targets(rng, n, v);
+
+  LmHeadResult r = naive_lm_head_loss(h, w, targets);
+  const float eps = 1e-3f;
+  for (std::int64_t idx : {std::int64_t{0}, n * d - 1, n * d / 2}) {
+    const float orig = h.data()[idx];
+    h.data()[idx] = orig + eps;
+    const double lp = naive_lm_head_loss(h, w, targets).loss;
+    h.data()[idx] = orig - eps;
+    const double lm = naive_lm_head_loss(h, w, targets).loss;
+    h.data()[idx] = orig;
+    EXPECT_NEAR(r.dh.data()[idx], (lp - lm) / (2.0 * eps), 1e-3);
+  }
+  for (std::int64_t idx : {std::int64_t{0}, v * d - 1, v * d / 2}) {
+    const float orig = w.data()[idx];
+    w.data()[idx] = orig + eps;
+    const double lp = naive_lm_head_loss(h, w, targets).loss;
+    w.data()[idx] = orig - eps;
+    const double lm = naive_lm_head_loss(h, w, targets).loss;
+    w.data()[idx] = orig;
+    EXPECT_NEAR(r.dw.data()[idx], (lp - lm) / (2.0 * eps), 1e-3);
+  }
+}
+
+// Property sweep: both tiled variants must reproduce the naive results for
+// block sizes that divide, straddle, and exceed the problem dimensions.
+class TiledLmHead
+    : public ::testing::TestWithParam<std::tuple<std::int64_t, std::int64_t>> {
+};
+
+TEST_P(TiledLmHead, FusedMatchesNaive) {
+  const auto [bs, bv] = GetParam();
+  Rng rng(83);
+  const std::int64_t n = 24;
+  const std::int64_t d = 10;
+  const std::int64_t v = 40;
+  Tensor h = rng.gaussian(n, d, 0.7f);
+  Tensor w = rng.gaussian(v, d, 0.7f);
+  auto targets = random_targets(rng, n, v);
+
+  LmHeadResult ref = naive_lm_head_loss(h, w, targets);
+  LmHeadResult fused = fused_lm_head_loss(h, w, targets, bs, bv);
+  EXPECT_NEAR(fused.loss, ref.loss, 1e-5);
+  EXPECT_LT(tensor::max_abs_diff(fused.dh, ref.dh), 1e-5f);
+  EXPECT_LT(tensor::max_abs_diff(fused.dw, ref.dw), 1e-5f);
+}
+
+TEST_P(TiledLmHead, RecomputeMatchesNaive) {
+  const auto [bs, bv] = GetParam();
+  Rng rng(89);
+  const std::int64_t n = 20;
+  const std::int64_t d = 8;
+  const std::int64_t v = 33;
+  Tensor h = rng.gaussian(n, d, 0.7f);
+  Tensor w = rng.gaussian(v, d, 0.7f);
+  auto targets = random_targets(rng, n, v);
+
+  LmHeadResult ref = naive_lm_head_loss(h, w, targets);
+  LmHeadResult rec = tiled_recompute_lm_head_loss(h, w, targets, bs, bv);
+  EXPECT_NEAR(rec.loss, ref.loss, 1e-5);
+  EXPECT_LT(tensor::max_abs_diff(rec.dh, ref.dh), 1e-5f);
+  EXPECT_LT(tensor::max_abs_diff(rec.dw, ref.dw), 1e-5f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BlockSizes, TiledLmHead,
+    ::testing::Values(std::make_tuple(4, 8), std::make_tuple(7, 9),
+                      std::make_tuple(24, 40), std::make_tuple(1, 1),
+                      std::make_tuple(100, 100), std::make_tuple(5, 40)));
+
+TEST(LmHeadMemory, NaiveStoresFullLogits) {
+  Rng rng(97);
+  const std::int64_t n = 16;
+  const std::int64_t d = 4;
+  const std::int64_t v = 32;
+  Tensor h = rng.gaussian(n, d, 1.0f);
+  Tensor w = rng.gaussian(v, d, 1.0f);
+  auto targets = random_targets(rng, n, v);
+  LmHeadResult r = naive_lm_head_loss(h, w, targets);
+  EXPECT_EQ(r.peak_scratch_bytes,
+            static_cast<std::uint64_t>(n * v) * sizeof(float));
+}
+
+TEST(LmHeadMemory, FusedStoresOneSequenceStrip) {
+  Rng rng(101);
+  const std::int64_t n = 16;
+  const std::int64_t d = 4;
+  const std::int64_t v = 32;
+  const std::int64_t bs = 4;
+  Tensor h = rng.gaussian(n, d, 1.0f);
+  Tensor w = rng.gaussian(v, d, 1.0f);
+  auto targets = random_targets(rng, n, v);
+  LmHeadResult r = fused_lm_head_loss(h, w, targets, bs, 8);
+  // Strip cache: bs x v, not n x v.
+  EXPECT_EQ(r.peak_scratch_bytes,
+            static_cast<std::uint64_t>(bs * v) * sizeof(float));
+}
+
+TEST(LmHeadMemory, RecomputeStoresOneTile) {
+  Rng rng(103);
+  const std::int64_t n = 16;
+  const std::int64_t d = 4;
+  const std::int64_t v = 32;
+  const std::int64_t bs = 4;
+  const std::int64_t bv = 8;
+  Tensor h = rng.gaussian(n, d, 1.0f);
+  Tensor w = rng.gaussian(v, d, 1.0f);
+  auto targets = random_targets(rng, n, v);
+  LmHeadResult r = tiled_recompute_lm_head_loss(h, w, targets, bs, bv);
+  EXPECT_EQ(r.peak_scratch_bytes,
+            static_cast<std::uint64_t>(bs * bv) * sizeof(float));
+}
+
+TEST(LmHeadFlops, RecomputePaysExtraForwardAndFusedDoesNot) {
+  Rng rng(107);
+  const std::int64_t n = 16;
+  const std::int64_t d = 4;
+  const std::int64_t v = 32;
+  Tensor h = rng.gaussian(n, d, 1.0f);
+  Tensor w = rng.gaussian(v, d, 1.0f);
+  auto targets = random_targets(rng, n, v);
+
+  const std::uint64_t base = static_cast<std::uint64_t>(n * v * d);
+  LmHeadResult naive = naive_lm_head_loss(h, w, targets);
+  LmHeadResult fused = fused_lm_head_loss(h, w, targets, 4, 8);
+  LmHeadResult rec = tiled_recompute_lm_head_loss(h, w, targets, 4, 8);
+
+  EXPECT_EQ(naive.flops, 6 * base);  // 2 forward + 4 backward
+  EXPECT_EQ(fused.flops, 6 * base);  // Algorithm 3: no recompute
+  EXPECT_EQ(rec.flops, 8 * base);    // + 2 recompute in backward
+}
+
+TEST(LmHead, DeterministicAcrossCalls) {
+  Rng rng(109);
+  const std::int64_t n = 12;
+  const std::int64_t d = 6;
+  const std::int64_t v = 20;
+  Tensor h = rng.gaussian(n, d, 1.0f);
+  Tensor w = rng.gaussian(v, d, 1.0f);
+  auto targets = random_targets(rng, n, v);
+  LmHeadResult a = fused_lm_head_loss(h, w, targets, 4, 8);
+  LmHeadResult b = fused_lm_head_loss(h, w, targets, 4, 8);
+  EXPECT_EQ(a.loss, b.loss);
+  EXPECT_FLOAT_EQ(tensor::max_abs_diff(a.dh, b.dh), 0.0f);
+  EXPECT_FLOAT_EQ(tensor::max_abs_diff(a.dw, b.dw), 0.0f);
+}
+
+}  // namespace
+}  // namespace burst::kernels

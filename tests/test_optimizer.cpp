@@ -1,0 +1,115 @@
+#include "model/optimizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/memory.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/rng.hpp"
+
+namespace burst::model {
+namespace {
+
+using kernels::MaskSpec;
+using tensor::Rng;
+using tensor::Tensor;
+
+TEST(Adam, SingleParamMatchesHandComputation) {
+  // One 1x1 "model": check the textbook Adam update for two steps.
+  ModelConfig cfg = ModelConfig::toy();
+  cfg.layers = 0;
+  cfg.vocab = 1;
+  cfg.d_model = 1;
+  cfg.heads = 1;
+  ModelWeights w;
+  w.w_embed = Tensor::zeros(1, 1);
+  w.w_head = Tensor::zeros(1, 1);
+  ModelGrads g;
+  g.w_embed = Tensor::zeros(1, 1);
+  g.w_head = Tensor::zeros(1, 1);
+  g.w_head(0, 0) = 0.5f;
+
+  AdamConfig ac;
+  ac.lr = 0.1f;
+  AdamOptimizer opt(w, ac);
+  opt.step(w, g);
+  // Step 1: mhat = grad, vhat = grad^2 -> update ~= -lr * sign(grad).
+  EXPECT_NEAR(w.w_head(0, 0), -0.1f * 0.5f / (0.5f + ac.eps), 1e-5);
+  EXPECT_EQ(opt.steps_taken(), 1);
+
+  const float after_one = w.w_head(0, 0);
+  opt.step(w, g);
+  EXPECT_LT(w.w_head(0, 0), after_one);  // same-sign grad keeps descending
+}
+
+TEST(Adam, ZeroGradLeavesWeightsUnchanged) {
+  ModelConfig cfg = ModelConfig::toy();
+  ModelWeights w = ModelWeights::init(cfg, 5);
+  ModelWeights before = w;
+  ModelGrads g = ModelGrads::zeros(cfg);
+  AdamOptimizer opt(w, {});
+  opt.step(w, g);
+  EXPECT_FLOAT_EQ(
+      tensor::max_abs_diff(w.layers[0].wq, before.layers[0].wq), 0.0f);
+  EXPECT_FLOAT_EQ(tensor::max_abs_diff(w.w_head, before.w_head), 0.0f);
+}
+
+TEST(Adam, TrainsToyModelBelowSgd) {
+  ModelConfig cfg = ModelConfig::toy();
+  ModelWeights w_adam = ModelWeights::init(cfg, 7);
+  ModelWeights w_sgd = w_adam;
+  Rng rng(9);
+  Tensor tokens = rng.token_ids(33, cfg.vocab);
+  const MaskSpec mask = MaskSpec::causal();
+
+  AdamConfig ac;
+  ac.lr = 0.01f;
+  AdamOptimizer opt(w_adam, ac);
+  for (int i = 0; i < 10; ++i) {
+    auto s = serial_train_step(cfg, w_adam, tokens, mask);
+    opt.step(w_adam, s.grads);
+  }
+  const double adam_loss = serial_loss(cfg, w_adam, tokens, mask);
+  const double init_loss =
+      serial_loss(cfg, ModelWeights::init(cfg, 7), tokens, mask);
+  EXPECT_LT(adam_loss, init_loss);
+}
+
+TEST(Adam, OnDeviceStateChargesTwelveBytesPerParam) {
+  ModelConfig cfg = ModelConfig::toy();
+  ModelWeights w = ModelWeights::init(cfg, 11);
+  sim::MemoryTracker mem;
+  {
+    AdamOptimizer opt(w, {}, &mem);
+    EXPECT_EQ(mem.used(),
+              static_cast<std::uint64_t>(opt.num_params()) * 12);
+  }
+  EXPECT_EQ(mem.used(), 0u);  // RAII release
+}
+
+TEST(Adam, OffloadChargesNothing) {
+  ModelConfig cfg = ModelConfig::toy();
+  ModelWeights w = ModelWeights::init(cfg, 13);
+  sim::MemoryTracker mem;
+  AdamConfig ac;
+  ac.offload = true;
+  AdamOptimizer opt(w, ac, &mem);
+  EXPECT_EQ(mem.used(), 0u);
+  EXPECT_GT(opt.num_params(), 0);
+}
+
+TEST(Adam, ParamCountMatchesTensors) {
+  ModelConfig cfg = ModelConfig::toy();
+  cfg.kv_heads = 2;  // GQA shapes too
+  ModelWeights w = ModelWeights::init(cfg, 15);
+  AdamOptimizer opt(w, {});
+  std::int64_t expect = 2 * cfg.vocab * cfg.d_model;
+  expect += cfg.layers * (2 * cfg.d_model * cfg.d_model +
+                          2 * cfg.d_model * cfg.d_kv() +
+                          2 * cfg.d_model * cfg.d_ff);
+  EXPECT_EQ(opt.num_params(), expect);
+}
+
+}  // namespace
+}  // namespace burst::model

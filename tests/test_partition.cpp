@@ -1,0 +1,165 @@
+#include "core/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "tensor/ops.hpp"
+#include "tensor/rng.hpp"
+
+namespace burst::core {
+namespace {
+
+using kernels::IndexMap;
+using kernels::MaskSpec;
+using tensor::Rng;
+using tensor::Tensor;
+
+class PartitionCoverage
+    : public ::testing::TestWithParam<std::tuple<Balance, int>> {};
+
+TEST_P(PartitionCoverage, MapsPartitionTheSequenceExactly) {
+  const auto [balance, g] = GetParam();
+  const std::int64_t n = 96;  // divisible by 2G for every tested G
+  std::multiset<std::int64_t> seen;
+  for (int r = 0; r < g; ++r) {
+    IndexMap m = device_index_map(balance, n, g, r);
+    EXPECT_EQ(m.size(), n / g);
+    for (std::int64_t i = 0; i < m.size(); ++i) {
+      seen.insert(m.global(i));
+    }
+  }
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(n));
+  for (std::int64_t t = 0; t < n; ++t) {
+    EXPECT_EQ(seen.count(t), 1u) << "token " << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, PartitionCoverage,
+    ::testing::Combine(::testing::Values(Balance::kContiguous,
+                                         Balance::kZigzag, Balance::kStriped),
+                       ::testing::Values(1, 2, 4, 8)));
+
+TEST(Partition, ZigzagMatchesEq11) {
+  // N=16, G=2: P=4. Device 0: chunks 0 and 3; device 1: chunks 1 and 2.
+  IndexMap d0 = device_index_map(Balance::kZigzag, 16, 2, 0);
+  EXPECT_EQ(d0.global(0), 0);
+  EXPECT_EQ(d0.global(3), 3);
+  EXPECT_EQ(d0.global(4), 12);
+  EXPECT_EQ(d0.global(7), 15);
+  IndexMap d1 = device_index_map(Balance::kZigzag, 16, 2, 1);
+  EXPECT_EQ(d1.global(0), 4);
+  EXPECT_EQ(d1.global(4), 8);
+}
+
+TEST(Partition, StripedMatchesEq13) {
+  IndexMap d1 = device_index_map(Balance::kStriped, 12, 3, 1);
+  EXPECT_EQ(d1.global(0), 1);
+  EXPECT_EQ(d1.global(1), 4);
+  EXPECT_EQ(d1.global(3), 10);
+}
+
+TEST(Partition, DivisibilityErrors) {
+  EXPECT_THROW(device_index_map(Balance::kContiguous, 10, 4, 0),
+               std::invalid_argument);
+  EXPECT_THROW(device_index_map(Balance::kZigzag, 12, 4, 0),
+               std::invalid_argument);  // needs 2G | N
+  EXPECT_NO_THROW(device_index_map(Balance::kZigzag, 16, 4, 0));
+}
+
+TEST(Partition, ShardUnshardRoundTrip) {
+  Rng rng(3);
+  const std::int64_t n = 32;
+  Tensor global = rng.gaussian(n, 4, 1.0f);
+  for (Balance b :
+       {Balance::kContiguous, Balance::kZigzag, Balance::kStriped}) {
+    Tensor rebuilt = Tensor::zeros(n, 4);
+    for (int r = 0; r < 4; ++r) {
+      IndexMap m = device_index_map(b, n, 4, r);
+      Tensor local = shard_rows(global, m);
+      unshard_rows(rebuilt, m, local);
+    }
+    EXPECT_FLOAT_EQ(tensor::max_abs_diff(rebuilt, global), 0.0f)
+        << balance_name(b);
+  }
+}
+
+TEST(Partition, SubmapCoversRequestedRows) {
+  IndexMap zig = device_index_map(Balance::kZigzag, 32, 2, 0);  // 2 segments
+  IndexMap sub = submap(zig, 6, 6);  // straddles the segment boundary
+  EXPECT_EQ(sub.size(), 6);
+  for (std::int64_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(sub.global(i), zig.global(6 + i));
+  }
+}
+
+// --- workload balance: the quantitative claim behind Figure 10 ------------
+
+TEST(Balance, CausalContiguousIsImbalanced) {
+  const double f =
+      balance_factor(MaskSpec::causal(), Balance::kContiguous, 128, 4);
+  // Last device holds the final quarter of a causal triangle: ~1.75x ideal.
+  EXPECT_GT(f, 1.6);
+}
+
+TEST(Balance, CausalZigzagIsPerfect) {
+  const double f =
+      balance_factor(MaskSpec::causal(), Balance::kZigzag, 128, 4);
+  // Chunk i pairs with chunk 2G-1-i; row counts complement exactly
+  // (rows q and N-1-q attend q+1 and N-q keys, summing to N+1).
+  EXPECT_NEAR(f, 1.0, 1e-2);
+}
+
+TEST(Balance, CausalStripedIsNearPerfect) {
+  const double f =
+      balance_factor(MaskSpec::causal(), Balance::kStriped, 128, 4);
+  EXPECT_LT(f, 1.05);
+}
+
+TEST(Balance, SlidingWindowContiguousVsStriped) {
+  MaskSpec swa = MaskSpec::sliding_window(16);
+  const double contiguous =
+      balance_factor(swa, Balance::kContiguous, 128, 4);
+  const double striped = balance_factor(swa, Balance::kStriped, 128, 4);
+  // SWA work is nearly uniform per row (except the first window), so even
+  // contiguous is close; striped must still be at least as balanced.
+  EXPECT_LE(striped, contiguous + 1e-9);
+  EXPECT_LT(striped, 1.05);
+}
+
+TEST(Balance, BlockSparseStripedBalancesWhenBlockMultipleOfG) {
+  // Figure 11: block size a multiple of G -> striped is perfectly balanced.
+  const int g = 4;
+  MaskSpec m = MaskSpec::block_sliding_window(/*num_blocks=*/8,
+                                              /*window_blocks=*/3,
+                                              /*block_size=*/16);
+  const double striped = balance_factor(m, Balance::kStriped, 128, g);
+  EXPECT_NEAR(striped, 1.0, 1e-9);
+  const double contiguous = balance_factor(m, Balance::kContiguous, 128, g);
+  EXPECT_GT(contiguous, striped);
+}
+
+TEST(Balance, FullMaskAlwaysBalanced) {
+  for (Balance b :
+       {Balance::kContiguous, Balance::kZigzag, Balance::kStriped}) {
+    EXPECT_NEAR(balance_factor(MaskSpec::full(), b, 64, 4), 1.0, 1e-9);
+  }
+}
+
+TEST(Balance, DeviceWorkloadSumsToTotal) {
+  MaskSpec m = MaskSpec::causal();
+  const std::int64_t n = 64;
+  for (Balance b :
+       {Balance::kContiguous, Balance::kZigzag, Balance::kStriped}) {
+    std::uint64_t sum = 0;
+    for (int r = 0; r < 4; ++r) {
+      sum += device_workload(m, device_index_map(b, n, 4, r), n);
+    }
+    EXPECT_EQ(sum, m.count_allowed(0, n, 0, n)) << balance_name(b);
+  }
+}
+
+}  // namespace
+}  // namespace burst::core

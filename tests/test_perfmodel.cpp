@@ -1,0 +1,334 @@
+#include "perfmodel/estimator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "perfmodel/comm_model.hpp"
+#include "perfmodel/flops.hpp"
+#include "perfmodel/memory_model.hpp"
+
+namespace burst::perfmodel {
+namespace {
+
+using core::CkptConfig;
+using core::CkptStrategy;
+using model::ModelConfig;
+
+// --- FLOPs -----------------------------------------------------------------
+
+TEST(Flops, AttentionShareGrowsWithSequenceLength) {
+  ModelConfig c = ModelConfig::llama7b();
+  const double s32k = attention_time_share(c, 32e3);
+  const double s128k = attention_time_share(c, 128e3);
+  const double s1m = attention_time_share(c, 1e6);
+  EXPECT_LT(s32k, s128k);
+  EXPECT_LT(s128k, s1m);
+  // Figure 2's headline: attention dominates beyond 128K and is >90% at 1M.
+  EXPECT_GT(s1m, 0.9);
+  EXPECT_LT(s32k, 0.5);
+}
+
+TEST(Flops, RecomputeOrderingAcrossCheckpointStrategies) {
+  ModelConfig c = ModelConfig::llama7b();
+  const double n = 262144;
+  const auto rec = [&](CkptStrategy s) {
+    return step_flops(c, n, {s, 0.5}).recompute;
+  };
+  EXPECT_EQ(rec(CkptStrategy::kNone), 0.0);
+  EXPECT_GT(rec(CkptStrategy::kFull), rec(CkptStrategy::kSeqSelective));
+  EXPECT_GT(rec(CkptStrategy::kSeqSelective), rec(CkptStrategy::kSelectivePP));
+}
+
+TEST(Flops, SeqSelectiveFrontQuarterProperty) {
+  // With store_fraction 0.5, attention recompute must be exactly 1/4 of the
+  // full-checkpoint attention recompute (front half of the causal triangle).
+  ModelConfig c = ModelConfig::llama7b();
+  const double n = 1e6;
+  const double full = step_flops(c, n, {CkptStrategy::kFull, 0.5}).recompute;
+  const double spp =
+      step_flops(c, n, {CkptStrategy::kSelectivePP, 0.5}).recompute;
+  const double seq =
+      step_flops(c, n, {CkptStrategy::kSeqSelective, 0.5}).recompute;
+  const double attn_part_full = full - spp;   // attention-only recompute
+  const double attn_part_seq = seq - spp;
+  EXPECT_NEAR(attn_part_seq / attn_part_full, 0.25, 1e-9);
+}
+
+TEST(Flops, LmHeadRecomputeTogglesExtraForward) {
+  ModelConfig c = ModelConfig::llama7b();
+  const double n = 65536;
+  const auto base = step_flops(c, n, {CkptStrategy::kNone, 0.5}, false);
+  const auto rec = step_flops(c, n, {CkptStrategy::kNone, 0.5}, true);
+  EXPECT_NEAR(rec.recompute - base.recompute, base.lm_head_fwd, 1.0);
+}
+
+// --- communication (Table 1) -------------------------------------------------
+
+TEST(CommModel, BurstSavesQuarterOfBackwardVolumeTime) {
+  HardwareModel hw;
+  hw.nvlink_latency = 0;
+  hw.ib_latency = 0;
+  CommModel cm(hw);
+  ClusterShape c{4, 8};
+  const double shard = 64e6;
+  // Flat-ring comparison with identical routes isolates the volume effect:
+  // Burst (Alg. 2) moves 5 tensor passes vs Ring's 6.
+  const double ring = cm.ring_attention_comm(shard, c);
+  const double burst_flat = cm.burst_comm(shard, shard / 4096, c,
+                                          /*backward_opt=*/true,
+                                          /*topo_aware=*/false);
+  EXPECT_NEAR(burst_flat / ring, 5.0 / 6.0, 0.01);
+}
+
+TEST(CommModel, TopologyAwareBeatsFlatWheneverMultiNode) {
+  CommModel cm{HardwareModel{}};
+  ClusterShape c{4, 8};
+  const double shard = 64e6;
+  const double flat =
+      cm.burst_comm(shard, shard / 4096, c, true, /*topo_aware=*/false);
+  const double topo =
+      cm.burst_comm(shard, shard / 4096, c, true, /*topo_aware=*/true);
+  EXPECT_LT(topo, flat);
+  // Single node: topology awareness is a no-op.
+  ClusterShape single{1, 8};
+  EXPECT_NEAR(cm.burst_comm(shard, 0, single, true, true),
+              cm.burst_comm(shard, 0, single, true, false), 1e-12);
+}
+
+TEST(CommModel, Table1OrderingBurstBelowDoubleRingBelowRing) {
+  CommModel cm{HardwareModel{}};
+  ClusterShape c{4, 8};
+  const double shard = 64e6;
+  const double ring = cm.ring_attention_comm(shard, c);
+  const double dbl = cm.double_ring_comm(shard, c);
+  const double burst = cm.burst_comm(shard, shard / 4096, c, true, true);
+  EXPECT_LT(dbl, ring);
+  EXPECT_LT(burst, dbl);
+}
+
+TEST(CommModel, FsdpSingleNodeUsesNvlink) {
+  CommModel cm{HardwareModel{}};
+  const double p = 14e9;
+  const double multi = cm.fsdp_step_comm(p, {4, 8});
+  const double single = cm.fsdp_step_comm(p, {1, 8});
+  EXPECT_LT(single, multi);
+}
+
+// --- memory -------------------------------------------------------------------
+
+TEST(MemoryModel, StoredActivationOrdering) {
+  const double d = 4096;
+  const double none =
+      stored_activation_per_token({CkptStrategy::kNone, 0.5}, d, 2);
+  const double spp =
+      stored_activation_per_token({CkptStrategy::kSelectivePP, 0.5}, d, 2);
+  const double seq =
+      stored_activation_per_token({CkptStrategy::kSeqSelective, 0.5}, d, 2);
+  const double full =
+      stored_activation_per_token({CkptStrategy::kFull, 0.5}, d, 2);
+  EXPECT_GT(none, spp);
+  EXPECT_GT(spp, seq);
+  EXPECT_GT(seq, full);
+  // Figure 7's headline: seq-selective halves SelectivePP's *extra* storage.
+  EXPECT_NEAR((seq - full) / (spp - full), 0.5, 1e-9);
+}
+
+TEST(MemoryModel, LmHeadLogitsMatchFigure8Arithmetic) {
+  // LLaMA-3 vocab at 1M tokens: 1e6 * 128e3 * 2 B = 256 GB of logits.
+  EXPECT_NEAR(lm_head_logits_bytes(1e6, 128e3, 2), 256e9, 1e6);
+  // LLaMA-2 vocab is 4x smaller.
+  EXPECT_NEAR(lm_head_logits_bytes(1e6, 32e3, 2) * 4,
+              lm_head_logits_bytes(1e6, 128e3, 2), 1e3);
+}
+
+TEST(MemoryModel, MegatronReplicatedStatesDwarfFsdp) {
+  HardwareModel hw;
+  MemoryInputs in;
+  in.model = ModelConfig::llama7b();
+  in.tokens_per_gpu = 65536;
+  in.world = 32;
+  in.fsdp = false;
+  const double replicated = peak_memory(in, hw).total();
+  in.fsdp = true;
+  const double sharded = peak_memory(in, hw).total();
+  EXPECT_GT(replicated, 100e9);  // the Figure 12 Megatron-CP OOM
+  EXPECT_LT(sharded, 80e9);
+}
+
+// --- estimator: the paper's qualitative results --------------------------------
+
+TEST(Estimator, MegatronCpOomsAt7B32Gpu2M) {
+  RunConfig cfg;
+  cfg.model = ModelConfig::llama7b();
+  cfg.seq_len = 2e6;
+  cfg.cluster = {4, 8};
+  cfg.method = Method::kMegatronCP;
+  auto est = estimate_step(cfg);
+  EXPECT_FALSE(est.ok);
+  EXPECT_NE(est.failure.find("OOM"), std::string::npos);
+}
+
+TEST(Estimator, UlyssesDegreeLimitedByHeads) {
+  RunConfig cfg;
+  cfg.model = ModelConfig::llama14b();  // 40 heads
+  cfg.seq_len = 1e6;
+  cfg.cluster = {4, 8};
+  cfg.method = Method::kUlysses;
+  auto est = estimate_step(cfg);
+  // Degree limited to 8 (largest divisor of both 40 and 32) -> huge
+  // activations per GPU -> OOM, matching Figure 13's 14B column.
+  EXPECT_EQ(est.parallel_degree, 8);
+  EXPECT_FALSE(est.ok);
+}
+
+TEST(Estimator, BurstBeatsBaselinesEndToEnd7B2M) {
+  RunConfig cfg;
+  cfg.model = ModelConfig::llama7b();
+  cfg.seq_len = 2e6;
+  cfg.cluster = {4, 8};
+
+  cfg.method = Method::kBurstEngine;
+  auto burst = estimate_step(cfg);
+  ASSERT_TRUE(burst.ok) << burst.failure;
+
+  cfg.method = Method::kUSP;
+  auto usp = estimate_step(cfg);
+  ASSERT_TRUE(usp.ok) << usp.failure;
+
+  cfg.method = Method::kDoubleRing;
+  auto dbl = estimate_step(cfg);
+  ASSERT_TRUE(dbl.ok) << dbl.failure;
+
+  cfg.method = Method::kUlysses;
+  auto uly = estimate_step(cfg);
+  ASSERT_TRUE(uly.ok) << uly.failure;
+
+  // Figure 12 ordering: Burst > USP > DoubleRing > Ulysses, with Burst
+  // roughly 1.1-1.3x over USP.
+  EXPECT_GT(burst.tgs, usp.tgs);
+  EXPECT_GT(usp.tgs, dbl.tgs);
+  EXPECT_GT(dbl.tgs, uly.tgs);
+  const double speedup = burst.tgs / usp.tgs;
+  EXPECT_GT(speedup, 1.05);
+  EXPECT_LT(speedup, 1.6);
+}
+
+TEST(Estimator, BurstSavesMemoryVersusBestBaseline) {
+  RunConfig cfg;
+  cfg.model = ModelConfig::llama7b();
+  cfg.seq_len = 2e6;
+  cfg.cluster = {4, 8};
+  cfg.method = Method::kBurstEngine;
+  auto burst = estimate_step(cfg);
+  cfg.method = Method::kUSP;
+  auto usp = estimate_step(cfg);
+  ASSERT_TRUE(burst.ok && usp.ok);
+  // Figure 13: ~26% savings at 7B/32 GPUs.
+  const double saving = 1.0 - burst.memory.total() / usp.memory.total();
+  EXPECT_GT(saving, 0.15);
+  EXPECT_LT(saving, 0.45);
+}
+
+TEST(Estimator, AblationTogglesMoveTheRightDirection) {
+  RunConfig cfg;
+  cfg.model = ModelConfig::llama14b();
+  cfg.seq_len = 1e6;
+  cfg.cluster = {4, 8};
+  cfg.method = Method::kBurstEngine;
+
+  auto full = estimate_step(cfg);
+  ASSERT_TRUE(full.ok) << full.failure;
+
+  RunConfig no_bwd = cfg;
+  no_bwd.backward_comm_opt = false;
+  EXPECT_LE(estimate_step(no_bwd).tgs, full.tgs);
+
+  RunConfig no_topo = cfg;
+  no_topo.topo_aware = false;
+  EXPECT_LT(estimate_step(no_topo).tgs, full.tgs);
+
+  RunConfig no_fuse = cfg;
+  no_fuse.fused_lm_head = false;
+  EXPECT_GT(estimate_step(no_fuse).memory.total(), full.memory.total());
+
+  RunConfig full_ckpt = cfg;
+  full_ckpt.ckpt = CkptConfig{CkptStrategy::kFull, 0.5};
+  auto fc = estimate_step(full_ckpt);
+  EXPECT_LT(fc.tgs, full.tgs);                          // more recompute
+  EXPECT_LT(fc.memory.total(), full.memory.total());    // less storage
+
+  RunConfig spp = cfg;
+  spp.ckpt = CkptConfig{CkptStrategy::kSelectivePP, 0.5};
+  auto sp = estimate_step(spp);
+  EXPECT_GT(sp.tgs, full.tgs);                          // no attn recompute
+  EXPECT_GT(sp.memory.total(), full.memory.total());    // more storage
+}
+
+TEST(Estimator, MfuStableAcrossNodesAtFixedTokensPerGpu) {
+  // Table 4: 2/4/8 nodes with 32K tokens per GPU — MFU should stay flat.
+  RunConfig cfg;
+  cfg.model = ModelConfig::llama7b();
+  cfg.method = Method::kBurstEngine;
+  double prev_mfu = -1.0;
+  for (int nodes : {2, 4, 8}) {
+    cfg.cluster = {nodes, 8};
+    cfg.seq_len = 32768.0 * cfg.cluster.world();
+    auto est = estimate_step(cfg);
+    ASSERT_TRUE(est.ok) << est.failure;
+    EXPECT_GT(est.mfu, 0.35);
+    EXPECT_LT(est.mfu, 0.75);
+    if (prev_mfu > 0) {
+      EXPECT_NEAR(est.mfu, prev_mfu, 0.08);
+    }
+    prev_mfu = est.mfu;
+  }
+}
+
+TEST(Estimator, MfuRisesWithContextParallelSizeSingleNode) {
+  // Table 5: CP 1..8 on one node, 32K tokens/GPU; MFU rises with seq length.
+  RunConfig cfg;
+  cfg.model = ModelConfig::llama7b();
+  cfg.method = Method::kBurstEngine;
+  cfg.optimizer_offload = true;
+  double prev = 0.0;
+  for (int cp : {1, 2, 4, 8}) {
+    cfg.cluster = {1, cp};
+    cfg.seq_len = 32768.0 * cp;
+    auto est = estimate_step(cfg);
+    ASSERT_TRUE(est.ok) << est.failure;
+    EXPECT_GE(est.mfu, prev - 1e-6) << "cp " << cp;
+    prev = est.mfu;
+  }
+}
+
+TEST(Estimator, AttentionOnlyFigure14Ordering) {
+  RunConfig cfg;
+  cfg.model = ModelConfig::llama14b();
+  cfg.seq_len = 1e6;
+  cfg.cluster = {4, 8};
+
+  cfg.method = Method::kBurstEngine;
+  auto burst = estimate_attention_only(cfg);
+  ASSERT_TRUE(burst.ok) << burst.failure;
+  cfg.method = Method::kUSP;
+  auto usp = estimate_attention_only(cfg);
+  cfg.method = Method::kDoubleRing;
+  auto dbl = estimate_attention_only(cfg);
+  cfg.method = Method::kMegatronCP;
+  auto meg = estimate_attention_only(cfg);
+  cfg.method = Method::kUlysses;
+  auto uly = estimate_attention_only(cfg);
+
+  // 40 heads, 32 GPUs: Ulysses inapplicable (Figure 14).
+  EXPECT_FALSE(uly.ok);
+  // Megatron-CP OOMs beyond 256K in Figure 14.
+  EXPECT_FALSE(meg.ok);
+  ASSERT_TRUE(usp.ok && dbl.ok);
+  EXPECT_LT(burst.time_s, usp.time_s);
+  EXPECT_LT(usp.time_s, dbl.time_s);
+  // Paper: ~1.05x over USP, ~1.33x over DoubleRing at 1M.
+  EXPECT_LT(burst.time_s * 1.01, usp.time_s);
+  EXPECT_GT(dbl.time_s / burst.time_s, 1.1);
+}
+
+}  // namespace
+}  // namespace burst::perfmodel

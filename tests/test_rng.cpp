@@ -1,0 +1,87 @@
+#include "tensor/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace burst::tensor {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    same += (a.next_u64() == b.next_u64());
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.next_uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, GaussianMomentsRoughlyStandard) {
+  Rng r(11);
+  const int n = 20000;
+  double sum = 0.0;
+  double sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double g = r.next_gaussian();
+    sum += g;
+    sum2 += g * g;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.05);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(Rng, IndexInRange) {
+  Rng r(19);
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = r.next_index(17);
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 17);
+  }
+}
+
+TEST(Rng, GaussianTensorShapeAndScale) {
+  Rng r(23);
+  Tensor t = r.gaussian(50, 40, 0.5f);
+  EXPECT_EQ(t.rows(), 50);
+  EXPECT_EQ(t.cols(), 40);
+  double sum2 = 0.0;
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    sum2 += static_cast<double>(t.data()[i]) * t.data()[i];
+  }
+  const double stddev = std::sqrt(sum2 / static_cast<double>(t.numel()));
+  EXPECT_NEAR(stddev, 0.5, 0.05);
+}
+
+TEST(Rng, TokenIdsAreIntegralAndInVocab) {
+  Rng r(29);
+  Tensor ids = r.token_ids(256, 100);
+  for (std::int64_t i = 0; i < ids.numel(); ++i) {
+    const float v = ids[i];
+    EXPECT_EQ(v, std::floor(v));
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LT(v, 100.0f);
+  }
+}
+
+}  // namespace
+}  // namespace burst::tensor

@@ -1,0 +1,267 @@
+#include "sim/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/memory.hpp"
+#include "sim/topology.hpp"
+
+namespace burst::sim {
+namespace {
+
+TEST(Topology, RankMapping) {
+  Topology t = Topology::multi_node(2, 4);
+  EXPECT_EQ(t.world_size(), 8);
+  EXPECT_EQ(t.node_of(0), 0);
+  EXPECT_EQ(t.node_of(3), 0);
+  EXPECT_EQ(t.node_of(4), 1);
+  EXPECT_EQ(t.local_rank(6), 2);
+  EXPECT_TRUE(t.same_node(1, 3));
+  EXPECT_FALSE(t.same_node(3, 4));
+}
+
+TEST(Topology, TransferTimeUsesCorrectLink) {
+  Topology t = Topology::multi_node(2, 2);
+  t.intra = {1e-6, 100e9};
+  t.inter = {10e-6, 10e9};
+  // 1 GB intra: 1us + 0.01 s; inter: 10us + 0.1 s.
+  EXPECT_NEAR(t.transfer_time(0, 1, 1'000'000'000ull), 0.010001, 1e-9);
+  EXPECT_NEAR(t.transfer_time(1, 2, 1'000'000'000ull), 0.10001, 1e-8);
+}
+
+TEST(VirtualClock, StreamsAdvanceIndependently) {
+  VirtualClock c;
+  c.advance(kCompute, 1.0);
+  c.advance(kIntraComm, 0.5);
+  EXPECT_DOUBLE_EQ(c.now(kCompute), 1.0);
+  EXPECT_DOUBLE_EQ(c.now(kIntraComm), 0.5);
+  EXPECT_DOUBLE_EQ(c.now(kInterComm), 0.0);
+  EXPECT_DOUBLE_EQ(c.elapsed(), 1.0);
+}
+
+TEST(VirtualClock, EventsCreateCrossStreamDependencies) {
+  VirtualClock c;
+  c.advance(kIntraComm, 2.0);
+  Event e = c.record(kIntraComm);
+  c.wait(kCompute, e);
+  EXPECT_DOUBLE_EQ(c.now(kCompute), 2.0);
+  // Waiting on an earlier event must not move time backwards.
+  c.advance(kCompute, 1.0);
+  c.wait(kCompute, e);
+  EXPECT_DOUBLE_EQ(c.now(kCompute), 3.0);
+}
+
+TEST(VirtualClock, SyncAllJoinsStreams) {
+  VirtualClock c;
+  c.advance(kInterComm, 5.0);
+  c.sync_all();
+  EXPECT_DOUBLE_EQ(c.now(kCompute), 5.0);
+  EXPECT_DOUBLE_EQ(c.now(kIntraComm), 5.0);
+}
+
+TEST(MemoryTracker, TracksPeak) {
+  MemoryTracker mem;
+  mem.alloc(100, "a");
+  mem.alloc(50, "b");
+  mem.free(100);
+  mem.alloc(20, "c");
+  EXPECT_EQ(mem.used(), 70u);
+  EXPECT_EQ(mem.peak(), 150u);
+}
+
+TEST(MemoryTracker, ThrowsOnOverCapacity) {
+  MemoryTracker mem(0, 100);
+  mem.alloc(90, "a");
+  EXPECT_THROW(mem.alloc(20, "b"), DeviceOomError);
+  EXPECT_EQ(mem.used(), 90u);  // failed alloc must not be charged
+}
+
+TEST(MemoryTracker, OverFreeIsLogicError) {
+  MemoryTracker mem;
+  mem.alloc(10, "a");
+  EXPECT_THROW(mem.free(20), std::logic_error);
+}
+
+TEST(ScopedAlloc, FreesOnScopeExit) {
+  MemoryTracker mem;
+  {
+    ScopedAlloc a(mem, 40, "scoped");
+    EXPECT_EQ(mem.used(), 40u);
+  }
+  EXPECT_EQ(mem.used(), 0u);
+  EXPECT_EQ(mem.peak(), 40u);
+}
+
+TEST(Cluster, RunsOneFunctionPerRank) {
+  Cluster cluster({Topology::single_node(4)});
+  std::vector<int> seen(4, -1);
+  cluster.run([&](DeviceContext& ctx) { seen[ctx.rank()] = ctx.rank(); });
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_EQ(seen[r], r);
+  }
+}
+
+TEST(Cluster, PointToPointDeliversPayloadAndTime) {
+  Cluster::Config cfg;
+  cfg.topo = Topology::single_node(2);
+  cfg.topo.intra = {1e-3, 1e6};  // 1ms latency, 1 MB/s: easy arithmetic
+  Cluster cluster(cfg);
+  double recv_time = 0.0;
+  cluster.run([&](DeviceContext& ctx) {
+    if (ctx.rank() == 0) {
+      Message m;
+      m.bytes = 1000;  // 1 ms serialization
+      tensor::Tensor payload(2, 2);
+      payload.fill(3.0f);
+      m.tensors.push_back(payload);
+      ctx.send(1, 7, std::move(m), kIntraComm);
+      // Sender's stream advanced by serialization only.
+      EXPECT_NEAR(ctx.clock().now(kIntraComm), 1e-3, 1e-12);
+    } else {
+      Message m = ctx.recv(0, 7, kIntraComm);
+      EXPECT_EQ(m.tensors.size(), 1u);
+      EXPECT_FLOAT_EQ(m.tensors[0](1, 1), 3.0f);
+      recv_time = ctx.clock().now(kIntraComm);
+    }
+  });
+  // Receiver time = latency + serialization = 2 ms.
+  EXPECT_NEAR(recv_time, 2e-3, 1e-12);
+}
+
+TEST(Cluster, ComputeChargesAtConfiguredRate) {
+  Cluster::Config cfg;
+  cfg.topo = Topology::single_node(1);
+  cfg.flops_per_s = 1e9;
+  Cluster cluster(cfg);
+  cluster.run([&](DeviceContext& ctx) {
+    ctx.compute(2e9);
+    EXPECT_DOUBLE_EQ(ctx.clock().now(kCompute), 2.0);
+  });
+}
+
+TEST(Cluster, BarrierSyncsClocksToMax) {
+  Cluster cluster({Topology::single_node(3)});
+  cluster.run([&](DeviceContext& ctx) {
+    ctx.busy(static_cast<double>(ctx.rank()));
+    ctx.barrier();
+    EXPECT_DOUBLE_EQ(ctx.clock().elapsed(), 2.0);
+  });
+}
+
+TEST(Cluster, StatsCapturePeakMemoryAndTraffic) {
+  Cluster cluster({Topology::single_node(2)});
+  cluster.run([&](DeviceContext& ctx) {
+    if (ctx.rank() == 0) {
+      ctx.mem().alloc(1234, "x");
+      Message m;
+      m.bytes = 10;
+      ctx.send(1, 0, std::move(m), kIntraComm);
+    } else {
+      ctx.recv(0, 0, kIntraComm);
+    }
+  });
+  EXPECT_EQ(cluster.stats()[0].peak_mem_bytes, 1234u);
+  EXPECT_EQ(cluster.stats()[0].bytes_sent, 10u);
+  EXPECT_EQ(cluster.stats()[0].messages_sent, 1u);
+  EXPECT_EQ(cluster.stats()[1].bytes_sent, 0u);
+}
+
+TEST(Cluster, MakespanIsMaxElapsed) {
+  Cluster cluster({Topology::single_node(3)});
+  cluster.run([&](DeviceContext& ctx) {
+    ctx.busy(ctx.rank() == 1 ? 7.0 : 1.0);
+  });
+  EXPECT_DOUBLE_EQ(cluster.makespan(), 7.0);
+}
+
+// A device failure (e.g. OOM) must abort the cluster: peers blocked on
+// receives wake with ClusterAbortedError, and run() rethrows the root cause.
+TEST(Cluster, DeviceFailureAbortsBlockedPeers) {
+  Cluster::Config cfg;
+  cfg.topo = Topology::single_node(2);
+  cfg.device_memory_capacity = 100;
+  Cluster cluster(cfg);
+  EXPECT_THROW(
+      cluster.run([&](DeviceContext& ctx) {
+        if (ctx.rank() == 0) {
+          ctx.recv(1, 0, kIntraComm);  // blocks forever unless aborted
+        } else {
+          ctx.mem().alloc(1000, "too big");
+        }
+      }),
+      DeviceOomError);
+}
+
+TEST(Cluster, DeviceFailureUnblocksBarrier) {
+  Cluster::Config cfg;
+  cfg.topo = Topology::single_node(2);
+  cfg.device_memory_capacity = 100;
+  Cluster cluster(cfg);
+  EXPECT_THROW(
+      cluster.run([&](DeviceContext& ctx) {
+        if (ctx.rank() == 0) {
+          ctx.barrier();
+        } else {
+          ctx.mem().alloc(1000, "too big");
+        }
+      }),
+      DeviceOomError);
+}
+
+TEST(Cluster, UndeliveredMessagesAreAProtocolError) {
+  Cluster cluster({Topology::single_node(2)});
+  EXPECT_THROW(cluster.run([&](DeviceContext& ctx) {
+    if (ctx.rank() == 0) {
+      Message m;
+      m.bytes = 1;
+      ctx.send(1, 99, std::move(m), kIntraComm);  // nobody receives
+    }
+  }),
+               std::logic_error);
+}
+
+TEST(Cluster, ReusableAcrossRuns) {
+  Cluster cluster({Topology::single_node(2)});
+  for (int iter = 0; iter < 3; ++iter) {
+    cluster.run([&](DeviceContext& ctx) {
+      if (ctx.rank() == 0) {
+        Message m;
+        m.bytes = 8;
+        ctx.send(1, iter, std::move(m), kIntraComm);
+      } else {
+        ctx.recv(0, iter, kIntraComm);
+      }
+    });
+  }
+  SUCCEED();
+}
+
+// Messages sent on different streams model the separate NVLink/IB rails:
+// their serialization must not serialize against each other.
+TEST(Cluster, StreamsModelIndependentRails) {
+  Cluster::Config cfg;
+  cfg.topo = Topology::multi_node(2, 2);
+  cfg.topo.intra = {0.0, 1e6};
+  cfg.topo.inter = {0.0, 1e6};
+  Cluster cluster(cfg);
+  cluster.run([&](DeviceContext& ctx) {
+    if (ctx.rank() == 0) {
+      Message a;
+      a.bytes = 1000;  // 1ms on intra stream
+      ctx.send(1, 1, std::move(a), kIntraComm);
+      Message b;
+      b.bytes = 1000;  // 1ms on inter stream
+      ctx.send(2, 2, std::move(b), kInterComm);
+      // Overlapped rails: elapsed is 1ms, not 2ms.
+      EXPECT_NEAR(ctx.clock().elapsed(), 1e-3, 1e-12);
+    } else if (ctx.rank() == 1) {
+      ctx.recv(0, 1, kIntraComm);
+    } else if (ctx.rank() == 2) {
+      ctx.recv(0, 2, kInterComm);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace burst::sim

@@ -1,0 +1,101 @@
+#include "tensor/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace burst::tensor {
+namespace {
+
+TEST(Tensor, DefaultIsEmpty) {
+  Tensor t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.rank(), 0);
+  EXPECT_EQ(t.numel(), 0);
+}
+
+TEST(Tensor, VectorConstruction) {
+  Tensor t(5);
+  EXPECT_EQ(t.rank(), 1);
+  EXPECT_EQ(t.numel(), 5);
+  t[3] = 2.5f;
+  EXPECT_FLOAT_EQ(t[3], 2.5f);
+}
+
+TEST(Tensor, MatrixConstructionAndIndexing) {
+  Tensor t(3, 4);
+  EXPECT_EQ(t.rank(), 2);
+  EXPECT_EQ(t.rows(), 3);
+  EXPECT_EQ(t.cols(), 4);
+  t(2, 3) = 7.0f;
+  EXPECT_FLOAT_EQ(t.data()[2 * 4 + 3], 7.0f);
+}
+
+TEST(Tensor, ZerosAndFull) {
+  Tensor z = Tensor::zeros(2, 3);
+  for (std::int64_t i = 0; i < z.numel(); ++i) {
+    EXPECT_FLOAT_EQ(z.data()[i], 0.0f);
+  }
+  Tensor f = Tensor::full(2, 2, 3.5f);
+  for (std::int64_t i = 0; i < f.numel(); ++i) {
+    EXPECT_FLOAT_EQ(f.data()[i], 3.5f);
+  }
+}
+
+TEST(Tensor, RowBlockViewsAliasStorage) {
+  Tensor t = Tensor::zeros(4, 3);
+  MatView block = t.row_block(1, 2);
+  EXPECT_EQ(block.rows, 2);
+  EXPECT_EQ(block.cols, 3);
+  block(0, 0) = 9.0f;
+  EXPECT_FLOAT_EQ(t(1, 0), 9.0f);
+}
+
+TEST(Tensor, ColBlockViewHasParentStride) {
+  Tensor t = Tensor::zeros(2, 6);
+  MatView block = t.col_block(2, 3);
+  EXPECT_EQ(block.rows, 2);
+  EXPECT_EQ(block.cols, 3);
+  EXPECT_EQ(block.stride, 6);
+  block(1, 2) = 4.0f;
+  EXPECT_FLOAT_EQ(t(1, 4), 4.0f);
+}
+
+TEST(Tensor, CopyRowsIsDeep) {
+  Tensor t = Tensor::full(4, 2, 1.0f);
+  Tensor c = t.copy_rows(1, 2);
+  c(0, 0) = 5.0f;
+  EXPECT_FLOAT_EQ(t(1, 0), 1.0f);
+}
+
+TEST(Tensor, SetRowsWrites) {
+  Tensor t = Tensor::zeros(4, 2);
+  Tensor src = Tensor::full(2, 2, 3.0f);
+  t.set_rows(2, src);
+  EXPECT_FLOAT_EQ(t(2, 0), 3.0f);
+  EXPECT_FLOAT_EQ(t(3, 1), 3.0f);
+  EXPECT_FLOAT_EQ(t(1, 1), 0.0f);
+}
+
+TEST(Tensor, ReshapeKeepsData) {
+  Tensor t(6);
+  for (std::int64_t i = 0; i < 6; ++i) {
+    t[i] = static_cast<float>(i);
+  }
+  t.reshape(2, 3);
+  EXPECT_EQ(t.rank(), 2);
+  EXPECT_FLOAT_EQ(t(1, 2), 5.0f);
+}
+
+TEST(Tensor, ReshapeMismatchThrows) {
+  Tensor t(6);
+  EXPECT_THROW(t.reshape(2, 4), std::invalid_argument);
+}
+
+TEST(Tensor, ShapeStr) {
+  Tensor t(2, 3);
+  EXPECT_EQ(t.shape_str(), "[2, 3]");
+}
+
+}  // namespace
+}  // namespace burst::tensor

@@ -1,0 +1,80 @@
+#include "parallel/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace burst::parallel {
+namespace {
+
+TEST(ThreadPool, ExecutesAllSubmittedTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturnsImmediately) {
+  ThreadPool pool(1);
+  pool.wait_idle();
+  SUCCEED();
+}
+
+TEST(ThreadPool, DestructorDrainsQueue) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&count] { count.fetch_add(1); });
+    }
+  }
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ParallelFor, CoversRangeExactlyOnce) {
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(1000, 10, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) {
+      hits[i].fetch_add(1);
+    }
+  });
+  for (auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  bool called = false;
+  parallel_for(0, 1, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelFor, SmallRangeRunsSerially) {
+  std::vector<int> hits(3, 0);
+  parallel_for(3, 100, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) {
+      hits[i] += 1;
+    }
+  });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 3);
+}
+
+TEST(ParallelFor, SumReductionCorrect) {
+  std::atomic<long long> total{0};
+  parallel_for(10000, 64, [&](std::size_t b, std::size_t e) {
+    long long local = 0;
+    for (std::size_t i = b; i < e; ++i) {
+      local += static_cast<long long>(i);
+    }
+    total.fetch_add(local);
+  });
+  EXPECT_EQ(total.load(), 10000LL * 9999 / 2);
+}
+
+}  // namespace
+}  // namespace burst::parallel
