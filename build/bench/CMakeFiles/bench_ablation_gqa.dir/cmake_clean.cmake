@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_gqa.dir/bench_ablation_gqa.cpp.o"
+  "CMakeFiles/bench_ablation_gqa.dir/bench_ablation_gqa.cpp.o.d"
+  "bench_ablation_gqa"
+  "bench_ablation_gqa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_gqa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

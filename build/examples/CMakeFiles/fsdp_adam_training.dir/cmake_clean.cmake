@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsdp_adam_training.dir/fsdp_adam_training.cpp.o"
+  "CMakeFiles/fsdp_adam_training.dir/fsdp_adam_training.cpp.o.d"
+  "fsdp_adam_training"
+  "fsdp_adam_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsdp_adam_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/long_context_tasks.dir/long_context_tasks.cpp.o"
+  "CMakeFiles/long_context_tasks.dir/long_context_tasks.cpp.o.d"
+  "long_context_tasks"
+  "long_context_tasks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/long_context_tasks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

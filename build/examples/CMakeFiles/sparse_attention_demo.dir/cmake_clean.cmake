@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparse_attention_demo.dir/sparse_attention_demo.cpp.o"
+  "CMakeFiles/sparse_attention_demo.dir/sparse_attention_demo.cpp.o.d"
+  "sparse_attention_demo"
+  "sparse_attention_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparse_attention_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_tiny_llm.dir/train_tiny_llm.cpp.o"
+  "CMakeFiles/train_tiny_llm.dir/train_tiny_llm.cpp.o.d"
+  "train_tiny_llm"
+  "train_tiny_llm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_tiny_llm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

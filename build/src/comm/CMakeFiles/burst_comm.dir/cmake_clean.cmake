@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/burst_comm.dir/communicator.cpp.o"
+  "CMakeFiles/burst_comm.dir/communicator.cpp.o.d"
+  "CMakeFiles/burst_comm.dir/ring.cpp.o"
+  "CMakeFiles/burst_comm.dir/ring.cpp.o.d"
+  "libburst_comm.a"
+  "libburst_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/burst_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/checkpoint.cpp" "src/core/CMakeFiles/burst_core.dir/checkpoint.cpp.o" "gcc" "src/core/CMakeFiles/burst_core.dir/checkpoint.cpp.o.d"
+  "/root/repo/src/core/dist_attention.cpp" "src/core/CMakeFiles/burst_core.dir/dist_attention.cpp.o" "gcc" "src/core/CMakeFiles/burst_core.dir/dist_attention.cpp.o.d"
+  "/root/repo/src/core/head_exchange.cpp" "src/core/CMakeFiles/burst_core.dir/head_exchange.cpp.o" "gcc" "src/core/CMakeFiles/burst_core.dir/head_exchange.cpp.o.d"
+  "/root/repo/src/core/partition.cpp" "src/core/CMakeFiles/burst_core.dir/partition.cpp.o" "gcc" "src/core/CMakeFiles/burst_core.dir/partition.cpp.o.d"
+  "/root/repo/src/core/sweep.cpp" "src/core/CMakeFiles/burst_core.dir/sweep.cpp.o" "gcc" "src/core/CMakeFiles/burst_core.dir/sweep.cpp.o.d"
+  "/root/repo/src/core/ulysses.cpp" "src/core/CMakeFiles/burst_core.dir/ulysses.cpp.o" "gcc" "src/core/CMakeFiles/burst_core.dir/ulysses.cpp.o.d"
+  "/root/repo/src/core/usp.cpp" "src/core/CMakeFiles/burst_core.dir/usp.cpp.o" "gcc" "src/core/CMakeFiles/burst_core.dir/usp.cpp.o.d"
+  "/root/repo/src/core/vocab_parallel.cpp" "src/core/CMakeFiles/burst_core.dir/vocab_parallel.cpp.o" "gcc" "src/core/CMakeFiles/burst_core.dir/vocab_parallel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/comm/CMakeFiles/burst_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/burst_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/burst_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/burst_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/burst_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

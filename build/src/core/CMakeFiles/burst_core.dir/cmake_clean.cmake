@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/burst_core.dir/checkpoint.cpp.o"
+  "CMakeFiles/burst_core.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/burst_core.dir/dist_attention.cpp.o"
+  "CMakeFiles/burst_core.dir/dist_attention.cpp.o.d"
+  "CMakeFiles/burst_core.dir/head_exchange.cpp.o"
+  "CMakeFiles/burst_core.dir/head_exchange.cpp.o.d"
+  "CMakeFiles/burst_core.dir/partition.cpp.o"
+  "CMakeFiles/burst_core.dir/partition.cpp.o.d"
+  "CMakeFiles/burst_core.dir/sweep.cpp.o"
+  "CMakeFiles/burst_core.dir/sweep.cpp.o.d"
+  "CMakeFiles/burst_core.dir/ulysses.cpp.o"
+  "CMakeFiles/burst_core.dir/ulysses.cpp.o.d"
+  "CMakeFiles/burst_core.dir/usp.cpp.o"
+  "CMakeFiles/burst_core.dir/usp.cpp.o.d"
+  "CMakeFiles/burst_core.dir/vocab_parallel.cpp.o"
+  "CMakeFiles/burst_core.dir/vocab_parallel.cpp.o.d"
+  "libburst_core.a"
+  "libburst_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/burst_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

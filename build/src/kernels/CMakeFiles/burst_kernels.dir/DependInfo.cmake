@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/flash_attention.cpp" "src/kernels/CMakeFiles/burst_kernels.dir/flash_attention.cpp.o" "gcc" "src/kernels/CMakeFiles/burst_kernels.dir/flash_attention.cpp.o.d"
+  "/root/repo/src/kernels/lm_head.cpp" "src/kernels/CMakeFiles/burst_kernels.dir/lm_head.cpp.o" "gcc" "src/kernels/CMakeFiles/burst_kernels.dir/lm_head.cpp.o.d"
+  "/root/repo/src/kernels/mask.cpp" "src/kernels/CMakeFiles/burst_kernels.dir/mask.cpp.o" "gcc" "src/kernels/CMakeFiles/burst_kernels.dir/mask.cpp.o.d"
+  "/root/repo/src/kernels/reference_attention.cpp" "src/kernels/CMakeFiles/burst_kernels.dir/reference_attention.cpp.o" "gcc" "src/kernels/CMakeFiles/burst_kernels.dir/reference_attention.cpp.o.d"
+  "/root/repo/src/kernels/rope.cpp" "src/kernels/CMakeFiles/burst_kernels.dir/rope.cpp.o" "gcc" "src/kernels/CMakeFiles/burst_kernels.dir/rope.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/burst_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/burst_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

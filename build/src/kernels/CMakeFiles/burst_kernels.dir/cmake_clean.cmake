@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/burst_kernels.dir/flash_attention.cpp.o"
+  "CMakeFiles/burst_kernels.dir/flash_attention.cpp.o.d"
+  "CMakeFiles/burst_kernels.dir/lm_head.cpp.o"
+  "CMakeFiles/burst_kernels.dir/lm_head.cpp.o.d"
+  "CMakeFiles/burst_kernels.dir/mask.cpp.o"
+  "CMakeFiles/burst_kernels.dir/mask.cpp.o.d"
+  "CMakeFiles/burst_kernels.dir/reference_attention.cpp.o"
+  "CMakeFiles/burst_kernels.dir/reference_attention.cpp.o.d"
+  "CMakeFiles/burst_kernels.dir/rope.cpp.o"
+  "CMakeFiles/burst_kernels.dir/rope.cpp.o.d"
+  "libburst_kernels.a"
+  "libburst_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/burst_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/burst_model.dir/data.cpp.o"
+  "CMakeFiles/burst_model.dir/data.cpp.o.d"
+  "CMakeFiles/burst_model.dir/dist_model.cpp.o"
+  "CMakeFiles/burst_model.dir/dist_model.cpp.o.d"
+  "CMakeFiles/burst_model.dir/fsdp.cpp.o"
+  "CMakeFiles/burst_model.dir/fsdp.cpp.o.d"
+  "CMakeFiles/burst_model.dir/optimizer.cpp.o"
+  "CMakeFiles/burst_model.dir/optimizer.cpp.o.d"
+  "CMakeFiles/burst_model.dir/transformer.cpp.o"
+  "CMakeFiles/burst_model.dir/transformer.cpp.o.d"
+  "libburst_model.a"
+  "libburst_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/burst_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

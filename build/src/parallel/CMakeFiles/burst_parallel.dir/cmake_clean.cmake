@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/burst_parallel.dir/thread_pool.cpp.o"
+  "CMakeFiles/burst_parallel.dir/thread_pool.cpp.o.d"
+  "libburst_parallel.a"
+  "libburst_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/burst_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

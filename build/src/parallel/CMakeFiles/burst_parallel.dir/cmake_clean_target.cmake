@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libburst_parallel.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/burst_perfmodel.dir/comm_model.cpp.o"
+  "CMakeFiles/burst_perfmodel.dir/comm_model.cpp.o.d"
+  "CMakeFiles/burst_perfmodel.dir/estimator.cpp.o"
+  "CMakeFiles/burst_perfmodel.dir/estimator.cpp.o.d"
+  "CMakeFiles/burst_perfmodel.dir/flops.cpp.o"
+  "CMakeFiles/burst_perfmodel.dir/flops.cpp.o.d"
+  "CMakeFiles/burst_perfmodel.dir/memory_model.cpp.o"
+  "CMakeFiles/burst_perfmodel.dir/memory_model.cpp.o.d"
+  "libburst_perfmodel.a"
+  "libburst_perfmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/burst_perfmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

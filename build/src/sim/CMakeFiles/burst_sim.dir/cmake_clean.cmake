@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/burst_sim.dir/cluster.cpp.o"
+  "CMakeFiles/burst_sim.dir/cluster.cpp.o.d"
+  "CMakeFiles/burst_sim.dir/trace.cpp.o"
+  "CMakeFiles/burst_sim.dir/trace.cpp.o.d"
+  "libburst_sim.a"
+  "libburst_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/burst_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

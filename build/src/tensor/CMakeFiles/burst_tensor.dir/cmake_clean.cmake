@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/burst_tensor.dir/gemm.cpp.o"
+  "CMakeFiles/burst_tensor.dir/gemm.cpp.o.d"
+  "CMakeFiles/burst_tensor.dir/ops.cpp.o"
+  "CMakeFiles/burst_tensor.dir/ops.cpp.o.d"
+  "CMakeFiles/burst_tensor.dir/rng.cpp.o"
+  "CMakeFiles/burst_tensor.dir/rng.cpp.o.d"
+  "CMakeFiles/burst_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/burst_tensor.dir/tensor.cpp.o.d"
+  "libburst_tensor.a"
+  "libburst_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/burst_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

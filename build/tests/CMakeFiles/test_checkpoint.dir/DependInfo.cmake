@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_checkpoint.cpp" "tests/CMakeFiles/test_checkpoint.dir/test_checkpoint.cpp.o" "gcc" "tests/CMakeFiles/test_checkpoint.dir/test_checkpoint.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/burst_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/burst_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/burst_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/burst_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/burst_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/burst_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

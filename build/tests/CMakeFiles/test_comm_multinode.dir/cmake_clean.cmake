@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_comm_multinode.dir/test_comm_multinode.cpp.o"
+  "CMakeFiles/test_comm_multinode.dir/test_comm_multinode.cpp.o.d"
+  "test_comm_multinode"
+  "test_comm_multinode.pdb"
+  "test_comm_multinode[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_comm_multinode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

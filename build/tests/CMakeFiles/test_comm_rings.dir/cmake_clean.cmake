@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_comm_rings.dir/test_comm_rings.cpp.o"
+  "CMakeFiles/test_comm_rings.dir/test_comm_rings.cpp.o.d"
+  "test_comm_rings"
+  "test_comm_rings.pdb"
+  "test_comm_rings[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_comm_rings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dist_attention.dir/test_dist_attention.cpp.o"
+  "CMakeFiles/test_dist_attention.dir/test_dist_attention.cpp.o.d"
+  "test_dist_attention"
+  "test_dist_attention.pdb"
+  "test_dist_attention[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dist_attention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dist_model.dir/test_dist_model.cpp.o"
+  "CMakeFiles/test_dist_model.dir/test_dist_model.cpp.o.d"
+  "test_dist_model"
+  "test_dist_model.pdb"
+  "test_dist_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dist_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

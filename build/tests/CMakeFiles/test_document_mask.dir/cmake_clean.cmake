@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_document_mask.dir/test_document_mask.cpp.o"
+  "CMakeFiles/test_document_mask.dir/test_document_mask.cpp.o.d"
+  "test_document_mask"
+  "test_document_mask.pdb"
+  "test_document_mask[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_document_mask.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

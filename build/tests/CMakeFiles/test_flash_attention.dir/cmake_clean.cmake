@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_flash_attention.dir/test_flash_attention.cpp.o"
+  "CMakeFiles/test_flash_attention.dir/test_flash_attention.cpp.o.d"
+  "test_flash_attention"
+  "test_flash_attention.pdb"
+  "test_flash_attention[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_flash_attention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lm_head.dir/test_lm_head.cpp.o"
+  "CMakeFiles/test_lm_head.dir/test_lm_head.cpp.o.d"
+  "test_lm_head"
+  "test_lm_head.pdb"
+  "test_lm_head[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lm_head.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

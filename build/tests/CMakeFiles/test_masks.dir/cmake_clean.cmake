@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_masks.dir/test_masks.cpp.o"
+  "CMakeFiles/test_masks.dir/test_masks.cpp.o.d"
+  "test_masks"
+  "test_masks.pdb"
+  "test_masks[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_masks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model_sim_agreement.dir/test_model_sim_agreement.cpp.o"
+  "CMakeFiles/test_model_sim_agreement.dir/test_model_sim_agreement.cpp.o.d"
+  "test_model_sim_agreement"
+  "test_model_sim_agreement.pdb"
+  "test_model_sim_agreement[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model_sim_agreement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

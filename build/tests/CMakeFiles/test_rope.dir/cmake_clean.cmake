@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rope.dir/test_rope.cpp.o"
+  "CMakeFiles/test_rope.dir/test_rope.cpp.o.d"
+  "test_rope"
+  "test_rope.pdb"
+  "test_rope[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rope.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

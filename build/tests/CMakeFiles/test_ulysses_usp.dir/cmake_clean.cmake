@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ulysses_usp.dir/test_ulysses_usp.cpp.o"
+  "CMakeFiles/test_ulysses_usp.dir/test_ulysses_usp.cpp.o.d"
+  "test_ulysses_usp"
+  "test_ulysses_usp.pdb"
+  "test_ulysses_usp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ulysses_usp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

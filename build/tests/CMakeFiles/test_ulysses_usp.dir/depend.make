@@ -1,0 +1,2 @@
+# Empty dependencies file for test_ulysses_usp.
+# This may be replaced when dependencies are built.

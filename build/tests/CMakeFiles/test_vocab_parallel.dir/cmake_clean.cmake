@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vocab_parallel.dir/test_vocab_parallel.cpp.o"
+  "CMakeFiles/test_vocab_parallel.dir/test_vocab_parallel.cpp.o.d"
+  "test_vocab_parallel"
+  "test_vocab_parallel.pdb"
+  "test_vocab_parallel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vocab_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
