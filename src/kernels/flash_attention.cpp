@@ -68,6 +68,12 @@ MaskSpec::TileClass classify_tile(const MaskSpec& mask, const IndexMap& qmap,
   return all ? MaskSpec::TileClass::kAll : MaskSpec::TileClass::kPartial;
 }
 
+// Rows [r0, r0+n) of a view, sharing storage.
+ConstMatView sub_rows(ConstMatView m, std::int64_t r0, std::int64_t n) {
+  assert(r0 >= 0 && r0 + n <= m.rows);
+  return ConstMatView(m.data + r0 * m.stride, n, m.cols, m.stride);
+}
+
 }  // namespace
 
 void flash_forward_partial(const Tensor& q, const IndexMap& qmap,
@@ -75,12 +81,21 @@ void flash_forward_partial(const Tensor& q, const IndexMap& qmap,
                            const IndexMap& kmap, const MaskSpec& mask,
                            float scale, Tensor& o_acc, Tensor& lse_acc,
                            KernelStats* stats) {
-  const std::int64_t nq = q.rows();
-  const std::int64_t nk = k.rows();
-  const std::int64_t d = q.cols();
-  assert(k.cols() == d && v.cols() == d && v.rows() == nk);
+  flash_forward_partial(q.view(), qmap, k.view(), v.view(), kmap, mask, scale,
+                        o_acc.view(), lse_acc, stats);
+}
+
+void flash_forward_partial(ConstMatView q, const IndexMap& qmap,
+                           ConstMatView k, ConstMatView v,
+                           const IndexMap& kmap, const MaskSpec& mask,
+                           float scale, tensor::MatView o_acc, Tensor& lse_acc,
+                           KernelStats* stats) {
+  const std::int64_t nq = q.rows;
+  const std::int64_t nk = k.rows;
+  const std::int64_t d = q.cols;
+  assert(k.cols == d && v.cols == d && v.rows == nk);
   assert(qmap.size() == nq && kmap.size() == nk);
-  assert(o_acc.rows() == nq && o_acc.cols() == d && lse_acc.numel() == nq);
+  assert(o_acc.rows == nq && o_acc.cols == d && lse_acc.numel() == nq);
 
   for (std::int64_t q0 = 0; q0 < nq; q0 += kTileQ) {
     const std::int64_t q1 = std::min(nq, q0 + kTileQ);
@@ -103,7 +118,7 @@ void flash_forward_partial(const Tensor& q, const IndexMap& qmap,
       }
 
       Tensor s(bq, bk);
-      tensor::gemm(q.row_block(q0, bq), Trans::No, k.row_block(k0, bk),
+      tensor::gemm(sub_rows(q, q0, bq), Trans::No, sub_rows(k, k0, bk),
                    Trans::Yes, s.view(), scale, 0.0f);
       if (cls == MaskSpec::TileClass::kPartial) {
         apply_mask(s, mask, qmap, kmap, q0, k0);
@@ -169,17 +184,74 @@ void flash_forward_partial(const Tensor& q, const IndexMap& qmap,
         o_tile(i, c) *= inv;
       }
     }
-    Tensor o_view = o_acc.copy_rows(q0, bq);
+    Tensor o_view(bq, d);
     Tensor lse_view(bq);
     for (std::int64_t i = 0; i < bq; ++i) {
       lse_view[i] = lse_acc[q0 + i];
+      for (std::int64_t c = 0; c < d; ++c) {
+        o_view(i, c) = o_acc(q0 + i, c);
+      }
     }
     tensor::merge_online_softmax(o_view, lse_view, o_tile, lse_part);
-    o_acc.set_rows(q0, o_view);
     for (std::int64_t i = 0; i < bq; ++i) {
       lse_acc[q0 + i] = lse_view[i];
+      for (std::int64_t c = 0; c < d; ++c) {
+        o_acc(q0 + i, c) = o_view(i, c);
+      }
     }
   }
+}
+
+float flash_decode_step(ConstMatView q, ConstMatView k, ConstMatView v,
+                        std::int64_t q_pos, const MaskSpec& mask, float scale,
+                        tensor::MatView o_row, KernelStats* stats) {
+  assert(q.rows == 1 && o_row.rows == 1);
+  const std::int64_t d = q.cols;
+  const std::int64_t nk = k.rows;
+  assert(k.cols == d && v.cols == d && v.rows == nk && o_row.cols == d);
+  for (std::int64_t c = 0; c < d; ++c) {
+    o_row(0, c) = 0.0f;
+  }
+  float m = kNegInf;
+  double l = 0.0;
+  std::uint64_t pairs = 0;
+  for (std::int64_t j = 0; j < nk; ++j) {
+    if (!mask.allowed(q_pos, j)) {
+      continue;
+    }
+    float s = 0.0f;
+    for (std::int64_t c = 0; c < d; ++c) {
+      s += q(0, c) * k(j, c);
+    }
+    s *= scale;
+    ++pairs;
+    if (s > m) {
+      // New running max: rescale the accumulator before adding this key.
+      const float corr = m == kNegInf ? 0.0f : std::exp(m - s);
+      l *= corr;
+      for (std::int64_t c = 0; c < d; ++c) {
+        o_row(0, c) *= corr;
+      }
+      m = s;
+    }
+    const float p = std::exp(s - m);
+    l += p;
+    for (std::int64_t c = 0; c < d; ++c) {
+      o_row(0, c) += p * v(j, c);
+    }
+  }
+  if (stats != nullptr) {
+    ++stats->tiles_computed;
+    stats->flops += attention_pair_flops(pairs, d);
+  }
+  if (l <= 0.0) {
+    return kNegInf;  // fully masked row; o_row stays zero
+  }
+  const float inv = static_cast<float>(1.0 / l);
+  for (std::int64_t c = 0; c < d; ++c) {
+    o_row(0, c) *= inv;
+  }
+  return m + static_cast<float>(std::log(l));
 }
 
 AttnResult flash_forward(const Tensor& q, const IndexMap& qmap,

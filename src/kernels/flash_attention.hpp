@@ -53,6 +53,28 @@ void flash_forward_partial(const tensor::Tensor& q, const IndexMap& qmap,
                            tensor::Tensor& lse_acc,
                            KernelStats* stats = nullptr);
 
+/// View-based variant for callers whose Q/K/V live inside larger
+/// allocations — chunked prefill attending to a KV-cache prefix reads the
+/// cache rows in place instead of copying them out. Identical math and
+/// accumulator contract as the Tensor overload.
+void flash_forward_partial(tensor::ConstMatView q, const IndexMap& qmap,
+                           tensor::ConstMatView k, tensor::ConstMatView v,
+                           const IndexMap& kmap, const MaskSpec& mask,
+                           float scale, tensor::MatView o_acc,
+                           tensor::Tensor& lse_acc,
+                           KernelStats* stats = nullptr);
+
+/// Append-one-query decode path: attention of a single query row at global
+/// position `q_pos` against keys/values covering global positions
+/// [0, k.rows). One sequential online-softmax pass with no tile machinery —
+/// the per-token hot loop of KV-cache decoding. Writes the output into
+/// `o_row` ([1, d]) and returns the row's LogSumExp (-inf if every key is
+/// masked, in which case `o_row` is zeroed).
+float flash_decode_step(tensor::ConstMatView q, tensor::ConstMatView k,
+                        tensor::ConstMatView v, std::int64_t q_pos,
+                        const MaskSpec& mask, float scale,
+                        tensor::MatView o_row, KernelStats* stats = nullptr);
+
 /// Single-partition convenience wrapper: fresh accumulators, one call.
 AttnResult flash_forward(const tensor::Tensor& q, const IndexMap& qmap,
                          const tensor::Tensor& k, const tensor::Tensor& v,

@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <cmath>
+#include <limits>
 
 #include "kernels/flash_attention.hpp"
 #include "kernels/lm_head.hpp"
@@ -300,6 +301,153 @@ std::vector<double> serial_per_row_loss(const ModelConfig& cfg,
     const auto t = static_cast<std::int64_t>(tokens[i + 1]);
     out[static_cast<std::size_t>(i)] =
         static_cast<double>(lse[i]) - logits(i, t);
+  }
+  return out;
+}
+
+namespace {
+
+Tensor embed_ids(const ModelConfig& cfg, const ModelWeights& w,
+                 const std::int64_t* tokens, std::int64_t count) {
+  Tensor x(count, cfg.d_model);
+  for (std::int64_t i = 0; i < count; ++i) {
+    assert(tokens[i] >= 0 && tokens[i] < cfg.vocab);
+    for (std::int64_t c = 0; c < cfg.d_model; ++c) {
+      x(i, c) = w.w_embed(tokens[i], c);
+    }
+  }
+  return x;
+}
+
+constexpr float kNegInfF = -std::numeric_limits<float>::infinity();
+
+}  // namespace
+
+Tensor head_logits(const ModelWeights& w, const Tensor& h) {
+  return tensor::matmul_nt(h, w.w_head);
+}
+
+std::int64_t argmax(const Tensor& logits) {
+  assert(logits.numel() > 0);
+  std::int64_t best = 0;
+  for (std::int64_t i = 1; i < logits.numel(); ++i) {
+    if (logits.data()[i] > logits.data()[best]) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+Tensor serial_forward_logits(const ModelConfig& cfg, const ModelWeights& w,
+                             const std::int64_t* tokens, std::int64_t count,
+                             const MaskSpec& mask) {
+  Tensor x = embed_ids(cfg, w, tokens, count);
+  for (std::int64_t l = 0; l < cfg.layers; ++l) {
+    LayerForwardCache c =
+        layer_forward(cfg, w.layers[static_cast<std::size_t>(l)], x, mask);
+    x = layer_output(c, w.layers[static_cast<std::size_t>(l)]);
+  }
+  return head_logits(w, x);
+}
+
+Tensor forward_prefill_chunk(const ModelConfig& cfg, const ModelWeights& w,
+                             SequenceKvCache& cache, const std::int64_t* tokens,
+                             std::int64_t count, const MaskSpec& mask,
+                             kernels::KernelStats* stats) {
+  assert(count > 0);
+  cache.reserve(count);
+  const std::int64_t pos0 = cache.len();
+  const std::int64_t total = pos0 + count;
+  const std::int64_t dh = cfg.head_dim();
+  const float scale = 1.0f / std::sqrt(static_cast<float>(dh));
+  const IndexMap qmap = IndexMap::range(pos0, count);
+  const IndexMap kmap = IndexMap::range(0, total);
+  const std::int64_t group = cfg.group_size();
+  Tensor x = embed_ids(cfg, w, tokens, count);
+  for (std::int64_t l = 0; l < cfg.layers; ++l) {
+    const LayerWeights& lw = w.layers[static_cast<std::size_t>(l)];
+    Tensor q_all = tensor::matmul(x, lw.wq);
+    Tensor k_all = tensor::matmul(x, lw.wk);
+    Tensor v_all = tensor::matmul(x, lw.wv);
+    // The chunk's K/V rows must land in the cache before attention so every
+    // query row can read keys up to its own position.
+    for (std::int64_t kvh = 0; kvh < cfg.num_kv_heads(); ++kvh) {
+      Tensor kh = tensor::copy_cols(k_all, kvh * dh, dh);
+      if (cfg.use_rope) {
+        kernels::apply_rope_inplace(kh, qmap);
+      }
+      cache.put(l, kvh, kh, tensor::copy_cols(v_all, kvh * dh, dh));
+    }
+    Tensor attn = Tensor::zeros(count, cfg.d_model);
+    for (std::int64_t h = 0; h < cfg.heads; ++h) {
+      Tensor qh = tensor::copy_cols(q_all, h * dh, dh);
+      if (cfg.use_rope) {
+        kernels::apply_rope_inplace(qh, qmap);
+      }
+      const std::int64_t kvh = h / group;
+      Tensor o = Tensor::zeros(count, dh);
+      Tensor lse(count);
+      lse.fill(kNegInfF);
+      kernels::flash_forward_partial(qh.view(), qmap,
+                                     cache.k_view(l, kvh, total),
+                                     cache.v_view(l, kvh, total), kmap, mask,
+                                     scale, o.view(), lse, stats);
+      tensor::set_cols(attn, h * dh, o);
+    }
+    Tensor a = tensor::matmul(attn, lw.wo);
+    Tensor hres = tensor::add(a, x);
+    Tensor u = tensor::relu(tensor::matmul(hres, lw.w1));
+    x = tensor::matmul(u, lw.w2);
+    tensor::add_inplace(x, hres);
+  }
+  cache.commit(count);
+  return x;
+}
+
+Tensor forward_decode(const ModelConfig& cfg, const ModelWeights& w,
+                      SequenceKvCache& cache, std::int64_t token,
+                      const MaskSpec& mask, kernels::KernelStats* stats) {
+  cache.reserve(1);
+  const std::int64_t pos = cache.len();
+  const IndexMap posmap = IndexMap::range(pos, 1);
+  const std::int64_t dh = cfg.head_dim();
+  const float scale = 1.0f / std::sqrt(static_cast<float>(dh));
+  const std::int64_t group = cfg.group_size();
+  Tensor x = embed_ids(cfg, w, &token, 1);
+  for (std::int64_t l = 0; l < cfg.layers; ++l) {
+    const LayerWeights& lw = w.layers[static_cast<std::size_t>(l)];
+    Tensor q_all = tensor::matmul(x, lw.wq);
+    Tensor k_all = tensor::matmul(x, lw.wk);
+    Tensor v_all = tensor::matmul(x, lw.wv);
+    for (std::int64_t kvh = 0; kvh < cfg.num_kv_heads(); ++kvh) {
+      Tensor kh = tensor::copy_cols(k_all, kvh * dh, dh);
+      if (cfg.use_rope) {
+        kernels::apply_rope_inplace(kh, posmap);
+      }
+      cache.put(l, kvh, kh, tensor::copy_cols(v_all, kvh * dh, dh));
+    }
+    Tensor attn(1, cfg.d_model);
+    for (std::int64_t h = 0; h < cfg.heads; ++h) {
+      Tensor qh = tensor::copy_cols(q_all, h * dh, dh);
+      if (cfg.use_rope) {
+        kernels::apply_rope_inplace(qh, posmap);
+      }
+      const std::int64_t kvh = h / group;
+      kernels::flash_decode_step(qh.view(), cache.k_view(l, kvh, pos + 1),
+                                 cache.v_view(l, kvh, pos + 1), pos, mask,
+                                 scale, attn.col_block(h * dh, dh), stats);
+    }
+    Tensor a = tensor::matmul(attn, lw.wo);
+    Tensor hres = tensor::add(a, x);
+    Tensor u = tensor::relu(tensor::matmul(hres, lw.w1));
+    x = tensor::matmul(u, lw.w2);
+    tensor::add_inplace(x, hres);
+  }
+  cache.commit(1);
+  Tensor logits = head_logits(w, x);  // [1, vocab]
+  Tensor out(cfg.vocab);
+  for (std::int64_t j = 0; j < cfg.vocab; ++j) {
+    out[j] = logits(0, j);
   }
   return out;
 }

@@ -13,8 +13,10 @@
 #include <cstdint>
 #include <vector>
 
+#include "kernels/flash_attention.hpp"
 #include "kernels/mask.hpp"
 #include "model/config.hpp"
+#include "model/kv_cache.hpp"
 #include "tensor/rng.hpp"
 #include "tensor/tensor.hpp"
 
@@ -77,5 +79,45 @@ std::vector<double> serial_per_row_loss(const ModelConfig& cfg,
                                         const ModelWeights& w,
                                         const tensor::Tensor& tokens,
                                         const kernels::MaskSpec& mask);
+
+// --- incremental decoding (serving path) ----------------------------------
+
+/// LM-head logits for final-layer hidden states: [n, d] -> [n, vocab].
+tensor::Tensor head_logits(const ModelWeights& w, const tensor::Tensor& h);
+
+/// Index of the largest entry of a rank-1 tensor (greedy decoding).
+std::int64_t argmax(const tensor::Tensor& logits);
+
+/// One-shot full forward over `count` token ids: [count, vocab] logits.
+/// The serving-path ground truth: chunked prefill + decode must reproduce
+/// its rows (tests/test_serve_decode.cpp).
+tensor::Tensor serial_forward_logits(const ModelConfig& cfg,
+                                     const ModelWeights& w,
+                                     const std::int64_t* tokens,
+                                     std::int64_t count,
+                                     const kernels::MaskSpec& mask);
+
+/// Runs `count` prompt tokens at global positions [cache.len(),
+/// cache.len()+count) through the stack, appending every layer's K/V rows to
+/// `cache`, and returns the final-layer hidden states [count, d]. Each row
+/// attends to the whole cached prefix under `mask`. Capacity is reserved
+/// internally if the caller has not already done so (the serving engine
+/// reserves first to charge its block pool). `stats`, when given,
+/// accumulates attention-kernel FLOPs after mask skipping.
+tensor::Tensor forward_prefill_chunk(const ModelConfig& cfg,
+                                     const ModelWeights& w,
+                                     SequenceKvCache& cache,
+                                     const std::int64_t* tokens,
+                                     std::int64_t count,
+                                     const kernels::MaskSpec& mask,
+                                     kernels::KernelStats* stats = nullptr);
+
+/// Single-token decode step: appends `token`'s K/V at position cache.len()
+/// and returns the next-token logits [vocab], using the append-one-query
+/// attention path (kernels::flash_decode_step).
+tensor::Tensor forward_decode(const ModelConfig& cfg, const ModelWeights& w,
+                              SequenceKvCache& cache, std::int64_t token,
+                              const kernels::MaskSpec& mask,
+                              kernels::KernelStats* stats = nullptr);
 
 }  // namespace burst::model

@@ -1,0 +1,176 @@
+#include "serve/dist_prefill.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "comm/communicator.hpp"
+#include "core/dist_attention.hpp"
+#include "core/sweep.hpp"
+#include "kernels/rope.hpp"
+#include "tensor/gemm.hpp"
+#include "tensor/ops.hpp"
+
+namespace burst::serve {
+
+using kernels::IndexMap;
+using model::ModelConfig;
+using model::SequenceKvCache;
+using tensor::Tensor;
+
+namespace {
+
+// Tags for the gather phase; the ring sweeps inside dist_attention_forward
+// use their own tag space, and mailbox keys include the source rank, so one
+// tag per (layer, kv head) suffices.
+constexpr int kTagKv = 9000;
+constexpr int kTagHidden = 9900;
+
+}  // namespace
+
+DistPrefillResult distributed_prefill(sim::Cluster& cluster,
+                                      const ModelConfig& cfg,
+                                      const model::ModelWeights& w,
+                                      const std::vector<std::int64_t>& prompt,
+                                      std::int64_t block_tokens,
+                                      const kernels::MaskSpec& mask) {
+  const auto n = static_cast<std::int64_t>(prompt.size());
+  const int world = cluster.world_size();
+  if (n <= 0 || n % world != 0) {
+    throw std::invalid_argument(
+        "distributed_prefill: prompt length must be a positive multiple of "
+        "the cluster world size");
+  }
+
+  DistPrefillResult out;
+  out.cache = SequenceKvCache::create(cfg, block_tokens);
+  out.cache.reserve(n);
+
+  const std::int64_t dh = cfg.head_dim();
+  const std::int64_t group = cfg.group_size();
+  const std::int64_t kvh_n = cfg.num_kv_heads();
+
+  cluster.run([&](sim::DeviceContext& ctx) {
+    comm::Communicator comm(ctx);
+    const auto route = core::SweepRoute::double_ring(cluster.config().topo);
+
+    core::DistAttnConfig acfg;
+    acfg.mask = mask;
+    acfg.scale = 1.0f / std::sqrt(static_cast<float>(dh));
+    acfg.balance = core::Balance::kContiguous;
+    acfg.backward = core::BackwardComm::kBurst;
+    acfg.seq_len = n;
+    const IndexMap map = core::route_index_map(route, acfg, ctx.rank());
+    const std::int64_t m = map.size();
+    const std::int64_t off = map.offset();
+
+    Tensor x(m, cfg.d_model);
+    for (std::int64_t i = 0; i < m; ++i) {
+      const std::int64_t tok = prompt[static_cast<std::size_t>(map.global(i))];
+      for (std::int64_t c = 0; c < cfg.d_model; ++c) {
+        x(i, c) = w.w_embed(tok, c);
+      }
+    }
+
+    // Per-layer local K/V shards (post-RoPE), kept for the gather phase.
+    std::vector<std::vector<Tensor>> k_shard(
+        static_cast<std::size_t>(cfg.layers));
+    std::vector<std::vector<Tensor>> v_shard(
+        static_cast<std::size_t>(cfg.layers));
+
+    for (std::int64_t l = 0; l < cfg.layers; ++l) {
+      const auto& lw = w.layers[static_cast<std::size_t>(l)];
+      Tensor q_all = tensor::matmul(x, lw.wq);
+      Tensor k_all = tensor::matmul(x, lw.wk);
+      Tensor v_all = tensor::matmul(x, lw.wv);
+      auto& kl = k_shard[static_cast<std::size_t>(l)];
+      auto& vl = v_shard[static_cast<std::size_t>(l)];
+      for (std::int64_t kvh = 0; kvh < kvh_n; ++kvh) {
+        Tensor kh = tensor::copy_cols(k_all, kvh * dh, dh);
+        if (cfg.use_rope) {
+          kernels::apply_rope_inplace(kh, map);
+        }
+        kl.push_back(std::move(kh));
+        vl.push_back(tensor::copy_cols(v_all, kvh * dh, dh));
+      }
+      Tensor attn = Tensor::zeros(m, cfg.d_model);
+      for (std::int64_t h = 0; h < cfg.heads; ++h) {
+        Tensor qh = tensor::copy_cols(q_all, h * dh, dh);
+        if (cfg.use_rope) {
+          kernels::apply_rope_inplace(qh, map);
+        }
+        const auto kvh = static_cast<std::size_t>(h / group);
+        core::LocalQKV local{qh, kl[kvh], vl[kvh]};
+        auto r = core::dist_attention_forward(comm, route, acfg, local);
+        tensor::set_cols(attn, h * dh, r.o);
+      }
+      Tensor a = tensor::matmul(attn, lw.wo);
+      Tensor hres = tensor::add(a, x);
+      Tensor u = tensor::relu(tensor::matmul(hres, lw.w1));
+      x = tensor::matmul(u, lw.w2);
+      tensor::add_inplace(x, hres);
+    }
+
+    // Gather: every device ships its per-(layer, kv head) cache shard to
+    // rank 0, which writes them at the shard's global row offset.
+    if (ctx.rank() != 0) {
+      for (std::int64_t l = 0; l < cfg.layers; ++l) {
+        for (std::int64_t kvh = 0; kvh < kvh_n; ++kvh) {
+          const int tag = kTagKv + static_cast<int>(l * kvh_n + kvh);
+          comm.send(0, tag,
+                    {k_shard[static_cast<std::size_t>(l)]
+                            [static_cast<std::size_t>(kvh)],
+                     v_shard[static_cast<std::size_t>(l)]
+                            [static_cast<std::size_t>(kvh)]});
+        }
+      }
+      if (off + m == n) {
+        // This shard owns the last prompt row (route position world-1,
+        // whatever global rank that is).
+        comm.send(0, kTagHidden, {x.copy_rows(m - 1, 1)});
+      }
+    } else {
+      for (std::int64_t l = 0; l < cfg.layers; ++l) {
+        for (std::int64_t kvh = 0; kvh < kvh_n; ++kvh) {
+          const auto li = static_cast<std::size_t>(l);
+          const auto ki = static_cast<std::size_t>(kvh);
+          out.cache.put_at(l, kvh, off, k_shard[li][ki], v_shard[li][ki]);
+          for (int src = 1; src < world; ++src) {
+            const int tag = kTagKv + static_cast<int>(l * kvh_n + kvh);
+            auto msg = comm.recv(src, tag);
+            assert(msg.size() == 2);
+            // Row offset from the sender's own index map: route positions
+            // need not equal global ranks on a double ring.
+            const std::int64_t src_off =
+                core::route_index_map(route, acfg, src).offset();
+            out.cache.put_at(l, kvh, src_off, msg[0], msg[1]);
+          }
+        }
+      }
+      if (off + m == n) {
+        out.last_hidden = x.copy_rows(m - 1, 1);
+      } else {
+        int owner = -1;
+        for (int src = 1; src < world; ++src) {
+          if (core::route_index_map(route, acfg, src).offset() + m == n) {
+            owner = src;
+            break;
+          }
+        }
+        assert(owner > 0);
+        out.last_hidden = comm.recv(owner, kTagHidden)[0];
+      }
+      out.cache.commit(n);
+      const Tensor logits = model::head_logits(w, out.last_hidden);
+      Tensor row(cfg.vocab);
+      for (std::int64_t j = 0; j < cfg.vocab; ++j) {
+        row[j] = logits(0, j);
+      }
+      out.first_token = model::argmax(row);
+    }
+  });
+
+  return out;
+}
+
+}  // namespace burst::serve

@@ -1,0 +1,320 @@
+#include "serve/engine.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <stdexcept>
+#include <string>
+
+#include "serve/kv_cache.hpp"
+#include "tensor/gemm.hpp"
+
+namespace burst::serve {
+
+using model::ModelConfig;
+using model::SequenceKvCache;
+using tensor::Tensor;
+
+namespace {
+
+// GEMM FLOPs of one token through the projections and the two-matrix ReLU
+// FFN the functional transformer actually runs (not the gated analytic
+// count perfmodel uses for paper-scale estimates).
+std::uint64_t linear_flops_per_token(const ModelConfig& m) {
+  const std::uint64_t d = static_cast<std::uint64_t>(m.d_model);
+  const std::uint64_t per_layer =
+      4 * d * d + 4 * d * static_cast<std::uint64_t>(m.d_kv()) +
+      4 * d * static_cast<std::uint64_t>(m.d_ff);
+  return static_cast<std::uint64_t>(m.layers) * per_layer;
+}
+
+// LM-head FLOPs for one row of logits.
+std::uint64_t head_flops(const ModelConfig& m) {
+  return 2 * static_cast<std::uint64_t>(m.vocab) *
+         static_cast<std::uint64_t>(m.d_model);
+}
+
+// Bytes streamed from simulated HBM per iteration: every weight once.
+std::uint64_t weight_stream_bytes(const ModelConfig& m) {
+  const std::uint64_t d = static_cast<std::uint64_t>(m.d_model);
+  const std::uint64_t per_layer =
+      2 * d * d + 2 * d * static_cast<std::uint64_t>(m.d_kv()) +
+      2 * d * static_cast<std::uint64_t>(m.d_ff);
+  const std::uint64_t els = static_cast<std::uint64_t>(m.layers) * per_layer +
+                            2 * static_cast<std::uint64_t>(m.vocab) * d;
+  return els * static_cast<std::uint64_t>(m.bytes_per_el);
+}
+
+double percentile(std::vector<double> xs, double q) {
+  if (xs.empty()) {
+    return 0.0;
+  }
+  std::sort(xs.begin(), xs.end());
+  const auto n = static_cast<double>(xs.size());
+  const auto i = static_cast<std::size_t>(
+      std::min(n - 1.0, std::max(0.0, std::ceil(q * n) - 1.0)));
+  return xs[i];
+}
+
+}  // namespace
+
+struct EngineSlot {
+  Request req;
+  RequestState state = RequestState::kQueued;
+  SequenceKvCache cache;
+  std::int64_t prefilled = 0;
+  std::int64_t blocks_held = 0;
+  std::vector<std::int64_t> generated;
+  std::vector<double> token_times;
+  double first_token_s = -1.0;
+  double finish_s = -1.0;
+};
+
+Engine::Engine(const ModelConfig& model, const model::ModelWeights& weights,
+               EngineConfig cfg)
+    : model_(model), weights_(weights), cfg_(std::move(cfg)) {
+  if (cfg_.block_tokens <= 0 || cfg_.max_kv_blocks <= 0) {
+    throw std::invalid_argument("EngineConfig: block/pool sizes must be > 0");
+  }
+}
+
+std::int64_t Engine::add_request(std::vector<std::int64_t> prompt,
+                                 std::int64_t max_new_tokens,
+                                 double arrival_s) {
+  if (prompt.empty() || max_new_tokens < 1) {
+    throw std::invalid_argument(
+        "add_request: need a non-empty prompt and max_new_tokens >= 1");
+  }
+  Request r;
+  r.id = static_cast<std::int64_t>(pending_.size());
+  r.prompt = std::move(prompt);
+  r.max_new_tokens = max_new_tokens;
+  r.arrival_s = arrival_s;
+  pending_.push_back(std::move(r));
+  return pending_.back().id;
+}
+
+ServeReport Engine::run(sim::DeviceContext& ctx) {
+  KvBlockPool pool(ctx.mem(),
+                   SequenceKvCache::block_bytes(model_, cfg_.block_tokens),
+                   cfg_.max_kv_blocks);
+  Scheduler sched(cfg_.sched);
+
+  std::vector<EngineSlot> slots;
+  slots.reserve(pending_.size());
+  for (const auto& r : pending_) {
+    EngineSlot s;
+    s.req = r;
+    slots.push_back(std::move(s));
+  }
+  // Scheduler contract: entries sorted by (arrival, id).
+  std::vector<std::size_t> order(slots.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    order[i] = i;
+  }
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (slots[a].req.arrival_s != slots[b].req.arrival_s) {
+      return slots[a].req.arrival_s < slots[b].req.arrival_s;
+    }
+    return slots[a].req.id < slots[b].req.id;
+  });
+
+  const std::uint64_t lin_per_tok = linear_flops_per_token(model_);
+  const std::uint64_t head_per_row = head_flops(model_);
+  const double weight_s =
+      static_cast<double>(weight_stream_bytes(model_)) / cfg_.hbm_bytes_per_s;
+
+  ServeMetrics met;
+  std::vector<double> decode_latencies;
+
+  const auto all_done = [&] {
+    for (const auto& s : slots) {
+      if (s.state != RequestState::kDone) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  while (!all_done()) {
+    const double now = ctx.clock().now(sim::kCompute);
+
+    std::vector<SchedEntry> entries;
+    entries.reserve(slots.size());
+    for (std::size_t i : order) {
+      const EngineSlot& s = slots[i];
+      SchedEntry e;
+      e.id = s.req.id;
+      e.state = s.state;
+      e.arrival_s = s.req.arrival_s;
+      e.prompt_len = static_cast<std::int64_t>(s.req.prompt.size());
+      e.prefilled = s.prefilled;
+      e.cache_len = s.cache.len();
+      e.generated = static_cast<std::int64_t>(s.generated.size());
+      e.max_new_tokens = s.req.max_new_tokens;
+      entries.push_back(e);
+    }
+
+    const IterationPlan plan =
+        sched.plan(now, entries, pool.free_blocks(), cfg_.block_tokens);
+
+    if (plan.empty()) {
+      // Nothing runnable now: jump to the next arrival, or report a stall
+      // (every non-done request is wedged on KV blocks — a budget too small
+      // to ever fit a single request).
+      double next = std::numeric_limits<double>::infinity();
+      for (const auto& s : slots) {
+        if (s.state == RequestState::kQueued && s.req.arrival_s > now) {
+          next = std::min(next, s.req.arrival_s);
+        }
+      }
+      if (!std::isfinite(next)) {
+        throw std::runtime_error(
+            "serve::Engine stalled: no runnable work and no future arrivals "
+            "(KV block budget too small for a single request?)");
+      }
+      ctx.clock().advance_to(sim::kCompute, next);
+      continue;
+    }
+
+    kernels::KernelStats stats;
+    std::uint64_t lin_flops = 0;
+    std::vector<EngineSlot*> produced;  // one generated token each
+
+    const auto grow_cache = [&](EngineSlot& s, std::int64_t tokens) {
+      const std::int64_t need =
+          SequenceKvCache::blocks_for(s.cache.len() + tokens,
+                                      cfg_.block_tokens) -
+          s.cache.blocks_allocated();
+      if (need > 0) {
+        if (!pool.try_acquire(need,
+                              "kv:req" + std::to_string(s.req.id))) {
+          throw std::logic_error(
+              "serve::Engine: scheduler planned work exceeding the KV pool");
+        }
+        s.blocks_held += need;
+      }
+      const std::int64_t got = s.cache.reserve(tokens);
+      assert(got == need);
+      (void)got;
+    };
+
+    for (const auto& p : plan.prefills) {
+      EngineSlot& s = slots[static_cast<std::size_t>(p.id)];
+      if (s.state == RequestState::kQueued) {
+        s.state = RequestState::kPrefill;
+        s.cache = SequenceKvCache::create(model_, cfg_.block_tokens);
+      }
+      assert(s.state == RequestState::kPrefill);
+      grow_cache(s, p.tokens);
+      const Tensor hidden = model::forward_prefill_chunk(
+          model_, weights_, s.cache, s.req.prompt.data() + s.prefilled,
+          p.tokens, cfg_.mask, &stats);
+      s.prefilled += p.tokens;
+      lin_flops += static_cast<std::uint64_t>(p.tokens) * lin_per_tok;
+      met.prefill_tokens += p.tokens;
+      if (s.prefilled == static_cast<std::int64_t>(s.req.prompt.size())) {
+        // Prefill done: the last prompt row's logits give the first token.
+        const Tensor logits =
+            model::head_logits(weights_, hidden.copy_rows(p.tokens - 1, 1));
+        lin_flops += head_per_row;
+        Tensor row(model_.vocab);
+        for (std::int64_t j = 0; j < model_.vocab; ++j) {
+          row[j] = logits(0, j);
+        }
+        s.generated.push_back(model::argmax(row));
+        produced.push_back(&s);
+        s.state = RequestState::kDecode;
+      }
+    }
+
+    for (const std::int64_t id : plan.decodes) {
+      EngineSlot& s = slots[static_cast<std::size_t>(id)];
+      assert(s.state == RequestState::kDecode && !s.generated.empty());
+      grow_cache(s, 1);
+      const Tensor logits = model::forward_decode(
+          model_, weights_, s.cache, s.generated.back(), cfg_.mask, &stats);
+      lin_flops += lin_per_tok + head_per_row;
+      s.generated.push_back(model::argmax(logits));
+      produced.push_back(&s);
+    }
+
+    const double iter_begin = ctx.clock().now(sim::kCompute);
+    ctx.busy(weight_s, sim::kCompute, "serve:weights");
+    ctx.compute(static_cast<double>(lin_flops + stats.flops), sim::kCompute,
+                "serve:batch");
+    const double end = ctx.clock().now(sim::kCompute);
+
+    for (EngineSlot* s : produced) {
+      if (s->first_token_s < 0.0) {
+        s->first_token_s = end;
+      } else {
+        decode_latencies.push_back(end - s->token_times.back());
+      }
+      s->token_times.push_back(end);
+      met.generated_tokens += 1;
+      if (static_cast<std::int64_t>(s->generated.size()) ==
+          s->req.max_new_tokens) {
+        // Completion: evict — all KV blocks return to the pool.
+        s->state = RequestState::kDone;
+        s->finish_s = end;
+        pool.release(s->blocks_held);
+        s->blocks_held = 0;
+        s->cache = SequenceKvCache();
+      }
+    }
+
+    if (cfg_.trace != nullptr) {
+      cfg_.trace->record(
+          ctx.rank(), sim::kCompute,
+          "serve:iter p=" + std::to_string(plan.prefills.size()) + " d=" +
+              std::to_string(plan.decodes.size()) + " tok=" +
+              std::to_string(plan.total_tokens()),
+          iter_begin, end);
+    }
+    ++met.iterations;
+  }
+
+  met.makespan_s = ctx.clock().elapsed();
+  met.tokens_per_s = met.makespan_s > 0.0
+                         ? static_cast<double>(met.generated_tokens) /
+                               met.makespan_s
+                         : 0.0;
+  met.p50_token_latency_s = percentile(decode_latencies, 0.50);
+  met.p99_token_latency_s = percentile(decode_latencies, 0.99);
+  met.peak_kv_bytes = ctx.mem().peak();
+
+  ServeReport rep;
+  rep.metrics = met;
+  for (const auto& s : slots) {
+    RequestResult r;
+    r.id = s.req.id;
+    r.generated = s.generated;
+    r.arrival_s = s.req.arrival_s;
+    r.first_token_s = s.first_token_s;
+    r.finish_s = s.finish_s;
+    r.token_times_s = s.token_times;
+    rep.results.push_back(std::move(r));
+  }
+  std::sort(rep.results.begin(), rep.results.end(),
+            [](const RequestResult& a, const RequestResult& b) {
+              return a.id < b.id;
+            });
+  return rep;
+}
+
+ServeReport run_on_single_device(Engine& engine, double flops_per_s,
+                                 sim::TraceRecorder* trace) {
+  sim::Cluster::Config cc;
+  cc.topo = sim::Topology::single_node(1);
+  cc.flops_per_s = flops_per_s;
+  cc.trace = trace;
+  sim::Cluster cluster(cc);
+  ServeReport rep;
+  cluster.run([&](sim::DeviceContext& ctx) { rep = engine.run(ctx); });
+  return rep;
+}
+
+}  // namespace burst::serve

@@ -1,0 +1,43 @@
+// Serving request types: the per-request state machine
+// (QUEUED -> PREFILL -> DECODE -> DONE) and its completion record.
+//
+// Arrival, first-token, and finish times all live on the simulated device's
+// virtual clock (sim/clock.hpp), so latency percentiles are deterministic
+// functions of the workload and the batching policy — not of host load.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace burst::serve {
+
+enum class RequestState {
+  kQueued,   // arrived, no cache allocated yet
+  kPrefill,  // prompt chunks streaming into the KV-cache
+  kDecode,   // autoregressive generation, one token per iteration
+  kDone,     // finished; KV blocks evicted
+};
+
+const char* request_state_name(RequestState s);
+
+struct Request {
+  std::int64_t id = -1;
+  std::vector<std::int64_t> prompt;
+  std::int64_t max_new_tokens = 0;
+  /// Virtual-clock arrival; the scheduler never admits a request earlier.
+  double arrival_s = 0.0;
+};
+
+/// Completion record for one request.
+struct RequestResult {
+  std::int64_t id = -1;
+  std::vector<std::int64_t> generated;
+  double arrival_s = 0.0;
+  double first_token_s = 0.0;  // end of the iteration that finished prefill
+  double finish_s = 0.0;
+  /// Virtual completion time of each generated token (first entry is the
+  /// prefill-produced token, so diffs give inter-token latencies).
+  std::vector<double> token_times_s;
+};
+
+}  // namespace burst::serve

@@ -1,0 +1,129 @@
+#include "serve/scheduler.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "model/kv_cache.hpp"
+
+namespace burst::serve {
+
+const char* request_state_name(RequestState s) {
+  switch (s) {
+    case RequestState::kQueued:
+      return "queued";
+    case RequestState::kPrefill:
+      return "prefill";
+    case RequestState::kDecode:
+      return "decode";
+    case RequestState::kDone:
+      return "done";
+  }
+  return "?";
+}
+
+const char* batch_policy_name(BatchPolicy p) {
+  switch (p) {
+    case BatchPolicy::kFcfs:
+      return "fcfs";
+    case BatchPolicy::kContinuous:
+      return "continuous";
+  }
+  return "?";
+}
+
+std::int64_t IterationPlan::total_tokens() const {
+  std::int64_t t = static_cast<std::int64_t>(decodes.size());
+  for (const auto& p : prefills) {
+    t += p.tokens;
+  }
+  return t;
+}
+
+namespace {
+
+// New blocks a request needs to grow its cache from `len` to `len + extra`.
+std::int64_t growth_blocks(std::int64_t len, std::int64_t extra,
+                           std::int64_t block_tokens) {
+  return model::SequenceKvCache::blocks_for(len + extra, block_tokens) -
+         model::SequenceKvCache::blocks_for(len, block_tokens);
+}
+
+bool wants_prefill(const SchedEntry& e, double now_s) {
+  return e.state == RequestState::kPrefill ||
+         (e.state == RequestState::kQueued && e.arrival_s <= now_s);
+}
+
+}  // namespace
+
+IterationPlan Scheduler::plan(double now_s,
+                              const std::vector<SchedEntry>& entries,
+                              std::int64_t free_blocks,
+                              std::int64_t block_tokens) const {
+  IterationPlan plan;
+  std::int64_t budget = cfg_.token_budget;
+  assert(budget > 0 && cfg_.chunk_tokens > 0);
+
+  if (cfg_.policy == BatchPolicy::kFcfs) {
+    // One request at a time, strictly in arrival order: the first entry that
+    // is running, else the first queued arrival.
+    for (const auto& e : entries) {
+      if (e.state == RequestState::kDone) {
+        continue;
+      }
+      if (e.state == RequestState::kDecode) {
+        if (growth_blocks(e.cache_len, 1, block_tokens) <= free_blocks) {
+          plan.decodes.push_back(e.id);
+        }
+        return plan;
+      }
+      if (wants_prefill(e, now_s)) {
+        const std::int64_t t =
+            std::min({cfg_.chunk_tokens, e.prompt_len - e.prefilled, budget});
+        if (growth_blocks(e.cache_len, t, block_tokens) <= free_blocks) {
+          plan.prefills.push_back({e.id, t});
+        }
+        return plan;
+      }
+      // Queued but not yet arrived: FCFS never skips ahead of it.
+      return plan;
+    }
+    return plan;
+  }
+
+  // Continuous batching: every running decode first (each is one token and
+  // at most one new block), then admit/advance prefills with what is left.
+  for (const auto& e : entries) {
+    if (budget == 0) {
+      return plan;
+    }
+    if (e.state == RequestState::kDecode) {
+      const std::int64_t need = growth_blocks(e.cache_len, 1, block_tokens);
+      if (need <= free_blocks) {
+        plan.decodes.push_back(e.id);
+        free_blocks -= need;
+        --budget;
+      }
+    }
+  }
+  for (const auto& e : entries) {
+    if (budget == 0) {
+      return plan;
+    }
+    if (!wants_prefill(e, now_s)) {
+      continue;
+    }
+    const std::int64_t t =
+        std::min({cfg_.chunk_tokens, e.prompt_len - e.prefilled, budget});
+    const std::int64_t need = growth_blocks(e.cache_len, t, block_tokens);
+    if (need > free_blocks) {
+      // Defer, and don't let later arrivals jump the memory queue.
+      return plan;
+    }
+    plan.prefills.push_back({e.id, t});
+    free_blocks -= need;
+    budget -= t;
+  }
+  return plan;
+}
+
+}  // namespace burst::serve

@@ -1,0 +1,86 @@
+// Iteration-level batching policies for the serving engine.
+//
+// Each engine iteration runs one fused model pass over a mixed batch of
+// work items; the scheduler decides what goes into it, under a per-iteration
+// token budget and the KV block pool's free-block count:
+//
+//  * kFcfs       — strict run-to-completion, one request at a time in
+//                  arrival order: chunked prefill, then one decode token per
+//                  iteration until done. The classic static baseline — every
+//                  decode iteration streams the full weights for a single
+//                  token.
+//  * kContinuous — continuous batching (Orca/vLLM-style): every running
+//                  request contributes its next decode token each iteration,
+//                  and leftover budget admits/advances prefill chunks of
+//                  queued requests, so weight streaming is amortized over
+//                  the whole batch.
+//
+// The scheduler is a pure function of (now, entries, free_blocks): the
+// engine owns all mutable state, which keeps policies trivially testable.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "serve/request.hpp"
+
+namespace burst::serve {
+
+enum class BatchPolicy {
+  kFcfs,
+  kContinuous,
+};
+
+const char* batch_policy_name(BatchPolicy p);
+
+struct SchedulerConfig {
+  BatchPolicy policy = BatchPolicy::kContinuous;
+  /// Max forward rows (prefill tokens + decode tokens) per iteration.
+  std::int64_t token_budget = 256;
+  /// Max prompt tokens one request prefills per iteration.
+  std::int64_t chunk_tokens = 64;
+};
+
+/// Scheduler-visible snapshot of one request (engine owns the full state).
+struct SchedEntry {
+  std::int64_t id = -1;
+  RequestState state = RequestState::kQueued;
+  double arrival_s = 0.0;
+  std::int64_t prompt_len = 0;
+  std::int64_t prefilled = 0;   // prompt tokens already committed to cache
+  std::int64_t cache_len = 0;   // committed cache rows (prompt + fed-back)
+  std::int64_t generated = 0;
+  std::int64_t max_new_tokens = 0;
+};
+
+/// One iteration's work: prefill chunks and single-token decode steps.
+struct IterationPlan {
+  struct Prefill {
+    std::int64_t id = -1;
+    std::int64_t tokens = 0;
+  };
+  std::vector<Prefill> prefills;
+  std::vector<std::int64_t> decodes;  // request ids, one token each
+
+  std::int64_t total_tokens() const;
+  bool empty() const { return prefills.empty() && decodes.empty(); }
+};
+
+class Scheduler {
+ public:
+  explicit Scheduler(SchedulerConfig cfg) : cfg_(cfg) {}
+
+  const SchedulerConfig& config() const { return cfg_; }
+
+  /// Plans the next iteration. `entries` must be sorted by (arrival_s, id);
+  /// `free_blocks` / `block_tokens` bound KV growth — work whose new blocks
+  /// don't fit is deferred, never partially admitted.
+  IterationPlan plan(double now_s, const std::vector<SchedEntry>& entries,
+                     std::int64_t free_blocks,
+                     std::int64_t block_tokens) const;
+
+ private:
+  SchedulerConfig cfg_;
+};
+
+}  // namespace burst::serve

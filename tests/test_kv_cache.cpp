@@ -1,0 +1,156 @@
+// Paged KV-cache storage (model::SequenceKvCache) and the serving block
+// pool that charges it to a device MemoryTracker (serve::KvBlockPool).
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "model/kv_cache.hpp"
+#include "serve/kv_cache.hpp"
+#include "sim/memory.hpp"
+#include "tensor/rng.hpp"
+
+namespace burst {
+namespace {
+
+using model::ModelConfig;
+using model::SequenceKvCache;
+using serve::KvBlockPool;
+using tensor::Rng;
+using tensor::Tensor;
+
+ModelConfig gqa_toy() {
+  ModelConfig cfg = ModelConfig::toy();
+  cfg.kv_heads = 2;
+  cfg.use_rope = true;
+  return cfg;
+}
+
+TEST(KvCache, BlockArithmetic) {
+  EXPECT_EQ(SequenceKvCache::blocks_for(0, 16), 0);
+  EXPECT_EQ(SequenceKvCache::blocks_for(1, 16), 1);
+  EXPECT_EQ(SequenceKvCache::blocks_for(16, 16), 1);
+  EXPECT_EQ(SequenceKvCache::blocks_for(17, 16), 2);
+
+  const ModelConfig cfg = gqa_toy();
+  // One block holds K + V rows for every (layer, kv head).
+  const std::uint64_t expect =
+      static_cast<std::uint64_t>(16 * cfg.layers * cfg.num_kv_heads() *
+                                 cfg.head_dim() * 2 * cfg.bytes_per_el);
+  EXPECT_EQ(SequenceKvCache::block_bytes(cfg, 16), expect);
+}
+
+TEST(KvCache, ReserveGrowsInWholeBlocks) {
+  SequenceKvCache cache = SequenceKvCache::create(gqa_toy(), 8);
+  EXPECT_EQ(cache.len(), 0);
+  EXPECT_EQ(cache.blocks_allocated(), 0);
+  EXPECT_EQ(cache.reserve(3), 1);  // 3 tokens -> 1 block of 8
+  EXPECT_EQ(cache.capacity_tokens(), 8);
+  EXPECT_EQ(cache.reserve(3), 0);  // still fits: idempotent
+  EXPECT_EQ(cache.reserve(9), 1);  // len 0 + 9 tokens -> 2 blocks
+  EXPECT_EQ(cache.blocks_allocated(), 2);
+}
+
+TEST(KvCache, PutCommitViewRoundTrip) {
+  const ModelConfig cfg = gqa_toy();
+  SequenceKvCache cache = SequenceKvCache::create(cfg, 4);
+  Rng rng(7);
+  const Tensor k = rng.gaussian(std::int64_t{3}, cfg.head_dim());
+  const Tensor v = rng.gaussian(std::int64_t{3}, cfg.head_dim());
+  cache.reserve(3);
+  for (std::int64_t l = 0; l < cfg.layers; ++l) {
+    for (std::int64_t h = 0; h < cfg.num_kv_heads(); ++h) {
+      cache.put(l, h, k, v);
+    }
+  }
+  cache.commit(3);
+  EXPECT_EQ(cache.len(), 3);
+  const auto kv_view = cache.k_view(1, 1, 3);
+  const auto vv = cache.v_view(0, 0, 2);
+  EXPECT_EQ(kv_view.rows, 3);
+  EXPECT_EQ(vv.rows, 2);
+  for (std::int64_t r = 0; r < 3; ++r) {
+    for (std::int64_t c = 0; c < cfg.head_dim(); ++c) {
+      EXPECT_EQ(kv_view(r, c), k(r, c));
+    }
+  }
+  EXPECT_EQ(vv(1, 2), v(1, 2));
+}
+
+// Growing past the initial capacity must preserve already-committed rows.
+TEST(KvCache, GrowthPreservesCommittedRows) {
+  const ModelConfig cfg = gqa_toy();
+  SequenceKvCache cache = SequenceKvCache::create(cfg, 2);
+  Rng rng(11);
+  Tensor all_k(std::int64_t{9}, cfg.head_dim());
+  for (std::int64_t t = 0; t < 9; ++t) {  // one token at a time, many growths
+    const Tensor k = rng.gaussian(std::int64_t{1}, cfg.head_dim());
+    const Tensor v = rng.gaussian(std::int64_t{1}, cfg.head_dim());
+    for (std::int64_t c = 0; c < cfg.head_dim(); ++c) {
+      all_k(t, c) = k(0, c);
+    }
+    cache.reserve(1);
+    for (std::int64_t l = 0; l < cfg.layers; ++l) {
+      for (std::int64_t h = 0; h < cfg.num_kv_heads(); ++h) {
+        cache.put(l, h, k, v);
+      }
+    }
+    cache.commit(1);
+  }
+  EXPECT_EQ(cache.len(), 9);
+  EXPECT_EQ(cache.blocks_allocated(), 5);
+  const auto view = cache.k_view(0, 1, 9);
+  for (std::int64_t t = 0; t < 9; ++t) {
+    for (std::int64_t c = 0; c < cfg.head_dim(); ++c) {
+      EXPECT_EQ(view(t, c), all_k(t, c)) << "row " << t;
+    }
+  }
+}
+
+// put_at assembles out-of-order shards (the distributed-prefill gather).
+TEST(KvCache, PutAtGathersShards) {
+  const ModelConfig cfg = gqa_toy();
+  SequenceKvCache cache = SequenceKvCache::create(cfg, 4);
+  Rng rng(13);
+  const Tensor full_k = rng.gaussian(std::int64_t{8}, cfg.head_dim());
+  const Tensor full_v = rng.gaussian(std::int64_t{8}, cfg.head_dim());
+  cache.reserve(8);
+  for (std::int64_t l = 0; l < cfg.layers; ++l) {
+    for (std::int64_t h = 0; h < cfg.num_kv_heads(); ++h) {
+      cache.put_at(l, h, 4, full_k.copy_rows(4, 4), full_v.copy_rows(4, 4));
+      cache.put_at(l, h, 0, full_k.copy_rows(0, 4), full_v.copy_rows(0, 4));
+    }
+  }
+  cache.commit(8);
+  const auto view = cache.k_view(1, 0, 8);
+  for (std::int64_t r = 0; r < 8; ++r) {
+    EXPECT_EQ(view(r, 3), full_k(r, 3));
+  }
+}
+
+TEST(KvBlockPool, AcquireChargesTrackerAndBudget) {
+  sim::MemoryTracker mem;
+  KvBlockPool pool(mem, /*bytes_per_block=*/1024, /*max_blocks=*/4);
+  EXPECT_TRUE(pool.try_acquire(3, "req0"));
+  EXPECT_EQ(pool.used_blocks(), 3);
+  EXPECT_EQ(pool.free_blocks(), 1);
+  EXPECT_EQ(mem.used(), 3 * 1024u);
+  // Over budget: refused with no charge.
+  EXPECT_FALSE(pool.try_acquire(2, "req1"));
+  EXPECT_EQ(mem.used(), 3 * 1024u);
+  pool.release(3);
+  EXPECT_EQ(mem.used(), 0u);
+  EXPECT_EQ(pool.free_blocks(), 4);
+  EXPECT_THROW(pool.release(1), std::logic_error);
+}
+
+// A capacity-limited tracker turns pool over-admission into DeviceOomError,
+// the same failure mode as the training experiments.
+TEST(KvBlockPool, TrackerCapacityStillEnforced) {
+  sim::MemoryTracker mem(/*rank=*/0, /*capacity_bytes=*/2048);
+  KvBlockPool pool(mem, 1024, /*max_blocks=*/100);
+  EXPECT_TRUE(pool.try_acquire(2, "fits"));
+  EXPECT_THROW(pool.try_acquire(1, "oom"), sim::DeviceOomError);
+}
+
+}  // namespace
+}  // namespace burst
