@@ -1,0 +1,93 @@
+// Resilient training quickstart: a BurstAttention training run that
+// survives an injected device crash.
+//
+// Four simulated devices train the toy model for 8 steps with a durable
+// snapshot every 2 steps. A FaultPlan kills rank 2 at step 5; the
+// supervisor (resilience::resilient_train_loop) detects the failure,
+// restores the step-4 snapshot, replays, and finishes all 8 steps. Because
+// snapshots capture the complete training state (weights, Adam moments,
+// data-RNG state) and the simulator is deterministic, the final weights
+// are bitwise identical to a fault-free run — which this example verifies
+// and fails loudly on if it ever regresses.
+//
+// Run:  build/examples/resilient_training
+#include <cstdio>
+#include <filesystem>
+
+#include "resilience/driver.hpp"
+#include "resilience/snapshot.hpp"
+#include "sim/cluster.hpp"
+
+namespace fs = std::filesystem;
+
+int main() {
+  using namespace burst;
+  using resilience::ResilienceConfig;
+  using resilience::ResilienceReport;
+
+  const fs::path base = fs::temp_directory_path() / "burst-resilient-example";
+  fs::remove_all(base);
+
+  const auto make_config = [&](const char* tag, bool crash) {
+    ResilienceConfig cfg;
+    cfg.dist.model = model::ModelConfig::toy();
+    cfg.dist.impl = model::AttnImpl::kBurst;
+    cfg.cluster.topo = sim::Topology::single_node(4);
+    cfg.total_steps = 8;
+    cfg.snapshot_interval = 2;
+    cfg.seq_len = 32;
+    cfg.snapshot_dir = (base / tag).string();
+    if (crash) {
+      sim::FaultPlan::CrashDevice c;
+      c.rank = 2;
+      c.at_step = 5;
+      cfg.cluster.faults.crashes.push_back(c);
+    }
+    return cfg;
+  };
+
+  const model::ModelWeights init =
+      model::ModelWeights::init(model::ModelConfig::toy(), 7);
+
+  std::printf("=== Resilient BurstAttention training ===\n\n");
+  std::printf("4 devices, 8 steps, snapshot every 2 steps;\n");
+  std::printf("FaultPlan: rank 2 crashes at step 5.\n\n");
+
+  const ResilienceReport ref =
+      resilience::resilient_train_loop(make_config("clean", false), init);
+  std::printf("fault-free run : %d steps, loss %.4f -> %.4f\n",
+              ref.steps_completed, ref.losses.front(), ref.final_loss);
+
+  const ResilienceReport rep =
+      resilience::resilient_train_loop(make_config("faulty", true), init);
+  std::printf("faulted run    : %d steps, loss %.4f -> %.4f\n\n",
+              rep.steps_completed, rep.losses.front(), rep.final_loss);
+
+  for (const auto& ev : rep.events) {
+    std::printf(
+        "recovery: rank %d failed at step %llu (%s)\n"
+        "          detected after %.1f us, restored snapshot of step %llu "
+        "in %.1f us, %d step(s) replayed\n",
+        ev.failed_rank, static_cast<unsigned long long>(ev.failed_step),
+        ev.cause.c_str(), ev.detect_latency_s * 1e6,
+        static_cast<unsigned long long>(ev.resumed_from_step),
+        ev.restore_time_s * 1e6, ev.lost_steps);
+  }
+  std::printf(
+      "\nvirtual time %.2f ms (%.2f ms wasted: failed attempt + restore + "
+      "replay)\n",
+      rep.virtual_time_s * 1e3, rep.wasted_virtual_time_s * 1e3);
+
+  const bool bitwise =
+      resilience::bitwise_equal(rep.final_weights, ref.final_weights);
+  std::printf("final weights bitwise identical to fault-free run: %s\n",
+              bitwise ? "yes" : "NO");
+
+  fs::remove_all(base);
+  if (rep.steps_completed != 8 || rep.recoveries != 1 || !bitwise) {
+    std::fprintf(stderr, "self-check FAILED\n");
+    return 1;
+  }
+  std::printf("\nself-check passed.\n");
+  return 0;
+}

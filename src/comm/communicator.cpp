@@ -1,12 +1,44 @@
 #include "comm/communicator.hpp"
 
 #include <cassert>
+#include <cmath>
+#include <cstring>
 
 #include "tensor/ops.hpp"
 
 namespace burst::comm {
 
 using tensor::Tensor;
+
+namespace {
+
+/// FNV-1a (32-bit) over the raw bytes of every tensor in the frame. Cheap,
+/// deterministic, and sensitive to any in-flight bit flip.
+std::uint32_t frame_checksum(const std::vector<Tensor>& ts) {
+  std::uint32_t h = 2166136261u;
+  for (const auto& t : ts) {
+    const auto* bytes = reinterpret_cast<const unsigned char*>(t.data());
+    const std::size_t n = static_cast<std::size_t>(t.numel()) * sizeof(float);
+    for (std::size_t i = 0; i < n; ++i) {
+      h = (h ^ bytes[i]) * 16777619u;
+    }
+  }
+  return h;
+}
+
+/// The checksum is carried as two 16-bit halves so both floats hold their
+/// value exactly (a float mantissa cannot represent all 32-bit integers).
+Tensor make_header(std::int64_t seq, std::uint32_t checksum) {
+  // Sequence numbers must stay exactly representable in a float.
+  assert(seq < (std::int64_t{1} << 24));
+  Tensor hdr(3);
+  hdr[0] = static_cast<float>(seq);
+  hdr[1] = static_cast<float>(checksum & 0xFFFFu);
+  hdr[2] = static_cast<float>((checksum >> 16) & 0xFFFFu);
+  return hdr;
+}
+
+}  // namespace
 
 std::uint64_t Communicator::wire_bytes(const std::vector<Tensor>& ts) const {
   double total = 0.0;
@@ -21,16 +53,76 @@ int Communicator::stream_for(int peer) const {
                                                   : sim::kInterComm;
 }
 
+void Communicator::send_frame(int dst, int tag, std::vector<Tensor> payload,
+                              std::uint64_t bytes, int stream) {
+  const std::int64_t seq = ++send_seq_[dst];
+  // On a reliable network (no message faults configured) skip the integrity
+  // machinery: no checksum pass over the payload and no retransmission
+  // copy, so fault-free runs take a zero-overhead path.
+  const bool lossy = ctx_.unreliable_network();
+  payload.push_back(make_header(seq, lossy ? frame_checksum(payload) : 0));
+  for (int attempt = 0;; ++attempt) {
+    sim::Message msg;
+    msg.bytes = bytes;
+    if (lossy) {
+      msg.tensors = payload;  // keep a copy in case this attempt is dropped
+    } else {
+      msg.tensors = std::move(payload);
+    }
+    if (ctx_.try_send(dst, tag, std::move(msg), stream)) {
+      return;
+    }
+    if (attempt + 1 >= rel_.max_send_attempts) {
+      throw CommTimeoutError(
+          dst, "frame " + std::to_string(seq) + " lost after " +
+                   std::to_string(attempt + 1) + " attempts");
+    }
+    ++retries_;
+    ctx_.busy(rel_.backoff_base_s * std::pow(rel_.backoff_mult, attempt),
+              stream, "retry-backoff");
+  }
+}
+
+std::vector<Tensor> Communicator::recv_frame(int src, int tag, int stream) {
+  const double begin = ctx_.clock().now(stream);
+  const bool lossy = ctx_.unreliable_network();
+  for (;;) {
+    sim::Message msg = ctx_.recv(src, tag, stream);
+    assert(!msg.tensors.empty());  // every comm-layer message is framed
+    Tensor hdr = std::move(msg.tensors.back());
+    msg.tensors.pop_back();
+    const auto seq = static_cast<std::int64_t>(std::llround(hdr[0]));
+    if (seq == last_recv_seq_[src]) {
+      // A link fault delivered this frame twice; drop the late copy.
+      ++duplicates_discarded_;
+      continue;
+    }
+    const std::uint32_t expect =
+        static_cast<std::uint32_t>(std::llround(hdr[1])) |
+        (static_cast<std::uint32_t>(std::llround(hdr[2])) << 16);
+    if (lossy && frame_checksum(msg.tensors) != expect) {
+      throw CommCorruptionError(
+          src, "checksum mismatch on frame " + std::to_string(seq));
+    }
+    last_recv_seq_[src] = seq;
+    if (msg.ready_time > begin + rel_.recv_timeout_s) {
+      throw CommTimeoutError(
+          src, "frame " + std::to_string(seq) + " ready at t=" +
+                   std::to_string(msg.ready_time) + "s, deadline was t=" +
+                   std::to_string(begin + rel_.recv_timeout_s) + "s");
+    }
+    return std::move(msg.tensors);
+  }
+}
+
 void Communicator::send(int dst, int tag, std::vector<Tensor> tensors) {
   send_on(dst, tag, std::move(tensors), stream_for(dst));
 }
 
 void Communicator::send_on(int dst, int tag, std::vector<Tensor> tensors,
                            int stream) {
-  sim::Message msg;
-  msg.bytes = wire_bytes(tensors);
-  msg.tensors = std::move(tensors);
-  ctx_.send(dst, tag, std::move(msg), stream);
+  const std::uint64_t bytes = wire_bytes(tensors);
+  send_frame(dst, tag, std::move(tensors), bytes, stream);
 }
 
 std::vector<Tensor> Communicator::recv(int src, int tag) {
@@ -38,25 +130,24 @@ std::vector<Tensor> Communicator::recv(int src, int tag) {
 }
 
 std::vector<Tensor> Communicator::recv_on(int src, int tag, int stream) {
-  return ctx_.recv(src, tag, stream).tensors;
+  return recv_frame(src, tag, stream);
 }
 
 void Communicator::send_bundle(int dst, int tag, Bundle bundle, int stream) {
-  sim::Message msg;
-  msg.bytes = wire_bytes(bundle.tensors);  // meta excluded: control plane
-  msg.tensors = std::move(bundle.tensors);
+  const std::uint64_t bytes =
+      wire_bytes(bundle.tensors);  // meta excluded: control plane
   Tensor meta(1);
   meta[0] = static_cast<float>(bundle.meta);
-  msg.tensors.push_back(std::move(meta));
-  ctx_.send(dst, tag, std::move(msg), stream);
+  bundle.tensors.push_back(std::move(meta));
+  send_frame(dst, tag, std::move(bundle.tensors), bytes, stream);
 }
 
 Communicator::Bundle Communicator::recv_bundle(int src, int tag, int stream) {
-  sim::Message msg = ctx_.recv(src, tag, stream);
+  std::vector<Tensor> tensors = recv_frame(src, tag, stream);
   Bundle b;
-  b.meta = static_cast<int>(msg.tensors.back()[0]);
-  msg.tensors.pop_back();
-  b.tensors = std::move(msg.tensors);
+  b.meta = static_cast<int>(tensors.back()[0]);
+  tensors.pop_back();
+  b.tensors = std::move(tensors);
   return b;
 }
 

@@ -1,0 +1,58 @@
+// Typed communication-failure hierarchy for the comm layer.
+//
+// Together with sim::PeerFailedError / sim::InjectedFaultError
+// (sim/fault.hpp) these replace bare aborts with errors a supervisor can
+// act on:
+//
+//   CommError            — base for protocol-level failures
+//   ├─ CommTimeoutError  — a reliable send exhausted its retries, or a
+//   │                      receive's virtual-clock deadline passed before
+//   │                      the message's ready time
+//   └─ CommCorruptionError — a frame arrived with a checksum mismatch
+//
+// sim::PeerFailedError (a ClusterAbortedError) surfaces unchanged through
+// Communicator receives so callers can attribute a stall to a dead peer.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace burst::comm {
+
+class CommError : public std::runtime_error {
+ public:
+  explicit CommError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised by reliable sends after max_send_attempts failed deliveries, and
+/// by receives whose message arrived later than the configured per-recv
+/// deadline on the virtual clock.
+class CommTimeoutError : public CommError {
+ public:
+  CommTimeoutError(int peer, const std::string& detail)
+      : CommError("communication with rank " + std::to_string(peer) +
+                  " timed out: " + detail),
+        peer_(peer) {}
+
+  int peer() const { return peer_; }
+
+ private:
+  int peer_;
+};
+
+/// Raised when a received frame's payload checksum does not match the one
+/// stamped by the sender (in-flight corruption).
+class CommCorruptionError : public CommError {
+ public:
+  CommCorruptionError(int peer, const std::string& detail)
+      : CommError("corrupt frame from rank " + std::to_string(peer) + ": " +
+                  detail),
+        peer_(peer) {}
+
+  int peer() const { return peer_; }
+
+ private:
+  int peer_;
+};
+
+}  // namespace burst::comm

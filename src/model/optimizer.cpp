@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <cmath>
+#include <stdexcept>
 
 namespace burst::model {
 
@@ -61,6 +62,19 @@ void AdamOptimizer::update_tensor(tensor::Tensor& w, const tensor::Tensor& g,
     const float vhat = v_[s] / bc2;
     w.data()[i] -= cfg_.lr * mhat / (std::sqrt(vhat) + cfg_.eps);
   }
+}
+
+AdamState AdamOptimizer::export_state() const { return {t_, m_, v_}; }
+
+void AdamOptimizer::restore_state(const AdamState& s) {
+  if (s.m.size() != m_.size() || s.v.size() != v_.size()) {
+    throw std::invalid_argument(
+        "AdamOptimizer::restore_state: state size mismatch (snapshot from a "
+        "different model?)");
+  }
+  t_ = s.t;
+  m_ = s.m;
+  v_ = s.v;
 }
 
 void AdamOptimizer::step(ModelWeights& w, const ModelGrads& g) {

@@ -26,6 +26,16 @@ struct AdamConfig {
   bool offload = false;
 };
 
+/// Complete serializable optimizer state: the step counter and both moment
+/// vectors in the fixed for-each-tensor layout. Snapshot/restore support
+/// for fault-tolerant training (src/resilience/snapshot.hpp) — restoring
+/// makes subsequent steps bitwise identical to an uninterrupted run.
+struct AdamState {
+  int t = 0;
+  std::vector<float> m;
+  std::vector<float> v;
+};
+
 class AdamOptimizer {
  public:
   /// Sizes the moment buffers from the actual weight tensors. `mem` may be
@@ -41,6 +51,14 @@ class AdamOptimizer {
 
   /// One Adam step over every parameter tensor.
   void step(ModelWeights& w, const ModelGrads& g);
+
+  /// Copies out the full optimizer state (for durable snapshots).
+  AdamState export_state() const;
+
+  /// Restores a previously exported state. The moment-vector sizes must
+  /// match this optimizer's parameter count (throws std::invalid_argument
+  /// otherwise — a snapshot from a different model shape).
+  void restore_state(const AdamState& s);
 
   std::int64_t num_params() const { return num_params_; }
   int steps_taken() const { return t_; }

@@ -1,0 +1,121 @@
+// Resilient training driver: a supervisor around dist_train_step.
+//
+// The loop runs one distributed training step per Cluster::run, keeps the
+// optimizer on the host (gradients are identical on all ranks after the
+// data-parallel all-reduce, so rank 0's copy is authoritative), and
+// persists durable snapshots every `snapshot_interval` steps. When a step
+// fails — an injected device crash, a corrupted frame, an exhausted retry
+// budget, an OOM — the supervisor:
+//
+//   1. detects the failure (Cluster::run rethrows the temporally-first
+//      root cause; surviving ranks have already unwound via
+//      PeerFailedError/ClusterAbortedError);
+//   2. restores the latest valid snapshot (weights, Adam moments, data-RNG
+//      state, data cursor), charging the modeled disk-read time;
+//   3. optionally remaps onto a smaller topology when ranks are dead and
+//      remap_on_failure is set (weights are replicated, so no state
+//      migration is needed — the survivors just re-shard the sequence);
+//   4. resumes from the snapshot step, replaying lost steps.
+//
+// Because snapshots capture the *complete* training state and the step is
+// deterministic, a recovered run on the same world size finishes with
+// weights bitwise identical to a fault-free run — the acceptance check of
+// tests/test_resilience.cpp. Recovery events (detection latency, restore
+// time, lost steps) land both in the returned report and, when a
+// TraceRecorder is attached, in the trace on a synthetic supervisor track
+// (pid == world_size).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "comm/communicator.hpp"
+#include "model/dist_model.hpp"
+#include "model/optimizer.hpp"
+#include "resilience/snapshot.hpp"
+#include "sim/cluster.hpp"
+#include "tensor/rng.hpp"
+
+namespace burst::resilience {
+
+struct ResilienceConfig {
+  model::DistTrainConfig dist;
+  model::AdamConfig adam;
+  /// Cluster to train on, including the FaultPlan under test and an
+  /// optional trace sink.
+  sim::Cluster::Config cluster;
+  /// Reliability knobs applied to every rank's communicator.
+  comm::Reliability reliability;
+
+  int total_steps = 8;
+  /// Snapshot after every `snapshot_interval` committed steps (plus one at
+  /// step 0 so recovery always has a floor). <= 0 means step-0 only.
+  int snapshot_interval = 2;
+  /// Snapshots retained on disk (older ones are pruned).
+  int keep_last = 3;
+  std::string snapshot_dir;
+
+  /// Tokens per training step (the sequence is seq_len + 1 ids). Must
+  /// satisfy the balance divisibility rules for the cluster's world size.
+  std::int64_t seq_len = 32;
+  std::uint64_t data_seed = 1234;
+
+  /// Give up (rethrow the last failure) after this many recoveries.
+  int max_recoveries = 8;
+  /// After a device crash, continue on the surviving ranks with the
+  /// largest feasible smaller world size instead of restarting the full
+  /// one. Changes gradient summation order, so recovered weights are no
+  /// longer bitwise comparable to the fault-free run.
+  bool remap_on_failure = false;
+  /// Models snapshot save/restore I/O time on the virtual clock.
+  double disk_bandwidth_bytes_per_s = 2e9;
+};
+
+struct RecoveryEvent {
+  std::uint64_t failed_step = 0;       // step being executed when it failed
+  std::uint64_t resumed_from_step = 0; // snapshot step restored
+  int lost_steps = 0;                  // committed work thrown away
+  int failed_rank = -1;                // root-cause rank, -1 if unknown
+  std::string cause;                   // what() of the root-cause exception
+  double detect_latency_s = 0.0;       // failure -> all ranks unwound
+  double restore_time_s = 0.0;         // modeled snapshot read time
+};
+
+struct ResilienceReport {
+  int steps_completed = 0;
+  int recoveries = 0;
+  int snapshots_taken = 0;
+  /// World size training ended on (smaller than it started if remapped).
+  int final_world_size = 0;
+  std::vector<RecoveryEvent> events;
+  /// Total virtual time: committed steps + failed attempts + snapshot I/O.
+  double virtual_time_s = 0.0;
+  /// Failed attempts, replayed steps, and restore I/O.
+  double wasted_virtual_time_s = 0.0;
+  /// Snapshot save time (the steady-state overhead of the interval knob).
+  double snapshot_io_time_s = 0.0;
+  double final_loss = 0.0;
+  std::vector<double> losses;  // per committed step
+  model::ModelWeights final_weights;
+};
+
+/// Deterministic synthetic training stream: token t+1 = (3t + 7) mod vocab
+/// with 10% noise, drawn from `rng` (whose state is what snapshots
+/// capture). Returns n + 1 token ids.
+tensor::Tensor make_markov_sequence(tensor::Rng& rng, std::int64_t n,
+                                    std::int64_t vocab);
+
+/// Largest world size g <= max_g that satisfies the divisibility rules of
+/// `cfg` for sequences of `seq_len` tokens (zigzag needs 2g | N, the other
+/// balances g | N; Ulysses/USP additionally need g | heads).
+int feasible_world_size(const model::DistTrainConfig& cfg,
+                        std::int64_t seq_len, int max_g);
+
+/// Runs `cfg.total_steps` training steps from `init` under the supervisor,
+/// surviving the injected faults in cfg.cluster.faults. Rethrows the last
+/// failure if recovery is exhausted or impossible.
+ResilienceReport resilient_train_loop(const ResilienceConfig& cfg,
+                                      const model::ModelWeights& init);
+
+}  // namespace burst::resilience

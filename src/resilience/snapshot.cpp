@@ -1,0 +1,309 @@
+#include "resilience/snapshot.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+namespace burst::resilience {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// File layout: [magic u64]["version" u32][payload_size u64][checksum u64]
+// [payload bytes]. Checksum is FNV-1a 64 over the payload only.
+constexpr std::uint64_t kMagic = 0x50414E53'54525542ull;  // "BURSTSNAP"-ish
+constexpr std::uint32_t kVersion = 1;
+
+std::uint64_t fnv1a64(const unsigned char* data, std::size_t n) {
+  std::uint64_t h = 14695981039346656037ull;
+  for (std::size_t i = 0; i < n; ++i) {
+    h = (h ^ data[i]) * 1099511628211ull;
+  }
+  return h;
+}
+
+class Writer {
+ public:
+  void u32(std::uint32_t v) { raw(&v, sizeof(v)); }
+  void u64(std::uint64_t v) { raw(&v, sizeof(v)); }
+  void i64(std::int64_t v) { raw(&v, sizeof(v)); }
+  void f64(double v) { raw(&v, sizeof(v)); }
+  void f32s(const float* v, std::size_t n) { raw(v, n * sizeof(float)); }
+
+  void tensor(const tensor::Tensor& t) {
+    u32(static_cast<std::uint32_t>(t.rank()));
+    for (int d = 0; d < t.rank(); ++d) {
+      i64(t.size(d));
+    }
+    f32s(t.data(), static_cast<std::size_t>(t.numel()));
+  }
+
+  const std::vector<unsigned char>& bytes() const { return buf_; }
+
+ private:
+  void raw(const void* p, std::size_t n) {
+    const auto* b = static_cast<const unsigned char*>(p);
+    buf_.insert(buf_.end(), b, b + n);
+  }
+
+  std::vector<unsigned char> buf_;
+};
+
+class Reader {
+ public:
+  Reader(const unsigned char* data, std::size_t n) : data_(data), n_(n) {}
+
+  std::uint32_t u32() { return get<std::uint32_t>(); }
+  std::uint64_t u64() { return get<std::uint64_t>(); }
+  std::int64_t i64() { return get<std::int64_t>(); }
+  double f64() { return get<double>(); }
+
+  void f32s(float* out, std::size_t n) {
+    need(n * sizeof(float));
+    std::memcpy(out, data_ + pos_, n * sizeof(float));
+    pos_ += n * sizeof(float);
+  }
+
+  tensor::Tensor tensor() {
+    const std::uint32_t rank = u32();
+    if (rank != 1 && rank != 2) {
+      throw SnapshotCorruptError("tensor rank " + std::to_string(rank));
+    }
+    tensor::Tensor t;
+    if (rank == 1) {
+      t = tensor::Tensor(i64());
+    } else {
+      const std::int64_t rows = i64();
+      t = tensor::Tensor(rows, i64());
+    }
+    f32s(t.data(), static_cast<std::size_t>(t.numel()));
+    return t;
+  }
+
+  bool done() const { return pos_ == n_; }
+
+ private:
+  template <typename T>
+  T get() {
+    need(sizeof(T));
+    T v;
+    std::memcpy(&v, data_ + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  void need(std::size_t n) const {
+    if (pos_ + n > n_) {
+      throw SnapshotCorruptError("payload truncated");
+    }
+  }
+
+  const unsigned char* data_;
+  std::size_t n_;
+  std::size_t pos_ = 0;
+};
+
+std::vector<unsigned char> serialize_payload(const TrainSnapshot& snap) {
+  Writer w;
+  w.u64(snap.step);
+  w.u64(snap.data_cursor);
+  w.u64(snap.data_rng.state);
+  w.u32(snap.data_rng.has_spare ? 1 : 0);
+  w.f64(snap.data_rng.spare);
+  w.i64(snap.adam.t);
+  w.u64(snap.adam.m.size());
+  w.f32s(snap.adam.m.data(), snap.adam.m.size());
+  w.f32s(snap.adam.v.data(), snap.adam.v.size());
+  w.u64(snap.weights.layers.size());
+  for (const auto& l : snap.weights.layers) {
+    w.tensor(l.wq);
+    w.tensor(l.wk);
+    w.tensor(l.wv);
+    w.tensor(l.wo);
+    w.tensor(l.w1);
+    w.tensor(l.w2);
+  }
+  w.tensor(snap.weights.w_embed);
+  w.tensor(snap.weights.w_head);
+  return w.bytes();
+}
+
+TrainSnapshot deserialize_payload(const std::vector<unsigned char>& payload) {
+  Reader r(payload.data(), payload.size());
+  TrainSnapshot snap;
+  snap.step = r.u64();
+  snap.data_cursor = r.u64();
+  snap.data_rng.state = r.u64();
+  snap.data_rng.has_spare = r.u32() != 0;
+  snap.data_rng.spare = r.f64();
+  snap.adam.t = static_cast<int>(r.i64());
+  const std::uint64_t n = r.u64();
+  snap.adam.m.resize(n);
+  snap.adam.v.resize(n);
+  r.f32s(snap.adam.m.data(), n);
+  r.f32s(snap.adam.v.data(), n);
+  const std::uint64_t layers = r.u64();
+  snap.weights.layers.resize(layers);
+  for (auto& l : snap.weights.layers) {
+    l.wq = r.tensor();
+    l.wk = r.tensor();
+    l.wv = r.tensor();
+    l.wo = r.tensor();
+    l.w1 = r.tensor();
+    l.w2 = r.tensor();
+  }
+  snap.weights.w_embed = r.tensor();
+  snap.weights.w_head = r.tensor();
+  if (!r.done()) {
+    throw SnapshotCorruptError("trailing bytes after payload");
+  }
+  return snap;
+}
+
+/// Step number encoded in a snapshot filename, or -1 if it is not one.
+std::int64_t step_of(const fs::path& p) {
+  const std::string name = p.filename().string();
+  if (name.rfind("snap-", 0) != 0 || p.extension() != ".bin") {
+    return -1;
+  }
+  try {
+    return std::stoll(name.substr(5));
+  } catch (...) {
+    return -1;
+  }
+}
+
+}  // namespace
+
+bool bitwise_equal(const model::ModelWeights& a,
+                   const model::ModelWeights& b) {
+  const auto tensor_eq = [](const tensor::Tensor& x, const tensor::Tensor& y) {
+    return x.shape() == y.shape() &&
+           std::memcmp(x.data(), y.data(),
+                       static_cast<std::size_t>(x.numel()) * sizeof(float)) ==
+               0;
+  };
+  if (a.layers.size() != b.layers.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.layers.size(); ++i) {
+    const auto& la = a.layers[i];
+    const auto& lb = b.layers[i];
+    if (!tensor_eq(la.wq, lb.wq) || !tensor_eq(la.wk, lb.wk) ||
+        !tensor_eq(la.wv, lb.wv) || !tensor_eq(la.wo, lb.wo) ||
+        !tensor_eq(la.w1, lb.w1) || !tensor_eq(la.w2, lb.w2)) {
+      return false;
+    }
+  }
+  return tensor_eq(a.w_embed, b.w_embed) && tensor_eq(a.w_head, b.w_head);
+}
+
+std::uint64_t snapshot_bytes(const TrainSnapshot& snap) {
+  return serialize_payload(snap).size() + 8 + 4 + 8 + 8;  // header overhead
+}
+
+SnapshotManager::SnapshotManager(std::string dir, int keep_last)
+    : dir_(std::move(dir)), keep_last_(std::max(1, keep_last)) {
+  fs::create_directories(dir_);
+}
+
+std::uint64_t SnapshotManager::save(const TrainSnapshot& snap) {
+  const std::vector<unsigned char> payload = serialize_payload(snap);
+  const std::uint64_t checksum = fnv1a64(payload.data(), payload.size());
+
+  const fs::path final_path =
+      fs::path(dir_) / ("snap-" + std::to_string(snap.step) + ".bin");
+  const fs::path tmp_path = final_path.string() + ".tmp";
+  {
+    std::ofstream os(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!os) {
+      throw std::runtime_error("cannot open " + tmp_path.string());
+    }
+    const std::uint64_t size = payload.size();
+    os.write(reinterpret_cast<const char*>(&kMagic), sizeof(kMagic));
+    os.write(reinterpret_cast<const char*>(&kVersion), sizeof(kVersion));
+    os.write(reinterpret_cast<const char*>(&size), sizeof(size));
+    os.write(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
+    os.write(reinterpret_cast<const char*>(payload.data()),
+             static_cast<std::streamsize>(payload.size()));
+    if (!os) {
+      throw std::runtime_error("short write to " + tmp_path.string());
+    }
+  }
+  // Atomic commit: the snapshot name either holds the complete old file or
+  // the complete new one, never a partial write.
+  fs::rename(tmp_path, final_path);
+
+  // Retention: drop the oldest snapshots beyond keep_last.
+  std::vector<std::string> all = list();
+  while (static_cast<int>(all.size()) > keep_last_) {
+    fs::remove(all.front());
+    all.erase(all.begin());
+  }
+  return payload.size() + 8 + 4 + 8 + 8;
+}
+
+TrainSnapshot SnapshotManager::load(const std::string& path) const {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    throw SnapshotCorruptError("cannot open " + path);
+  }
+  std::uint64_t magic = 0;
+  std::uint32_t version = 0;
+  std::uint64_t size = 0;
+  std::uint64_t checksum = 0;
+  is.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  is.read(reinterpret_cast<char*>(&version), sizeof(version));
+  is.read(reinterpret_cast<char*>(&size), sizeof(size));
+  is.read(reinterpret_cast<char*>(&checksum), sizeof(checksum));
+  if (!is || magic != kMagic) {
+    throw SnapshotCorruptError("bad magic in " + path);
+  }
+  if (version != kVersion) {
+    throw SnapshotCorruptError("unsupported version " +
+                               std::to_string(version) + " in " + path);
+  }
+  std::vector<unsigned char> payload(size);
+  is.read(reinterpret_cast<char*>(payload.data()),
+          static_cast<std::streamsize>(size));
+  if (static_cast<std::uint64_t>(is.gcount()) != size) {
+    throw SnapshotCorruptError("truncated payload in " + path);
+  }
+  if (fnv1a64(payload.data(), payload.size()) != checksum) {
+    throw SnapshotCorruptError("checksum mismatch in " + path);
+  }
+  return deserialize_payload(payload);
+}
+
+TrainSnapshot SnapshotManager::load_latest() const {
+  std::vector<std::string> all = list();
+  for (auto it = all.rbegin(); it != all.rend(); ++it) {
+    try {
+      return load(*it);
+    } catch (const SnapshotCorruptError&) {
+      // Fall back to the next-newest snapshot.
+    }
+  }
+  throw SnapshotCorruptError("no valid snapshot in " + dir_);
+}
+
+std::vector<std::string> SnapshotManager::list() const {
+  std::vector<std::pair<std::int64_t, std::string>> found;
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    const std::int64_t step = step_of(entry.path());
+    if (step >= 0) {
+      found.emplace_back(step, entry.path().string());
+    }
+  }
+  std::sort(found.begin(), found.end());
+  std::vector<std::string> paths;
+  paths.reserve(found.size());
+  for (auto& [step, path] : found) {
+    paths.push_back(std::move(path));
+  }
+  return paths;
+}
+
+}  // namespace burst::resilience

@@ -1,0 +1,81 @@
+// Durable, checksummed training snapshots.
+//
+// A TrainSnapshot captures everything needed to resume training bitwise
+// identically after a crash: the model weights, the Adam moments and step
+// counter, the data-stream RNG state, and the data cursor. Snapshots are
+// serialized to a single binary file with a magic/version header and an
+// FNV-1a 64-bit checksum over the payload; SnapshotManager::save writes to
+// a temporary file and commits with an atomic rename, so a crash during
+// save can never leave a half-written file under the snapshot name.
+// Loading validates magic, version, size, and checksum, and rejects corrupt
+// or truncated files with SnapshotCorruptError; load_latest skips invalid
+// files and falls back to the newest valid one.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "model/config.hpp"
+#include "model/optimizer.hpp"
+#include "model/transformer.hpp"
+#include "tensor/rng.hpp"
+
+namespace burst::resilience {
+
+/// Raised when a snapshot file fails validation (bad magic, wrong version,
+/// truncated payload, or checksum mismatch).
+class SnapshotCorruptError : public std::runtime_error {
+ public:
+  explicit SnapshotCorruptError(const std::string& what)
+      : std::runtime_error("corrupt snapshot: " + what) {}
+};
+
+/// Everything the resilient training loop needs to resume a run.
+struct TrainSnapshot {
+  /// Next step to execute when resuming (steps [0, step) are committed).
+  std::uint64_t step = 0;
+  /// Position in the data stream (== step for one sequence per step).
+  std::uint64_t data_cursor = 0;
+  /// Data-stream generator state *before* producing step `step`'s sequence.
+  tensor::RngState data_rng;
+  model::ModelWeights weights;
+  model::AdamState adam;
+};
+
+/// Bitwise equality of two weight sets (shape and every byte of every
+/// parameter tensor). The acceptance check for crash-recovery runs.
+bool bitwise_equal(const model::ModelWeights& a, const model::ModelWeights& b);
+
+/// Serialized size of `snap` in bytes (header included) — what save() will
+/// write, used to model snapshot I/O time against a disk bandwidth.
+std::uint64_t snapshot_bytes(const TrainSnapshot& snap);
+
+class SnapshotManager {
+ public:
+  /// Snapshots live in `dir` (created if missing) as snap-<step>.bin.
+  /// After each save, only the newest `keep_last` snapshots are retained.
+  explicit SnapshotManager(std::string dir, int keep_last = 2);
+
+  const std::string& dir() const { return dir_; }
+
+  /// Atomically persists `snap`; returns the bytes written.
+  std::uint64_t save(const TrainSnapshot& snap);
+
+  /// Loads and validates one snapshot file.
+  TrainSnapshot load(const std::string& path) const;
+
+  /// Loads the newest snapshot that validates, silently skipping corrupt
+  /// files. Throws SnapshotCorruptError if no valid snapshot exists.
+  TrainSnapshot load_latest() const;
+
+  /// Snapshot file paths in the directory, oldest step first.
+  std::vector<std::string> list() const;
+
+ private:
+  std::string dir_;
+  int keep_last_;
+};
+
+}  // namespace burst::resilience

@@ -2,9 +2,20 @@
 
 #include <algorithm>
 #include <exception>
+#include <string>
 #include <thread>
 
 namespace burst::sim {
+
+namespace {
+
+/// src/dst of -1 in a fault entry is a wildcard.
+bool link_matches(int fault_src, int fault_dst, int src, int dst) {
+  return (fault_src < 0 || fault_src == src) &&
+         (fault_dst < 0 || fault_dst == dst);
+}
+
+}  // namespace
 
 DeviceContext::DeviceContext(Cluster& cluster, int rank)
     : cluster_(cluster),
@@ -15,9 +26,80 @@ int DeviceContext::world_size() const { return cluster_.world_size(); }
 
 const Topology& DeviceContext::topo() const { return cluster_.config().topo; }
 
+void DeviceContext::check_crash(double now_s) {
+  const auto& crashes = cluster_.cfg_.faults.crashes;
+  for (std::size_t i = 0; i < crashes.size(); ++i) {
+    const auto& c = crashes[i];
+    if (c.rank != rank_ || now_s < c.at_time_s) {
+      continue;
+    }
+    bool fire = false;
+    {
+      std::lock_guard lock(cluster_.fault_mutex_);
+      if (!cluster_.crash_fired_[i]) {
+        cluster_.crash_fired_[i] = 1;
+        ++cluster_.fault_stats_.crashes_fired;
+        fire = true;
+      }
+    }
+    if (fire) {
+      if (auto* trace = cluster_.cfg_.trace) {
+        trace->record(rank_, kCompute, "fault:crash", now_s, now_s);
+      }
+      throw InjectedFaultError(
+          rank_, "device crashed at t=" + std::to_string(now_s) + "s");
+    }
+  }
+}
+
+bool DeviceContext::unreliable_network() const {
+  const auto& f = cluster_.cfg_.faults;
+  return !f.drops.empty() || !f.duplicates.empty() || !f.corruptions.empty();
+}
+
+double DeviceContext::work_scale(double now_s) const {
+  double scale = 1.0;
+  for (const auto& s : cluster_.cfg_.faults.stragglers) {
+    if (s.rank == rank_ && now_s >= s.from_time_s) {
+      scale *= s.slowdown;
+    }
+  }
+  return scale;
+}
+
+void DeviceContext::begin_step(std::int64_t step) {
+  const double now = clock_.elapsed();
+  check_crash(now);
+  const auto& crashes = cluster_.cfg_.faults.crashes;
+  for (std::size_t i = 0; i < crashes.size(); ++i) {
+    const auto& c = crashes[i];
+    if (c.rank != rank_ || c.at_step < 0 || step < c.at_step) {
+      continue;
+    }
+    bool fire = false;
+    {
+      std::lock_guard lock(cluster_.fault_mutex_);
+      if (!cluster_.crash_fired_[i]) {
+        cluster_.crash_fired_[i] = 1;
+        ++cluster_.fault_stats_.crashes_fired;
+        fire = true;
+      }
+    }
+    if (fire) {
+      if (auto* trace = cluster_.cfg_.trace) {
+        trace->record(rank_, kCompute, "fault:crash", now, now);
+      }
+      throw InjectedFaultError(
+          rank_, "device crashed at step " + std::to_string(step));
+    }
+  }
+}
+
 void DeviceContext::compute(double flops, int stream, const char* label) {
   const double begin = clock_.now(stream);
-  clock_.advance(stream, flops / cluster_.config().flops_per_s);
+  check_crash(begin);
+  clock_.advance(stream,
+                 flops / cluster_.config().flops_per_s * work_scale(begin));
   if (auto* trace = cluster_.config().trace) {
     trace->record(rank_, stream, label, begin, clock_.now(stream));
   }
@@ -25,17 +107,23 @@ void DeviceContext::compute(double flops, int stream, const char* label) {
 
 void DeviceContext::busy(double seconds, int stream, const char* label) {
   const double begin = clock_.now(stream);
-  clock_.advance(stream, seconds);
+  check_crash(begin);
+  clock_.advance(stream, seconds * work_scale(begin));
   if (auto* trace = cluster_.config().trace) {
     trace->record(rank_, stream, label, begin, clock_.now(stream));
   }
 }
 
 void DeviceContext::send(int dst, int tag, Message msg, int stream) {
-  const LinkParams& link = topo().link(rank_, dst);
+  try_send(dst, tag, std::move(msg), stream);
+}
+
+bool DeviceContext::try_send(int dst, int tag, Message msg, int stream) {
+  const double begin = clock_.now(stream);
+  check_crash(begin);
+  const LinkParams link = cluster_.effective_link(rank_, dst, begin);
   const double serialize =
       static_cast<double>(msg.bytes) / link.bandwidth_bytes_per_s;
-  const double begin = clock_.now(stream);
   msg.ready_time = begin + link.latency_s + serialize;
   clock_.advance(stream, serialize);
   bytes_sent_ += msg.bytes;
@@ -44,10 +132,19 @@ void DeviceContext::send(int dst, int tag, Message msg, int stream) {
     trace->record(rank_, stream, "send->" + std::to_string(dst), begin,
                   clock_.now(stream));
   }
-  cluster_.post(rank_, dst, tag, std::move(msg));
+  const bool delivered = cluster_.post(rank_, dst, tag, std::move(msg), begin);
+  if (!delivered) {
+    if (auto* trace = cluster_.config().trace) {
+      const double now = clock_.now(stream);
+      trace->record(rank_, stream, "fault:drop->" + std::to_string(dst), now,
+                    now);
+    }
+  }
+  return delivered;
 }
 
 Message DeviceContext::recv(int src, int tag, int stream) {
+  check_crash(clock_.now(stream));
   Message msg = cluster_.take(src, rank_, tag);
   const double begin = clock_.now(stream);
   clock_.advance_to(stream, msg.ready_time);
@@ -60,7 +157,60 @@ Message DeviceContext::recv(int src, int tag, int stream) {
   return msg;
 }
 
-void DeviceContext::barrier() { cluster_.barrier_and_sync(*this); }
+void DeviceContext::barrier() {
+  check_crash(clock_.elapsed());
+  cluster_.barrier_and_sync(*this);
+}
+
+Cluster::Cluster(Config cfg) : cfg_(std::move(cfg)) {
+  failed_.assign(static_cast<std::size_t>(world_size()), 0);
+  crash_fired_.assign(cfg_.faults.crashes.size(), 0);
+  reset_faults();
+}
+
+void Cluster::reset_faults() {
+  std::lock_guard lock(fault_mutex_);
+  std::fill(crash_fired_.begin(), crash_fired_.end(), 0);
+  drops_left_.clear();
+  dups_left_.clear();
+  corrupts_left_.clear();
+  for (const auto& d : cfg_.faults.drops) {
+    drops_left_.push_back(d.count);
+  }
+  for (const auto& d : cfg_.faults.duplicates) {
+    dups_left_.push_back(d.count);
+  }
+  for (const auto& c : cfg_.faults.corruptions) {
+    corrupts_left_.push_back(c.count);
+  }
+  fault_stats_ = FaultStats{};
+}
+
+void Cluster::set_faults(FaultPlan plan) {
+  {
+    std::lock_guard lock(fault_mutex_);
+    cfg_.faults = std::move(plan);
+    crash_fired_.assign(cfg_.faults.crashes.size(), 0);
+  }
+  reset_faults();
+}
+
+FaultStats Cluster::fault_stats() const {
+  std::lock_guard lock(fault_mutex_);
+  return fault_stats_;
+}
+
+LinkParams Cluster::effective_link(int src, int dst, double send_time) const {
+  LinkParams link = cfg_.topo.link(src, dst);
+  for (const auto& d : cfg_.faults.degradations) {
+    if (link_matches(d.src, d.dst, src, dst) && send_time >= d.from_time_s &&
+        send_time < d.until_time_s) {
+      link.latency_s += d.extra_latency_s;
+      link.bandwidth_bytes_per_s *= d.bandwidth_factor;
+    }
+  }
+  return link;
+}
 
 void Cluster::run(const std::function<void(DeviceContext&)>& fn) {
   const int g = world_size();
@@ -68,6 +218,32 @@ void Cluster::run(const std::function<void(DeviceContext&)>& fn) {
   {
     std::lock_guard lock(mail_mutex_);
     aborted_ = false;
+    std::fill(failed_.begin(), failed_.end(), 0);
+    first_error_ = nullptr;
+    first_error_rank_ = -1;
+    first_error_time_ = 0.0;
+    root_cause_ = nullptr;
+    root_cause_rank_ = -1;
+    root_cause_time_ = 0.0;
+  }
+  last_failure_rank_ = -1;
+  {
+    std::lock_guard lock(fault_mutex_);
+    // Per-message fault counters re-arm each run (a persistently lossy link
+    // stays lossy across supervisor retries); crash flags persist so a
+    // resumed run does not re-fire a crash it already recovered from.
+    drops_left_.clear();
+    dups_left_.clear();
+    corrupts_left_.clear();
+    for (const auto& d : cfg_.faults.drops) {
+      drops_left_.push_back(d.count);
+    }
+    for (const auto& d : cfg_.faults.duplicates) {
+      dups_left_.push_back(d.count);
+    }
+    for (const auto& c : cfg_.faults.corruptions) {
+      corrupts_left_.push_back(c.count);
+    }
   }
   {
     std::lock_guard lock(barrier_mutex_);
@@ -75,17 +251,15 @@ void Cluster::run(const std::function<void(DeviceContext&)>& fn) {
     barrier_max_time_ = 0.0;
   }
 
-  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(g));
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(g));
   for (int r = 0; r < g; ++r) {
-    threads.emplace_back([this, r, &fn, &errors] {
+    threads.emplace_back([this, r, &fn] {
       DeviceContext ctx(*this, r);
       try {
         fn(ctx);
       } catch (...) {
-        errors[static_cast<std::size_t>(r)] = std::current_exception();
-        abort();
+        report_failure(r, ctx.clock().elapsed(), std::current_exception());
       }
       auto& s = stats_[static_cast<std::size_t>(r)];
       s.elapsed_s = ctx.clock().elapsed();
@@ -98,40 +272,35 @@ void Cluster::run(const std::function<void(DeviceContext&)>& fn) {
     t.join();
   }
 
-  // Prefer the root-cause exception over secondary ClusterAbortedErrors that
-  // peers raised while unwinding.
-  std::exception_ptr root_cause;
-  std::exception_ptr any_error;
-  for (auto& e : errors) {
-    if (!e) {
-      continue;
-    }
-    if (!any_error) {
-      any_error = e;
-    }
-    if (!root_cause) {
-      try {
-        std::rethrow_exception(e);
-      } catch (const ClusterAbortedError&) {
-        // secondary
-      } catch (...) {
-        root_cause = e;
-      }
+  std::exception_ptr error;
+  {
+    std::lock_guard lock(mail_mutex_);
+    // Prefer the root cause over secondary ClusterAbortedErrors that peers
+    // raised while unwinding; report_failure selected the earliest virtual
+    // failure time (ties by rank), so the winner is not racy.
+    error = root_cause_ ? root_cause_ : first_error_;
+    last_failure_rank_ =
+        root_cause_ ? root_cause_rank_ : first_error_rank_;
+    if (error) {
+      // Leftover messages are expected when a run aborts mid-flight.
+      mailboxes_.clear();
     }
   }
-  if (any_error) {
-    // Leftover messages are expected when a run aborts mid-flight.
-    std::lock_guard lock(mail_mutex_);
-    mailboxes_.clear();
-    std::rethrow_exception(root_cause ? root_cause : any_error);
+  if (error) {
+    std::rethrow_exception(error);
   }
 
   // A clean run must have drained every mailbox, otherwise an algorithm
-  // produced an unmatched send — a real protocol bug worth failing loudly on.
+  // produced an unmatched send — a real protocol bug worth failing loudly
+  // on. Duplicates injected by the fault layer are exempt: a receiver that
+  // consumed the original has no reason to come back for the copy.
   std::lock_guard lock(mail_mutex_);
   for (const auto& [key, box] : mailboxes_) {
-    if (!box.empty()) {
-      throw std::logic_error("Cluster::run finished with undelivered messages");
+    for (const auto& msg : box) {
+      if (!msg.injected_dup) {
+        throw std::logic_error(
+            "Cluster::run finished with undelivered messages");
+      }
     }
   }
   mailboxes_.clear();
@@ -145,12 +314,58 @@ double Cluster::makespan() const {
   return m;
 }
 
-void Cluster::post(int src, int dst, int tag, Message msg) {
+bool Cluster::post(int src, int dst, int tag, Message msg, double send_time) {
+  bool duplicate = false;
+  // cfg_.faults is immutable while a run is in flight (set_faults may only
+  // be called between runs), so the emptiness probe needs no lock and a
+  // fault-free run never touches fault_mutex_ on the message hot path.
+  const auto& faults = cfg_.faults;
+  if (!faults.drops.empty() || !faults.corruptions.empty() ||
+      !faults.duplicates.empty()) {
+    std::lock_guard lock(fault_mutex_);
+    for (std::size_t i = 0; i < faults.drops.size(); ++i) {
+      const auto& d = faults.drops[i];
+      if (link_matches(d.src, d.dst, src, dst) && send_time >= d.from_time_s &&
+          drops_left_[i] > 0) {
+        --drops_left_[i];
+        ++fault_stats_.messages_dropped;
+        return false;
+      }
+    }
+    for (std::size_t i = 0; i < faults.corruptions.size(); ++i) {
+      const auto& c = faults.corruptions[i];
+      if (link_matches(c.src, c.dst, src, dst) && send_time >= c.from_time_s &&
+          corrupts_left_[i] > 0 && !msg.tensors.empty() &&
+          msg.tensors.front().numel() > 0) {
+        --corrupts_left_[i];
+        ++fault_stats_.messages_corrupted;
+        msg.tensors.front().data()[0] += 1024.0f;  // in-flight bit rot
+      }
+    }
+    for (std::size_t i = 0; i < faults.duplicates.size(); ++i) {
+      const auto& d = faults.duplicates[i];
+      if (link_matches(d.src, d.dst, src, dst) && send_time >= d.from_time_s &&
+          dups_left_[i] > 0) {
+        --dups_left_[i];
+        ++fault_stats_.messages_duplicated;
+        duplicate = true;
+      }
+    }
+  }
   {
     std::lock_guard lock(mail_mutex_);
-    mailboxes_[{src, dst, tag}].push_back(std::move(msg));
+    auto& box = mailboxes_[{src, dst, tag}];
+    if (duplicate) {
+      Message copy = msg;
+      copy.injected_dup = true;
+      box.push_back(std::move(msg));
+      box.push_back(std::move(copy));
+    } else {
+      box.push_back(std::move(msg));
+    }
   }
   mail_cv_.notify_all();
+  return true;
 }
 
 Message Cluster::take(int src, int dst, int tag) {
@@ -158,11 +373,49 @@ Message Cluster::take(int src, int dst, int tag) {
   auto& box = mailboxes_[{src, dst, tag}];
   mail_cv_.wait(lock, [this, &box] { return aborted_ || !box.empty(); });
   if (box.empty()) {
+    if (failed_[static_cast<std::size_t>(src)]) {
+      throw PeerFailedError(src);
+    }
     throw ClusterAbortedError();
   }
   Message msg = std::move(box.front());
   box.pop_front();
   return msg;
+}
+
+void Cluster::report_failure(int rank, double fail_time_s,
+                             std::exception_ptr error) {
+  bool secondary = false;
+  try {
+    std::rethrow_exception(error);
+  } catch (const ClusterAbortedError&) {
+    secondary = true;  // raised while unwinding from someone else's failure
+  } catch (...) {
+  }
+  // Earliest virtual failure time wins, ties broken by rank: the winner is
+  // a function of the simulation, not of which thread reached the lock
+  // first, so concurrent throws attribute deterministically.
+  const auto earlier = [&](int prev_rank, double prev_time) {
+    return prev_rank < 0 || fail_time_s < prev_time ||
+           (fail_time_s == prev_time && rank < prev_rank);
+  };
+  {
+    std::lock_guard lock(mail_mutex_);
+    if (earlier(first_error_rank_, first_error_time_)) {
+      first_error_ = error;
+      first_error_rank_ = rank;
+      first_error_time_ = fail_time_s;
+    }
+    if (!secondary) {
+      failed_[static_cast<std::size_t>(rank)] = 1;
+      if (earlier(root_cause_rank_, root_cause_time_)) {
+        root_cause_ = error;
+        root_cause_rank_ = rank;
+        root_cause_time_ = fail_time_s;
+      }
+    }
+  }
+  abort();
 }
 
 void Cluster::abort() {

@@ -8,9 +8,17 @@
 // `ready_time` so the receiver's clock reflects link latency/bandwidth.
 //
 // Error semantics: if any device throws (e.g. DeviceOomError), the cluster
-// aborts — every blocked receive wakes up with ClusterAbortedError so all
-// threads can unwind and join — and Cluster::run rethrows the original
-// exception. This is what lets OOM experiments (Figure 12/13) fail cleanly.
+// aborts — every blocked receive wakes up with ClusterAbortedError (or the
+// typed PeerFailedError when the rank it was blocked on is the one that
+// failed) so all threads can unwind and join — and Cluster::run rethrows the
+// *temporally first* root-cause exception. This is what lets OOM experiments
+// (Figure 12/13) fail cleanly and what the resilience supervisor
+// (src/resilience/driver.hpp) builds its detection path on.
+//
+// Fault injection: a FaultPlan on Config (sim/fault.hpp) deterministically
+// kills ranks, slows them down, degrades links, and drops/duplicates/
+// corrupts in-flight messages. Drops are observable by the sender through
+// try_send so reliable protocols (comm::Communicator) can retry.
 #pragma once
 
 #include <cstdint>
@@ -25,18 +33,13 @@
 #include <vector>
 
 #include "sim/clock.hpp"
+#include "sim/fault.hpp"
 #include "sim/memory.hpp"
 #include "sim/topology.hpp"
 #include "sim/trace.hpp"
 #include "tensor/tensor.hpp"
 
 namespace burst::sim {
-
-/// Raised in devices blocked on communication when a peer device failed.
-class ClusterAbortedError : public std::runtime_error {
- public:
-  ClusterAbortedError() : std::runtime_error("cluster aborted by peer failure") {}
-};
 
 /// A point-to-point message. `tensors` may be empty for time-only runs;
 /// `bytes` is what is charged on the wire (the caller decides the simulated
@@ -46,6 +49,10 @@ struct Message {
   std::vector<tensor::Tensor> tensors;
   std::uint64_t bytes = 0;
   double ready_time = 0.0;
+  /// Extra copy injected by a DuplicateMessages fault. Receivers that never
+  /// consume it (the common case: each tag is received exactly once) leave
+  /// it in the mailbox; the end-of-run drain check ignores these.
+  bool injected_dup = false;
 };
 
 class Cluster;
@@ -75,20 +82,47 @@ class DeviceContext {
   /// Non-blocking send. Serialization occupies `stream` on this device;
   /// the message becomes visible to `dst` at
   ///   now(stream) + link.latency + bytes/link.bandwidth.
+  /// If a DropMessages fault eats the message it vanishes silently — use
+  /// try_send (or comm::Communicator, which retries) on lossy links.
   void send(int dst, int tag, Message msg, int stream = kIntraComm);
 
+  /// Like send, but reports delivery: returns false when a DropMessages
+  /// fault consumed this attempt (wire time is still charged, like a
+  /// timed-out transmission). Reliable protocols retry on false.
+  bool try_send(int dst, int tag, Message msg, int stream = kIntraComm);
+
   /// Blocking receive; advances `stream` to the message's ready time.
+  /// Throws PeerFailedError if `src` failed while this rank was blocked,
+  /// ClusterAbortedError if any other rank brought the cluster down.
   Message recv(int src, int tag, int stream = kIntraComm);
 
   /// Thread barrier + virtual-clock join: after this call every device's
   /// streams sit at the cluster-wide max elapsed time.
   void barrier();
 
+  /// Reports the global training-step number to the fault layer so
+  /// CrashDevice::at_step faults can fire at a step boundary. Call at the
+  /// top of each step in step-structured workloads (the resilient driver
+  /// does). Also checks time-based crashes, like every other op.
+  void begin_step(std::int64_t step);
+
+  /// True when the fault plan can drop, duplicate, or corrupt messages —
+  /// i.e. when reliable protocols actually need their integrity machinery
+  /// (payload copies for retransmission, frame checksums). Fault-free runs
+  /// skip that overhead.
+  bool unreliable_network() const;
+
   // Wire-traffic counters (used by communication-volume invariant tests).
   std::uint64_t bytes_sent() const { return bytes_sent_; }
   std::uint64_t messages_sent() const { return messages_sent_; }
 
  private:
+  /// Throws InjectedFaultError if a CrashDevice fault targets this rank and
+  /// its firing time has been reached (one-shot; marks it fired).
+  void check_crash(double now_s);
+  /// Product of the slowdown factors of stragglers active at `now_s`.
+  double work_scale(double now_s) const;
+
   Cluster& cluster_;
   int rank_;
   VirtualClock clock_;
@@ -97,7 +131,9 @@ class DeviceContext {
   std::uint64_t messages_sent_ = 0;
 };
 
-/// Final per-device statistics captured after a run.
+/// Final per-device statistics captured after a run (also captured for the
+/// partial work done before an aborted run unwound, which is what recovery
+/// latency metrics are computed from).
 struct DeviceStats {
   double elapsed_s = 0.0;
   std::uint64_t peak_mem_bytes = 0;
@@ -117,17 +153,21 @@ class Cluster {
         std::numeric_limits<std::uint64_t>::max();
     /// Optional execution-trace sink (not owned); see sim/trace.hpp.
     TraceRecorder* trace = nullptr;
+    /// Deterministic fault schedule; see sim/fault.hpp.
+    FaultPlan faults{};
   };
 
-  explicit Cluster(Config cfg) : cfg_(std::move(cfg)) {}
+  explicit Cluster(Config cfg);
 
   const Config& config() const { return cfg_; }
   int world_size() const { return cfg_.topo.world_size(); }
 
   /// Runs `fn(ctx)` on world_size() threads, one per rank. Blocks until all
-  /// devices finish; rethrows the first device exception (after all threads
-  /// have unwound). May be called repeatedly; mailboxes must be empty at the
-  /// end of each run (checked).
+  /// devices finish; rethrows the temporally-first root-cause exception
+  /// (after all threads have unwound). May be called repeatedly; mailboxes
+  /// must be empty at the end of each clean run (checked; duplicates
+  /// injected by faults are exempt). Crash faults that fired in an earlier
+  /// run stay disarmed, so a supervisor can re-run to resume past them.
   void run(const std::function<void(DeviceContext&)>& fn);
 
   /// Stats of the most recent run, indexed by rank.
@@ -136,15 +176,42 @@ class Cluster {
   /// Cluster-wide makespan of the most recent run.
   double makespan() const;
 
+  /// Rank whose exception Cluster::run (re)threw for the most recent run:
+  /// the rank with the earliest *virtual-time* root-cause failure (not a
+  /// secondary ClusterAbortedError raised while unwinding), ties broken by
+  /// rank. -1 if the run finished cleanly. Deterministic even when multiple
+  /// ranks throw concurrently.
+  int last_failure_rank() const { return last_failure_rank_; }
+
+  /// Counters of injected faults that actually fired (cumulative).
+  FaultStats fault_stats() const;
+
+  /// Re-arms one-shot crash faults and zeroes fault counters.
+  void reset_faults();
+
+  /// Replaces the fault plan (e.g. a supervisor healing a flaky link after
+  /// recovery). Resets all fault state, including crash fired flags.
+  void set_faults(FaultPlan plan);
+
  private:
   friend class DeviceContext;
 
   using MailboxKey = std::tuple<int, int, int>;  // (src, dst, tag)
 
-  void post(int src, int dst, int tag, Message msg);
+  /// Applies drop/duplicate/corrupt faults, then delivers. Returns false if
+  /// the message was dropped. `send_time` is the sender's clock at send.
+  bool post(int src, int dst, int tag, Message msg, double send_time);
   Message take(int src, int dst, int tag);
+  /// Records a device failure at virtual time `fail_time_s` and aborts.
+  /// The winner (earliest virtual time, ties broken by rank) is selected
+  /// deterministically, independent of wall-clock thread scheduling.
+  void report_failure(int rank, double fail_time_s, std::exception_ptr error);
   void abort();
   void barrier_and_sync(DeviceContext& ctx);
+
+  /// Effective link parameters for a send begun at `send_time`, after
+  /// DegradeLink faults.
+  LinkParams effective_link(int src, int dst, double send_time) const;
 
   Config cfg_;
 
@@ -152,6 +219,29 @@ class Cluster {
   std::condition_variable mail_cv_;
   std::map<MailboxKey, std::deque<Message>> mailboxes_;
   bool aborted_ = false;
+  /// Ranks that failed with a root-cause error (guarded by mail_mutex_ so
+  /// blocked receivers observe it together with aborted_).
+  std::vector<char> failed_;
+
+  // Failure bookkeeping for the current run (guarded by mail_mutex_).
+  // "First" means earliest *virtual* failure time, ties broken by rank —
+  // deterministic even when several threads throw concurrently.
+  std::exception_ptr first_error_;      // first of any kind
+  int first_error_rank_ = -1;
+  double first_error_time_ = 0.0;
+  std::exception_ptr root_cause_;       // first non-secondary
+  int root_cause_rank_ = -1;
+  double root_cause_time_ = 0.0;
+  int last_failure_rank_ = -1;
+
+  // Fault runtime state (guarded by fault_mutex_; crash flags persist
+  // across runs, per-message counters re-arm each run).
+  mutable std::mutex fault_mutex_;
+  std::vector<char> crash_fired_;
+  std::vector<int> drops_left_;
+  std::vector<int> dups_left_;
+  std::vector<int> corrupts_left_;
+  FaultStats fault_stats_;
 
   std::mutex barrier_mutex_;
   std::condition_variable barrier_cv_;

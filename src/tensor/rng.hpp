@@ -9,11 +9,29 @@
 
 namespace burst::tensor {
 
+/// Complete serializable generator state (snapshot/restore support for
+/// fault-tolerant training — src/resilience/snapshot.hpp). Restoring a
+/// saved state resumes the exact stream, including the buffered Box-Muller
+/// spare, so replayed data is bitwise identical.
+struct RngState {
+  std::uint64_t state = 0;
+  bool has_spare = false;
+  double spare = 0.0;
+};
+
 /// splitmix64-based generator: tiny state, high quality for non-crypto use,
 /// and trivially seedable per (test, rank) without correlation.
 class Rng {
  public:
   explicit Rng(std::uint64_t seed) : state_(seed + 0x9E3779B97F4A7C15ull) {}
+
+  RngState save_state() const { return {state_, has_spare_, spare_}; }
+
+  void restore_state(const RngState& s) {
+    state_ = s.state;
+    has_spare_ = s.has_spare;
+    spare_ = s.spare;
+  }
 
   std::uint64_t next_u64();
 

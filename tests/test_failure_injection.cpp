@@ -4,11 +4,14 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <thread>
 
 #include "comm/communicator.hpp"
 #include "model/dist_model.hpp"
 #include "model/transformer.hpp"
 #include "sim/cluster.hpp"
+#include "sim/trace.hpp"
 #include "tensor/rng.hpp"
 
 namespace burst {
@@ -142,6 +145,271 @@ TEST(FailureInjection, ClusterRecoversAfterAbort) {
   std::atomic<int> ran{0};
   cluster.run([&](DeviceContext&) { ran.fetch_add(1); });
   EXPECT_EQ(ran.load(), 2);
+}
+
+// --- FaultPlan-driven injection ---------------------------------------------
+
+// A planned straggler (3x slowdown on rank 2) must not deadlock a
+// barrier-synchronized phase, and the slowdown must be visible in the
+// per-device trace: rank 2's compute interval is 3x everyone else's.
+TEST(FaultPlan, StragglerSlowsTraceWithoutDeadlock) {
+  sim::TraceRecorder trace;
+  Cluster::Config cc;
+  cc.topo = Topology::single_node(4);
+  cc.flops_per_s = 1e9;
+  cc.trace = &trace;
+  sim::FaultPlan::Straggler straggler;
+  straggler.rank = 2;
+  straggler.slowdown = 3.0;
+  cc.faults.stragglers.push_back(straggler);
+  Cluster cluster(cc);
+
+  cluster.run([&](DeviceContext& ctx) {
+    comm::Communicator comm(ctx);
+    ctx.compute(1e6, sim::kCompute, "step-compute");
+    Tensor t = Tensor::zeros(4, 4);
+    comm.all_reduce_inplace(t);
+    ctx.barrier();
+  });
+
+  // 1e6 FLOPs at 1e9 FLOP/s is 1 ms; the straggler takes 3 ms and gates
+  // the barrier.
+  EXPECT_GE(cluster.makespan(), 3e-3);
+
+  double dur[4] = {0, 0, 0, 0};
+  for (const auto& ev : trace.events()) {
+    if (ev.name == "step-compute" && ev.rank >= 0 && ev.rank < 4) {
+      dur[ev.rank] = ev.end_s - ev.begin_s;
+    }
+  }
+  EXPECT_NEAR(dur[0], 1e-3, 1e-9);
+  EXPECT_NEAR(dur[2], 3e-3, 1e-9);
+  EXPECT_NEAR(dur[2] / dur[0], 3.0, 1e-6);
+}
+
+// A flapping link that eats two messages mid-collective: the reliable
+// communicator observes the drops and retries, and the ring all-gather
+// still produces the right result on every rank.
+TEST(FaultPlan, LinkFlapDuringRingRecoversViaRetry) {
+  Cluster::Config cc;
+  cc.topo = Topology::single_node(4);
+  sim::FaultPlan::DropMessages drop;
+  drop.src = 1;
+  drop.dst = 2;
+  drop.count = 2;
+  cc.faults.drops.push_back(drop);
+  Cluster cluster(cc);
+
+  std::atomic<std::uint64_t> retries{0};
+  std::atomic<int> wrong{0};
+  cluster.run([&](DeviceContext& ctx) {
+    comm::Communicator comm(ctx);
+    Tensor local = Tensor::full(2, 3, static_cast<float>(ctx.rank()));
+    Tensor full = comm.all_gather_rows(local);
+    for (int g = 0; g < 4; ++g) {
+      for (std::int64_t r = 0; r < 2; ++r) {
+        for (std::int64_t c = 0; c < 3; ++c) {
+          if (full(2 * g + r, c) != static_cast<float>(g)) {
+            wrong.fetch_add(1);
+          }
+        }
+      }
+    }
+    retries.fetch_add(comm.retries());
+  });
+
+  EXPECT_EQ(wrong.load(), 0);
+  EXPECT_EQ(cluster.fault_stats().messages_dropped, 2u);
+  EXPECT_EQ(retries.load(), 2u);
+}
+
+// An injected duplicate frame is discarded by sequence-number matching;
+// the second logical message still arrives intact.
+TEST(FaultPlan, DuplicateFrameDiscardedBySequenceNumber) {
+  Cluster::Config cc;
+  cc.topo = Topology::single_node(2);
+  sim::FaultPlan::DuplicateMessages dup;
+  dup.src = 0;
+  dup.dst = 1;
+  dup.count = 1;
+  cc.faults.duplicates.push_back(dup);
+  Cluster cluster(cc);
+
+  std::atomic<std::uint64_t> discarded{0};
+  std::atomic<int> wrong{0};
+  cluster.run([&](DeviceContext& ctx) {
+    comm::Communicator comm(ctx);
+    if (ctx.rank() == 0) {
+      comm.send(1, 5, {Tensor::full(2, 2, 7.0f)});
+      comm.send(1, 5, {Tensor::full(2, 2, 9.0f)});
+    } else {
+      auto a = comm.recv(0, 5);
+      auto b = comm.recv(0, 5);
+      if (a.size() != 1 || a[0](0, 0) != 7.0f) wrong.fetch_add(1);
+      if (b.size() != 1 || b[0](1, 1) != 9.0f) wrong.fetch_add(1);
+      discarded.store(comm.duplicates_discarded());
+    }
+  });
+
+  EXPECT_EQ(wrong.load(), 0);
+  EXPECT_EQ(discarded.load(), 1u);
+  EXPECT_EQ(cluster.fault_stats().messages_duplicated, 1u);
+}
+
+// A payload bit-flipped in flight fails the frame checksum on receive.
+TEST(FaultPlan, CorruptedFrameRejectedByChecksum) {
+  Cluster::Config cc;
+  cc.topo = Topology::single_node(2);
+  sim::FaultPlan::CorruptMessages corrupt;
+  corrupt.src = 0;
+  corrupt.dst = 1;
+  corrupt.count = 1;
+  cc.faults.corruptions.push_back(corrupt);
+  Cluster cluster(cc);
+
+  EXPECT_THROW(cluster.run([&](DeviceContext& ctx) {
+    comm::Communicator comm(ctx);
+    if (ctx.rank() == 0) {
+      comm.send(1, 3, {Tensor::full(4, 4, 1.0f)});
+    } else {
+      comm.recv(0, 3);
+    }
+  }),
+               comm::CommCorruptionError);
+  EXPECT_EQ(cluster.fault_stats().messages_corrupted, 1u);
+  EXPECT_EQ(cluster.last_failure_rank(), 1);  // detected at the receiver
+}
+
+// A degraded link (10% bandwidth) stretches the transfer and the makespan.
+TEST(FaultPlan, DegradedLinkStretchesMakespan) {
+  const auto run_once = [](double bandwidth_factor) {
+    Cluster::Config cc;
+    cc.topo = Topology::single_node(2);
+    if (bandwidth_factor != 1.0) {
+      sim::FaultPlan::DegradeLink deg;
+      deg.src = 0;
+      deg.dst = 1;
+      deg.bandwidth_factor = bandwidth_factor;
+      cc.faults.degradations.push_back(deg);
+    }
+    Cluster cluster(cc);
+    cluster.run([&](DeviceContext& ctx) {
+      comm::Communicator comm(ctx);
+      if (ctx.rank() == 0) {
+        comm.send(1, 2, {Tensor::zeros(2048, 2048)});
+      } else {
+        comm.recv(0, 2);
+      }
+    });
+    return cluster.makespan();
+  };
+
+  const double clean = run_once(1.0);
+  const double degraded = run_once(0.1);
+  EXPECT_GT(degraded, 5.0 * clean);
+}
+
+// A receive whose message arrives past the configured virtual-clock
+// deadline raises CommTimeoutError instead of silently stalling.
+TEST(FaultPlan, RecvDeadlineRaisesTimeout) {
+  Cluster cluster({Topology::single_node(2)});
+  EXPECT_THROW(cluster.run([&](DeviceContext& ctx) {
+    comm::Communicator comm(ctx);
+    if (ctx.rank() == 0) {
+      // Stall the comm stream: the message leaves 1 virtual second late.
+      ctx.busy(1.0, sim::kIntraComm);
+      comm.send(1, 6, {Tensor::zeros(2, 2)});
+    } else {
+      comm::Reliability rel;
+      rel.recv_timeout_s = 0.1;
+      comm.set_reliability(rel);
+      comm.recv(0, 6);
+    }
+  }),
+               comm::CommTimeoutError);
+  EXPECT_EQ(cluster.last_failure_rank(), 1);
+}
+
+// A link that eats every attempt exhausts the bounded retry budget: the
+// sender gives up with CommTimeoutError after max_send_attempts tries.
+TEST(FaultPlan, RetryBudgetExhaustionRaisesTimeout) {
+  Cluster::Config cc;
+  cc.topo = Topology::single_node(2);
+  sim::FaultPlan::DropMessages drop;
+  drop.src = 0;
+  drop.dst = 1;
+  drop.count = 100;  // more than any retry budget
+  cc.faults.drops.push_back(drop);
+  Cluster cluster(cc);
+
+  EXPECT_THROW(cluster.run([&](DeviceContext& ctx) {
+    comm::Communicator comm(ctx);
+    if (ctx.rank() == 0) {
+      comm.send(1, 4, {Tensor::zeros(2, 2)});
+    } else {
+      comm.recv(0, 4);
+    }
+  }),
+               comm::CommTimeoutError);
+  EXPECT_EQ(cluster.last_failure_rank(), 0);  // the sender gave up
+  EXPECT_EQ(cluster.fault_stats().messages_dropped,
+            static_cast<std::uint64_t>(comm::Reliability{}.max_send_attempts));
+}
+
+// A planned device crash surfaces as InjectedFaultError on the dead rank
+// and as typed PeerFailedError in peers blocked on it; the run rethrows
+// the root cause, not the secondary.
+TEST(FaultPlan, CrashedPeerObservedAsPeerFailed) {
+  Cluster::Config cc;
+  cc.topo = Topology::single_node(2);
+  sim::FaultPlan::CrashDevice crash;
+  crash.rank = 1;
+  crash.at_time_s = 0.0;
+  cc.faults.crashes.push_back(crash);
+  Cluster cluster(cc);
+
+  std::atomic<int> observed_peer{-1};
+  EXPECT_THROW(cluster.run([&](DeviceContext& ctx) {
+    if (ctx.rank() == 1) {
+      ctx.busy(1e-6);  // first op boundary: the crash fires here
+    } else {
+      try {
+        ctx.recv(1, 7);
+      } catch (const sim::PeerFailedError& e) {
+        observed_peer.store(e.peer());
+        throw;
+      }
+    }
+  }),
+               sim::InjectedFaultError);
+  EXPECT_EQ(observed_peer.load(), 1);
+  EXPECT_EQ(cluster.last_failure_rank(), 1);
+  EXPECT_EQ(cluster.fault_stats().crashes_fired, 1u);
+}
+
+// When several ranks throw root-cause errors concurrently, attribution is
+// by *virtual* failure time, not by which thread won the wall-clock race:
+// rank 1 fails at virtual t=0 but reports ~50 ms of wall time late; rank 2
+// fails at virtual t=1ms but reports immediately. Rank 1 must win.
+TEST(FaultPlan, ConcurrentFailuresAttributeDeterministically) {
+  Cluster cluster({Topology::single_node(3)});
+  try {
+    cluster.run([&](DeviceContext& ctx) {
+      if (ctx.rank() == 1) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        throw std::runtime_error("late-wall-early-virtual");
+      }
+      if (ctx.rank() == 2) {
+        ctx.busy(1e-3);
+        throw std::runtime_error("early-wall-late-virtual");
+      }
+      ctx.recv(1, 9);  // rank 0 just blocks until the abort
+    });
+    FAIL() << "run should have thrown";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "late-wall-early-virtual");
+  }
+  EXPECT_EQ(cluster.last_failure_rank(), 1);
 }
 
 }  // namespace

@@ -1,0 +1,212 @@
+// Resilient training driver (src/resilience/driver.hpp): the PR's
+// acceptance tests. A device crash injected at step k of a multi-step
+// BurstAttention training run must be detected, recovered from the latest
+// snapshot, and the completed run must match a fault-free run bit for bit,
+// with the recovery visible in the trace.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <string>
+
+#include "resilience/driver.hpp"
+#include "resilience/snapshot.hpp"
+#include "sim/cluster.hpp"
+#include "sim/trace.hpp"
+
+namespace burst {
+namespace {
+
+namespace fs = std::filesystem;
+
+using model::ModelConfig;
+using model::ModelWeights;
+using resilience::ResilienceConfig;
+using resilience::ResilienceReport;
+using sim::Topology;
+
+class ResilienceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    base_ = (fs::temp_directory_path() /
+             (std::string("burst-resil-") + info->name()))
+                .string();
+    fs::remove_all(base_);
+  }
+  void TearDown() override { fs::remove_all(base_); }
+
+  /// 4-rank BurstAttention training config, 8 steps, snapshot every 2.
+  ResilienceConfig base_config(const std::string& subdir) const {
+    ResilienceConfig cfg;
+    cfg.dist.model = ModelConfig::toy();
+    cfg.dist.impl = model::AttnImpl::kBurst;
+    cfg.cluster.topo = Topology::single_node(4);
+    cfg.total_steps = 8;
+    cfg.snapshot_interval = 2;
+    cfg.seq_len = 32;
+    cfg.snapshot_dir = base_ + "/" + subdir;
+    return cfg;
+  }
+
+  std::string base_;
+};
+
+bool has_event_prefix(const sim::TraceRecorder& trace, int rank,
+                      const std::string& prefix) {
+  for (const auto& ev : trace.events()) {
+    if (ev.rank == rank && ev.name.rfind(prefix, 0) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// The headline acceptance test: rank 2 dies at step 5; the driver restores
+// the step-4 snapshot, replays, and finishes all 8 steps with weights
+// bitwise identical to a fault-free run. Recovery events land in the
+// report and on the supervisor trace track.
+TEST_F(ResilienceTest, CrashAtStepRecoversBitwiseIdentically) {
+  const ModelWeights init = ModelWeights::init(ModelConfig::toy(), 21);
+
+  ResilienceConfig clean = base_config("clean");
+  const ResilienceReport ref = resilience::resilient_train_loop(clean, init);
+  ASSERT_EQ(ref.steps_completed, 8);
+  ASSERT_EQ(ref.recoveries, 0);
+  ASSERT_EQ(ref.events.size(), 0u);
+
+  sim::TraceRecorder trace;
+  ResilienceConfig faulty = base_config("faulty");
+  faulty.cluster.trace = &trace;
+  sim::FaultPlan::CrashDevice crash;
+  crash.rank = 2;
+  crash.at_step = 5;
+  faulty.cluster.faults.crashes.push_back(crash);
+
+  const ResilienceReport rep = resilience::resilient_train_loop(faulty, init);
+  EXPECT_EQ(rep.steps_completed, 8);
+  EXPECT_EQ(rep.recoveries, 1);
+  ASSERT_EQ(rep.events.size(), 1u);
+  EXPECT_EQ(rep.events[0].failed_step, 5u);
+  EXPECT_EQ(rep.events[0].resumed_from_step, 4u);
+  EXPECT_EQ(rep.events[0].lost_steps, 1);
+  EXPECT_EQ(rep.events[0].failed_rank, 2);
+  EXPECT_GE(rep.events[0].restore_time_s, 0.0);
+  EXPECT_GT(rep.wasted_virtual_time_s, 0.0);
+
+  // Bitwise-identical final weights and loss curve.
+  EXPECT_TRUE(resilience::bitwise_equal(rep.final_weights, ref.final_weights));
+  ASSERT_EQ(rep.losses.size(), ref.losses.size());
+  for (std::size_t i = 0; i < ref.losses.size(); ++i) {
+    EXPECT_EQ(rep.losses[i], ref.losses[i]) << "step " << i;
+  }
+
+  // Recovery is visible in the trace: the crash on rank 2's track, the
+  // detection/restore on the supervisor track (pid == world_size).
+  const int supervisor = 4;
+  EXPECT_TRUE(has_event_prefix(trace, 2, "fault:crash"));
+  EXPECT_TRUE(has_event_prefix(trace, supervisor, "recovery:detect"));
+  EXPECT_TRUE(has_event_prefix(trace, supervisor, "recovery:restore"));
+  EXPECT_TRUE(has_event_prefix(trace, supervisor, "snapshot:save"));
+}
+
+// Time-keyed crash (mid-step, not at a step boundary) also recovers.
+TEST_F(ResilienceTest, CrashAtVirtualTimeRecovers) {
+  const ModelWeights init = ModelWeights::init(ModelConfig::toy(), 21);
+
+  ResilienceConfig clean = base_config("clean");
+  const ResilienceReport ref = resilience::resilient_train_loop(clean, init);
+
+  ResilienceConfig faulty = base_config("faulty");
+  sim::FaultPlan::CrashDevice crash;
+  crash.rank = 1;
+  crash.at_time_s = 1e-6;  // fires inside the first step's compute
+  faulty.cluster.faults.crashes.push_back(crash);
+
+  const ResilienceReport rep = resilience::resilient_train_loop(faulty, init);
+  EXPECT_EQ(rep.steps_completed, 8);
+  EXPECT_EQ(rep.recoveries, 1);
+  ASSERT_EQ(rep.events.size(), 1u);
+  EXPECT_EQ(rep.events[0].failed_rank, 1);
+  EXPECT_GT(rep.events[0].detect_latency_s, 0.0);
+  EXPECT_TRUE(resilience::bitwise_equal(rep.final_weights, ref.final_weights));
+}
+
+// A link that drops more frames than the retry budget: the driver recovers
+// from the CommTimeoutError, heals the link, and completes. Weights still
+// match a fault-free run bitwise — the failed attempt never committed.
+TEST_F(ResilienceTest, PersistentLinkFaultHealedAfterRecovery) {
+  const ModelWeights init = ModelWeights::init(ModelConfig::toy(), 21);
+
+  ResilienceConfig clean = base_config("clean");
+  const ResilienceReport ref = resilience::resilient_train_loop(clean, init);
+
+  ResilienceConfig faulty = base_config("faulty");
+  sim::FaultPlan::DropMessages drop;
+  drop.src = 0;
+  drop.dst = 1;
+  drop.count = 1000;  // beyond any retry budget, and re-arms every attempt
+  faulty.cluster.faults.drops.push_back(drop);
+
+  const ResilienceReport rep = resilience::resilient_train_loop(faulty, init);
+  EXPECT_EQ(rep.steps_completed, 8);
+  EXPECT_EQ(rep.recoveries, 1);
+  EXPECT_TRUE(resilience::bitwise_equal(rep.final_weights, ref.final_weights));
+}
+
+// With remap_on_failure, a dead rank shrinks the world: 4 ranks minus one
+// casualty leaves 3 survivors, and the largest feasible zigzag world for a
+// 32-token sequence is 2. Training still completes all 8 steps.
+TEST_F(ResilienceTest, RemapContinuesOnSurvivors) {
+  const ModelWeights init = ModelWeights::init(ModelConfig::toy(), 21);
+
+  ResilienceConfig faulty = base_config("faulty");
+  faulty.remap_on_failure = true;
+  sim::FaultPlan::CrashDevice crash;
+  crash.rank = 3;
+  crash.at_step = 3;
+  faulty.cluster.faults.crashes.push_back(crash);
+
+  const ResilienceReport rep = resilience::resilient_train_loop(faulty, init);
+  EXPECT_EQ(rep.steps_completed, 8);
+  EXPECT_EQ(rep.recoveries, 1);
+  EXPECT_EQ(rep.final_world_size, 2);
+  for (double loss : rep.losses) {
+    EXPECT_TRUE(std::isfinite(loss));
+    EXPECT_GT(loss, 0.0);
+  }
+}
+
+TEST_F(ResilienceTest, FeasibleWorldSizeRespectsDivisibility) {
+  model::DistTrainConfig dc;
+  dc.model = ModelConfig::toy();  // 4 heads
+  // Zigzag needs 2g | N: for N=32 and 3 survivors, g=2.
+  EXPECT_EQ(resilience::feasible_world_size(dc, 32, 3), 2);
+  EXPECT_EQ(resilience::feasible_world_size(dc, 32, 4), 4);
+  // Ulysses additionally needs g | heads.
+  dc.impl = model::AttnImpl::kUlysses;
+  dc.balance = core::Balance::kContiguous;
+  EXPECT_EQ(resilience::feasible_world_size(dc, 32, 3), 2);
+}
+
+// When faults outpace the recovery budget the driver gives up and
+// surfaces the root cause instead of looping forever.
+TEST_F(ResilienceTest, RecoveryBudgetExhaustedRethrows) {
+  const ModelWeights init = ModelWeights::init(ModelConfig::toy(), 21);
+
+  ResilienceConfig faulty = base_config("faulty");
+  faulty.max_recoveries = 2;
+  for (int i = 0; i < 3; ++i) {
+    sim::FaultPlan::CrashDevice crash;
+    crash.rank = 1;
+    crash.at_step = 1;  // one entry fires per attempt: three strikes
+    faulty.cluster.faults.crashes.push_back(crash);
+  }
+
+  EXPECT_THROW(resilience::resilient_train_loop(faulty, init),
+               sim::InjectedFaultError);
+}
+
+}  // namespace
+}  // namespace burst
