@@ -10,6 +10,7 @@
 // block-sparse masks (any block size divisible by G).
 #include "bench_util.hpp"
 #include "core/partition.hpp"
+#include "reporter.hpp"
 
 int main() {
   using namespace burst;
@@ -18,6 +19,7 @@ int main() {
   using kernels::MaskSpec;
 
   const std::int64_t n = 8192;  // balance factors are scale-free beyond ~G^2
+  Reporter rep("ablation_balance");
 
   for (int g : {8, 32}) {
     title("workload balance factor (max device / ideal), N=8192, G=" +
@@ -35,14 +37,33 @@ int main() {
     };
     Table t({"mask", "contiguous", "zigzag", "striped"});
     for (const auto& r : rows) {
-      t.row({r.name,
-             fmt(core::balance_factor(r.mask, Balance::kContiguous, n, g),
-                 "%.3f"),
-             fmt(core::balance_factor(r.mask, Balance::kZigzag, n, g),
-                 "%.3f"),
-             fmt(core::balance_factor(r.mask, Balance::kStriped, n, g),
-                 "%.3f")});
+      const double contiguous =
+          core::balance_factor(r.mask, Balance::kContiguous, n, g);
+      const double zigzag =
+          core::balance_factor(r.mask, Balance::kZigzag, n, g);
+      const double striped =
+          core::balance_factor(r.mask, Balance::kStriped, n, g);
+      t.row({r.name, fmt(contiguous, "%.3f"), fmt(zigzag, "%.3f"),
+             fmt(striped, "%.3f")});
+      const std::string tag =
+          std::string(r.name).substr(0, std::string(r.name).find(' ')) +
+          "_g" + std::to_string(g);
+      rep.measurement("striped_" + tag, striped);
+      rep.check(striped <= contiguous + 1e-9,
+                "striped never worse than contiguous (" + tag + ")");
     }
+    // Zigzag and striped both balance causal exactly; striped is the only
+    // one that also balances the block-SWA mask (Figure 11).
+    rep.check(core::balance_factor(MaskSpec::causal(), Balance::kStriped, n,
+                                   g) < 1.05,
+              "striped balances causal, G=" + std::to_string(g));
+    rep.check(
+        core::balance_factor(MaskSpec::block_sliding_window(n / 256, 2, 256),
+                             Balance::kStriped, n, g) <
+            core::balance_factor(
+                MaskSpec::block_sliding_window(n / 256, 2, 256),
+                Balance::kZigzag, n, g),
+        "striped beats zigzag on block-SWA, G=" + std::to_string(g));
     t.print();
   }
   std::printf(
@@ -51,5 +72,5 @@ int main() {
       "exactly; striped fixes causal *and* block-wise sparse masks, which is\n"
       "why BurstEngine integrates the striped strategy for sparse patterns\n"
       "(Figure 11).\n");
-  return 0;
+  return rep.finish();
 }

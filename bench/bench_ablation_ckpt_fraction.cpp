@@ -6,6 +6,7 @@
 // back 75% of the attention recompute.
 #include "bench_util.hpp"
 #include "perfmodel/estimator.hpp"
+#include "reporter.hpp"
 
 int main() {
   using namespace burst;
@@ -13,10 +14,13 @@ int main() {
   using core::CkptConfig;
   using core::CkptStrategy;
 
+  Reporter rep("ablation_ckpt_fraction");
   title("sequence-level selective checkpointing sweep (14B, 1M tokens, "
         "32x A800)");
   Table t({"store fraction", "MFU (%)", "TGS", "memory (GB)",
            "attn recompute share"});
+  double prev_tgs = -1.0;
+  double prev_mem = -1.0;
   for (double f : {0.0, 0.25, 0.5, 0.75, 1.0}) {
     perfmodel::RunConfig cfg;
     cfg.model = model::ModelConfig::llama14b();
@@ -32,11 +36,24 @@ int main() {
     t.row({fmt(f, "%.2f"), fmt(100.0 * est.mfu), fmt(est.tgs),
            fmt_gb(est.memory.total()),
            fmt(100.0 * (1.0 - f) * (1.0 - f), "%.0f%%")});
+    const std::string tag = "f" + fmt(100.0 * f, "%.0f");
+    rep.measurement("tgs_" + tag, est.tgs);
+    rep.measurement("mem_gb_" + tag, est.memory.total() / 1e9);
+    // The trade-off curve is monotone: storing more activations always
+    // costs memory and always saves recompute.
+    if (prev_tgs >= 0.0) {
+      rep.check(est.tgs >= prev_tgs, "TGS monotone in store fraction at " +
+                                         tag);
+      rep.check(est.memory.total() / 1e9 >= prev_mem,
+                "memory monotone in store fraction at " + tag);
+    }
+    prev_tgs = est.tgs;
+    prev_mem = est.memory.total() / 1e9;
   }
   t.print();
   std::printf(
       "\nf=0 equals full checkpointing, f=1 equals selective++; the paper\n"
       "picks f=0.5 (Table 2): half the extra memory of selective++ for only\n"
       "a quarter of full checkpointing's attention recompute.\n");
-  return 0;
+  return rep.finish();
 }

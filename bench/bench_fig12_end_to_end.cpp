@@ -8,6 +8,7 @@
 // only BurstEngine trains the 4M/2M settings.
 #include "bench_util.hpp"
 #include "perfmodel/estimator.hpp"
+#include "reporter.hpp"
 
 int main() {
   using namespace burst;
@@ -30,6 +31,8 @@ int main() {
                             Method::kDoubleRing, Method::kUSP,
                             Method::kBurstEngine};
 
+  Reporter rep("fig12_end_to_end");
+  int setting_idx = 0;
   for (const auto& s : settings) {
     title(std::string("Figure 12 — ") + s.name);
     Table t({"method", "TGS (tok/s/GPU)", "MFU (%)", "step (s)", "status"});
@@ -56,7 +59,18 @@ int main() {
       }
     }
     t.print();
+    const std::string tag = "setting" + std::to_string(setting_idx);
+    rep.config(tag, s.name);
+    rep.measurement(tag + "_burst_tgs", burst_tgs,
+                    obs::RunReport::kNoPaperValue, "tok/s/GPU");
+    rep.check(burst_tgs > 0,
+              std::string("BurstEngine completes: ") + s.name);
     if (usp_tgs > 0 && burst_tgs > 0) {
+      // Paper headline speedups over LoongTrain-USP at 32 GPUs.
+      const double paper = setting_idx == 0 ? 1.19 : 1.15;
+      rep.measurement(tag + "_speedup_vs_usp", burst_tgs / usp_tgs, paper);
+      rep.check(burst_tgs > usp_tgs,
+                std::string("BurstEngine beats LoongTrain-USP: ") + s.name);
       std::printf("BurstEngine / LoongTrain-USP speedup: %.2fx (paper: "
                   "1.19x on 7B / 1.15x on 14B at 32 GPUs)\n",
                   burst_tgs / usp_tgs);
@@ -64,6 +78,7 @@ int main() {
       std::printf("only BurstEngine completes this setting (matches the "
                   "paper's 64-GPU result)\n");
     }
+    ++setting_idx;
   }
-  return 0;
+  return rep.finish();
 }

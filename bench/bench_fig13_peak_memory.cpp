@@ -5,6 +5,7 @@
 // fused LM head + sequence-level selective checkpointing save 24-26%.
 #include "bench_util.hpp"
 #include "perfmodel/estimator.hpp"
+#include "reporter.hpp"
 
 int main() {
   using namespace burst;
@@ -27,6 +28,8 @@ int main() {
                             Method::kDoubleRing, Method::kUSP,
                             Method::kBurstEngine};
 
+  Reporter rep("fig13_peak_memory");
+  int setting_idx = 0;
   for (const auto& s : settings) {
     title(std::string("Figure 13 — peak memory per GPU, ") + s.name);
     Table t({"method", "total (GB)", "states (GB)", "activations (GB)",
@@ -53,15 +56,30 @@ int main() {
       }
     }
     t.print();
+    const std::string tag = "setting" + std::to_string(setting_idx);
+    rep.config(tag, s.name);
+    rep.measurement(tag + "_burst_total_gb", burst_total / 1e9,
+                    obs::RunReport::kNoPaperValue, "GB");
+    rep.check(burst_total > 0 && burst_total < 80e9,
+              std::string("BurstEngine fits in 80 GB: ") + s.name);
     if (burst_total > 0 && best_baseline < 1e29) {
+      // Paper savings over the best feasible baseline at 32 GPUs.
+      const double paper = setting_idx == 0 ? 26.4 : 24.2;
+      const double saved = 100.0 * (1.0 - burst_total / best_baseline);
+      rep.measurement(tag + "_savings_pct", saved, paper, "%");
+      rep.check(burst_total < best_baseline,
+                std::string("BurstEngine uses less memory than every "
+                            "baseline: ") +
+                    s.name);
       std::printf("BurstEngine saves %.1f%% vs the best feasible baseline "
                   "(paper: 26.4%% on 7B / 24.2%% on 14B at 32 GPUs)\n",
-                  100.0 * (1.0 - burst_total / best_baseline));
+                  saved);
     } else if (burst_total > 0) {
       std::printf("no baseline fits this setting; BurstEngine uses %.2f GB "
                   "(matches the paper's 64-GPU finding)\n",
                   burst_total / 1e9);
     }
+    ++setting_idx;
   }
-  return 0;
+  return rep.finish();
 }

@@ -7,12 +7,14 @@
 // that; BurstAttention beats USP by ~1.05x and DoubleRing by ~1.33x at 1M.
 #include "bench_util.hpp"
 #include "perfmodel/estimator.hpp"
+#include "reporter.hpp"
 
 int main() {
   using namespace burst;
   using namespace burst::bench;
   using perfmodel::Method;
 
+  Reporter rep("fig14_attention_perf");
   title("Figure 14 — attention fwd+bwd time, 14B attention config, 32 GPUs");
   const Method methods[] = {Method::kMegatronCP, Method::kUlysses,
                             Method::kDoubleRing, Method::kUSP,
@@ -47,10 +49,22 @@ int main() {
     row.push_back(burst > 0 && usp > 0 ? fmt(usp / burst, "%.2fx") : "-");
     row.push_back(burst > 0 && dbl > 0 ? fmt(dbl / burst, "%.2fx") : "-");
     t.row(std::move(row));
+    rep.measurement("burst_ms_" + seq_label(n), burst * 1e3,
+                    obs::RunReport::kNoPaperValue, "ms");
+    if (burst > 0 && usp > 0) {
+      rep.measurement("burst_vs_usp_" + seq_label(n), usp / burst,
+                      n == 1e6 ? 1.05 : obs::RunReport::kNoPaperValue);
+      rep.check(burst < usp, "Burst beats USP at " + seq_label(n));
+    }
+    if (burst > 0 && dbl > 0) {
+      rep.measurement("burst_vs_double_ring_" + seq_label(n), dbl / burst,
+                      n == 1e6 ? 1.33 : obs::RunReport::kNoPaperValue);
+      rep.check(burst < dbl, "Burst beats DoubleRing at " + seq_label(n));
+    }
   }
   t.print();
   std::printf("\npaper at 1M: Burst 1.05x over USP, 1.33x over DoubleRing;\n"
               "Ulysses inapplicable (heads %% GPUs != 0); Megatron-CP OOM "
               "beyond 256K.\n");
-  return 0;
+  return rep.finish();
 }

@@ -6,11 +6,13 @@
 #include "bench_util.hpp"
 #include "model/config.hpp"
 #include "perfmodel/flops.hpp"
+#include "reporter.hpp"
 
 int main() {
   using namespace burst;
   using namespace burst::bench;
 
+  Reporter rep("fig2_attention_share");
   title("Figure 2 — attention share of end-to-end step time (7B model)");
   model::ModelConfig cfg = model::ModelConfig::llama7b();
   Table t({"seq len", "attention share (%)", "linear share (%)",
@@ -19,12 +21,19 @@ int main() {
     auto f = perfmodel::step_flops(cfg, n,
                                    {core::CkptStrategy::kNone, 0.5});
     const double total = f.model_total();
-    t.row({seq_label(n), fmt(100.0 * (f.attn_fwd + f.attn_bwd) / total),
+    const double attn = 100.0 * (f.attn_fwd + f.attn_bwd) / total;
+    t.row({seq_label(n), fmt(attn),
            fmt(100.0 * (f.linear_fwd + f.linear_bwd) / total),
            fmt(100.0 * (f.lm_head_fwd + f.lm_head_bwd) / total)});
+    rep.measurement("attn_share_pct_" + seq_label(n), attn,
+                    obs::RunReport::kNoPaperValue, "%");
+    if (n >= 1e6) {
+      rep.check(attn > 90.0, "attention share >90% at " + seq_label(n) +
+                                 " (Figure 2 shape)");
+    }
   }
   t.print();
   std::printf(
       "\npaper: attention dominates beyond 128K tokens; >90%% at 1M+.\n");
-  return 0;
+  return rep.finish();
 }

@@ -4,15 +4,19 @@
 // Paper shape: selective-checkpointing++ stores the most (layer input +
 // full attention output), sequence-level selective checkpointing halves the
 // attention-output storage, full checkpointing stores the least.
+#include <cmath>
+
 #include "bench_util.hpp"
 #include "model/config.hpp"
 #include "perfmodel/memory_model.hpp"
+#include "reporter.hpp"
 
 int main() {
   using namespace burst;
   using namespace burst::bench;
   using core::CkptStrategy;
 
+  Reporter rep("fig7_checkpoint_memory");
   perfmodel::HardwareModel hw;
   for (const char* name : {"7B", "14B"}) {
     model::ModelConfig cfg = std::string(name) == "7B"
@@ -35,6 +39,17 @@ int main() {
       const double none = bytes(CkptStrategy::kNone);
       t.row({seq_label(n), fmt_gb(full), fmt_gb(seq), fmt_gb(spp),
              fmt_gb(none), fmt((seq - full) / (spp - full), "%.2f")});
+      const std::string tag = std::string(name) + "_" + seq_label(n);
+      rep.measurement("seq_selective_gb_" + tag, seq / 1e9,
+                      obs::RunReport::kNoPaperValue, "GB");
+      // Paper: seq-selective stores exactly half of selective++'s extra
+      // activation memory over the full-checkpoint floor.
+      rep.measurement("seq_sel_extra_ratio_" + tag, (seq - full) / (spp - full),
+                      0.5);
+      rep.check(std::abs((seq - full) / (spp - full) - 0.5) < 1e-9,
+                "seq-selective extra storage is half of selective++ at " + tag);
+      rep.check(full < seq && seq < spp && spp < none,
+                "strategy ordering full < seq-sel < sel++ < none at " + tag);
     }
     t.print();
   }
@@ -42,5 +57,5 @@ int main() {
       "\npaper: sequence-level selective checkpointing stores 50%% of\n"
       "selective++'s extra activation memory at ~1/4 of full checkpointing's\n"
       "attention recompute.\n");
-  return 0;
+  return rep.finish();
 }

@@ -3,24 +3,36 @@
 // paper's 14B config (120K) and the fused alternative (Algorithm 3).
 #include "bench_util.hpp"
 #include "perfmodel/memory_model.hpp"
+#include "reporter.hpp"
 
 int main() {
   using namespace burst;
   using namespace burst::bench;
 
+  Reporter rep("fig8_lmhead_memory");
   title("Figure 8 — LM head logits memory (bf16), naive vs fused");
   Table t({"seq len", "32K vocab (GB)", "120K vocab (GB)", "128K vocab (GB)",
            "fused, any vocab<=128K (GB)"});
+  const double fused = perfmodel::lm_head_logits_bytes(1024, 128e3, 2);
   for (double n : {32e3, 128e3, 512e3, 1e6, 2e6, 4e6}) {
-    t.row({seq_label(n),
-           fmt_gb(perfmodel::lm_head_logits_bytes(n, 32e3, 2)),
+    const double v32 = perfmodel::lm_head_logits_bytes(n, 32e3, 2);
+    const double v128 = perfmodel::lm_head_logits_bytes(n, 128e3, 2);
+    t.row({seq_label(n), fmt_gb(v32),
            fmt_gb(perfmodel::lm_head_logits_bytes(n, 120e3, 2)),
-           fmt_gb(perfmodel::lm_head_logits_bytes(n, 128e3, 2)),
-           fmt_gb(perfmodel::lm_head_logits_bytes(1024, 128e3, 2))});
+           fmt_gb(v128), fmt_gb(fused)});
+    rep.measurement("naive_128k_vocab_gb_" + seq_label(n), v128 / 1e9,
+                    obs::RunReport::kNoPaperValue, "GB");
+    // Paper: 4x memory from the 32K -> 128K vocabulary jump, linear in N.
+    rep.check(v128 == 4.0 * v32,
+              "128K vocab costs 4x the 32K vocab at " + seq_label(n));
+    rep.check(fused <= v128,
+              "fused strip never exceeds naive logits at " + seq_label(n));
   }
+  rep.measurement("fused_strip_gb", fused / 1e9,
+                  obs::RunReport::kNoPaperValue, "GB");
   t.print();
   std::printf(
       "\npaper: logits memory grows linearly in N and 4x with the LLaMA-3\n"
       "vocabulary; the sequence-level fusion caps it at one Bs x v strip.\n");
-  return 0;
+  return rep.finish();
 }

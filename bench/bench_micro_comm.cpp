@@ -3,6 +3,8 @@
 // document simulator overheads, plus the virtual-time readings.
 #include <benchmark/benchmark.h>
 
+#include "reporter.hpp"
+
 #include "comm/communicator.hpp"
 #include "sim/cluster.hpp"
 #include "tensor/rng.hpp"
@@ -65,4 +67,18 @@ BENCHMARK(BM_AllToAll)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): the timing tables still come
+// from google-benchmark, but the run also emits the shared RunReport so
+// scripts/verify.sh can gate on it like every other bench.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  burst::bench::Reporter rep("micro_comm");
+  const std::size_t ran = benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  rep.measurement("benchmarks_run", static_cast<double>(ran));
+  rep.check(ran > 0, "at least one benchmark ran");
+  return rep.finish();
+}

@@ -2,6 +2,8 @@
 // behind every matmul in the functional path.
 #include <benchmark/benchmark.h>
 
+#include "reporter.hpp"
+
 #include "tensor/gemm.hpp"
 #include "tensor/rng.hpp"
 
@@ -40,4 +42,18 @@ BENCHMARK(BM_GemmTransposed)->Arg(128)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): the timing tables still come
+// from google-benchmark, but the run also emits the shared RunReport so
+// scripts/verify.sh can gate on it like every other bench.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  burst::bench::Reporter rep("micro_gemm");
+  const std::size_t ran = benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  rep.measurement("benchmarks_run", static_cast<double>(ran));
+  rep.check(ran > 0, "at least one benchmark ran");
+  return rep.finish();
+}

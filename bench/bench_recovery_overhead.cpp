@@ -3,16 +3,17 @@
 // little work on a crash; sparse snapshots are cheap until the crash
 // throws away every step since the last one. The bench trains 12 steps of
 // the toy model on 4 simulated devices with rank 2 crashing at step 7,
-// sweeps the snapshot interval, and reports a single JSON object so the
-// trade-off can be plotted directly.
+// sweeps the snapshot interval, and reports through the shared RunReport so
+// the trade-off can be plotted directly.
 //
 // Self-checking: every faulted run must complete all steps with final
 // weights bitwise identical to the fault-free baseline; any mismatch
 // exits non-zero.
-#include <cstdio>
 #include <filesystem>
 #include <string>
 
+#include "obs/metrics.hpp"
+#include "reporter.hpp"
 #include "resilience/driver.hpp"
 #include "resilience/snapshot.hpp"
 #include "sim/cluster.hpp"
@@ -51,58 +52,53 @@ int main() {
   const model::ModelWeights init =
       model::ModelWeights::init(model::ModelConfig::toy(), 2024);
 
+  bench::Reporter out("recovery_overhead");
+  out.config("total_steps", kTotalSteps);
+  out.config("crash_step", kCrashStep);
+
   // Fault-free ideal: no crash, no snapshots beyond the step-0 floor.
   const ResilienceReport ideal = resilience::resilient_train_loop(
       make_config("ideal", /*interval=*/0, /*crash=*/false), init);
   const double ideal_goodput = kTotalSteps / ideal.virtual_time_s;
+  out.measurement("ideal_virtual_time_s", ideal.virtual_time_s,
+                  obs::RunReport::kNoPaperValue, "s");
+  out.measurement("ideal_goodput_steps_per_s", ideal_goodput,
+                  obs::RunReport::kNoPaperValue, "steps/s");
+  out.check(ideal.steps_completed == kTotalSteps && ideal.recoveries == 0,
+            "fault-free baseline completes without recoveries");
 
-  bool ok = ideal.steps_completed == kTotalSteps && ideal.recoveries == 0;
+  // The faulted runs feed one registry, so the report carries the
+  // resilience.* instruments (recoveries by error code, detect/restore
+  // latency histograms) across the whole sweep.
+  obs::Registry reg;
+  for (int interval : {1, 2, 4, 8}) {
+    ResilienceConfig cfg = make_config("int" + std::to_string(interval),
+                                       interval, /*crash=*/true);
+    cfg.cluster.metrics = &reg;
+    const ResilienceReport rep = resilience::resilient_train_loop(cfg, init);
 
-  std::printf("{\n  \"bench\": \"recovery_overhead\",\n");
-  std::printf("  \"total_steps\": %d,\n  \"crash_step\": %d,\n", kTotalSteps,
-              kCrashStep);
-  std::printf(
-      "  \"ideal\": {\"virtual_time_s\": %.6e, \"goodput_steps_per_s\": "
-      "%.6e},\n",
-      ideal.virtual_time_s, ideal_goodput);
-  std::printf("  \"intervals\": [\n");
-
-  const int intervals[] = {1, 2, 4, 8};
-  const int n = static_cast<int>(sizeof(intervals) / sizeof(intervals[0]));
-  for (int i = 0; i < n; ++i) {
-    const int interval = intervals[i];
-    const ResilienceReport rep = resilience::resilient_train_loop(
-        make_config("int" + std::to_string(interval), interval,
-                    /*crash=*/true),
-        init);
-
-    const bool run_ok =
-        rep.steps_completed == kTotalSteps && rep.recoveries == 1 &&
-        !rep.events.empty() &&
-        resilience::bitwise_equal(rep.final_weights, ideal.final_weights);
-    if (!run_ok) {
-      std::fprintf(stderr,
-                   "self-check failed for interval %d: steps=%d recoveries=%d "
-                   "bitwise=%d\n",
-                   interval, rep.steps_completed, rep.recoveries,
-                   static_cast<int>(resilience::bitwise_equal(
-                       rep.final_weights, ideal.final_weights)));
-      ok = false;
-    }
+    const std::string tag = "int" + std::to_string(interval);
+    out.check(rep.steps_completed == kTotalSteps && rep.recoveries == 1 &&
+                  !rep.events.empty(),
+              tag + ": all steps committed through one recovery");
+    out.check(resilience::bitwise_equal(rep.final_weights,
+                                        ideal.final_weights),
+              tag + ": final weights bitwise equal to fault-free run");
 
     const double goodput = kTotalSteps / rep.virtual_time_s;
-    std::printf(
-        "    {\"snapshot_interval\": %d, \"virtual_time_s\": %.6e, "
-        "\"snapshot_io_time_s\": %.6e, \"wasted_virtual_time_s\": %.6e, "
-        "\"lost_steps\": %d, \"snapshots_taken\": %d, "
-        "\"goodput_steps_per_s\": %.6e, \"goodput_vs_ideal\": %.4f}%s\n",
-        interval, rep.virtual_time_s, rep.snapshot_io_time_s,
-        rep.wasted_virtual_time_s,
-        rep.events.empty() ? 0 : rep.events[0].lost_steps, rep.snapshots_taken,
-        goodput, goodput / ideal_goodput, i + 1 < n ? "," : "");
+    out.measurement(tag + "_virtual_time_s", rep.virtual_time_s,
+                    obs::RunReport::kNoPaperValue, "s");
+    out.measurement(tag + "_snapshot_io_time_s", rep.snapshot_io_time_s,
+                    obs::RunReport::kNoPaperValue, "s");
+    out.measurement(tag + "_wasted_virtual_time_s", rep.wasted_virtual_time_s,
+                    obs::RunReport::kNoPaperValue, "s");
+    out.measurement(tag + "_lost_steps",
+                    rep.events.empty() ? 0 : rep.events[0].lost_steps);
+    out.measurement(tag + "_snapshots_taken", rep.snapshots_taken);
+    out.measurement(tag + "_goodput_vs_ideal", goodput / ideal_goodput);
   }
-  std::printf("  ],\n  \"self_check\": \"%s\"\n}\n", ok ? "pass" : "FAIL");
+  out.attach_registry(reg);
 
   fs::remove_all(base);
-  return ok ? 0 : 1;
+  return out.finish();
 }

@@ -5,14 +5,15 @@
 // visible: FCFS streams the full weight set from HBM for every single decode
 // token, while continuous batching amortizes the same stream over one token
 // from *each* running request, so generated tokens/s rises with concurrency
-// until the KV block budget caps the batch. Emits a single JSON object so
-// the results are machine-readable (no table from the paper corresponds to
-// this bench; serving is an extension on top of the training stack).
-#include <cstdio>
+// until the KV block budget caps the batch. Results land in the shared
+// RunReport artifact (no table from the paper corresponds to this bench;
+// serving is an extension on top of the training stack).
 #include <string>
 #include <vector>
 
 #include "model/transformer.hpp"
+#include "obs/metrics.hpp"
+#include "reporter.hpp"
 #include "serve/engine.hpp"
 #include "tensor/rng.hpp"
 
@@ -49,13 +50,15 @@ struct Workload {
 
 ServeReport run_policy(BatchPolicy policy, const ModelConfig& cfg,
                        const ModelWeights& w, const Workload& wl,
-                       std::int64_t max_kv_blocks) {
+                       std::int64_t max_kv_blocks,
+                       burst::obs::Registry* metrics) {
   EngineConfig ec;
   ec.sched.policy = policy;
   ec.sched.token_budget = 128;
   ec.sched.chunk_tokens = 32;
   ec.block_tokens = 16;
   ec.max_kv_blocks = max_kv_blocks;
+  ec.metrics = metrics;
   Engine engine(cfg, w, ec);
   burst::tensor::Rng rng(2024);
   double arrival = 0.0;
@@ -71,26 +74,30 @@ ServeReport run_policy(BatchPolicy policy, const ModelConfig& cfg,
   return run_on_single_device(engine);
 }
 
-std::string policy_json(const char* name, const ServeReport& rep) {
-  char buf[512];
-  const auto& m = rep.metrics;
-  std::snprintf(
-      buf, sizeof(buf),
-      "    {\"policy\": \"%s\", \"tokens_per_s\": %.1f, "
-      "\"p50_token_latency_ms\": %.4f, \"p99_token_latency_ms\": %.4f, "
-      "\"peak_kv_bytes\": %llu, \"makespan_s\": %.6f, \"iterations\": %lld, "
-      "\"generated_tokens\": %lld}",
-      name, m.tokens_per_s, m.p50_token_latency_s * 1e3,
-      m.p99_token_latency_s * 1e3,
-      static_cast<unsigned long long>(m.peak_kv_bytes), m.makespan_s,
-      static_cast<long long>(m.iterations),
-      static_cast<long long>(m.generated_tokens));
-  return buf;
+void report_policy(burst::bench::Reporter& rep, const std::string& name,
+                   const ServeReport& r) {
+  const auto& m = r.metrics;
+  rep.measurement(name + "_tokens_per_s", m.tokens_per_s,
+                  burst::obs::RunReport::kNoPaperValue, "tok/s");
+  rep.measurement(name + "_p50_token_latency_ms", m.p50_token_latency_s * 1e3,
+                  burst::obs::RunReport::kNoPaperValue, "ms");
+  rep.measurement(name + "_p99_token_latency_ms", m.p99_token_latency_s * 1e3,
+                  burst::obs::RunReport::kNoPaperValue, "ms");
+  rep.measurement(name + "_peak_kv_bytes",
+                  static_cast<double>(m.peak_kv_bytes),
+                  burst::obs::RunReport::kNoPaperValue, "B");
+  rep.measurement(name + "_makespan_s", m.makespan_s,
+                  burst::obs::RunReport::kNoPaperValue, "s");
+  rep.measurement(name + "_iterations", static_cast<double>(m.iterations));
+  rep.measurement(name + "_generated_tokens",
+                  static_cast<double>(m.generated_tokens));
 }
 
 }  // namespace
 
 int main() {
+  using burst::bench::Reporter;
+
   const ModelConfig cfg = bench_model();
   const ModelWeights w = ModelWeights::init(cfg, 91);
   const Workload wl;
@@ -99,40 +106,38 @@ int main() {
   const std::int64_t max_kv_blocks =
       wl.requests * (wl.prompt_tokens + wl.max_new_tokens) / 16 / 2;
 
-  const ServeReport fcfs =
-      run_policy(BatchPolicy::kFcfs, cfg, w, wl, max_kv_blocks);
-  const ServeReport cont =
-      run_policy(BatchPolicy::kContinuous, cfg, w, wl, max_kv_blocks);
+  Reporter rep("serving_throughput");
+  rep.config("layers", cfg.layers);
+  rep.config("d_model", cfg.d_model);
+  rep.config("heads", cfg.heads);
+  rep.config("kv_heads", cfg.num_kv_heads());
+  rep.config("vocab", cfg.vocab);
+  rep.config("requests", wl.requests);
+  rep.config("prompt_tokens", wl.prompt_tokens);
+  rep.config("max_new_tokens", wl.max_new_tokens);
+  rep.config("max_kv_blocks", max_kv_blocks);
+  rep.config("block_tokens", 16);
 
-  std::printf("{\n");
-  std::printf("  \"bench\": \"serving_throughput\",\n");
-  std::printf(
-      "  \"model\": {\"layers\": %lld, \"d_model\": %lld, \"heads\": %lld, "
-      "\"kv_heads\": %lld, \"vocab\": %lld, \"rope\": true},\n",
-      static_cast<long long>(cfg.layers), static_cast<long long>(cfg.d_model),
-      static_cast<long long>(cfg.heads),
-      static_cast<long long>(cfg.num_kv_heads()),
-      static_cast<long long>(cfg.vocab));
-  std::printf(
-      "  \"workload\": {\"requests\": %lld, \"prompt_tokens\": %lld, "
-      "\"max_new_tokens\": %lld, \"max_kv_blocks\": %lld, "
-      "\"block_tokens\": 16},\n",
-      static_cast<long long>(wl.requests),
-      static_cast<long long>(wl.prompt_tokens),
-      static_cast<long long>(wl.max_new_tokens),
-      static_cast<long long>(max_kv_blocks));
-  std::printf("  \"policies\": [\n%s,\n%s\n  ],\n",
-              policy_json("fcfs", fcfs).c_str(),
-              policy_json("continuous", cont).c_str());
-  std::printf("  \"continuous_speedup\": %.2f\n",
-              cont.metrics.tokens_per_s / fcfs.metrics.tokens_per_s);
-  std::printf("}\n");
+  // Each policy gets its own registry so the raw serve.* instruments of the
+  // continuous-batching run land in the report unmixed.
+  burst::obs::Registry fcfs_reg;
+  burst::obs::Registry cont_reg;
+  const ServeReport fcfs =
+      run_policy(BatchPolicy::kFcfs, cfg, w, wl, max_kv_blocks, &fcfs_reg);
+  const ServeReport cont = run_policy(BatchPolicy::kContinuous, cfg, w, wl,
+                                      max_kv_blocks, &cont_reg);
+  rep.attach_registry(cont_reg);
+
+  report_policy(rep, "fcfs", fcfs);
+  report_policy(rep, "continuous", cont);
+  rep.measurement("continuous_speedup",
+                  cont.metrics.tokens_per_s / fcfs.metrics.tokens_per_s,
+                  burst::obs::RunReport::kNoPaperValue, "x");
 
   // The bench doubles as a smoke check of the acceptance criterion.
-  if (cont.metrics.tokens_per_s <= fcfs.metrics.tokens_per_s) {
-    std::fprintf(stderr,
-                 "FAIL: continuous batching not faster than FCFS\n");
-    return 1;
-  }
-  return 0;
+  rep.check(cont.metrics.tokens_per_s > fcfs.metrics.tokens_per_s,
+            "continuous batching beats FCFS throughput");
+  rep.check(cont.metrics.generated_tokens == fcfs.metrics.generated_tokens,
+            "both policies generate the same token count");
+  return rep.finish();
 }

@@ -6,11 +6,13 @@
 // bench uses 14B.
 #include "bench_util.hpp"
 #include "perfmodel/estimator.hpp"
+#include "reporter.hpp"
 
 int main() {
   using namespace burst;
   using namespace burst::bench;
 
+  Reporter rep("table4_internode_scaling");
   title("Table 4 — BurstEngine inter-node scaling (14B, 32K tokens/GPU)");
   struct PaperRow {
     int nodes;
@@ -33,10 +35,17 @@ int main() {
            est.ok ? fmt(100.0 * est.mfu) : "-", est.ok ? fmt(est.tgs) : "-",
            est.ok ? fmt_gb(est.memory.total()) : est.failure, fmt(p.mfu),
            fmt(p.tgs), fmt(p.mem)});
+    const std::string tag = std::to_string(p.nodes) + "nodes";
+    rep.check(est.ok, tag + " fits in memory");
+    if (est.ok) {
+      rep.measurement("mfu_pct_" + tag, 100.0 * est.mfu, p.mfu, "%");
+      rep.measurement("tgs_" + tag, est.tgs, p.tgs, "tok/s/GPU");
+      rep.measurement("mem_gb_" + tag, est.memory.total() / 1e9, p.mem, "GB");
+    }
   }
   t.print();
   std::printf("\npaper shape: MFU stays ~53%% from 2 to 8 nodes; TGS halves\n"
               "as the sequence doubles (quadratic attention); memory stays\n"
               "roughly flat.\n");
-  return 0;
+  return rep.finish();
 }

@@ -2,11 +2,13 @@
 // one 8x A800 node, 32K tokens per GPU, optimizer offload enabled.
 #include "bench_util.hpp"
 #include "perfmodel/estimator.hpp"
+#include "reporter.hpp"
 
 int main() {
   using namespace burst;
   using namespace burst::bench;
 
+  Reporter rep("table5_intranode_scaling");
   title("Table 5 — BurstEngine intra-node scaling (7B, 32K tokens/GPU, "
         "optimizer offload)");
   struct PaperRow {
@@ -32,9 +34,16 @@ int main() {
            est.ok ? fmt(100.0 * est.mfu) : "-", est.ok ? fmt(est.tgs) : "-",
            est.ok ? fmt_gb(est.memory.total()) : est.failure, fmt(p.mfu),
            fmt(p.tgs), fmt(p.mem)});
+    const std::string tag = "cp" + std::to_string(p.cp);
+    rep.check(est.ok, tag + " fits in memory");
+    if (est.ok) {
+      rep.measurement("mfu_pct_" + tag, 100.0 * est.mfu, p.mfu, "%");
+      rep.measurement("tgs_" + tag, est.tgs, p.tgs, "tok/s/GPU");
+      rep.measurement("mem_gb_" + tag, est.memory.total() / 1e9, p.mem, "GB");
+    }
   }
   t.print();
   std::printf("\npaper shape: MFU rises with CP size (attention share grows\n"
               "with sequence length); memory stays roughly flat.\n");
-  return 0;
+  return rep.finish();
 }

@@ -1,0 +1,71 @@
+// Shared result reporting for the reproduction benches.
+//
+// Every bench keeps its human-readable tables (bench_util.hpp) and finishes
+// through one Reporter, which wraps an obs::RunReport (kind "bench") and
+// prints the stable JSON artifact as the last thing on stdout. Measurements
+// carry the paper's reported value alongside the measured one where the
+// paper states a number; check() records the bench's self-validation
+// invariants, and finish() turns their AND into the process exit code —
+// which is what scripts/verify.sh gates on.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <utility>
+
+#include "obs/report.hpp"
+
+namespace burst::bench {
+
+class Reporter {
+ public:
+  explicit Reporter(std::string name) : report_("bench", std::move(name)) {}
+
+  /// Full access for callers that need attach_registry / add_error.
+  obs::RunReport& report() { return report_; }
+
+  template <typename T>
+  void config(const std::string& key, T value) {
+    report_.config(key, value);
+  }
+
+  /// `paper_value` defaults to "paper states no number" (serialized null).
+  void measurement(const std::string& name, double measured,
+                   double paper_value = obs::RunReport::kNoPaperValue,
+                   const std::string& unit = "") {
+    report_.measurement(name, measured, paper_value, unit);
+  }
+
+  /// Records a self-validation invariant; failures also print to stderr so
+  /// an interactive run shows what went wrong without parsing JSON.
+  void check(bool ok, const std::string& what) {
+    if (!ok) {
+      std::fprintf(stderr, "FAIL: %s\n", what.c_str());
+    }
+    report_.check(ok, what);
+  }
+
+  void attach_registry(const obs::Registry& reg) {
+    report_.attach_registry(reg);
+  }
+
+  /// Emits the RunReport JSON (last object on stdout; also to the file named
+  /// by $BURST_RUN_REPORT when set) and returns the process exit code:
+  /// 0 iff every check passed.
+  int finish() {
+    const std::string json = report_.to_json();
+    std::printf("\n%s\n", json.c_str());
+    if (const char* path = std::getenv("BURST_RUN_REPORT")) {
+      std::ofstream f(path);
+      f << json << "\n";
+    }
+    return report_.self_check() ? 0 : 1;
+  }
+
+ private:
+  obs::RunReport report_;
+};
+
+}  // namespace burst::bench

@@ -15,6 +15,7 @@
 #include "model/fsdp.hpp"
 #include "model/optimizer.hpp"
 #include "model/transformer.hpp"
+#include "obs/metrics.hpp"
 #include "sim/cluster.hpp"
 #include "tensor/rng.hpp"
 
@@ -90,7 +91,13 @@ int main() {
   dc.fused_lm_head = true;
 
   const int g = 4;
-  sim::Cluster cluster({sim::Topology::single_node(g)});
+  // Metrics registry: the FSDP loop reports per-phase bytes and timings
+  // (fsdp.gather / fsdp.reduce_scatter / fsdp.step) through it.
+  obs::Registry metrics;
+  sim::Cluster::Config cc;
+  cc.topo = sim::Topology::single_node(g);
+  cc.metrics = &metrics;
+  sim::Cluster cluster(cc);
   tensor::Rng rng(7);
   tensor::Tensor tokens = rng.token_ids(33, cfg.vocab);
 
@@ -125,5 +132,18 @@ int main() {
               static_cast<double>(shard_bytes) * g / 1024.0);
   std::printf("Adam moments live host-side (ZeRO-Offload), so no 12x "
               "parameter bytes on device.\n");
+  std::printf("\nper-phase comm accounting (rank 0, from the registry):\n");
+  std::printf("  fsdp.gather         %llu bytes over %llu calls\n",
+              static_cast<unsigned long long>(
+                  metrics.counter("fsdp.gather.bytes{rank=0}").value()),
+              static_cast<unsigned long long>(
+                  metrics.counter("fsdp.gather.calls{rank=0}").value()));
+  std::printf("  fsdp.reduce_scatter %llu bytes over %llu calls\n",
+              static_cast<unsigned long long>(
+                  metrics.counter("fsdp.reduce_scatter.bytes{rank=0}")
+                      .value()),
+              static_cast<unsigned long long>(
+                  metrics.counter("fsdp.reduce_scatter.calls{rank=0}")
+                      .value()));
   return 0;
 }

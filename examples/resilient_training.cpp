@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <filesystem>
 
+#include "obs/report.hpp"
 #include "resilience/driver.hpp"
 #include "resilience/snapshot.hpp"
 #include "sim/cluster.hpp"
@@ -89,5 +90,12 @@ int main() {
     return 1;
   }
   std::printf("\nself-check passed.\n");
-  return 0;
+
+  // The structured counterpart of everything printed above: one RunReport,
+  // same schema as the serve engine and every bench. A survived fault is
+  // success — the recovery shows up in config/measurements, not errors.
+  const obs::RunReport report =
+      resilience::to_run_report(make_config("faulty", true), rep);
+  std::printf("\n%s\n", report.to_json().c_str());
+  return report.self_check() ? 0 : 1;
 }

@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# Full verification gate: configure + build, run the test suite, run the
+# obs-labeled tests again under AddressSanitizer, then run every bench and
+# fail on any RunReport whose self_check is false (each bench also exits
+# non-zero on its own failed checks, so either signal stops the script).
+#
+# Usage: scripts/verify.sh [--skip-asan] [--skip-bench]
+# Env:   BUILD_DIR (default build), ASAN_BUILD_DIR (default build-asan),
+#        JOBS (default nproc).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build}
+ASAN_BUILD_DIR=${ASAN_BUILD_DIR:-build-asan}
+JOBS=${JOBS:-$(nproc)}
+RUN_ASAN=1
+RUN_BENCH=1
+for arg in "$@"; do
+  case "$arg" in
+    --skip-asan) RUN_ASAN=0 ;;
+    --skip-bench) RUN_BENCH=0 ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
+
+echo "== configure + build (${BUILD_DIR})"
+cmake -B "$BUILD_DIR" -S . >/dev/null
+cmake --build "$BUILD_DIR" -j "$JOBS"
+
+echo "== ctest"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+
+if [[ $RUN_ASAN -eq 1 ]]; then
+  echo "== ASan build + obs-labeled tests (${ASAN_BUILD_DIR})"
+  cmake -B "$ASAN_BUILD_DIR" -S . -DBURST_SANITIZE=address >/dev/null
+  cmake --build "$ASAN_BUILD_DIR" -j "$JOBS" --target test_obs test_comm_bytes
+  ctest --test-dir "$ASAN_BUILD_DIR" --output-on-failure -j "$JOBS" -L obs
+fi
+
+if [[ $RUN_BENCH -eq 1 ]]; then
+  echo "== bench fleet (RunReport self_check gate)"
+  report_dir=$(mktemp -d)
+  trap 'rm -rf "$report_dir"' EXIT
+  fail=0
+  for bench in "$BUILD_DIR"/bench/*; do
+    [[ -f $bench && -x $bench ]] || continue
+    name=$(basename "$bench")
+    args=()
+    case "$name" in
+      # Microbenchmarks: one tiny repetition each; the RunReport gate is
+      # what we verify here, not the timings.
+      bench_micro_*) args=(--benchmark_min_time=0.01) ;;
+    esac
+    echo "-- $name"
+    report="$report_dir/$name.json"
+    if ! BURST_RUN_REPORT="$report" "$bench" "${args[@]}" >/dev/null; then
+      echo "FAIL: $name exited non-zero" >&2
+      fail=1
+      continue
+    fi
+    python3 - "$report" "$name" <<'EOF' || fail=1
+import json, sys
+path, name = sys.argv[1], sys.argv[2]
+try:
+    with open(path) as f:
+        rep = json.load(f)
+except (OSError, json.JSONDecodeError) as e:
+    sys.exit(f"FAIL: {name} wrote no parseable RunReport: {e}")
+if rep.get("schema") != "burst.run_report" or rep.get("version") != 1:
+    sys.exit(f"FAIL: {name} RunReport has wrong schema/version")
+if rep.get("self_check") is not True:
+    bad = [c["what"] for c in rep.get("checks", []) if not c.get("ok")]
+    sys.exit(f"FAIL: {name} self_check is false: {bad}")
+EOF
+  done
+  [[ $fail -eq 0 ]] || exit 1
+fi
+
+echo "== verify: all gates passed"

@@ -3,7 +3,9 @@
 #include <cassert>
 #include <cmath>
 #include <cstring>
+#include <string>
 
+#include "obs/metrics.hpp"
 #include "tensor/ops.hpp"
 
 namespace burst::comm {
@@ -78,6 +80,12 @@ void Communicator::send_frame(int dst, int tag, std::vector<Tensor> payload,
                    std::to_string(attempt + 1) + " attempts");
     }
     ++retries_;
+    if (obs::Registry* reg = ctx_.metrics()) {
+      // Rare path (a link fault fired); lazy lookup is fine here.
+      reg->counter(obs::labeled("comm.retries",
+                                {{"rank", std::to_string(ctx_.rank())}}))
+          .add(1);
+    }
     ctx_.busy(rel_.backoff_base_s * std::pow(rel_.backoff_mult, attempt),
               stream, "retry-backoff");
   }
@@ -95,6 +103,12 @@ std::vector<Tensor> Communicator::recv_frame(int src, int tag, int stream) {
     if (seq == last_recv_seq_[src]) {
       // A link fault delivered this frame twice; drop the late copy.
       ++duplicates_discarded_;
+      if (obs::Registry* reg = ctx_.metrics()) {
+        reg->counter(
+               obs::labeled("comm.duplicates_discarded",
+                            {{"rank", std::to_string(ctx_.rank())}}))
+            .add(1);
+      }
       continue;
     }
     const std::uint32_t expect =

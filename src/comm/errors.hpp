@@ -1,27 +1,35 @@
 // Typed communication-failure hierarchy for the comm layer.
 //
-// Together with sim::PeerFailedError / sim::InjectedFaultError
-// (sim/fault.hpp) these replace bare aborts with errors a supervisor can
-// act on:
+// All of these are burst::Error subclasses (obs/error.hpp), so they carry a
+// stable code() that RunReport serializes uniformly. Together with
+// sim::PeerFailedError / sim::InjectedFaultError (sim/fault.hpp) they
+// replace bare aborts with errors a supervisor can act on:
 //
 //   CommError            — base for protocol-level failures
 //   ├─ CommTimeoutError  — a reliable send exhausted its retries, or a
 //   │                      receive's virtual-clock deadline passed before
-//   │                      the message's ready time
+//   │                      the message's ready time (code: comm_timeout)
 //   └─ CommCorruptionError — a frame arrived with a checksum mismatch
+//                            (code: comm_corruption)
 //
 // sim::PeerFailedError (a ClusterAbortedError) surfaces unchanged through
 // Communicator receives so callers can attribute a stall to a dead peer.
 #pragma once
 
-#include <stdexcept>
 #include <string>
+
+#include "obs/error.hpp"
 
 namespace burst::comm {
 
-class CommError : public std::runtime_error {
+class CommError : public burst::Error {
  public:
-  explicit CommError(const std::string& what) : std::runtime_error(what) {}
+  explicit CommError(const std::string& what)
+      : burst::Error(ErrorCode::kUnknown, what) {}
+
+ protected:
+  CommError(ErrorCode code, const std::string& what)
+      : burst::Error(code, what) {}
 };
 
 /// Raised by reliable sends after max_send_attempts failed deliveries, and
@@ -30,8 +38,9 @@ class CommError : public std::runtime_error {
 class CommTimeoutError : public CommError {
  public:
   CommTimeoutError(int peer, const std::string& detail)
-      : CommError("communication with rank " + std::to_string(peer) +
-                  " timed out: " + detail),
+      : CommError(ErrorCode::kCommTimeout,
+                  "communication with rank " + std::to_string(peer) +
+                      " timed out: " + detail),
         peer_(peer) {}
 
   int peer() const { return peer_; }
@@ -45,8 +54,9 @@ class CommTimeoutError : public CommError {
 class CommCorruptionError : public CommError {
  public:
   CommCorruptionError(int peer, const std::string& detail)
-      : CommError("corrupt frame from rank " + std::to_string(peer) + ": " +
-                  detail),
+      : CommError(ErrorCode::kCommCorruption,
+                  "corrupt frame from rank " + std::to_string(peer) + ": " +
+                      detail),
         peer_(peer) {}
 
   int peer() const { return peer_; }

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <limits>
 
+#include "sim/phase_metrics.hpp"
 #include "tensor/ops.hpp"
 
 namespace burst::core {
@@ -53,6 +54,7 @@ AttnResult dist_attention_forward_subset(
     const Tensor& q_sub, const IndexMap& qmap_sub, const Tensor& k_local,
     const Tensor& v_local, KernelStats* stats) {
   assert(q_sub.rows() == qmap_sub.size() || q_sub.rows() == 0);
+  sim::ScopedPhaseMetrics phase(comm.ctx(), "attn.forward");
 
   AttnResult result;
   result.o = Tensor::zeros(q_sub.rows(), k_local.cols());
@@ -180,6 +182,7 @@ LocalGrads dist_attention_backward(Communicator& comm, const SweepRoute& route,
                                    const LocalQKV& local,
                                    const AttnResult& fwd, const Tensor& d_out,
                                    KernelStats* stats) {
+  sim::ScopedPhaseMetrics phase(comm.ctx(), "attn.backward");
   if (cfg.backward == BackwardComm::kRing) {
     return backward_ring(comm, route, cfg, local, fwd, d_out, stats);
   }

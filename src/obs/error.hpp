@@ -1,0 +1,72 @@
+// Unified error hierarchy for the whole engine.
+//
+// Every typed failure the stack can raise — comm-layer timeouts and
+// corruption, cluster aborts, injected faults, device OOM — derives from
+// burst::Error, which carries a stable machine-readable ErrorCode next to
+// the human-readable what(). The stable code is what RunReport serializes
+// (obs/report.hpp), so failure causes look identical whether they came out
+// of training, serving, or a bench, and supervisors can switch on code()
+// instead of dynamic_cast chains.
+//
+// Code names are part of the RunReport schema: never rename one, only add.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace burst {
+
+enum class ErrorCode {
+  kUnknown = 0,
+  kCommTimeout,      // reliable send exhausted retries / recv deadline passed
+  kCommCorruption,   // frame checksum mismatch
+  kClusterAborted,   // a peer brought the cluster down (secondary)
+  kPeerFailed,       // the specific peer this rank was blocked on failed
+  kInjectedFault,    // a CrashDevice fault fired on this rank (root cause)
+  kDeviceOom,        // allocation exceeded the device memory capacity
+};
+
+/// Stable serialization name of a code ("comm_timeout", "device_oom", ...).
+inline const char* error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kCommTimeout:
+      return "comm_timeout";
+    case ErrorCode::kCommCorruption:
+      return "comm_corruption";
+    case ErrorCode::kClusterAborted:
+      return "cluster_aborted";
+    case ErrorCode::kPeerFailed:
+      return "peer_failed";
+    case ErrorCode::kInjectedFault:
+      return "injected_fault";
+    case ErrorCode::kDeviceOom:
+      return "device_oom";
+    case ErrorCode::kUnknown:
+      break;
+  }
+  return "unknown";
+}
+
+class Error : public std::runtime_error {
+ public:
+  Error(ErrorCode code, const std::string& what)
+      : std::runtime_error(what), code_(code) {}
+
+  ErrorCode code() const { return code_; }
+  const char* code_name() const { return error_code_name(code_); }
+
+ private:
+  ErrorCode code_;
+};
+
+/// Stable code name for an arbitrary in-flight exception: the burst::Error
+/// code when it is one, "unknown" otherwise. What RecoveryEvent / RunReport
+/// use to attribute failures uniformly.
+inline const char* error_code_of(const std::exception& e) {
+  if (const auto* be = dynamic_cast<const Error*>(&e)) {
+    return be->code_name();
+  }
+  return "unknown";
+}
+
+}  // namespace burst

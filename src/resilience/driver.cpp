@@ -94,6 +94,9 @@ ResilienceReport resilient_train_loop(const ResilienceConfig& cfg,
     t_virtual += io;
     rep.snapshot_io_time_s += io;
     ++rep.snapshots_taken;
+    if (obs::Registry* reg = cfg.cluster.metrics) {
+      reg->counter("resilience.snapshots_taken").add(1);
+    }
   };
   snapshot_now(0);
 
@@ -158,8 +161,16 @@ ResilienceReport resilient_train_loop(const ResilienceConfig& cfg,
       event.lost_steps = static_cast<int>(step - snap.step);
       event.failed_rank = failed_rank;
       event.cause = e.what();
+      event.cause_code = error_code_of(e);
       event.detect_latency_s = detect;
       event.restore_time_s = restore;
+      if (obs::Registry* reg = cfg.cluster.metrics) {
+        reg->counter(obs::labeled("resilience.recoveries",
+                                  {{"code", event.cause_code}}))
+            .add(1);
+        reg->histogram("resilience.detect_latency_s").observe(detect);
+        reg->histogram("resilience.restore_time_s").observe(restore);
+      }
       rep.events.push_back(std::move(event));
 
       weights = std::move(snap.weights);
@@ -232,6 +243,42 @@ ResilienceReport resilient_train_loop(const ResilienceConfig& cfg,
   rep.virtual_time_s = t_virtual;
   rep.final_weights = std::move(weights);
   return rep;
+}
+
+obs::RunReport to_run_report(const ResilienceConfig& cfg,
+                             const ResilienceReport& rep) {
+  obs::RunReport out("training", "resilient_train_loop");
+  out.config("world_size", cfg.cluster.topo.world_size());
+  out.config("total_steps", cfg.total_steps);
+  out.config("snapshot_interval", cfg.snapshot_interval);
+  out.config("seq_len", cfg.seq_len);
+  out.config("remap_on_failure", cfg.remap_on_failure);
+  out.measurement("steps_completed", rep.steps_completed);
+  out.measurement("recoveries", rep.recoveries);
+  out.measurement("snapshots_taken", rep.snapshots_taken);
+  out.measurement("final_world_size", rep.final_world_size);
+  out.measurement("virtual_time_s", rep.virtual_time_s,
+                  obs::RunReport::kNoPaperValue, "s");
+  out.measurement("wasted_virtual_time_s", rep.wasted_virtual_time_s,
+                  obs::RunReport::kNoPaperValue, "s");
+  out.measurement("snapshot_io_time_s", rep.snapshot_io_time_s,
+                  obs::RunReport::kNoPaperValue, "s");
+  out.measurement("final_loss", rep.final_loss);
+  for (std::size_t i = 0; i < rep.events.size(); ++i) {
+    const RecoveryEvent& ev = rep.events[i];
+    out.config("recovery." + std::to_string(i),
+               ev.cause_code + " at step " + std::to_string(ev.failed_step) +
+                   " (rank " + std::to_string(ev.failed_rank) + ", lost " +
+                   std::to_string(ev.lost_steps) + " steps)");
+  }
+  if (cfg.cluster.metrics != nullptr) {
+    out.attach_registry(*cfg.cluster.metrics);
+  }
+  out.check(rep.steps_completed == cfg.total_steps,
+            "all configured steps committed");
+  out.check(rep.recoveries <= cfg.max_recoveries,
+            "recovery budget not exceeded");
+  return out;
 }
 
 }  // namespace burst::resilience

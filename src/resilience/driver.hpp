@@ -33,6 +33,7 @@
 #include "comm/communicator.hpp"
 #include "model/dist_model.hpp"
 #include "model/optimizer.hpp"
+#include "obs/report.hpp"
 #include "resilience/snapshot.hpp"
 #include "sim/cluster.hpp"
 #include "tensor/rng.hpp"
@@ -78,6 +79,9 @@ struct RecoveryEvent {
   int lost_steps = 0;                  // committed work thrown away
   int failed_rank = -1;                // root-cause rank, -1 if unknown
   std::string cause;                   // what() of the root-cause exception
+  /// Stable burst::Error code of the root cause ("injected_fault",
+  /// "comm_corruption", ...; "unknown" for untyped exceptions).
+  std::string cause_code = "unknown";
   double detect_latency_s = 0.0;       // failure -> all ranks unwound
   double restore_time_s = 0.0;         // modeled snapshot read time
 };
@@ -114,8 +118,20 @@ int feasible_world_size(const model::DistTrainConfig& cfg,
 
 /// Runs `cfg.total_steps` training steps from `init` under the supervisor,
 /// surviving the injected faults in cfg.cluster.faults. Rethrows the last
-/// failure if recovery is exhausted or impossible.
+/// failure if recovery is exhausted or impossible. When cfg.cluster.metrics
+/// is attached, the supervisor additionally feeds it:
+///   resilience.recoveries{code=<cause_code>}  counter
+///   resilience.snapshots_taken                counter
+///   resilience.detect_latency_s               histogram
+///   resilience.restore_time_s                 histogram
 ResilienceReport resilient_train_loop(const ResilienceConfig& cfg,
                                       const model::ModelWeights& init);
+
+/// Packages a finished run as the uniform structured artifact
+/// (kind "training", schema burst.run_report). Recovery events become
+/// measurements/config entries — a survived fault is success, not an error —
+/// and self_check asserts every configured step committed.
+obs::RunReport to_run_report(const ResilienceConfig& cfg,
+                             const ResilienceReport& rep);
 
 }  // namespace burst::resilience

@@ -47,18 +47,25 @@ std::uint64_t weight_stream_bytes(const ModelConfig& m) {
   return els * static_cast<std::uint64_t>(m.bytes_per_el);
 }
 
-double percentile(std::vector<double> xs, double q) {
-  if (xs.empty()) {
-    return 0.0;
-  }
-  std::sort(xs.begin(), xs.end());
-  const auto n = static_cast<double>(xs.size());
-  const auto i = static_cast<std::size_t>(
-      std::min(n - 1.0, std::max(0.0, std::ceil(q * n) - 1.0)));
-  return xs[i];
-}
-
 }  // namespace
+
+ServeMetrics ServeMetrics::from_registry(obs::Registry& reg) {
+  ServeMetrics m;
+  m.iterations =
+      static_cast<std::int64_t>(reg.counter("serve.iterations").value());
+  m.prefill_tokens =
+      static_cast<std::int64_t>(reg.counter("serve.prefill_tokens").value());
+  m.generated_tokens =
+      static_cast<std::int64_t>(reg.counter("serve.generated_tokens").value());
+  m.makespan_s = reg.gauge("serve.makespan_s").value();
+  m.tokens_per_s = reg.gauge("serve.tokens_per_s").value();
+  m.peak_kv_bytes =
+      static_cast<std::uint64_t>(reg.gauge("serve.peak_kv_bytes").value());
+  const obs::Histogram& lat = reg.histogram("serve.token_latency_s");
+  m.p50_token_latency_s = lat.percentile(0.50);
+  m.p99_token_latency_s = lat.percentile(0.99);
+  return m;
+}
 
 struct EngineSlot {
   Request req;
@@ -126,8 +133,15 @@ ServeReport Engine::run(sim::DeviceContext& ctx) {
   const double weight_s =
       static_cast<double>(weight_stream_bytes(model_)) / cfg_.hbm_bytes_per_s;
 
-  ServeMetrics met;
-  std::vector<double> decode_latencies;
+  // The registry is the source of truth for run metrics; ServeMetrics is
+  // built as a view of it at the end. Runs with no attached registry count
+  // into a run-local one so the returned metrics cover exactly this run.
+  obs::Registry local_reg;
+  obs::Registry& reg = cfg_.metrics != nullptr ? *cfg_.metrics : local_reg;
+  obs::Counter& c_iterations = reg.counter("serve.iterations");
+  obs::Counter& c_prefill_tokens = reg.counter("serve.prefill_tokens");
+  obs::Counter& c_generated_tokens = reg.counter("serve.generated_tokens");
+  obs::Histogram& h_token_latency = reg.histogram("serve.token_latency_s");
 
   const auto all_done = [&] {
     for (const auto& s : slots) {
@@ -214,7 +228,7 @@ ServeReport Engine::run(sim::DeviceContext& ctx) {
           p.tokens, cfg_.mask, &stats);
       s.prefilled += p.tokens;
       lin_flops += static_cast<std::uint64_t>(p.tokens) * lin_per_tok;
-      met.prefill_tokens += p.tokens;
+      c_prefill_tokens.add(static_cast<std::uint64_t>(p.tokens));
       if (s.prefilled == static_cast<std::int64_t>(s.req.prompt.size())) {
         // Prefill done: the last prompt row's logits give the first token.
         const Tensor logits =
@@ -251,10 +265,10 @@ ServeReport Engine::run(sim::DeviceContext& ctx) {
       if (s->first_token_s < 0.0) {
         s->first_token_s = end;
       } else {
-        decode_latencies.push_back(end - s->token_times.back());
+        h_token_latency.observe(end - s->token_times.back());
       }
       s->token_times.push_back(end);
-      met.generated_tokens += 1;
+      c_generated_tokens.add(1);
       if (static_cast<std::int64_t>(s->generated.size()) ==
           s->req.max_new_tokens) {
         // Completion: evict — all KV blocks return to the pool.
@@ -274,20 +288,19 @@ ServeReport Engine::run(sim::DeviceContext& ctx) {
               std::to_string(plan.total_tokens()),
           iter_begin, end);
     }
-    ++met.iterations;
+    c_iterations.add(1);
   }
 
-  met.makespan_s = ctx.clock().elapsed();
-  met.tokens_per_s = met.makespan_s > 0.0
-                         ? static_cast<double>(met.generated_tokens) /
-                               met.makespan_s
-                         : 0.0;
-  met.p50_token_latency_s = percentile(decode_latencies, 0.50);
-  met.p99_token_latency_s = percentile(decode_latencies, 0.99);
-  met.peak_kv_bytes = ctx.mem().peak();
+  const double makespan = ctx.clock().elapsed();
+  reg.gauge("serve.makespan_s").set(makespan);
+  reg.gauge("serve.tokens_per_s")
+      .set(makespan > 0.0
+               ? static_cast<double>(c_generated_tokens.value()) / makespan
+               : 0.0);
+  reg.gauge("serve.peak_kv_bytes").set(static_cast<double>(ctx.mem().peak()));
 
   ServeReport rep;
-  rep.metrics = met;
+  rep.metrics = ServeMetrics::from_registry(reg);
   for (const auto& s : slots) {
     RequestResult r;
     r.id = s.req.id;

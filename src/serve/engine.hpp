@@ -28,6 +28,7 @@
 #include "model/config.hpp"
 #include "model/kv_cache.hpp"
 #include "model/transformer.hpp"
+#include "obs/metrics.hpp"
 #include "serve/request.hpp"
 #include "serve/scheduler.hpp"
 #include "sim/cluster.hpp"
@@ -46,8 +47,17 @@ struct EngineConfig {
   kernels::MaskSpec mask = kernels::MaskSpec::causal();
   /// Optional sink for per-iteration and per-request trace events.
   sim::TraceRecorder* trace = nullptr;
+  /// Optional metrics registry. When attached, the engine feeds it directly
+  /// (serve.iterations, serve.prefill_tokens, serve.generated_tokens,
+  /// serve.token_latency_s, serve.makespan_s, serve.tokens_per_s,
+  /// serve.peak_kv_bytes) and the returned ServeMetrics is a view of it; an
+  /// engine run with no registry uses a run-local one, so counters reflect
+  /// just that run. Reusing one registry across runs accumulates counters.
+  obs::Registry* metrics = nullptr;
 };
 
+/// Compat view over the serve.* instruments in a registry — the engine's
+/// metrics now live there; this struct is how callers always consumed them.
 struct ServeMetrics {
   double makespan_s = 0.0;
   std::int64_t iterations = 0;
@@ -60,6 +70,10 @@ struct ServeMetrics {
   double p99_token_latency_s = 0.0;
   /// Peak KV-cache bytes charged to the device tracker.
   std::uint64_t peak_kv_bytes = 0;
+
+  /// Builds the view from a registry's serve.* instruments (interning any
+  /// that don't exist yet as zeroes).
+  static ServeMetrics from_registry(obs::Registry& reg);
 };
 
 struct ServeReport {

@@ -20,7 +20,29 @@ bool link_matches(int fault_src, int fault_dst, int src, int dst) {
 DeviceContext::DeviceContext(Cluster& cluster, int rank)
     : cluster_(cluster),
       rank_(rank),
-      mem_(rank, cluster.config().device_memory_capacity) {}
+      mem_(rank, cluster.config().device_memory_capacity) {
+  if (obs::Registry* reg = cluster.config().metrics) {
+    const std::string r = std::to_string(rank);
+    const auto resolve = [&](const char* link) {
+      LinkCounters c;
+      c.bytes = &reg->counter(
+          obs::labeled("comm.bytes", {{"link", link}, {"rank", r}}));
+      c.messages = &reg->counter(
+          obs::labeled("comm.messages", {{"link", link}, {"rank", r}}));
+      c.bytes_all_ranks =
+          &reg->counter(obs::labeled("comm.bytes", {{"link", link}}));
+      c.messages_all_ranks =
+          &reg->counter(obs::labeled("comm.messages", {{"link", link}}));
+      return c;
+    };
+    obs_intra_ = resolve("intra");
+    obs_inter_ = resolve("inter");
+  }
+}
+
+obs::Registry* DeviceContext::metrics() const {
+  return cluster_.config().metrics;
+}
 
 int DeviceContext::world_size() const { return cluster_.world_size(); }
 
@@ -38,7 +60,7 @@ void DeviceContext::check_crash(double now_s) {
       std::lock_guard lock(cluster_.fault_mutex_);
       if (!cluster_.crash_fired_[i]) {
         cluster_.crash_fired_[i] = 1;
-        ++cluster_.fault_stats_.crashes_fired;
+        cluster_.count_fault(&Cluster::FaultCounters::crashes);
         fire = true;
       }
     }
@@ -81,7 +103,7 @@ void DeviceContext::begin_step(std::int64_t step) {
       std::lock_guard lock(cluster_.fault_mutex_);
       if (!cluster_.crash_fired_[i]) {
         cluster_.crash_fired_[i] = 1;
-        ++cluster_.fault_stats_.crashes_fired;
+        cluster_.count_fault(&Cluster::FaultCounters::crashes);
         fire = true;
       }
     }
@@ -126,8 +148,16 @@ bool DeviceContext::try_send(int dst, int tag, Message msg, int stream) {
       static_cast<double>(msg.bytes) / link.bandwidth_bytes_per_s;
   msg.ready_time = begin + link.latency_s + serialize;
   clock_.advance(stream, serialize);
-  bytes_sent_ += msg.bytes;
-  ++messages_sent_;
+  const bool intra = cluster_.cfg_.topo.same_node(rank_, dst);
+  (intra ? bytes_intra_ : bytes_inter_) += msg.bytes;
+  ++(intra ? msgs_intra_ : msgs_inter_);
+  if (const LinkCounters& oc = intra ? obs_intra_ : obs_inter_;
+      oc.bytes != nullptr) {
+    oc.bytes->add(msg.bytes);
+    oc.messages->add(1);
+    oc.bytes_all_ranks->add(msg.bytes);
+    oc.messages_all_ranks->add(1);
+  }
   if (auto* trace = cluster_.config().trace) {
     trace->record(rank_, stream, "send->" + std::to_string(dst), begin,
                   clock_.now(stream));
@@ -165,7 +195,30 @@ void DeviceContext::barrier() {
 Cluster::Cluster(Config cfg) : cfg_(std::move(cfg)) {
   failed_.assign(static_cast<std::size_t>(world_size()), 0);
   crash_fired_.assign(cfg_.faults.crashes.size(), 0);
+  fault_counters_.crashes = &internal_metrics_.counter("sim.faults.crashes_fired");
+  fault_counters_.dropped =
+      &internal_metrics_.counter("sim.faults.messages_dropped");
+  fault_counters_.duplicated =
+      &internal_metrics_.counter("sim.faults.messages_duplicated");
+  fault_counters_.corrupted =
+      &internal_metrics_.counter("sim.faults.messages_corrupted");
+  if (cfg_.metrics != nullptr) {
+    fault_mirror_.crashes = &cfg_.metrics->counter("sim.faults.crashes_fired");
+    fault_mirror_.dropped =
+        &cfg_.metrics->counter("sim.faults.messages_dropped");
+    fault_mirror_.duplicated =
+        &cfg_.metrics->counter("sim.faults.messages_duplicated");
+    fault_mirror_.corrupted =
+        &cfg_.metrics->counter("sim.faults.messages_corrupted");
+  }
   reset_faults();
+}
+
+void Cluster::count_fault(obs::Counter* FaultCounters::* which) {
+  (fault_counters_.*which)->add(1);
+  if (fault_mirror_.*which != nullptr) {
+    (fault_mirror_.*which)->add(1);
+  }
 }
 
 void Cluster::reset_faults() {
@@ -183,7 +236,12 @@ void Cluster::reset_faults() {
   for (const auto& c : cfg_.faults.corruptions) {
     corrupts_left_.push_back(c.count);
   }
-  fault_stats_ = FaultStats{};
+  // The internal registry is the FaultStats source of truth; the attached
+  // mirror (if any) is left alone — it belongs to the caller.
+  fault_counters_.crashes->reset();
+  fault_counters_.dropped->reset();
+  fault_counters_.duplicated->reset();
+  fault_counters_.corrupted->reset();
 }
 
 void Cluster::set_faults(FaultPlan plan) {
@@ -196,8 +254,12 @@ void Cluster::set_faults(FaultPlan plan) {
 }
 
 FaultStats Cluster::fault_stats() const {
-  std::lock_guard lock(fault_mutex_);
-  return fault_stats_;
+  FaultStats s;
+  s.crashes_fired = fault_counters_.crashes->value();
+  s.messages_dropped = fault_counters_.dropped->value();
+  s.messages_duplicated = fault_counters_.duplicated->value();
+  s.messages_corrupted = fault_counters_.corrupted->value();
+  return s;
 }
 
 LinkParams Cluster::effective_link(int src, int dst, double send_time) const {
@@ -266,6 +328,10 @@ void Cluster::run(const std::function<void(DeviceContext&)>& fn) {
       s.peak_mem_bytes = ctx.mem().peak();
       s.bytes_sent = ctx.bytes_sent();
       s.messages_sent = ctx.messages_sent();
+      s.bytes_sent_intra = ctx.bytes_sent_intra();
+      s.bytes_sent_inter = ctx.bytes_sent_inter();
+      s.messages_sent_intra = ctx.messages_sent_intra();
+      s.messages_sent_inter = ctx.messages_sent_inter();
     });
   }
   for (auto& t : threads) {
@@ -328,7 +394,7 @@ bool Cluster::post(int src, int dst, int tag, Message msg, double send_time) {
       if (link_matches(d.src, d.dst, src, dst) && send_time >= d.from_time_s &&
           drops_left_[i] > 0) {
         --drops_left_[i];
-        ++fault_stats_.messages_dropped;
+        count_fault(&FaultCounters::dropped);
         return false;
       }
     }
@@ -338,7 +404,7 @@ bool Cluster::post(int src, int dst, int tag, Message msg, double send_time) {
           corrupts_left_[i] > 0 && !msg.tensors.empty() &&
           msg.tensors.front().numel() > 0) {
         --corrupts_left_[i];
-        ++fault_stats_.messages_corrupted;
+        count_fault(&FaultCounters::corrupted);
         msg.tensors.front().data()[0] += 1024.0f;  // in-flight bit rot
       }
     }
@@ -347,7 +413,7 @@ bool Cluster::post(int src, int dst, int tag, Message msg, double send_time) {
       if (link_matches(d.src, d.dst, src, dst) && send_time >= d.from_time_s &&
           dups_left_[i] > 0) {
         --dups_left_[i];
-        ++fault_stats_.messages_duplicated;
+        count_fault(&FaultCounters::duplicated);
         duplicate = true;
       }
     }

@@ -32,6 +32,7 @@
 #include <tuple>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "sim/clock.hpp"
 #include "sim/fault.hpp"
 #include "sim/memory.hpp"
@@ -113,8 +114,18 @@ class DeviceContext {
   bool unreliable_network() const;
 
   // Wire-traffic counters (used by communication-volume invariant tests).
-  std::uint64_t bytes_sent() const { return bytes_sent_; }
-  std::uint64_t messages_sent() const { return messages_sent_; }
+  // Split by link class: intra-node (NVLink) vs inter-node (IB) — the axis
+  // Table 1's topology-aware comparison turns on.
+  std::uint64_t bytes_sent() const { return bytes_intra_ + bytes_inter_; }
+  std::uint64_t messages_sent() const { return msgs_intra_ + msgs_inter_; }
+  std::uint64_t bytes_sent_intra() const { return bytes_intra_; }
+  std::uint64_t bytes_sent_inter() const { return bytes_inter_; }
+  std::uint64_t messages_sent_intra() const { return msgs_intra_; }
+  std::uint64_t messages_sent_inter() const { return msgs_inter_; }
+
+  /// Registry attached via Cluster::Config::metrics; null when observability
+  /// is off (callers must guard — that null check IS the zero-cost path).
+  obs::Registry* metrics() const;
 
  private:
   /// Throws InjectedFaultError if a CrashDevice fault targets this rank and
@@ -127,8 +138,21 @@ class DeviceContext {
   int rank_;
   VirtualClock clock_;
   MemoryTracker mem_;
-  std::uint64_t bytes_sent_ = 0;
-  std::uint64_t messages_sent_ = 0;
+  std::uint64_t bytes_intra_ = 0;
+  std::uint64_t bytes_inter_ = 0;
+  std::uint64_t msgs_intra_ = 0;
+  std::uint64_t msgs_inter_ = 0;
+  // Pre-resolved registry handles (one map lookup each at construction, one
+  // relaxed atomic add per send after that). All null when no registry is
+  // attached — the hot path then does nothing beyond the plain counters.
+  struct LinkCounters {
+    obs::Counter* bytes = nullptr;
+    obs::Counter* messages = nullptr;
+    obs::Counter* bytes_all_ranks = nullptr;
+    obs::Counter* messages_all_ranks = nullptr;
+  };
+  LinkCounters obs_intra_;
+  LinkCounters obs_inter_;
 };
 
 /// Final per-device statistics captured after a run (also captured for the
@@ -139,6 +163,11 @@ struct DeviceStats {
   std::uint64_t peak_mem_bytes = 0;
   std::uint64_t bytes_sent = 0;
   std::uint64_t messages_sent = 0;
+  // Per-link-class split of the totals above.
+  std::uint64_t bytes_sent_intra = 0;
+  std::uint64_t bytes_sent_inter = 0;
+  std::uint64_t messages_sent_intra = 0;
+  std::uint64_t messages_sent_inter = 0;
 };
 
 class Cluster {
@@ -153,6 +182,12 @@ class Cluster {
         std::numeric_limits<std::uint64_t>::max();
     /// Optional execution-trace sink (not owned); see sim/trace.hpp.
     TraceRecorder* trace = nullptr;
+    /// Optional metrics registry (not owned). When attached, every send is
+    /// accounted per rank and per link class (comm.bytes{link=...,rank=...})
+    /// and fault firings are mirrored under sim.faults.*. Attaching a
+    /// registry never touches the virtual clock: runs are bitwise identical
+    /// with and without one (tests/test_obs.cpp asserts this).
+    obs::Registry* metrics = nullptr;
     /// Deterministic fault schedule; see sim/fault.hpp.
     FaultPlan faults{};
   };
@@ -183,8 +218,14 @@ class Cluster {
   /// ranks throw concurrently.
   int last_failure_rank() const { return last_failure_rank_; }
 
-  /// Counters of injected faults that actually fired (cumulative).
+  /// Counters of injected faults that actually fired (cumulative). A thin
+  /// compatibility view over the cluster's internal metrics registry
+  /// (sim.faults.* counters) — the registry is the source of truth.
   FaultStats fault_stats() const;
+
+  /// The cluster's always-on internal registry: fault counters live here
+  /// (and are mirrored into Config::metrics when one is attached).
+  const obs::Registry& internal_metrics() const { return internal_metrics_; }
 
   /// Re-arms one-shot crash faults and zeroes fault counters.
   void reset_faults();
@@ -241,7 +282,20 @@ class Cluster {
   std::vector<int> drops_left_;
   std::vector<int> dups_left_;
   std::vector<int> corrupts_left_;
-  FaultStats fault_stats_;
+
+  // Fault accounting lives in the internal registry; FaultStats is read
+  // back from these handles. The attached Config::metrics registry (if any)
+  // receives mirror increments so external observers see the same counts.
+  obs::Registry internal_metrics_;
+  struct FaultCounters {
+    obs::Counter* crashes = nullptr;
+    obs::Counter* dropped = nullptr;
+    obs::Counter* duplicated = nullptr;
+    obs::Counter* corrupted = nullptr;
+  };
+  FaultCounters fault_counters_;   // into internal_metrics_ (always valid)
+  FaultCounters fault_mirror_;     // into cfg_.metrics (null when detached)
+  void count_fault(obs::Counter* FaultCounters::* which);
 
   std::mutex barrier_mutex_;
   std::condition_variable barrier_cv_;

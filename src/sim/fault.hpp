@@ -27,31 +27,36 @@
 
 #include <cstdint>
 #include <limits>
-#include <stdexcept>
 #include <string>
 #include <vector>
+
+#include "obs/error.hpp"
 
 namespace burst::sim {
 
 /// Raised in devices blocked on communication when a peer device failed.
-class ClusterAbortedError : public std::runtime_error {
+/// burst::Error code: cluster_aborted.
+class ClusterAbortedError : public burst::Error {
  public:
-  ClusterAbortedError() : std::runtime_error("cluster aborted by peer failure") {}
+  ClusterAbortedError()
+      : burst::Error(ErrorCode::kClusterAborted,
+                     "cluster aborted by peer failure") {}
 
  protected:
-  explicit ClusterAbortedError(const std::string& what)
-      : std::runtime_error(what) {}
+  ClusterAbortedError(ErrorCode code, const std::string& what)
+      : burst::Error(code, what) {}
 };
 
 /// Raised in devices blocked on a receive from a rank that is known to have
 /// failed (crashed or threw). Subclass of ClusterAbortedError so existing
-/// abort handling keeps working, but typed so supervisors can attribute the
-/// stall to a specific peer.
+/// abort handling keeps working, but typed (code: peer_failed) so
+/// supervisors can attribute the stall to a specific peer.
 class PeerFailedError : public ClusterAbortedError {
  public:
   explicit PeerFailedError(int peer)
-      : ClusterAbortedError("peer rank " + std::to_string(peer) +
-                            " failed while this rank was blocked on it"),
+      : ClusterAbortedError(ErrorCode::kPeerFailed,
+                            "peer rank " + std::to_string(peer) +
+                                " failed while this rank was blocked on it"),
         peer_(peer) {}
 
   int peer() const { return peer_; }
@@ -61,12 +66,14 @@ class PeerFailedError : public ClusterAbortedError {
 };
 
 /// Raised on the rank a CrashDevice fault kills. This is a *root cause*
-/// (unlike ClusterAbortedError), so Cluster::run rethrows it.
-class InjectedFaultError : public std::runtime_error {
+/// (unlike ClusterAbortedError), so Cluster::run rethrows it. burst::Error
+/// code: injected_fault.
+class InjectedFaultError : public burst::Error {
  public:
   InjectedFaultError(int rank, const std::string& detail)
-      : std::runtime_error("injected fault on rank " + std::to_string(rank) +
-                           ": " + detail),
+      : burst::Error(ErrorCode::kInjectedFault,
+                     "injected fault on rank " + std::to_string(rank) + ": " +
+                         detail),
         rank_(rank) {}
 
   int rank() const { return rank_; }

@@ -12,18 +12,22 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/error.hpp"
+
 namespace burst::sim {
 
 /// Thrown when an allocation would exceed the device's configured capacity.
-class DeviceOomError : public std::runtime_error {
+/// burst::Error code: device_oom.
+class DeviceOomError : public burst::Error {
  public:
   DeviceOomError(int rank, std::uint64_t requested, std::uint64_t used,
                  std::uint64_t capacity, const std::string& tag)
-      : std::runtime_error("device " + std::to_string(rank) +
-                           " out of memory allocating " +
-                           std::to_string(requested) + " bytes for '" + tag +
-                           "' (used " + std::to_string(used) + " / cap " +
-                           std::to_string(capacity) + ")") {}
+      : burst::Error(ErrorCode::kDeviceOom,
+                     "device " + std::to_string(rank) +
+                         " out of memory allocating " +
+                         std::to_string(requested) + " bytes for '" + tag +
+                         "' (used " + std::to_string(used) + " / cap " +
+                         std::to_string(capacity) + ")") {}
 };
 
 class MemoryTracker {

@@ -14,6 +14,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
+
 namespace burst::sim {
 
 struct TraceEvent {
@@ -24,10 +26,13 @@ struct TraceEvent {
   double end_s = 0.0;
 };
 
-class TraceRecorder {
+/// Implements obs::TraceSink so scoped timers (obs/metrics.hpp) and other
+/// low-layer instrumentation can feed the same Chrome-trace timeline the
+/// cluster charges its compute/communication intervals to.
+class TraceRecorder : public obs::TraceSink {
  public:
   void record(int rank, int stream, std::string name, double begin_s,
-              double end_s) {
+              double end_s) override {
     std::lock_guard lock(mu_);
     events_.push_back({rank, stream, std::move(name), begin_s, end_s});
   }
