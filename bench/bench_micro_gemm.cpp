@@ -1,9 +1,17 @@
-// GEMM microbenchmark (google-benchmark): throughput of the blocked kernel
-// behind every matmul in the functional path.
+// GEMM microbenchmark (google-benchmark): throughput of the packed
+// microkernel behind every matmul in the functional path, plus the
+// regression gate for the bench-compare script: single-thread 512^3 GFLOP/s
+// for the packed kernel and for the pre-packing scalar implementation it
+// replaced, and their ratio (the `gate: true` metric in BENCH_baseline.json).
 #include <benchmark/benchmark.h>
 
 #include "reporter.hpp"
 
+#include <algorithm>
+#include <chrono>
+
+#include "obs/metrics.hpp"
+#include "parallel/thread_pool.hpp"
 #include "tensor/gemm.hpp"
 #include "tensor/rng.hpp"
 
@@ -25,7 +33,12 @@ void BM_Gemm(benchmark::State& state) {
       2.0 * static_cast<double>(n) * n * n * state.iterations() / 1e9,
       benchmark::Counter::kIsRate);
 }
-BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Gemm)
+    ->Arg(64)
+    ->Arg(128)
+    ->Arg(256)
+    ->Arg(512)
+    ->Unit(benchmark::kMicrosecond);
 
 void BM_GemmTransposed(benchmark::State& state) {
   const std::int64_t n = state.range(0);
@@ -40,20 +53,110 @@ void BM_GemmTransposed(benchmark::State& state) {
 }
 BENCHMARK(BM_GemmTransposed)->Arg(128)->Unit(benchmark::kMicrosecond);
 
+// The scalar tiled GEMM this PR's packed kernel replaced, kept verbatim as
+// the speedup baseline (including the `av == 0` skip it used to take).
+// Compiled with the bench's portable flags, serial — the "seed scalar,
+// single thread" denominator of the gate metric.
+void scalar_seed_gemm(ConstMatView a, ConstMatView b, MatView c) {
+  constexpr std::int64_t kTileM = 32;
+  constexpr std::int64_t kTileN = 64;
+  constexpr std::int64_t kTileK = 64;
+  const std::int64_t m = a.rows;
+  const std::int64_t k = a.cols;
+  const std::int64_t n = b.cols;
+  for (std::int64_t i = 0; i < m; ++i) {
+    std::fill(c.data + i * c.stride, c.data + i * c.stride + n, 0.0f);
+  }
+  for (std::int64_t ib = 0; ib < m; ib += kTileM) {
+    const std::int64_t ie = std::min(m, ib + kTileM);
+    for (std::int64_t kb = 0; kb < k; kb += kTileK) {
+      const std::int64_t ke = std::min(k, kb + kTileK);
+      for (std::int64_t jb = 0; jb < n; jb += kTileN) {
+        const std::int64_t je = std::min(n, jb + kTileN);
+        for (std::int64_t i = ib; i < ie; ++i) {
+          float* crow = c.data + i * c.stride;
+          for (std::int64_t kk = kb; kk < ke; ++kk) {
+            const float av = a(i, kk);
+            if (av == 0.0f) {
+              continue;
+            }
+            const float* brow = b.data + kk * b.stride;
+            for (std::int64_t j = jb; j < je; ++j) {
+              crow[j] += av * brow[j];
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+// Best-of-`reps` seconds for one fn() call.
+template <typename Fn>
+double best_seconds(int reps, Fn&& fn) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+  }
+  return best;
+}
+
 }  // namespace
 
 // Custom main instead of BENCHMARK_MAIN(): the timing tables still come
 // from google-benchmark, but the run also emits the shared RunReport so
 // scripts/verify.sh can gate on it like every other bench.
 int main(int argc, char** argv) {
+  using namespace burst::tensor;
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
     return 1;
   }
   burst::bench::Reporter rep("micro_gemm");
+  burst::obs::Registry registry;
+  attach_gemm_metrics(&registry);
   const std::size_t ran = benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   rep.measurement("benchmarks_run", static_cast<double>(ran));
   rep.check(ran > 0, "at least one benchmark ran");
+
+  // ---- regression-gate section: single-thread 512^3 packed vs scalar ----
+  {
+    burst::parallel::ThreadPool::reset_global(1);
+    const std::int64_t n = 512;
+    const double flop = 2.0 * static_cast<double>(n) * n * n;
+    Rng rng(3);
+    Tensor a = rng.gaussian(n, n, 1.0f);
+    Tensor b = rng.gaussian(n, n, 1.0f);
+    Tensor c(n, n);
+    // Warm-up grows the workspace and faults the pages before timing.
+    gemm(a.view(), Trans::No, b.view(), Trans::No, c.view());
+    const double packed_s = best_seconds(3, [&] {
+      gemm(a.view(), Trans::No, b.view(), Trans::No, c.view());
+      benchmark::DoNotOptimize(c.data());
+    });
+    scalar_seed_gemm(a.view(), b.view(), c.view());
+    const double scalar_s = best_seconds(3, [&] {
+      scalar_seed_gemm(a.view(), b.view(), c.view());
+      benchmark::DoNotOptimize(c.data());
+    });
+    const double packed_gflops = flop / packed_s / 1e9;
+    const double scalar_gflops = flop / scalar_s / 1e9;
+    const double speedup = packed_gflops / scalar_gflops;
+    rep.measurement("gemm_512_st_gflops", packed_gflops,
+                    burst::obs::RunReport::kNoPaperValue, "GFLOP/s");
+    rep.measurement("gemm_512_st_scalar_gflops", scalar_gflops,
+                    burst::obs::RunReport::kNoPaperValue, "GFLOP/s");
+    rep.measurement("gemm_512_st_speedup", speedup);
+    rep.check(speedup >= 3.0,
+              "packed GEMM >= 3x seed scalar at 512^3 single-thread");
+    burst::parallel::ThreadPool::reset_global();
+  }
+
+  rep.attach_registry(registry);
+  attach_gemm_metrics(nullptr);
   return rep.finish();
 }

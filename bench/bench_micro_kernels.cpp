@@ -11,7 +11,9 @@
 #include "kernels/flash_attention.hpp"
 #include "kernels/lm_head.hpp"
 #include "kernels/reference_attention.hpp"
+#include "obs/metrics.hpp"
 #include "tensor/rng.hpp"
+#include "tensor/workspace.hpp"
 
 namespace {
 
@@ -48,9 +50,10 @@ void BM_FlashForward(benchmark::State& state) {
     auto r = kernels::flash_forward(q, id, k, v, id, mask, 0.2f, &stats);
     benchmark::DoNotOptimize(r.o.data());
   }
-  state.counters["flops"] =
-      benchmark::Counter(static_cast<double>(stats.flops) /
-                             static_cast<double>(state.iterations()),
+  // `flops` counts only unmasked pairs (post tile-skip), so this rate is
+  // effective GFLOP/s of useful attention work.
+  state.counters["GFLOP/s"] =
+      benchmark::Counter(static_cast<double>(stats.flops) / 1e9,
                          benchmark::Counter::kIsRate);
   state.counters["tiles_skipped"] = static_cast<double>(stats.tiles_skipped) /
                                     static_cast<double>(state.iterations());
@@ -71,14 +74,18 @@ void BM_FlashBackward(benchmark::State& state) {
   const IndexMap id = IndexMap::range(0, n);
   auto fwd = kernels::flash_forward(q, id, k, v, id, mask, 0.2f);
   Tensor dvec = kernels::attention_dvec(d_out, fwd.o);
+  kernels::KernelStats stats;
   for (auto _ : state) {
     Tensor dq = Tensor::zeros(n, d);
     Tensor dk = Tensor::zeros(n, d);
     Tensor dv = Tensor::zeros(n, d);
     kernels::flash_backward_partial(q, id, k, v, id, mask, 0.2f, d_out,
-                                    fwd.lse, dvec, dq, dk, dv);
+                                    fwd.lse, dvec, dq, dk, dv, &stats);
     benchmark::DoNotOptimize(dq.data());
   }
+  state.counters["GFLOP/s"] =
+      benchmark::Counter(static_cast<double>(stats.flops) / 1e9,
+                         benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_FlashBackward)->Arg(256)->Arg(512)->Unit(benchmark::kMicrosecond);
 
@@ -145,9 +152,21 @@ int main(int argc, char** argv) {
     return 1;
   }
   burst::bench::Reporter rep("micro_kernels");
+  // Observation-only kernel counters (tiles computed/skipped, workspace
+  // high-water) ride along in the RunReport's metrics block.
+  burst::obs::Registry registry;
+  burst::kernels::attach_attention_metrics(&registry);
   const std::size_t ran = benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   rep.measurement("benchmarks_run", static_cast<double>(ran));
   rep.check(ran > 0, "at least one benchmark ran");
+  rep.measurement(
+      "attn_workspace_high_water_bytes",
+      static_cast<double>(burst::tensor::Workspace::tls().high_water_bytes()),
+      burst::obs::RunReport::kNoPaperValue, "bytes");
+  rep.check(registry.counter("kernels.attn.tiles_computed").value() > 0,
+            "attention kernels reported tile counters");
+  rep.attach_registry(registry);
+  burst::kernels::attach_attention_metrics(nullptr);
   return rep.finish();
 }

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Bench-regression gate: compare RunReport JSONs against BENCH_baseline.json.
+
+Usage:
+    bench_compare.py BASELINE.json NAME=REPORT.json [NAME=REPORT.json ...]
+
+Each NAME must appear under "benches" in the baseline. Every baseline metric
+with gate=true fails the run when the measured value is more than
+tolerance_frac below the committed value (metrics are higher-is-better);
+gate=false metrics are printed for information only. Missing gated metrics
+fail; entire missing reports fail.
+
+Exit code 0 iff every gated metric passes.
+"""
+
+import json
+import sys
+
+
+def fail(msg):
+    print(f"FAIL: {msg}", file=sys.stderr)
+    return 1
+
+
+def main(argv):
+    if len(argv) < 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+
+    try:
+        with open(argv[1]) as f:
+            baseline = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return fail(f"cannot load baseline {argv[1]}: {e}")
+    if baseline.get("schema") != "burst.bench_baseline" or baseline.get("version") != 1:
+        return fail(f"{argv[1]}: wrong baseline schema/version")
+    tol = float(baseline.get("tolerance_frac", 0.10))
+    benches = baseline.get("benches", {})
+
+    rc = 0
+    for pair in argv[2:]:
+        name, _, path = pair.partition("=")
+        if not path:
+            return fail(f"argument '{pair}' is not NAME=REPORT.json")
+        spec = benches.get(name)
+        if spec is None:
+            rc |= fail(f"bench '{name}' not present in baseline")
+            continue
+        try:
+            with open(path) as f:
+                report = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            rc |= fail(f"{name}: cannot load report {path}: {e}")
+            continue
+        measured = {
+            m["name"]: m["measured"] for m in report.get("measurements", [])
+        }
+        for metric, entry in spec.get("metrics", {}).items():
+            value = float(entry["value"])
+            gated = bool(entry.get("gate", False))
+            unit = entry.get("unit", "")
+            if metric not in measured:
+                if gated:
+                    rc |= fail(f"{name}: gated metric '{metric}' missing from report")
+                else:
+                    print(f"info: {name}.{metric}: not reported")
+                continue
+            got = float(measured[metric])
+            floor = value * (1.0 - tol)
+            status = "ok" if got >= floor else "REGRESSION"
+            line = (
+                f"{name}.{metric}: measured {got:.4g} {unit} "
+                f"(baseline {value:.4g}, floor {floor:.4g})"
+            )
+            if not gated:
+                print(f"info: {line}")
+            elif got >= floor:
+                print(f"pass: {line}")
+            else:
+                rc |= fail(f"{line} [{status}]")
+    if rc == 0:
+        print("bench_compare: all gated metrics within tolerance")
+    return rc
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,10 +1,14 @@
 #!/usr/bin/env bash
-# Full verification gate: configure + build, run the test suite, run the
-# obs-labeled tests again under AddressSanitizer, then run every bench and
-# fail on any RunReport whose self_check is false (each bench also exits
-# non-zero on its own failed checks, so either signal stops the script).
+# Full verification gate: configure + build (Release, -O3, host ISA), run the
+# test suite plus an explicit perf-labeled leg (workspace zero-allocation and
+# kernel-determinism suites), run the obs-labeled tests again under
+# AddressSanitizer, then run every bench and fail on any RunReport whose
+# self_check is false (each bench also exits non-zero on its own failed
+# checks, so either signal stops the script). Finally the micro-bench
+# RunReports are compared against the committed BENCH_baseline.json: any
+# gated metric more than 10% below its baseline value fails the script.
 #
-# Usage: scripts/verify.sh [--skip-asan] [--skip-bench]
+# Usage: scripts/verify.sh [--skip-asan] [--skip-bench] [--skip-perf]
 # Env:   BUILD_DIR (default build), ASAN_BUILD_DIR (default build-asan),
 #        JOBS (default nproc).
 set -euo pipefail
@@ -16,20 +20,27 @@ ASAN_BUILD_DIR=${ASAN_BUILD_DIR:-build-asan}
 JOBS=${JOBS:-$(nproc)}
 RUN_ASAN=1
 RUN_BENCH=1
+RUN_PERF=1
 for arg in "$@"; do
   case "$arg" in
     --skip-asan) RUN_ASAN=0 ;;
     --skip-bench) RUN_BENCH=0 ;;
+    --skip-perf) RUN_PERF=0 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
 
-echo "== configure + build (${BUILD_DIR})"
-cmake -B "$BUILD_DIR" -S . >/dev/null
+echo "== configure + build (${BUILD_DIR}, Release)"
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$BUILD_DIR" -j "$JOBS"
 
 echo "== ctest"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+
+if [[ $RUN_PERF -eq 1 ]]; then
+  echo "== perf-labeled tests (ctest -L perf)"
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -L perf
+fi
 
 if [[ $RUN_ASAN -eq 1 ]]; then
   echo "== ASan build + obs-labeled tests (${ASAN_BUILD_DIR})"
@@ -49,7 +60,8 @@ if [[ $RUN_BENCH -eq 1 ]]; then
     args=()
     case "$name" in
       # Microbenchmarks: one tiny repetition each; the RunReport gate is
-      # what we verify here, not the timings.
+      # what we verify here, not the timings (the regression gate below
+      # uses the benches' own best-of-N sections, which ignore min_time).
       bench_micro_*) args=(--benchmark_min_time=0.01) ;;
     esac
     echo "-- $name"
@@ -74,6 +86,14 @@ if rep.get("self_check") is not True:
     sys.exit(f"FAIL: {name} self_check is false: {bad}")
 EOF
   done
+
+  if [[ $RUN_PERF -eq 1 ]]; then
+    echo "== bench-regression gate (BENCH_baseline.json)"
+    python3 scripts/bench_compare.py BENCH_baseline.json \
+      micro_gemm="$report_dir/bench_micro_gemm.json" \
+      micro_kernels="$report_dir/bench_micro_kernels.json" || fail=1
+  fi
+
   [[ $fail -eq 0 ]] || exit 1
 fi
 

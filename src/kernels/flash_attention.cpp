@@ -4,16 +4,19 @@
 #include <cassert>
 #include <cmath>
 #include <limits>
-#include <vector>
 
+#include "obs/metrics.hpp"
 #include "tensor/gemm.hpp"
 #include "tensor/ops.hpp"
+#include "tensor/workspace.hpp"
 
 namespace burst::kernels {
 
 using tensor::ConstMatView;
+using tensor::MatView;
 using tensor::Tensor;
 using tensor::Trans;
+using tensor::Workspace;
 
 namespace {
 
@@ -23,21 +26,45 @@ constexpr float kNegInf = -std::numeric_limits<float>::infinity();
 constexpr std::int64_t kTileQ = 32;
 constexpr std::int64_t kTileK = 32;
 
-// Applies the mask to a score tile in place (masked entries -> -inf).
-void apply_mask(Tensor& s, const MaskSpec& mask, const IndexMap& qmap,
-                const IndexMap& kmap, std::int64_t q0, std::int64_t k0) {
-  for (std::int64_t i = 0; i < s.rows(); ++i) {
-    const std::int64_t qg = qmap.global(q0 + i);
-    for (std::int64_t j = 0; j < s.cols(); ++j) {
-      if (!mask.allowed(qg, kmap.global(k0 + j))) {
-        s(i, j) = kNegInf;
-      }
+// Observation-only metric handles (see attach_attention_metrics).
+struct AttnMetrics {
+  obs::Counter* tiles_computed = nullptr;
+  obs::Counter* tiles_skipped = nullptr;
+  obs::Gauge* ws_high_water = nullptr;
+};
+AttnMetrics g_metrics;
+
+inline void note_tile_computed(KernelStats* stats, std::uint64_t flops) {
+  if (stats != nullptr) {
+    ++stats->tiles_computed;
+    stats->flops += flops;
+  }
+  if (g_metrics.tiles_computed != nullptr) {
+    g_metrics.tiles_computed->add(1);
+  }
+}
+
+inline void note_tile_skipped(KernelStats* stats) {
+  if (stats != nullptr) {
+    ++stats->tiles_skipped;
+  }
+  if (g_metrics.tiles_skipped != nullptr) {
+    g_metrics.tiles_skipped->add(1);
+  }
+}
+
+inline void note_workspace_high_water(const Workspace& ws) {
+  if (g_metrics.ws_high_water != nullptr) {
+    const auto hw = static_cast<double>(ws.high_water_bytes());
+    if (hw > g_metrics.ws_high_water->value()) {
+      g_metrics.ws_high_water->set(hw);
     }
   }
 }
 
 // Tile classification in *local* coordinates: exact closed forms only apply
 // to contiguous maps, otherwise fall back to a per-element scan (toy scale).
+// Runs before any packing/GEMM so kNone tiles cost only this scan.
 MaskSpec::TileClass classify_tile(const MaskSpec& mask, const IndexMap& qmap,
                                   const IndexMap& kmap, std::int64_t q0,
                                   std::int64_t q1, std::int64_t k0,
@@ -97,109 +124,137 @@ void flash_forward_partial(ConstMatView q, const IndexMap& qmap,
   assert(qmap.size() == nq && kmap.size() == nk);
   assert(o_acc.rows == nq && o_acc.cols == d && lse_acc.numel() == nq);
 
+  Workspace& ws = Workspace::tls();
   for (std::int64_t q0 = 0; q0 < nq; q0 += kTileQ) {
     const std::int64_t q1 = std::min(nq, q0 + kTileQ);
     const std::int64_t bq = q1 - q0;
 
-    // Running online-softmax state for this q tile over all k tiles.
-    std::vector<float> m(static_cast<std::size_t>(bq), kNegInf);
-    std::vector<double> l(static_cast<std::size_t>(bq), 0.0);
-    Tensor o_tile = Tensor::zeros(bq, d);
+    // All per-tile scratch is borrowed from the thread-local arena: zero
+    // heap allocations in steady state (asserted by test_workspace.cpp).
+    Workspace::Scope scope(ws);
+    float* m = ws.alloc_f32(static_cast<std::size_t>(bq));
+    double* l = ws.alloc_f64(static_cast<std::size_t>(bq));
+    float* o_tile = ws.alloc_f32(static_cast<std::size_t>(bq * d));
+    float* s = ws.alloc_f32(static_cast<std::size_t>(bq * kTileK));
+    std::int64_t* qg = ws.alloc_i64(static_cast<std::size_t>(bq));
+    std::int64_t* kg = ws.alloc_i64(static_cast<std::size_t>(kTileK));
+    std::fill(m, m + bq, kNegInf);
+    std::fill(l, l + bq, 0.0);
+    std::fill(o_tile, o_tile + bq * d, 0.0f);
+    for (std::int64_t i = 0; i < bq; ++i) {
+      qg[i] = qmap.global(q0 + i);
+    }
 
     for (std::int64_t k0 = 0; k0 < nk; k0 += kTileK) {
       const std::int64_t k1 = std::min(nk, k0 + kTileK);
       const std::int64_t bk = k1 - k0;
       const auto cls = classify_tile(mask, qmap, kmap, q0, q1, k0, k1);
       if (cls == MaskSpec::TileClass::kNone) {
-        if (stats != nullptr) {
-          ++stats->tiles_skipped;
-        }
+        note_tile_skipped(stats);
         continue;
       }
 
-      Tensor s(bq, bk);
+      MatView sview{s, bq, bk, bk};
       tensor::gemm(sub_rows(q, q0, bq), Trans::No, sub_rows(k, k0, bk),
-                   Trans::Yes, s.view(), scale, 0.0f);
-      if (cls == MaskSpec::TileClass::kPartial) {
-        apply_mask(s, mask, qmap, kmap, q0, k0);
+                   Trans::Yes, sview, scale, 0.0f);
+      const bool partial = cls == MaskSpec::TileClass::kPartial;
+      if (partial) {
+        for (std::int64_t j = 0; j < bk; ++j) {
+          kg[j] = kmap.global(k0 + j);
+        }
       }
 
+      // One fused pass per row: mask-apply + running max, then a batched
+      // exp over the row, then rescale + PV accumulation.
       for (std::int64_t i = 0; i < bq; ++i) {
+        float* srow = s + i * bk;
         float mt = kNegInf;
-        for (std::int64_t j = 0; j < bk; ++j) {
-          mt = std::max(mt, s(i, j));
+        if (partial) {
+          const std::int64_t qgi = qg[i];
+          for (std::int64_t j = 0; j < bk; ++j) {
+            if (!mask.allowed(qgi, kg[j])) {
+              srow[j] = kNegInf;
+            } else {
+              mt = std::max(mt, srow[j]);
+            }
+          }
+        } else {
+          for (std::int64_t j = 0; j < bk; ++j) {
+            mt = std::max(mt, srow[j]);
+          }
         }
         if (mt == kNegInf) {
           continue;  // every key in this tile masked for this row
         }
-        const float m_new = std::max(m[static_cast<std::size_t>(i)], mt);
-        const float corr =
-            m[static_cast<std::size_t>(i)] == kNegInf
-                ? 0.0f
-                : std::exp(m[static_cast<std::size_t>(i)] - m_new);
+        const float m_new = std::max(m[i], mt);
+        const float corr = m[i] == kNegInf ? 0.0f : std::exp(m[i] - m_new);
+        // Batched row-wise exp: masked entries are exactly -inf, and
+        // exp(-inf - m_new) == 0, so no per-element branch is needed.
         double row_l = 0.0;
         for (std::int64_t j = 0; j < bk; ++j) {
-          const float p =
-              s(i, j) == kNegInf ? 0.0f : std::exp(s(i, j) - m_new);
-          s(i, j) = p;
+          const float p = std::exp(srow[j] - m_new);
+          srow[j] = p;
           row_l += p;
         }
-        l[static_cast<std::size_t>(i)] =
-            l[static_cast<std::size_t>(i)] * corr + row_l;
-        m[static_cast<std::size_t>(i)] = m_new;
+        l[i] = l[i] * corr + row_l;
+        m[i] = m_new;
+        float* orow = o_tile + i * d;
         for (std::int64_t c = 0; c < d; ++c) {
-          o_tile(i, c) *= corr;
+          orow[c] *= corr;
         }
         for (std::int64_t j = 0; j < bk; ++j) {
-          const float p = s(i, j);
+          const float p = srow[j];
           if (p == 0.0f) {
             continue;
           }
+          const float* vrow = v.data + (k0 + j) * v.stride;
           for (std::int64_t c = 0; c < d; ++c) {
-            o_tile(i, c) += p * v(k0 + j, c);
+            orow[c] += p * vrow[c];
           }
         }
       }
 
-      if (stats != nullptr) {
-        ++stats->tiles_computed;
-        stats->flops += attention_pair_flops(
-            static_cast<std::uint64_t>(bq) * static_cast<std::uint64_t>(bk),
-            d);
-      }
+      note_tile_computed(
+          stats, attention_pair_flops(static_cast<std::uint64_t>(bq) *
+                                          static_cast<std::uint64_t>(bk),
+                                      d));
     }
 
-    // Normalize the tile and merge into the global accumulator.
-    Tensor lse_part(bq);
+    // Normalize the tile and merge into the global accumulator in place
+    // (same arithmetic as tensor::merge_online_softmax, row by row).
     for (std::int64_t i = 0; i < bq; ++i) {
-      const double li = l[static_cast<std::size_t>(i)];
+      const double li = l[i];
       if (li <= 0.0) {
-        lse_part[i] = kNegInf;
+        continue;  // partition fully masked for this row
+      }
+      const float lse_part = m[i] + static_cast<float>(std::log(li));
+      const float inv = static_cast<float>(1.0 / li);
+      float* orow = o_tile + i * d;
+      for (std::int64_t c = 0; c < d; ++c) {
+        orow[c] *= inv;
+      }
+      float* arow = o_acc.data + (q0 + i) * o_acc.stride;
+      const float la = lse_acc[q0 + i];
+      if (la == kNegInf) {
+        lse_acc[q0 + i] = lse_part;
+        for (std::int64_t c = 0; c < d; ++c) {
+          arow[c] = orow[c];
+        }
         continue;
       }
-      lse_part[i] =
-          m[static_cast<std::size_t>(i)] + static_cast<float>(std::log(li));
-      const float inv = static_cast<float>(1.0 / li);
+      const float lmax = std::max(la, lse_part);
+      const float wa = std::exp(la - lmax);
+      const float wp = std::exp(lse_part - lmax);
+      const float lnew = lmax + std::log(wa + wp);
+      const float ca = std::exp(la - lnew);
+      const float cp = std::exp(lse_part - lnew);
+      lse_acc[q0 + i] = lnew;
       for (std::int64_t c = 0; c < d; ++c) {
-        o_tile(i, c) *= inv;
-      }
-    }
-    Tensor o_view(bq, d);
-    Tensor lse_view(bq);
-    for (std::int64_t i = 0; i < bq; ++i) {
-      lse_view[i] = lse_acc[q0 + i];
-      for (std::int64_t c = 0; c < d; ++c) {
-        o_view(i, c) = o_acc(q0 + i, c);
-      }
-    }
-    tensor::merge_online_softmax(o_view, lse_view, o_tile, lse_part);
-    for (std::int64_t i = 0; i < bq; ++i) {
-      lse_acc[q0 + i] = lse_view[i];
-      for (std::int64_t c = 0; c < d; ++c) {
-        o_acc(q0 + i, c) = o_view(i, c);
+        arow[c] = ca * arow[c] + cp * orow[c];
       }
     }
   }
+  note_workspace_high_water(ws);
 }
 
 float flash_decode_step(ConstMatView q, ConstMatView k, ConstMatView v,
@@ -240,10 +295,7 @@ float flash_decode_step(ConstMatView q, ConstMatView k, ConstMatView v,
       o_row(0, c) += p * v(j, c);
     }
   }
-  if (stats != nullptr) {
-    ++stats->tiles_computed;
-    stats->flops += attention_pair_flops(pairs, d);
-  }
+  note_tile_computed(stats, attention_pair_flops(pairs, d));
   if (l <= 0.0) {
     return kNegInf;  // fully masked row; o_row stays zero
   }
@@ -285,67 +337,102 @@ void flash_backward_partial(const Tensor& q, const IndexMap& qmap,
   assert(lse.numel() == nq && dvec.numel() == nq);
   assert(dq_acc.rows() == nq && dk_acc.rows() == nk && dv_acc.rows() == nk);
 
+  Workspace& ws = Workspace::tls();
   for (std::int64_t q0 = 0; q0 < nq; q0 += kTileQ) {
     const std::int64_t q1 = std::min(nq, q0 + kTileQ);
     const std::int64_t bq = q1 - q0;
+
+    Workspace::Scope scope(ws);
+    float* p = ws.alloc_f32(static_cast<std::size_t>(bq * kTileK));
+    float* ds = ws.alloc_f32(static_cast<std::size_t>(bq * kTileK));
+    std::int64_t* qg = ws.alloc_i64(static_cast<std::size_t>(bq));
+    std::int64_t* kg = ws.alloc_i64(static_cast<std::size_t>(kTileK));
+    for (std::int64_t i = 0; i < bq; ++i) {
+      qg[i] = qmap.global(q0 + i);
+    }
+
     for (std::int64_t k0 = 0; k0 < nk; k0 += kTileK) {
       const std::int64_t k1 = std::min(nk, k0 + kTileK);
       const std::int64_t bk = k1 - k0;
       const auto cls = classify_tile(mask, qmap, kmap, q0, q1, k0, k1);
       if (cls == MaskSpec::TileClass::kNone) {
-        if (stats != nullptr) {
-          ++stats->tiles_skipped;
-        }
+        note_tile_skipped(stats);
         continue;
       }
 
       // P = exp(S - lse): rows with lse == -inf are fully masked globally.
-      Tensor p(bq, bk);
+      MatView pview{p, bq, bk, bk};
       tensor::gemm(q.row_block(q0, bq), Trans::No, k.row_block(k0, bk),
-                   Trans::Yes, p.view(), scale, 0.0f);
-      if (cls == MaskSpec::TileClass::kPartial) {
-        apply_mask(p, mask, qmap, kmap, q0, k0);
-      }
-      for (std::int64_t i = 0; i < bq; ++i) {
-        const float l = lse[q0 + i];
+                   Trans::Yes, pview, scale, 0.0f);
+      const bool partial = cls == MaskSpec::TileClass::kPartial;
+      if (partial) {
         for (std::int64_t j = 0; j < bk; ++j) {
-          p(i, j) = (l == kNegInf || p(i, j) == kNegInf)
-                        ? 0.0f
-                        : std::exp(p(i, j) - l);
+          kg[j] = kmap.global(k0 + j);
+        }
+      }
+      // Fused mask-apply + exp in a single pass over the tile.
+      for (std::int64_t i = 0; i < bq; ++i) {
+        float* prow = p + i * bk;
+        const float li = lse[q0 + i];
+        if (li == kNegInf) {
+          std::fill(prow, prow + bk, 0.0f);
+          continue;
+        }
+        if (partial) {
+          const std::int64_t qgi = qg[i];
+          for (std::int64_t j = 0; j < bk; ++j) {
+            prow[j] = mask.allowed(qgi, kg[j]) ? std::exp(prow[j] - li) : 0.0f;
+          }
+        } else {
+          for (std::int64_t j = 0; j < bk; ++j) {
+            prow[j] = std::exp(prow[j] - li);
+          }
         }
       }
 
       // dV[k0:k1] += P^T dO.
-      tensor::gemm(p.view(), Trans::Yes, d_out.row_block(q0, bq), Trans::No,
+      tensor::gemm(pview, Trans::Yes, d_out.row_block(q0, bq), Trans::No,
                    dv_acc.row_block(k0, bk), 1.0f, 1.0f);
 
       // dP = dO V^T; dS = P ∘ (dP - D).
-      Tensor ds(bq, bk);
+      MatView dsview{ds, bq, bk, bk};
       tensor::gemm(d_out.row_block(q0, bq), Trans::No, v.row_block(k0, bk),
-                   Trans::Yes, ds.view(), 1.0f, 0.0f);
+                   Trans::Yes, dsview, 1.0f, 0.0f);
       for (std::int64_t i = 0; i < bq; ++i) {
         const float di = dvec[q0 + i];
+        const float* prow = p + i * bk;
+        float* dsrow = ds + i * bk;
         for (std::int64_t j = 0; j < bk; ++j) {
-          ds(i, j) = p(i, j) * (ds(i, j) - di);
+          dsrow[j] = prow[j] * (dsrow[j] - di);
         }
       }
 
       // dK[k0:k1] += dS^T Q * scale; dQ[q0:q1] += dS K * scale.
-      tensor::gemm(ds.view(), Trans::Yes, q.row_block(q0, bq), Trans::No,
+      tensor::gemm(dsview, Trans::Yes, q.row_block(q0, bq), Trans::No,
                    dk_acc.row_block(k0, bk), scale, 1.0f);
-      tensor::gemm(ds.view(), Trans::No, k.row_block(k0, bk), Trans::No,
+      tensor::gemm(dsview, Trans::No, k.row_block(k0, bk), Trans::No,
                    dq_acc.row_block(q0, bq), scale, 1.0f);
 
-      if (stats != nullptr) {
-        ++stats->tiles_computed;
-        // Backward does ~2.5x the forward tile work (5 GEMMs vs 2).
-        stats->flops += attention_pair_flops(
-                            static_cast<std::uint64_t>(bq) *
-                                static_cast<std::uint64_t>(bk),
-                            d) * 5 / 2;
-      }
+      // Backward does ~2.5x the forward tile work (5 GEMMs vs 2).
+      note_tile_computed(
+          stats, attention_pair_flops(static_cast<std::uint64_t>(bq) *
+                                          static_cast<std::uint64_t>(bk),
+                                      d) *
+                     5 / 2);
     }
   }
+  note_workspace_high_water(ws);
+}
+
+void attach_attention_metrics(obs::Registry* registry) {
+  if (registry == nullptr) {
+    g_metrics = AttnMetrics{};
+    return;
+  }
+  g_metrics.tiles_computed = &registry->counter("kernels.attn.tiles_computed");
+  g_metrics.tiles_skipped = &registry->counter("kernels.attn.tiles_skipped");
+  g_metrics.ws_high_water =
+      &registry->gauge("kernels.workspace.high_water_bytes");
 }
 
 }  // namespace burst::kernels

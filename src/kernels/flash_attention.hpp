@@ -21,6 +21,10 @@
 #include "kernels/mask.hpp"
 #include "tensor/tensor.hpp"
 
+namespace burst::obs {
+class Registry;
+}  // namespace burst::obs
+
 namespace burst::kernels {
 
 /// Forward output of an attention call: O and the per-row LogSumExp.
@@ -98,5 +102,12 @@ void flash_backward_partial(const tensor::Tensor& q, const IndexMap& qmap,
                             const tensor::Tensor& dvec, tensor::Tensor& dq_acc,
                             tensor::Tensor& dk_acc, tensor::Tensor& dv_acc,
                             KernelStats* stats = nullptr);
+
+/// Observation-only counters mirroring KernelStats into the obs registry:
+/// `kernels.attn.tiles_computed`, `kernels.attn.tiles_skipped` counters and
+/// the `kernels.workspace.high_water_bytes` gauge. Pass nullptr to detach.
+/// Attach/detach from a single thread while no kernel runs concurrently;
+/// attached metrics never change results (PR 3 discipline).
+void attach_attention_metrics(obs::Registry* registry);
 
 }  // namespace burst::kernels

@@ -7,11 +7,14 @@
 
 #include "tensor/gemm.hpp"
 #include "tensor/ops.hpp"
+#include "tensor/workspace.hpp"
 
 namespace burst::kernels {
 
+using tensor::MatView;
 using tensor::Tensor;
 using tensor::Trans;
+using tensor::Workspace;
 
 namespace {
 
@@ -24,6 +27,23 @@ double dot_row(const Tensor& a, std::int64_t ra, const Tensor& b,
     acc += static_cast<double>(a(ra, c)) * b(rb, c);
   }
   return acc;
+}
+
+// Row LogSumExp over a raw row (same math as tensor::row_lse: float max,
+// double accumulation of exp).
+float row_lse_raw(const float* row, std::int64_t n) {
+  float mx = kNegInf;
+  for (std::int64_t j = 0; j < n; ++j) {
+    mx = std::max(mx, row[j]);
+  }
+  if (mx == kNegInf) {
+    return kNegInf;
+  }
+  double acc = 0.0;
+  for (std::int64_t j = 0; j < n; ++j) {
+    acc += std::exp(static_cast<double>(row[j]) - mx);
+  }
+  return mx + static_cast<float>(std::log(acc));
 }
 
 }  // namespace
@@ -69,6 +89,11 @@ namespace {
 // Shared implementation for the two tiled variants. `cache_strip` selects
 // Algorithm 3 (true: keep the Bs x v strip from the forward loop, reuse it in
 // backward) versus the recompute baseline (false: recompute each tile).
+//
+// All logits scratch is borrowed from the thread-local Workspace arena, so
+// the strip loop performs zero heap allocations in steady state. The cached
+// strip is one contiguous Bs x v buffer; vocab tile vt lives at column
+// offset j = vt * block_v, i.e. float offset bs * j.
 LmHeadResult tiled_lm_head_impl(const Tensor& h, const Tensor& w,
                                 const std::vector<std::int64_t>& targets,
                                 std::int64_t block_s, std::int64_t block_v,
@@ -87,32 +112,34 @@ LmHeadResult tiled_lm_head_impl(const Tensor& h, const Tensor& w,
   const float inv_n = 1.0f / static_cast<float>(n);
   double loss = 0.0;
 
-  const std::int64_t num_vtiles = (v + block_v - 1) / block_v;
-  std::vector<Tensor> strip;  // cached logits tiles for the current strip
-  if (cache_strip) {
-    strip.resize(static_cast<std::size_t>(num_vtiles));
-  }
-
+  Workspace& ws = Workspace::tls();
   for (std::int64_t s0 = 0; s0 < n; s0 += block_s) {
     const std::int64_t s1 = std::min(n, s0 + block_s);
     const std::int64_t bs = s1 - s0;
 
-    // ---- forward over vocab tiles: online LSE per strip row --------------
-    Tensor lse(bs);
-    lse.fill(kNegInf);
+    Workspace::Scope scope(ws);
+    float* lse = ws.alloc_f32(static_cast<std::size_t>(bs));
+    std::fill(lse, lse + bs, kNegInf);
+    // Cached variant holds the whole strip; recompute variant reuses one
+    // tile-sized buffer for both the forward probe and the backward rebuild.
+    float* strip =
+        ws.alloc_f32(static_cast<std::size_t>(cache_strip ? bs * v
+                                                          : bs * block_v));
     std::uint64_t strip_bytes = 0;
-    for (std::int64_t j = 0, vt = 0; j < v; j += block_v, ++vt) {
+
+    // ---- forward over vocab tiles: online LSE per strip row --------------
+    for (std::int64_t j = 0; j < v; j += block_v) {
       const std::int64_t j1 = std::min(v, j + block_v);
       const std::int64_t bv = j1 - j;
-      Tensor logits(bs, bv);
+      float* tile = cache_strip ? strip + bs * j : strip;
+      MatView logits{tile, bs, bv, bv};
       tensor::gemm(h.row_block(s0, bs), Trans::No, w.row_block(j, bv),
-                   Trans::Yes, logits.view(), 1.0f, 0.0f);
+                   Trans::Yes, logits, 1.0f, 0.0f);
       out.flops += static_cast<std::uint64_t>(2) * bs * bv * d;
-      Tensor tile_lse = tensor::row_lse(logits);
       for (std::int64_t r = 0; r < bs; ++r) {
         // lse <- logaddexp(lse, tile_lse), numerically stable.
         const float a = lse[r];
-        const float b = tile_lse[r];
+        const float b = row_lse_raw(tile + r * bv, bv);
         if (b == kNegInf) {
           continue;
         }
@@ -124,7 +151,6 @@ LmHeadResult tiled_lm_head_impl(const Tensor& h, const Tensor& w,
         }
       }
       if (cache_strip) {
-        strip[static_cast<std::size_t>(vt)] = std::move(logits);
         strip_bytes += static_cast<std::uint64_t>(bs) * bv * sizeof(float);
       } else {
         strip_bytes = std::max<std::uint64_t>(
@@ -140,16 +166,14 @@ LmHeadResult tiled_lm_head_impl(const Tensor& h, const Tensor& w,
     }
 
     // ---- backward immediately, per vocab tile -----------------------------
-    for (std::int64_t j = 0, vt = 0; j < v; j += block_v, ++vt) {
+    for (std::int64_t j = 0; j < v; j += block_v) {
       const std::int64_t j1 = std::min(v, j + block_v);
       const std::int64_t bv = j1 - j;
-      Tensor dlogits;
-      if (cache_strip) {
-        dlogits = std::move(strip[static_cast<std::size_t>(vt)]);
-      } else {
-        dlogits = Tensor(bs, bv);
+      float* tile = cache_strip ? strip + bs * j : strip;
+      MatView dlogits{tile, bs, bv, bv};
+      if (!cache_strip) {
         tensor::gemm(h.row_block(s0, bs), Trans::No, w.row_block(j, bv),
-                     Trans::Yes, dlogits.view(), 1.0f, 0.0f);
+                     Trans::Yes, dlogits, 1.0f, 0.0f);
         out.flops += static_cast<std::uint64_t>(2) * bs * bv * d;
       }
       // dLogits = (exp(logits - lse) - onehot) / N. (The paper's Algorithm 3
@@ -157,17 +181,18 @@ LmHeadResult tiled_lm_head_impl(const Tensor& h, const Tensor& w,
       // see EXPERIMENTS.md, "paper typos".)
       for (std::int64_t r = 0; r < bs; ++r) {
         const float l = lse[r];
+        float* drow = tile + r * bv;
         for (std::int64_t c = 0; c < bv; ++c) {
-          dlogits(r, c) = std::exp(dlogits(r, c) - l) * inv_n;
+          drow[c] = std::exp(drow[c] - l) * inv_n;
         }
         const std::int64_t t = targets[static_cast<std::size_t>(s0 + r)];
         if (t >= j && t < j1) {
-          dlogits(r, t - j) -= inv_n;
+          drow[t - j] -= inv_n;
         }
       }
-      tensor::gemm(dlogits.view(), Trans::No, w.row_block(j, bv), Trans::No,
+      tensor::gemm(dlogits, Trans::No, w.row_block(j, bv), Trans::No,
                    out.dh.row_block(s0, bs), 1.0f, 1.0f);
-      tensor::gemm(dlogits.view(), Trans::Yes, h.row_block(s0, bs), Trans::No,
+      tensor::gemm(dlogits, Trans::Yes, h.row_block(s0, bs), Trans::No,
                    out.dw.row_block(j, bv), 1.0f, 1.0f);
       out.flops += static_cast<std::uint64_t>(4) * bs * bv * d;
     }

@@ -364,6 +364,12 @@ Tensor forward_prefill_chunk(const ModelConfig& cfg, const ModelWeights& w,
   const IndexMap kmap = IndexMap::range(0, total);
   const std::int64_t group = cfg.group_size();
   Tensor x = embed_ids(cfg, w, tokens, count);
+  // Head-sized scratch reused across heads *and* layers (identical shapes
+  // every iteration) so the prefill hot loop allocates nothing per head.
+  Tensor qh(count, dh);
+  Tensor o(count, dh);
+  Tensor lse(count);
+  Tensor attn(count, cfg.d_model);
   for (std::int64_t l = 0; l < cfg.layers; ++l) {
     const LayerWeights& lw = w.layers[static_cast<std::size_t>(l)];
     Tensor q_all = tensor::matmul(x, lw.wq);
@@ -378,15 +384,14 @@ Tensor forward_prefill_chunk(const ModelConfig& cfg, const ModelWeights& w,
       }
       cache.put(l, kvh, kh, tensor::copy_cols(v_all, kvh * dh, dh));
     }
-    Tensor attn = Tensor::zeros(count, cfg.d_model);
+    attn.fill(0.0f);
     for (std::int64_t h = 0; h < cfg.heads; ++h) {
-      Tensor qh = tensor::copy_cols(q_all, h * dh, dh);
+      tensor::copy_cols_into(q_all, h * dh, qh);
       if (cfg.use_rope) {
         kernels::apply_rope_inplace(qh, qmap);
       }
       const std::int64_t kvh = h / group;
-      Tensor o = Tensor::zeros(count, dh);
-      Tensor lse(count);
+      o.fill(0.0f);
       lse.fill(kNegInfF);
       kernels::flash_forward_partial(qh.view(), qmap,
                                      cache.k_view(l, kvh, total),
@@ -414,6 +419,10 @@ Tensor forward_decode(const ModelConfig& cfg, const ModelWeights& w,
   const float scale = 1.0f / std::sqrt(static_cast<float>(dh));
   const std::int64_t group = cfg.group_size();
   Tensor x = embed_ids(cfg, w, &token, 1);
+  // Reused across heads and layers — the per-token decode loop is the
+  // latency-critical serving path, so it allocates nothing per head.
+  Tensor qh(1, dh);
+  Tensor attn(1, cfg.d_model);
   for (std::int64_t l = 0; l < cfg.layers; ++l) {
     const LayerWeights& lw = w.layers[static_cast<std::size_t>(l)];
     Tensor q_all = tensor::matmul(x, lw.wq);
@@ -426,9 +435,8 @@ Tensor forward_decode(const ModelConfig& cfg, const ModelWeights& w,
       }
       cache.put(l, kvh, kh, tensor::copy_cols(v_all, kvh * dh, dh));
     }
-    Tensor attn(1, cfg.d_model);
     for (std::int64_t h = 0; h < cfg.heads; ++h) {
-      Tensor qh = tensor::copy_cols(q_all, h * dh, dh);
+      tensor::copy_cols_into(q_all, h * dh, qh);
       if (cfg.use_rope) {
         kernels::apply_rope_inplace(qh, posmap);
       }

@@ -1,10 +1,44 @@
 #include "parallel/thread_pool.hpp"
 
 #include <algorithm>
+#include <cstdlib>
+#include <memory>
 
 namespace burst::parallel {
 
+namespace {
+
+// BURST_THREADS env override: positive integer -> worker count; anything
+// else (unset, junk, <= 0) falls through to hardware concurrency.
+std::size_t env_threads() {
+  const char* s = std::getenv("BURST_THREADS");
+  if (s == nullptr) {
+    return 0;
+  }
+  char* end = nullptr;
+  const long v = std::strtol(s, &end, 10);
+  if (end == s || *end != '\0' || v <= 0) {
+    return 0;
+  }
+  return static_cast<std::size_t>(v);
+}
+
+std::mutex& global_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::unique_ptr<ThreadPool>& global_slot() {
+  static std::unique_ptr<ThreadPool> pool;
+  return pool;
+}
+
+}  // namespace
+
 ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = env_threads();
+  }
   if (num_threads == 0) {
     num_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
@@ -39,8 +73,19 @@ void ThreadPool::wait_idle() {
 }
 
 ThreadPool& ThreadPool::global() {
-  static ThreadPool pool;
-  return pool;
+  std::lock_guard lock(global_mutex());
+  auto& slot = global_slot();
+  if (!slot) {
+    slot = std::make_unique<ThreadPool>();
+  }
+  return *slot;
+}
+
+void ThreadPool::reset_global(std::size_t num_threads) {
+  std::lock_guard lock(global_mutex());
+  auto& slot = global_slot();
+  slot.reset();  // join old workers before the new pool starts
+  slot = std::make_unique<ThreadPool>(num_threads);
 }
 
 void ThreadPool::worker_loop() {
@@ -67,33 +112,33 @@ void ThreadPool::worker_loop() {
   }
 }
 
-void parallel_for(std::size_t n, std::size_t grain,
+void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
                   const std::function<void(std::size_t, std::size_t)>& fn) {
-  if (n == 0) {
+  if (begin >= end) {
     return;
   }
   grain = std::max<std::size_t>(1, grain);
+  const std::size_t n = end - begin;
+  const std::size_t chunks = (n + grain - 1) / grain;
   ThreadPool& pool = ThreadPool::global();
-  const std::size_t max_chunks = pool.size() * 4;
-  const std::size_t chunks =
-      std::max<std::size_t>(1, std::min(max_chunks, (n + grain - 1) / grain));
   if (chunks == 1 || pool.size() == 1) {
-    fn(0, n);
+    fn(begin, end);
     return;
   }
-  const std::size_t step = (n + chunks - 1) / chunks;
-  // Run chunk 0 on the caller to keep one chunk off the queue; the pool
-  // executes the rest.
-  std::size_t submitted = 0;
-  for (std::size_t begin = step; begin < n; begin += step) {
-    const std::size_t end = std::min(n, begin + step);
-    pool.submit([&fn, begin, end] { fn(begin, end); });
-    ++submitted;
+  // Chunk boundaries are fixed multiples of `grain` from `begin`, regardless
+  // of pool size. Chunk 0 runs on the caller to keep one chunk off the queue.
+  for (std::size_t ci = 1; ci < chunks; ++ci) {
+    const std::size_t b = begin + ci * grain;
+    const std::size_t e = std::min(end, b + grain);
+    pool.submit([&fn, b, e] { fn(b, e); });
   }
-  fn(0, std::min(n, step));
-  if (submitted > 0) {
-    pool.wait_idle();
-  }
+  fn(begin, begin + grain);
+  pool.wait_idle();
+}
+
+void parallel_for(std::size_t n, std::size_t grain,
+                  const std::function<void(std::size_t, std::size_t)>& fn) {
+  parallel_for(0, n, grain, fn);
 }
 
 }  // namespace burst::parallel

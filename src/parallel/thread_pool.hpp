@@ -21,8 +21,9 @@ namespace burst::parallel {
 /// queue contention is negligible compared to task cost.
 class ThreadPool {
  public:
-  /// Creates `num_threads` workers. `num_threads == 0` selects
-  /// `std::thread::hardware_concurrency()` (at least 1).
+  /// Creates `num_threads` workers. `num_threads == 0` selects the
+  /// `BURST_THREADS` environment variable if set to a positive integer,
+  /// otherwise `std::thread::hardware_concurrency()` (at least 1).
   explicit ThreadPool(std::size_t num_threads = 0);
 
   ThreadPool(const ThreadPool&) = delete;
@@ -39,8 +40,14 @@ class ThreadPool {
 
   std::size_t size() const { return workers_.size(); }
 
-  /// Process-wide shared pool (lazily constructed, sized to hardware).
+  /// Process-wide shared pool (lazily constructed; sized from BURST_THREADS
+  /// or the hardware).
   static ThreadPool& global();
+
+  /// Destroys and rebuilds the global pool with `num_threads` workers
+  /// (0 = re-read BURST_THREADS / hardware). For tests and process startup;
+  /// callers must ensure no parallel_for is in flight.
+  static void reset_global(std::size_t num_threads = 0);
 
  private:
   void worker_loop();
@@ -54,10 +61,21 @@ class ThreadPool {
   bool stop_ = false;
 };
 
-/// Splits `[0, n)` into roughly equal chunks of at least `grain` elements and
-/// runs `fn(begin, end)` for each chunk on the global pool. Blocks until all
-/// chunks complete. Falls back to a serial call when the range is small or the
-/// pool has a single worker.
+/// Splits `[begin, end)` into chunks of exactly `grain` elements (last chunk
+/// may be short) at fixed boundaries `begin + i*grain`, and runs
+/// `fn(chunk_begin, chunk_end)` for each chunk on the global pool. Blocks
+/// until all chunks complete.
+///
+/// The partition depends only on (begin, end, grain) — never on the pool
+/// size — so a kernel whose chunks touch disjoint state computes bitwise
+/// identical results for any pool size (including `BURST_THREADS`
+/// overrides). Falls back to one serial `fn(begin, end)` call when there is
+/// a single chunk or a single worker; per-element arithmetic is unchanged
+/// because chunk boundaries never split `fn`'s per-index work.
+void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                  const std::function<void(std::size_t, std::size_t)>& fn);
+
+/// Back-compat overload over `[0, n)`.
 void parallel_for(std::size_t n, std::size_t grain,
                   const std::function<void(std::size_t, std::size_t)>& fn);
 

@@ -3,20 +3,67 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/metrics.hpp"
 #include "parallel/thread_pool.hpp"
+#include "tensor/pack.hpp"
+#include "tensor/workspace.hpp"
 
 namespace burst::tensor {
 
 namespace {
 
-// Cache-blocking tile sizes; small because test matrices are small and we
-// want the blocked path exercised (not just the remainder loop).
-constexpr std::int64_t kTileM = 32;
-constexpr std::int64_t kTileN = 64;
-constexpr std::int64_t kTileK = 64;
+using pack::kMR;
+using pack::kNR;
 
-inline float at(ConstMatView m, Trans t, std::int64_t r, std::int64_t c) {
-  return t == Trans::No ? m(r, c) : m(c, r);
+// Cache-blocking sizes: an A block (kMC x kKC floats = 64KB) stays L2
+// resident per task; a B panel (kKC x kNC = 512KB) is packed once per
+// (jc, pc) step and shared read-only by every row task.
+constexpr std::int64_t kMC = 64;
+constexpr std::int64_t kKC = 256;
+constexpr std::int64_t kNC = 512;
+
+// Observation-only metric handles (see attach_gemm_metrics): null unless a
+// registry is attached, so the detached hot path pays one pointer test.
+struct GemmMetrics {
+  obs::Counter* calls = nullptr;
+  obs::Counter* a_panels = nullptr;
+  obs::Counter* b_panels = nullptr;
+  obs::Gauge* ws_high_water = nullptr;
+};
+GemmMetrics g_metrics;
+
+// 4x16 microkernel over packed panels: acc += Ap @ Bp. The accumulator rows
+// live in registers (explicit arrays so the compiler keeps one SIMD vector
+// chain per row instead of spilling a 2-D array); the k-loop is a pure FMA
+// stream with unit-stride loads and no branches.
+inline void micro_kernel(const float* __restrict__ ap,
+                         const float* __restrict__ bp, std::int64_t kc,
+                         float* __restrict__ acc) {
+  float a0[kNR] = {0.0f};
+  float a1[kNR] = {0.0f};
+  float a2[kNR] = {0.0f};
+  float a3[kNR] = {0.0f};
+  for (std::int64_t kk = 0; kk < kc; ++kk) {
+    const float* a = ap + kk * kMR;
+    const float* b = bp + kk * kNR;
+    const float x0 = a[0];
+    const float x1 = a[1];
+    const float x2 = a[2];
+    const float x3 = a[3];
+    for (std::int64_t c = 0; c < kNR; ++c) {
+      const float bc = b[c];
+      a0[c] += x0 * bc;
+      a1[c] += x1 * bc;
+      a2[c] += x2 * bc;
+      a3[c] += x3 * bc;
+    }
+  }
+  for (std::int64_t c = 0; c < kNR; ++c) {
+    acc[0 * kNR + c] = a0[c];
+    acc[1 * kNR + c] = a1[c];
+    acc[2 * kNR + c] = a2[c];
+    acc[3 * kNR + c] = a3[c];
+  }
 }
 
 }  // namespace
@@ -43,44 +90,77 @@ void gemm(ConstMatView a, Trans ta, ConstMatView b, Trans tb, MatView c,
     }
   }
 
-  const auto run_rows = [&](std::int64_t i0, std::int64_t i1) {
-    for (std::int64_t ib = i0; ib < i1; ib += kTileM) {
-      const std::int64_t ie = std::min(i1, ib + kTileM);
-      for (std::int64_t kb2 = 0; kb2 < k; kb2 += kTileK) {
-        const std::int64_t ke = std::min(k, kb2 + kTileK);
-        for (std::int64_t jb = 0; jb < n; jb += kTileN) {
-          const std::int64_t je = std::min(n, jb + kTileN);
-          for (std::int64_t i = ib; i < ie; ++i) {
-            float* crow = c.data + i * c.stride;
-            for (std::int64_t kk = kb2; kk < ke; ++kk) {
-              const float av = alpha * at(a, ta, i, kk);
-              if (av == 0.0f) {
-                continue;
+  if (g_metrics.calls != nullptr) {
+    g_metrics.calls->add(1);
+  }
+
+  Workspace& ws = Workspace::tls();
+  for (std::int64_t jc = 0; jc < n; jc += kNC) {
+    const std::int64_t nc = std::min(kNC, n - jc);
+    for (std::int64_t pc = 0; pc < k; pc += kKC) {
+      const std::int64_t kc = std::min(kKC, k - pc);
+      // B panel: packed once on the calling thread, shared read-only by the
+      // row tasks below (they only read it, and parallel_for joins before
+      // the scope pops).
+      Workspace::Scope bscope(ws);
+      float* bpack =
+          ws.alloc_f32(static_cast<std::size_t>(pack::b_panel_floats(nc, kc)));
+      const std::int64_t bpanels = pack::pack_b(b, tb, pc, kc, jc, nc, bpack);
+      if (g_metrics.b_panels != nullptr) {
+        g_metrics.b_panels->add(static_cast<std::uint64_t>(bpanels));
+      }
+
+      // Deterministic row-block partitioning: each task covers whole kMC
+      // blocks, packs its A block into its own thread-local workspace, and
+      // writes a disjoint row range of C — so the arithmetic per C element
+      // is identical for every pool size.
+      const std::int64_t mblocks = (m + kMC - 1) / kMC;
+      parallel::parallel_for(
+          0, static_cast<std::size_t>(mblocks), 1,
+          [&](std::size_t bi0, std::size_t bi1) {
+            Workspace& wst = Workspace::tls();
+            for (std::size_t bi = bi0; bi < bi1; ++bi) {
+              const std::int64_t ic = static_cast<std::int64_t>(bi) * kMC;
+              const std::int64_t mc = std::min(kMC, m - ic);
+              Workspace::Scope ascope(wst);
+              float* apack = wst.alloc_f32(
+                  static_cast<std::size_t>(pack::a_panel_floats(mc, kc)));
+              const std::int64_t apanels =
+                  pack::pack_a(a, ta, ic, mc, pc, kc, alpha, apack);
+              if (g_metrics.a_panels != nullptr) {
+                g_metrics.a_panels->add(static_cast<std::uint64_t>(apanels));
               }
-              if (tb == Trans::No) {
-                const float* brow = b.data + kk * b.stride;
-                for (std::int64_t j = jb; j < je; ++j) {
-                  crow[j] += av * brow[j];
-                }
-              } else {
-                for (std::int64_t j = jb; j < je; ++j) {
-                  crow[j] += av * b(j, kk);
+              float acc[kMR * kNR];
+              for (std::int64_t jr = 0; jr < nc; jr += kNR) {
+                const std::int64_t nr = std::min(kNR, nc - jr);
+                const float* bp = bpack + (jr / kNR) * kc * kNR;
+                for (std::int64_t ir = 0; ir < mc; ir += kMR) {
+                  const std::int64_t mr = std::min(kMR, mc - ir);
+                  const float* ap = apack + (ir / kMR) * kc * kMR;
+                  micro_kernel(ap, bp, kc, acc);
+                  for (std::int64_t r = 0; r < mr; ++r) {
+                    float* crow =
+                        c.data + (ic + ir + r) * c.stride + jc + jr;
+                    const float* arow = acc + r * kNR;
+                    for (std::int64_t cc = 0; cc < nr; ++cc) {
+                      crow[cc] += arow[cc];
+                    }
+                  }
                 }
               }
             }
-          }
-        }
-      }
+          });
     }
-  };
+  }
 
-  // Parallelize across output rows; grain keeps per-task work meaningful.
-  burst::parallel::parallel_for(
-      static_cast<std::size_t>(m), 64,
-      [&](std::size_t begin, std::size_t end) {
-        run_rows(static_cast<std::int64_t>(begin),
-                 static_cast<std::int64_t>(end));
-      });
+  if (g_metrics.ws_high_water != nullptr) {
+    // Racy max across threads is fine: observation-only, and the caller
+    // thread's workspace dominates in the common single-pool-user case.
+    const auto hw = static_cast<double>(ws.high_water_bytes());
+    if (hw > g_metrics.ws_high_water->value()) {
+      g_metrics.ws_high_water->set(hw);
+    }
+  }
 }
 
 Tensor matmul(const Tensor& a, const Tensor& b) {
@@ -99,6 +179,18 @@ Tensor matmul_tn(const Tensor& a, const Tensor& b) {
   Tensor c(a.cols(), b.cols());
   gemm(a.view(), Trans::Yes, b.view(), Trans::No, c.view());
   return c;
+}
+
+void attach_gemm_metrics(obs::Registry* registry) {
+  if (registry == nullptr) {
+    g_metrics = GemmMetrics{};
+    return;
+  }
+  g_metrics.calls = &registry->counter("tensor.gemm.calls");
+  g_metrics.a_panels = &registry->counter("tensor.gemm.a_panels_packed");
+  g_metrics.b_panels = &registry->counter("tensor.gemm.b_panels_packed");
+  g_metrics.ws_high_water =
+      &registry->gauge("tensor.workspace.high_water_bytes");
 }
 
 }  // namespace burst::tensor

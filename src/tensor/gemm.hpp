@@ -1,12 +1,20 @@
-// Blocked general matrix multiply on MatViews. This is the single compute
-// primitive behind attention, FFN, and LM-head math in the functional path.
+// Packed, register-blocked general matrix multiply on MatViews. The single
+// compute primitive behind attention, FFN, and LM-head math in the
+// functional path.
 //
-// It is written for clarity + cache-friendliness, not peak FLOPs: the
-// reproduction validates *algorithms* at toy scale; paper-scale throughput is
-// produced by the analytic performance model (src/perfmodel).
+// Implementation (DESIGN.md §11): operands are packed per cache block into
+// contiguous, transpose-resolved panels (tensor/pack.hpp) borrowed from the
+// thread-local Workspace, then a branch-free 4x16 register-accumulator
+// microkernel runs over the packed panels. Row blocks are dispatched over
+// parallel::ThreadPool with deterministic partitioning, so results are
+// bitwise identical for any pool size (including BURST_THREADS overrides).
 #pragma once
 
 #include "tensor/tensor.hpp"
+
+namespace burst::obs {
+class Registry;
+}  // namespace burst::obs
 
 namespace burst::tensor {
 
@@ -14,6 +22,8 @@ enum class Trans { No, Yes };
 
 /// C = alpha * op(A) @ op(B) + beta * C, where op is identity or transpose.
 /// Shapes are validated with assertions: op(A) is MxK, op(B) is KxN, C MxN.
+/// IEEE semantics: every product contributes (0 * inf and 0 * NaN propagate
+/// NaN); there is no zero-skip fast path.
 void gemm(ConstMatView a, Trans ta, ConstMatView b, Trans tb, MatView c,
           float alpha = 1.0f, float beta = 0.0f);
 
@@ -25,5 +35,13 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b);
 
 /// Returns A^T @ B.
 Tensor matmul_tn(const Tensor& a, const Tensor& b);
+
+/// Observation-only counters (PR 3 discipline: attached metrics never change
+/// results). Wires `tensor.gemm.calls`, `tensor.gemm.a_panels_packed`,
+/// `tensor.gemm.b_panels_packed` counters and the
+/// `tensor.workspace.high_water_bytes` gauge into `registry`. Pass nullptr
+/// to detach; detached hot paths pay one pointer test per event site.
+/// Attach/detach from a single thread while no gemm runs concurrently.
+void attach_gemm_metrics(obs::Registry* registry);
 
 }  // namespace burst::tensor

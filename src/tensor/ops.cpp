@@ -165,6 +165,17 @@ Tensor copy_cols(const Tensor& a, std::int64_t col_begin,
   return out;
 }
 
+void copy_cols_into(const Tensor& a, std::int64_t col_begin, Tensor& dst) {
+  assert(a.rank() == 2 && dst.rank() == 2 && dst.rows() == a.rows());
+  assert(col_begin >= 0 && col_begin + dst.cols() <= a.cols());
+  const std::int64_t num_cols = dst.cols();
+  for (std::int64_t i = 0; i < a.rows(); ++i) {
+    for (std::int64_t j = 0; j < num_cols; ++j) {
+      dst(i, j) = a(i, col_begin + j);
+    }
+  }
+}
+
 void add_cols_inplace(Tensor& dst, std::int64_t col_begin, const Tensor& src) {
   assert(dst.rows() == src.rows() && col_begin + src.cols() <= dst.cols());
   for (std::int64_t i = 0; i < src.rows(); ++i) {

@@ -59,6 +59,10 @@ Tensor transpose(const Tensor& a);
 Tensor copy_cols(const Tensor& a, std::int64_t col_begin,
                  std::int64_t num_cols);
 
+/// dst = a[:, col_begin:col_begin+dst.cols()], into a pre-sized matrix.
+/// Allocation-free head slicing for hot loops that reuse one slice buffer.
+void copy_cols_into(const Tensor& a, std::int64_t col_begin, Tensor& dst);
+
 /// dst[:, col_begin:col_begin+src.cols()] += src.
 void add_cols_inplace(Tensor& dst, std::int64_t col_begin, const Tensor& src);
 

@@ -1,0 +1,118 @@
+// Panel packing for the blocked GEMM (BLIS-style).
+//
+// The microkernel in gemm.cpp multiplies a kMR x kc sliver of op(A) by a
+// kc x kNR sliver of op(B). Packing copies those slivers once into
+// contiguous, transpose-resolved buffers so the microkernel's inner loop is
+// branch-free and unit-stride regardless of the operand's Trans flag or row
+// stride:
+//
+//   A block (mc x kc)  ->  ceil(mc/kMR) micro-panels, each stored K-major:
+//       dst[p*kc*kMR + kk*kMR + r] = alpha * op(A)(ic + p*kMR + r, pc + kk)
+//   B panel (kc x nc)  ->  ceil(nc/kNR) micro-panels, each stored K-major:
+//       dst[p*kc*kNR + kk*kNR + c] = op(B)(pc + kk, jc + p*kNR + c)
+//
+// Remainder rows/columns are zero-padded to the full kMR/kNR so the
+// microkernel never branches on tile edges; the GEMM driver writes back only
+// the valid part of the accumulator. alpha is folded into the A pack so the
+// microkernel is a pure FMA loop.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "tensor/tensor.hpp"
+
+namespace burst::tensor::pack {
+
+/// Microkernel register block: kMR rows x kNR columns of C.
+inline constexpr std::int64_t kMR = 4;
+inline constexpr std::int64_t kNR = 16;
+
+inline std::int64_t a_panel_floats(std::int64_t mc, std::int64_t kc) {
+  return ((mc + kMR - 1) / kMR) * kc * kMR;
+}
+
+inline std::int64_t b_panel_floats(std::int64_t nc, std::int64_t kc) {
+  return ((nc + kNR - 1) / kNR) * kc * kNR;
+}
+
+/// Packs op(A)[ic:ic+mc, pc:pc+kc] scaled by alpha. Returns the number of
+/// micro-panels written (for the pack counters).
+inline std::int64_t pack_a(ConstMatView a, Trans ta, std::int64_t ic,
+                           std::int64_t mc, std::int64_t pc, std::int64_t kc,
+                           float alpha, float* dst) {
+  const std::int64_t panels = (mc + kMR - 1) / kMR;
+  for (std::int64_t p = 0; p < panels; ++p) {
+    float* out = dst + p * kc * kMR;
+    const std::int64_t r0 = p * kMR;
+    const std::int64_t rows = std::min(kMR, mc - r0);
+    if (ta == Trans::No) {
+      // op(A)(i, k) = A(i, k): each source row is contiguous over k.
+      for (std::int64_t r = 0; r < rows; ++r) {
+        const float* arow = a.data + (ic + r0 + r) * a.stride + pc;
+        for (std::int64_t kk = 0; kk < kc; ++kk) {
+          out[kk * kMR + r] = alpha * arow[kk];
+        }
+      }
+    } else {
+      // op(A)(i, k) = A(k, i): each source row is contiguous over i.
+      for (std::int64_t kk = 0; kk < kc; ++kk) {
+        const float* arow = a.data + (pc + kk) * a.stride + ic + r0;
+        for (std::int64_t r = 0; r < rows; ++r) {
+          out[kk * kMR + r] = alpha * arow[r];
+        }
+      }
+    }
+    if (rows < kMR) {
+      for (std::int64_t kk = 0; kk < kc; ++kk) {
+        for (std::int64_t r = rows; r < kMR; ++r) {
+          out[kk * kMR + r] = 0.0f;
+        }
+      }
+    }
+  }
+  return panels;
+}
+
+/// Packs op(B)[pc:pc+kc, jc:jc+nc]. Returns the number of micro-panels.
+inline std::int64_t pack_b(ConstMatView b, Trans tb, std::int64_t pc,
+                           std::int64_t kc, std::int64_t jc, std::int64_t nc,
+                           float* dst) {
+  const std::int64_t panels = (nc + kNR - 1) / kNR;
+  for (std::int64_t p = 0; p < panels; ++p) {
+    float* out = dst + p * kc * kNR;
+    const std::int64_t c0 = p * kNR;
+    const std::int64_t cols = std::min(kNR, nc - c0);
+    if (tb == Trans::No) {
+      // op(B)(k, j) = B(k, j): each source row is contiguous over j.
+      for (std::int64_t kk = 0; kk < kc; ++kk) {
+        const float* brow = b.data + (pc + kk) * b.stride + jc + c0;
+        float* orow = out + kk * kNR;
+        for (std::int64_t c = 0; c < cols; ++c) {
+          orow[c] = brow[c];
+        }
+        for (std::int64_t c = cols; c < kNR; ++c) {
+          orow[c] = 0.0f;
+        }
+      }
+    } else {
+      // op(B)(k, j) = B(j, k): each source row is contiguous over k.
+      for (std::int64_t c = 0; c < cols; ++c) {
+        const float* brow = b.data + (jc + c0 + c) * b.stride + pc;
+        for (std::int64_t kk = 0; kk < kc; ++kk) {
+          out[kk * kNR + c] = brow[kk];
+        }
+      }
+      if (cols < kNR) {
+        for (std::int64_t kk = 0; kk < kc; ++kk) {
+          for (std::int64_t c = cols; c < kNR; ++c) {
+            out[kk * kNR + c] = 0.0f;
+          }
+        }
+      }
+    }
+  }
+  return panels;
+}
+
+}  // namespace burst::tensor::pack

@@ -1,0 +1,185 @@
+// Reusable scratch arena for the compute hot path.
+//
+// Kernels (GEMM packing, flash-attention tiles, LM-head strips) borrow
+// scratch from a thread-local Workspace instead of constructing Tensors, so
+// the steady-state inner loops perform zero heap allocations: the arena
+// grows while a problem size is first seen and then serves every later call
+// from the same blocks. Blocks are never freed or resized while the
+// workspace lives, so borrowed pointers stay valid for the whole Scope even
+// if a later allocation forces growth.
+//
+// Usage:
+//   Workspace& ws = Workspace::tls();
+//   Workspace::Scope scope(ws);            // marks the arena
+//   float* s = ws.alloc_f32(bq * bk);      // borrowed until scope exit
+//   ...
+//   // scope destructor returns everything allocated after the mark.
+//
+// Lifetime rules (DESIGN.md §11): a borrow lives until its Scope dies;
+// scopes nest (gemm borrows inside a flash tile's scope); nothing borrowed
+// may be returned to a caller outside the scope that allocated it. Each
+// thread owns its own arena, so pool workers never contend or share scratch.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace burst::tensor {
+
+namespace detail {
+
+/// Bump allocator over a list of stable blocks of T. Allocation only moves
+/// forward through the block list; Scope::~Scope rewinds. A new block is
+/// created (geometric growth) only when the current block cannot fit the
+/// request — the event counted by grow_count().
+template <typename T>
+class Arena {
+ public:
+  T* alloc(std::size_t n) {
+    if (n == 0) {
+      n = 1;  // keep pointers distinct and bookkeeping simple
+    }
+    while (cur_ < blocks_.size()) {
+      Block& b = blocks_[cur_];
+      if (b.cap - b.used >= n) {
+        T* p = b.data.get() + b.used;
+        b.used += n;
+        live_ += n;
+        if (live_ > high_water_) {
+          high_water_ = live_;
+        }
+        return p;
+      }
+      ++cur_;  // leave the tail of this block unused until the next rewind
+    }
+    const std::size_t last_cap = blocks_.empty() ? 0 : blocks_.back().cap;
+    const std::size_t cap = std::max({n, last_cap * 2, kMinBlock});
+    blocks_.push_back(Block{std::make_unique<T[]>(cap), cap, n});
+    cur_ = blocks_.size() - 1;
+    ++grow_count_;
+    live_ += n;
+    if (live_ > high_water_) {
+      high_water_ = live_;
+    }
+    return blocks_.back().data.get();
+  }
+
+  struct Mark {
+    std::size_t cur = 0;
+    std::size_t used = 0;
+    std::size_t live = 0;
+  };
+
+  Mark mark() const {
+    return Mark{cur_, cur_ < blocks_.size() ? blocks_[cur_].used : 0, live_};
+  }
+
+  void rewind(const Mark& m) {
+    for (std::size_t i = m.cur + 1; i < blocks_.size(); ++i) {
+      blocks_[i].used = 0;
+    }
+    cur_ = m.cur;
+    if (cur_ < blocks_.size()) {
+      blocks_[cur_].used = m.used;
+    }
+    live_ = m.live;
+  }
+
+  std::uint64_t grow_count() const { return grow_count_; }
+  std::size_t high_water() const { return high_water_; }
+  std::size_t capacity() const {
+    std::size_t c = 0;
+    for (const Block& b : blocks_) {
+      c += b.cap;
+    }
+    return c;
+  }
+
+ private:
+  static constexpr std::size_t kMinBlock = 1u << 14;  // 16K elements
+
+  struct Block {
+    std::unique_ptr<T[]> data;
+    std::size_t cap = 0;
+    std::size_t used = 0;
+  };
+
+  std::vector<Block> blocks_;
+  std::size_t cur_ = 0;
+  std::size_t live_ = 0;
+  std::size_t high_water_ = 0;
+  std::uint64_t grow_count_ = 0;
+};
+
+}  // namespace detail
+
+class Workspace {
+ public:
+  Workspace() = default;
+  Workspace(const Workspace&) = delete;
+  Workspace& operator=(const Workspace&) = delete;
+
+  float* alloc_f32(std::size_t n) { return f32_.alloc(n); }
+  double* alloc_f64(std::size_t n) { return f64_.alloc(n); }
+  std::int64_t* alloc_i64(std::size_t n) { return i64_.alloc(n); }
+
+  /// RAII mark/rewind. Everything allocated after construction is returned
+  /// to the arena on destruction. Scopes must nest (stack discipline).
+  class Scope {
+   public:
+    explicit Scope(Workspace& ws)
+        : ws_(ws),
+          f32_(ws.f32_.mark()),
+          f64_(ws.f64_.mark()),
+          i64_(ws.i64_.mark()) {}
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+    ~Scope() {
+      ws_.f32_.rewind(f32_);
+      ws_.f64_.rewind(f64_);
+      ws_.i64_.rewind(i64_);
+    }
+
+   private:
+    Workspace& ws_;
+    detail::Arena<float>::Mark f32_;
+    detail::Arena<double>::Mark f64_;
+    detail::Arena<std::int64_t>::Mark i64_;
+  };
+
+  /// Number of times any arena had to create a new block. Constant across
+  /// repeated identical calls == zero steady-state allocations (asserted by
+  /// tests/test_workspace.cpp).
+  std::uint64_t grow_count() const {
+    return f32_.grow_count() + f64_.grow_count() + i64_.grow_count();
+  }
+
+  /// Peak bytes simultaneously borrowed from this workspace.
+  std::size_t high_water_bytes() const {
+    return f32_.high_water() * sizeof(float) +
+           f64_.high_water() * sizeof(double) +
+           i64_.high_water() * sizeof(std::int64_t);
+  }
+
+  std::size_t capacity_bytes() const {
+    return f32_.capacity() * sizeof(float) + f64_.capacity() * sizeof(double) +
+           i64_.capacity() * sizeof(std::int64_t);
+  }
+
+  /// Per-thread workspace. Pool workers and the caller thread each get their
+  /// own arena, so borrowed scratch is never shared across threads.
+  static Workspace& tls() {
+    thread_local Workspace ws;
+    return ws;
+  }
+
+ private:
+  detail::Arena<float> f32_;
+  detail::Arena<double> f64_;
+  detail::Arena<std::int64_t> i64_;
+};
+
+}  // namespace burst::tensor

@@ -289,6 +289,96 @@ TEST(Flash, StridedIndexMapsMatchReference) {
   EXPECT_LT(tensor::max_abs_diff(flash.o, ref.o), 1e-5f);
 }
 
+// Odd sequence lengths exercise the tile-remainder paths of the packed
+// kernels (partial q-tiles, partial k-tiles, zero-padded GEMM panels), for
+// both the forward and the backward, under causal and document masks.
+struct RemainderCase {
+  std::int64_t n;
+  bool document;
+};
+
+class FlashOddRemainders : public ::testing::TestWithParam<RemainderCase> {};
+
+TEST_P(FlashOddRemainders, ForwardAndBackwardMatchReference) {
+  const auto p = GetParam();
+  const std::int64_t n = p.n;
+  const std::int64_t d = 8;
+  const float scale = 1.0f / std::sqrt(static_cast<float>(d));
+  const MaskSpec mask =
+      p.document ? MaskSpec::document_from_lengths(
+                       {n / 2, n - n / 2 - n / 4, n / 4})
+                 : MaskSpec::causal();
+  Rng rng(61 + n);
+  Tensor q = rng.gaussian(n, d, 1.0f);
+  Tensor k = rng.gaussian(n, d, 1.0f);
+  Tensor v = rng.gaussian(n, d, 1.0f);
+  Tensor d_out = rng.gaussian(n, d, 1.0f);
+  IndexMap id = IndexMap::range(0, n);
+
+  AttnResult flash = flash_forward(q, id, k, v, id, mask, scale);
+  RefAttnForward ref = reference_attention_forward(q, id, k, v, id, mask, scale);
+  EXPECT_LT(tensor::max_abs_diff(flash.o, ref.o), 3e-5f);
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (ref.lse[i] == kNegInf) {
+      EXPECT_EQ(flash.lse[i], kNegInf) << "row " << i;
+    } else {
+      EXPECT_NEAR(flash.lse[i], ref.lse[i], 3e-4f) << "row " << i;
+    }
+  }
+
+  RefAttnGrads rg = reference_attention_backward(q, k, v, ref, d_out, scale);
+  Tensor dq = Tensor::zeros(n, d);
+  Tensor dk = Tensor::zeros(n, d);
+  Tensor dv = Tensor::zeros(n, d);
+  Tensor dvec = attention_dvec(d_out, ref.o);
+  flash_backward_partial(q, id, k, v, id, mask, scale, d_out, ref.lse, dvec,
+                         dq, dk, dv);
+  EXPECT_LT(tensor::max_abs_diff(dq, rg.dq), 1e-4f);
+  EXPECT_LT(tensor::max_abs_diff(dk, rg.dk), 1e-4f);
+  EXPECT_LT(tensor::max_abs_diff(dv, rg.dv), 1e-4f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OddLengths, FlashOddRemainders,
+    ::testing::Values(RemainderCase{1, false}, RemainderCase{31, false},
+                      RemainderCase{33, false}, RemainderCase{95, false},
+                      RemainderCase{31, true}, RemainderCase{33, true},
+                      RemainderCase{95, true}));
+
+// The view overload must read strided Q/K/V (rows embedded in a wider
+// allocation, e.g. heads sliced from a fused projection) identically to
+// contiguous copies of the same data.
+TEST(Flash, StridedRowViewsMatchContiguous) {
+  Rng rng(67);
+  const std::int64_t n = 33;
+  const std::int64_t d = 8;
+  const std::int64_t wide = 3 * d;  // three "heads" packed per row
+  const float scale = 0.35f;
+  const MaskSpec mask = MaskSpec::causal();
+  Tensor q_all = rng.gaussian(n, wide, 1.0f);
+  Tensor k_all = rng.gaussian(n, wide, 1.0f);
+  Tensor v_all = rng.gaussian(n, wide, 1.0f);
+  IndexMap id = IndexMap::range(0, n);
+
+  for (std::int64_t h = 0; h < 3; ++h) {
+    Tensor o_view = Tensor::zeros(n, d);
+    Tensor lse_view(n);
+    lse_view.fill(kNegInf);
+    flash_forward_partial(q_all.col_block(h * d, d), id,
+                          k_all.col_block(h * d, d), v_all.col_block(h * d, d),
+                          id, mask, scale, o_view.view(), lse_view);
+
+    Tensor qc = tensor::copy_cols(q_all, h * d, d);
+    Tensor kc = tensor::copy_cols(k_all, h * d, d);
+    Tensor vc = tensor::copy_cols(v_all, h * d, d);
+    AttnResult contig = flash_forward(qc, id, kc, vc, id, mask, scale);
+
+    EXPECT_EQ(tensor::max_abs_diff(o_view, contig.o), 0.0f) << "head " << h;
+    EXPECT_EQ(tensor::max_abs_diff(lse_view, contig.lse), 0.0f)
+        << "head " << h;
+  }
+}
+
 TEST(Flash, AttentionDvecMatchesDefinition) {
   Rng rng(59);
   Tensor o = rng.gaussian(4, 3, 1.0f);

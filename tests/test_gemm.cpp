@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "tensor/ops.hpp"
 #include "tensor/rng.hpp"
 
@@ -76,7 +79,12 @@ INSTANTIATE_TEST_SUITE_P(Shapes, GemmShapes,
                                            GemmCase{33, 65, 66},
                                            GemmCase{64, 1, 64},
                                            GemmCase{100, 40, 9},
-                                           GemmCase{17, 128, 31}));
+                                           GemmCase{17, 128, 31},
+                                           // Straddle the packing cache
+                                           // blocks (MC=64, KC=256, NC=512)
+                                           // with non-multiple remainders.
+                                           GemmCase{65, 257, 513},
+                                           GemmCase{130, 300, 60}));
 
 TEST(Gemm, AlphaBetaSemantics) {
   Rng rng(5);
@@ -105,6 +113,47 @@ TEST(Gemm, AccumulateWithBetaOne) {
     expected.data()[i] += 1.0f;
   }
   EXPECT_LT(max_abs_diff(c, expected), 1e-5f);
+}
+
+// IEEE semantics: a zero in A must not suppress an inf/NaN in B. An earlier
+// implementation skipped multiplies where A(i,k) == 0, silently dropping
+// 0 * inf = NaN and defeating vectorization; this pins the correct behaviour.
+TEST(Gemm, ZeroTimesInfFollowsIeee) {
+  Tensor a = Tensor::zeros(2, 2);
+  a(0, 0) = 0.0f;
+  a(0, 1) = 1.0f;
+  a(1, 0) = 1.0f;
+  a(1, 1) = 0.0f;
+  Tensor b = Tensor::zeros(2, 2);
+  b(0, 0) = std::numeric_limits<float>::infinity();
+  b(0, 1) = 2.0f;
+  b(1, 0) = 3.0f;
+  b(1, 1) = std::numeric_limits<float>::quiet_NaN();
+  Tensor c(2, 2);
+  gemm(a.view(), Trans::No, b.view(), Trans::No, c.view());
+  // Row 0: 0*inf + 1*3 = NaN + 3 = NaN; 0*2 + 1*NaN = NaN.
+  EXPECT_TRUE(std::isnan(c(0, 0)));
+  EXPECT_TRUE(std::isnan(c(0, 1)));
+  // Row 1: 1*inf + 0*3 = inf; 1*2 + 0*NaN = NaN.
+  EXPECT_TRUE(std::isinf(c(1, 0)));
+  EXPECT_GT(c(1, 0), 0.0f);
+  EXPECT_TRUE(std::isnan(c(1, 1)));
+}
+
+// Strided operands: column blocks of a wider matrix (head slices) must give
+// the same values as contiguous copies of the same data.
+TEST(Gemm, WorksOnColBlockViews) {
+  Rng rng(10);
+  Tensor a_wide = rng.gaussian(20, 12, 1.0f);
+  Tensor b_wide = rng.gaussian(12, 4, 1.0f);
+  Tensor c(20, 4);
+  gemm(a_wide.col_block(4, 4), Trans::No, b_wide.row_block(4, 4), Trans::No,
+       c.view());
+  Tensor a_sub = copy_cols(a_wide, 4, 4);
+  Tensor b_sub = b_wide.copy_rows(4, 4);
+  Tensor expect(20, 4);
+  gemm(a_sub.view(), Trans::No, b_sub.view(), Trans::No, expect.view());
+  EXPECT_EQ(max_abs_diff(c, expect), 0.0f);
 }
 
 TEST(Gemm, WorksOnRowBlockViews) {

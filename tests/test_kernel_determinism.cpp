@@ -1,0 +1,116 @@
+// Bitwise determinism across thread-pool sizes: the packed GEMM and the
+// flash-attention kernels partition work at fixed chunk boundaries and keep
+// a fixed per-element arithmetic order, so the exact same bits must come out
+// for any worker count (including a BURST_THREADS override).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+
+#include "kernels/flash_attention.hpp"
+#include "parallel/thread_pool.hpp"
+#include "tensor/gemm.hpp"
+#include "tensor/rng.hpp"
+
+namespace burst {
+namespace {
+
+using kernels::IndexMap;
+using kernels::MaskSpec;
+using tensor::Rng;
+using tensor::Tensor;
+using tensor::Trans;
+
+constexpr float kNegInf = -std::numeric_limits<float>::infinity();
+
+bool bitwise_equal(const Tensor& a, const Tensor& b) {
+  return a.numel() == b.numel() &&
+         std::memcmp(a.data(), b.data(),
+                     static_cast<std::size_t>(a.numel()) * sizeof(float)) == 0;
+}
+
+Tensor gemm_result() {
+  Rng rng(83);
+  Tensor a = rng.gaussian(150, 70, 1.0f);
+  Tensor b = rng.gaussian(70, 90, 1.0f);
+  Tensor c(150, 90);
+  tensor::gemm(a.view(), Trans::No, b.view(), Trans::Yes,
+               c.view(), 1.25f, 0.0f);
+  return c;
+}
+
+struct AttnOut {
+  Tensor o, lse, dq, dk, dv;
+};
+
+AttnOut attention_result(const MaskSpec& mask) {
+  Rng rng(89);
+  const std::int64_t n = 95;
+  const std::int64_t d = 16;
+  const float scale = 1.0f / std::sqrt(static_cast<float>(d));
+  const IndexMap id = IndexMap::range(0, n);
+  Tensor q = rng.gaussian(n, d, 1.0f);
+  Tensor k = rng.gaussian(n, d, 1.0f);
+  Tensor v = rng.gaussian(n, d, 1.0f);
+  Tensor d_out = rng.gaussian(n, d, 1.0f);
+
+  AttnOut out;
+  auto fwd = kernels::flash_forward(q, id, k, v, id, mask, scale);
+  Tensor dvec = kernels::attention_dvec(d_out, fwd.o);
+  out.dq = Tensor::zeros(n, d);
+  out.dk = Tensor::zeros(n, d);
+  out.dv = Tensor::zeros(n, d);
+  kernels::flash_backward_partial(q, id, k, v, id, mask, scale, d_out, fwd.lse,
+                                  dvec, out.dq, out.dk, out.dv);
+  out.o = std::move(fwd.o);
+  out.lse = std::move(fwd.lse);
+  return out;
+}
+
+TEST(KernelDeterminism, GemmBitwiseIdenticalAcrossPoolSizes) {
+  parallel::ThreadPool::reset_global(1);
+  const Tensor base = gemm_result();
+  for (std::size_t workers : {2u, 8u}) {
+    parallel::ThreadPool::reset_global(workers);
+    EXPECT_TRUE(bitwise_equal(gemm_result(), base))
+        << "pool size " << workers;
+  }
+  parallel::ThreadPool::reset_global();
+}
+
+TEST(KernelDeterminism, GemmBitwiseIdenticalUnderBurstThreadsEnv) {
+  parallel::ThreadPool::reset_global(1);
+  const Tensor base = gemm_result();
+  ASSERT_EQ(setenv("BURST_THREADS", "2", /*overwrite=*/1), 0);
+  parallel::ThreadPool::reset_global();
+  ASSERT_EQ(parallel::ThreadPool::global().size(), 2u);
+  EXPECT_TRUE(bitwise_equal(gemm_result(), base));
+  ASSERT_EQ(unsetenv("BURST_THREADS"), 0);
+  parallel::ThreadPool::reset_global();
+}
+
+TEST(KernelDeterminism, AttentionBitwiseIdenticalAcrossPoolSizes) {
+  for (const bool document : {false, true}) {
+    const MaskSpec mask =
+        document ? MaskSpec::document_from_lengths({40, 25, 30})
+                 : MaskSpec::causal();
+    parallel::ThreadPool::reset_global(1);
+    const AttnOut base = attention_result(mask);
+    EXPECT_NE(base.lse[0], kNegInf);
+    for (std::size_t workers : {2u, 8u}) {
+      parallel::ThreadPool::reset_global(workers);
+      const AttnOut got = attention_result(mask);
+      EXPECT_TRUE(bitwise_equal(got.o, base.o)) << workers;
+      EXPECT_TRUE(bitwise_equal(got.lse, base.lse)) << workers;
+      EXPECT_TRUE(bitwise_equal(got.dq, base.dq)) << workers;
+      EXPECT_TRUE(bitwise_equal(got.dk, base.dk)) << workers;
+      EXPECT_TRUE(bitwise_equal(got.dv, base.dv)) << workers;
+    }
+  }
+  parallel::ThreadPool::reset_global();
+}
+
+}  // namespace
+}  // namespace burst

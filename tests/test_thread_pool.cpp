@@ -2,8 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <cstdlib>
+#include <mutex>
 #include <numeric>
+#include <utility>
 #include <vector>
 
 namespace burst::parallel {
@@ -62,6 +66,63 @@ TEST(ParallelFor, SmallRangeRunsSerially) {
     }
   });
   EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 3);
+}
+
+TEST(ParallelFor, RangeOverloadCoversExactlyOnce) {
+  std::vector<std::atomic<int>> hits(30);
+  parallel_for(5, 25, 7, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) {
+      hits[i].fetch_add(1);
+    }
+  });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), (i >= 5 && i < 25) ? 1 : 0) << "index " << i;
+  }
+}
+
+// Chunk boundaries must be fixed multiples of `grain` from `begin` for every
+// pool size — the contract the kernels' bitwise determinism rests on.
+TEST(ParallelFor, ChunkBoundariesIndependentOfPoolSize) {
+  const auto collect = [] {
+    std::mutex mu;
+    std::vector<std::pair<std::size_t, std::size_t>> chunks;
+    parallel_for(3, 50, 8, [&](std::size_t b, std::size_t e) {
+      std::lock_guard lock(mu);
+      chunks.emplace_back(b, e);
+    });
+    std::sort(chunks.begin(), chunks.end());
+    return chunks;
+  };
+
+  // A single worker takes the serial fallback: one fn(begin, end) call.
+  // That merges chunks but never splits one, so per-element work — and with
+  // it the kernels' arithmetic order — is unchanged.
+  ThreadPool::reset_global(1);
+  const std::vector<std::pair<std::size_t, std::size_t>> serial = {{3, 50}};
+  EXPECT_EQ(collect(), serial);
+
+  const std::vector<std::pair<std::size_t, std::size_t>> expected = {
+      {3, 11}, {11, 19}, {19, 27}, {27, 35}, {35, 43}, {43, 50}};
+  for (std::size_t workers : {2u, 8u}) {
+    ThreadPool::reset_global(workers);
+    EXPECT_EQ(collect(), expected) << "pool size " << workers;
+  }
+  ThreadPool::reset_global();
+}
+
+TEST(ThreadPool, BurstThreadsEnvOverridesGlobalPoolSize) {
+  ASSERT_EQ(setenv("BURST_THREADS", "3", /*overwrite=*/1), 0);
+  ThreadPool::reset_global();
+  EXPECT_EQ(ThreadPool::global().size(), 3u);
+
+  // Junk values fall back to hardware concurrency (>= 1), never crash.
+  ASSERT_EQ(setenv("BURST_THREADS", "nope", 1), 0);
+  ThreadPool::reset_global();
+  EXPECT_GE(ThreadPool::global().size(), 1u);
+
+  ASSERT_EQ(unsetenv("BURST_THREADS"), 0);
+  ThreadPool::reset_global();
+  EXPECT_GE(ThreadPool::global().size(), 1u);
 }
 
 TEST(ParallelFor, SumReductionCorrect) {

@@ -1,0 +1,141 @@
+#include "tensor/workspace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "kernels/flash_attention.hpp"
+#include "kernels/lm_head.hpp"
+#include "parallel/thread_pool.hpp"
+#include "tensor/gemm.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/rng.hpp"
+
+namespace burst::tensor {
+namespace {
+
+constexpr float kNegInf = -std::numeric_limits<float>::infinity();
+
+TEST(Workspace, ScopeRewindReusesStorageWithoutGrowth) {
+  Workspace ws;
+  float* first = nullptr;
+  {
+    Workspace::Scope scope(ws);
+    first = ws.alloc_f32(100);
+  }
+  const std::uint64_t grows = ws.grow_count();
+  for (int iter = 0; iter < 50; ++iter) {
+    Workspace::Scope scope(ws);
+    float* p = ws.alloc_f32(100);
+    EXPECT_EQ(p, first);  // same storage every iteration
+    p[0] = static_cast<float>(iter);
+  }
+  EXPECT_EQ(ws.grow_count(), grows);
+}
+
+TEST(Workspace, BorrowedPointersSurviveGrowth) {
+  Workspace ws;
+  Workspace::Scope scope(ws);
+  float* small = ws.alloc_f32(8);
+  for (std::size_t i = 0; i < 8; ++i) {
+    small[i] = static_cast<float>(i);
+  }
+  // Force several new blocks while `small` is still borrowed.
+  float* big1 = ws.alloc_f32(1u << 16);
+  float* big2 = ws.alloc_f32(1u << 18);
+  big1[0] = 1.0f;
+  big2[0] = 2.0f;
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(small[i], static_cast<float>(i));
+  }
+}
+
+TEST(Workspace, NestedScopesRestoreInStackOrder) {
+  Workspace ws;
+  Workspace::Scope outer(ws);
+  float* a = ws.alloc_f32(16);
+  float* inner_ptr = nullptr;
+  {
+    Workspace::Scope inner(ws);
+    inner_ptr = ws.alloc_f32(16);
+    EXPECT_NE(inner_ptr, a);
+  }
+  // After the inner scope pops, its storage is handed out again.
+  Workspace::Scope inner2(ws);
+  EXPECT_EQ(ws.alloc_f32(16), inner_ptr);
+}
+
+TEST(Workspace, HighWaterTracksPeakBorrowedBytes) {
+  Workspace ws;
+  {
+    Workspace::Scope scope(ws);
+    ws.alloc_f32(100);
+    ws.alloc_f64(50);
+  }
+  const std::size_t peak = 100 * sizeof(float) + 50 * sizeof(double);
+  EXPECT_GE(ws.high_water_bytes(), peak);
+  // Rewinding does not lower the recorded peak.
+  {
+    Workspace::Scope scope(ws);
+    ws.alloc_f32(1);
+  }
+  EXPECT_GE(ws.high_water_bytes(), peak);
+}
+
+TEST(Workspace, ZeroSizedAllocationsAreDistinct) {
+  Workspace ws;
+  Workspace::Scope scope(ws);
+  float* a = ws.alloc_f32(0);
+  float* b = ws.alloc_f32(0);
+  EXPECT_NE(a, b);
+}
+
+// The acceptance gate for the fused hot path: after one warm-up call, a
+// repeat of the same problem must not grow any arena — i.e. the kernels do
+// zero heap allocations (from the workspace) in steady state. Run with one
+// worker so all scratch flows through this thread's arena.
+TEST(Workspace, KernelsDoNotGrowArenaInSteadyState) {
+  parallel::ThreadPool::reset_global(1);
+  Rng rng(71);
+  const std::int64_t n = 96;
+  const std::int64_t d = 16;
+  const float scale = 1.0f / std::sqrt(static_cast<float>(d));
+  const kernels::MaskSpec mask = kernels::MaskSpec::causal();
+  const kernels::IndexMap id = kernels::IndexMap::range(0, n);
+  Tensor q = rng.gaussian(n, d, 1.0f);
+  Tensor k = rng.gaussian(n, d, 1.0f);
+  Tensor v = rng.gaussian(n, d, 1.0f);
+  Tensor d_out = rng.gaussian(n, d, 1.0f);
+  Tensor a = rng.gaussian(40, 72, 1.0f);
+  Tensor b = rng.gaussian(72, 56, 1.0f);
+  Tensor c(40, 56);
+
+  const auto run_all = [&] {
+    gemm(a.view(), Trans::No, b.view(), Trans::No, c.view());
+    auto fwd = kernels::flash_forward(q, id, k, v, id, mask, scale);
+    Tensor dvec = kernels::attention_dvec(d_out, fwd.o);
+    Tensor dq = Tensor::zeros(n, d);
+    Tensor dk = Tensor::zeros(n, d);
+    Tensor dv = Tensor::zeros(n, d);
+    kernels::flash_backward_partial(q, id, k, v, id, mask, scale, d_out,
+                                    fwd.lse, dvec, dq, dk, dv);
+    std::vector<std::int64_t> targets(static_cast<std::size_t>(n), 3);
+    kernels::fused_lm_head_loss(q, k, targets, /*block_s=*/32, /*block_v=*/24);
+  };
+
+  run_all();  // warm-up: arenas grow to the problem's high-water mark
+  const std::uint64_t grows = Workspace::tls().grow_count();
+  for (int iter = 0; iter < 3; ++iter) {
+    run_all();
+  }
+  EXPECT_EQ(Workspace::tls().grow_count(), grows)
+      << "kernel hot path grew the workspace after warm-up";
+  EXPECT_GT(Workspace::tls().high_water_bytes(), 0u);
+  parallel::ThreadPool::reset_global();
+}
+
+}  // namespace
+}  // namespace burst::tensor
