@@ -29,8 +29,9 @@ int main() {
     for (double n : {128e3, 256e3, 512e3, 1e6, 2e6}) {
       const double n_loc = n / 32.0;
       const auto bytes = [&](CkptStrategy s) {
-        return perfmodel::stored_activation_per_token({s, 0.5}, cfg.d_model,
-                                                      cfg.bytes_per_el) *
+        return perfmodel::stored_activation_per_token(
+                   {s, 0.5}, static_cast<double>(cfg.d_model),
+                   cfg.bytes_per_el) *
                n_loc * static_cast<double>(cfg.layers);
       };
       const double full = bytes(CkptStrategy::kFull);

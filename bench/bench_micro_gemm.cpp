@@ -30,7 +30,9 @@ void BM_Gemm(benchmark::State& state) {
     benchmark::DoNotOptimize(c.data());
   }
   state.counters["GFLOP/s"] = benchmark::Counter(
-      2.0 * static_cast<double>(n) * n * n * state.iterations() / 1e9,
+      2.0 * static_cast<double>(n) * static_cast<double>(n) *
+          static_cast<double>(n) *
+          static_cast<double>(state.iterations()) / 1e9,
       benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_Gemm)

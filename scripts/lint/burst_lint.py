@@ -1,0 +1,678 @@
+#!/usr/bin/env python3
+"""burst-lint: repo-specific static analysis for the BurstEngine tree.
+
+Each rule guards a machine-checked invariant of the codebase (DESIGN.md
+section 12 has the full table). The engine walks the C++ sources, strips
+comments and string literals so rules only see code, and reports violations
+as both human-readable diagnostics and a versioned JSON report in the same
+``burst.run_report`` shape the benches emit, so scripts/verify.sh gates on
+``self_check`` uniformly.
+
+Usage:
+    burst_lint.py [--root DIR] [--json REPORT.json] [--list-rules] [PATH ...]
+
+With no PATH arguments the default scan set is src/, tests/, bench/ and
+examples/ under --root (default: the repo root containing this script).
+Exit code 0 iff no violations.
+
+Suppressions (all require a rule name; a reason is strongly encouraged):
+
+    code();  // burst-lint: allow(rule-name) reason why this is fine
+    // burst-lint: allow(rule-name) reason        <- covers the NEXT line
+    // burst-lint: allow-begin(rule-name) reason
+    ...block...
+    // burst-lint: allow-end(rule-name)
+    // burst-lint: allow-file(rule-name) reason   <- whole file
+
+File tags:
+
+    // burst-lint: hotpath   <- marks a kernel hot-path file; enables the
+                                no-hotpath-alloc rule for that file.
+
+Unknown rule names inside any burst-lint comment are themselves violations
+(rule ``lint-directive``), so suppressions cannot rot silently.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import sys
+from dataclasses import dataclass, field
+
+
+# --------------------------------------------------------------------------
+# Source model
+# --------------------------------------------------------------------------
+
+_DIRECTIVE_RE = re.compile(
+    r"//\s*burst-lint:\s*"
+    r"(?P<verb>allow-begin|allow-end|allow-file|allow|hotpath)"
+    r"(?:\s*\(\s*(?P<rules>[A-Za-z0-9_,\s-]+)\s*\))?"
+    r"(?P<reason>[^\n]*)"
+)
+
+
+@dataclass
+class Directive:
+    verb: str  # allow | allow-begin | allow-end | allow-file | hotpath
+    rules: list[str]
+    line: int  # 1-based
+    reason: str
+
+
+@dataclass
+class SourceFile:
+    """A parsed source file: raw lines, code-only lines, directives."""
+
+    path: str  # path as reported (relative to root when possible)
+    raw: str
+    abs_path: str = ""
+    lines: list[str] = field(default_factory=list)  # raw, 0-based
+    code_lines: list[str] = field(default_factory=list)  # comments/strings blanked
+    directives: list[Directive] = field(default_factory=list)
+    hotpath: bool = False
+    # rule -> set of 1-based line numbers covered by an allow
+    allowed: dict = field(default_factory=dict)
+    file_allowed: set = field(default_factory=set)  # rules allowed file-wide
+
+    def is_allowed(self, rule: str, line: int) -> bool:
+        if rule in self.file_allowed:
+            return True
+        return line in self.allowed.get(rule, ())
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blanks comments and string/char literals, preserving line structure.
+
+    Every non-newline character inside a comment or literal becomes a space
+    so byte offsets and line numbers in the result match the original.
+    """
+    out = []
+    i = 0
+    n = len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            while i < n and text[i] != "\n":
+                out.append(" ")
+                i += 1
+        elif c == "/" and nxt == "*":
+            out.append("  ")
+            i += 2
+            while i < n and not (text[i] == "*" and i + 1 < n and text[i + 1] == "/"):
+                out.append("\n" if text[i] == "\n" else " ")
+                i += 1
+            if i < n:
+                out.append("  ")
+                i += 2
+        elif c == '"' or c == "'":
+            quote = c
+            out.append(" ")
+            i += 1
+            while i < n and text[i] != quote:
+                if text[i] == "\\" and i + 1 < n:
+                    out.append("  ")
+                    i += 2
+                    continue
+                out.append("\n" if text[i] == "\n" else " ")
+                i += 1
+            if i < n:
+                out.append(" ")
+                i += 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def parse_file(path: str, display: str) -> SourceFile:
+    with open(path, encoding="utf-8", errors="replace") as f:
+        raw = f.read()
+    sf = SourceFile(path=display, raw=raw)
+    sf.lines = raw.split("\n")
+    sf.code_lines = strip_comments_and_strings(raw).split("\n")
+    for m in _DIRECTIVE_RE.finditer(raw):
+        line = raw.count("\n", 0, m.start()) + 1
+        rules = []
+        if m.group("rules"):
+            rules = [r.strip() for r in m.group("rules").split(",") if r.strip()]
+        sf.directives.append(
+            Directive(
+                verb=m.group("verb"),
+                rules=rules,
+                line=line,
+                reason=(m.group("reason") or "").strip(),
+            )
+        )
+    return sf
+
+
+@dataclass
+class Finding:
+    rule: str
+    path: str
+    line: int  # 1-based
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+# --------------------------------------------------------------------------
+# Rule registry
+# --------------------------------------------------------------------------
+
+RULES = {}
+
+
+class Rule:
+    def __init__(self, name, invariant, check, applies):
+        self.name = name
+        self.invariant = invariant
+        self.check = check
+        self.applies = applies
+
+
+def rule(name, invariant, applies=lambda path: True):
+    """Registers ``fn(sf) -> iterable[(line, message)]`` as a lint rule."""
+
+    def deco(fn):
+        RULES[name] = Rule(name, invariant, fn, applies)
+        return fn
+
+    return deco
+
+
+def _in_dir(path, *dirs):
+    parts = path.replace("\\", "/").split("/")
+    return any(d in parts for d in dirs)
+
+
+def _code_matches(sf, pattern):
+    rx = re.compile(pattern)
+    for idx, line in enumerate(sf.code_lines):
+        for m in rx.finditer(line):
+            yield idx + 1, m
+
+
+# --------------------------------------------------------------------------
+# Rules
+# --------------------------------------------------------------------------
+
+
+@rule(
+    "no-wallclock",
+    "virtual-clock determinism: sim/, serve/, resilience/ schedule on "
+    "sim::VirtualClock only; wall-clock reads live in src/obs/",
+    applies=lambda p: (_in_dir(p, "src", "tests") and not _in_dir(p, "obs")),
+)
+def no_wallclock(sf):
+    pat = (
+        r"std\s*::\s*chrono\s*::\s*(system_clock|steady_clock|"
+        r"high_resolution_clock)"
+        r"|\bgettimeofday\s*\("
+        r"|\bclock_gettime\s*\("
+        r"|(?<![\w:])time\s*\(\s*(nullptr|NULL|0)?\s*\)"
+        r"|(?<![\w:])std\s*::\s*time\s*\("
+    )
+    for line, m in _code_matches(sf, pat):
+        yield line, (
+            f"wall-clock read `{m.group(0).strip()}` outside src/obs/; "
+            "use sim::VirtualClock (ctx.clock()) so replays stay bitwise "
+            "deterministic"
+        )
+
+
+@rule(
+    "no-raw-rand",
+    "bitwise replay: all randomness flows through tensor::Rng with an "
+    "explicit recorded seed",
+)
+def no_raw_rand(sf):
+    pat = (
+        r"(?<![\w:])s?rand\s*\("
+        r"|std\s*::\s*random_device"
+        r"|(?<![\w:])random_device\b"
+    )
+    for line, m in _code_matches(sf, pat):
+        yield line, (
+            f"raw randomness `{m.group(0).strip()}`; use tensor::Rng with an "
+            "explicit seed so training runs replay bitwise identically"
+        )
+
+
+_ALLOC_PAT = (
+    r"(?P<new>(?<![\w:])new\b(?!\s*\()\s*[\w:<]|(?<![\w:])new\s*\()"
+    r"|(?P<cfn>(?<![\w:])(?:malloc|calloc|realloc)\s*\()"
+    r"|(?P<tensor>(?<![\w:])Tensor\s*(?:\(|\{(?!\s*\})))"
+    r"|(?P<vec>std\s*::\s*vector\s*<)"
+    r"|(?P<grow>\.\s*(?:push_back|emplace_back|resize|reserve)\s*\()"
+)
+
+
+def _is_vector_ref(line, open_pos):
+    """True when the ``std::vector<`` starting before ``open_pos`` names a
+    reference or pointer type (``const std::vector<T>&`` parameters), which
+    allocates nothing. ``open_pos`` indexes just past the ``<``."""
+    depth = 1
+    i = open_pos
+    while i < len(line) and depth:
+        if line[i] == "<":
+            depth += 1
+        elif line[i] == ">":
+            depth -= 1
+        i += 1
+    if depth:  # template args continue on the next line; assume allocation
+        return False
+    while i < len(line) and line[i].isspace():
+        i += 1
+    return i < len(line) and line[i] in "&*"
+
+
+@rule(
+    "no-hotpath-alloc",
+    "workspace arena discipline (DESIGN.md section 11): kernel hot paths "
+    "borrow scratch from tensor::Workspace; zero steady-state heap "
+    "allocations",
+    applies=lambda p: True,  # gated per-file by the hotpath tag
+)
+def no_hotpath_alloc(sf):
+    if not sf.hotpath:
+        return
+    for line, m in _code_matches(sf, _ALLOC_PAT):
+        if m.group("vec") and _is_vector_ref(sf.code_lines[line - 1], m.end()):
+            continue  # `std::vector<T>&` / `*`: a type mention, no allocation
+        what = m.group(0).strip()
+        yield line, (
+            f"allocation `{what}` in a hot-path file; borrow from "
+            "Workspace::tls() (or move the allocation to setup and suppress "
+            "with a reason)"
+        )
+
+
+_RECV_STMT = re.compile(
+    r"^\s*"
+    r"(?:[A-Za-z_]\w*(?:\[[^\]]*\])?\s*(?:\.|->|::)\s*)*"
+    r"(?P<fn>recv|recv_on|recv_bundle|recv_frame)\s*\("
+)
+
+
+@rule(
+    "no-unchecked-recv",
+    "hardened-comm contract (DESIGN.md section 9): every recv-family result "
+    "is consumed so checksum/sequence verification cannot be skipped",
+    applies=lambda p: p.endswith((".cpp", ".hpp")),
+)
+def no_unchecked_recv(sf):
+    # A recv-family call whose result is discarded is a statement that
+    # *starts* with the call expression (possibly behind an obj./obj->/ns::
+    # chain) and ends it: nothing to the left consumes the returned
+    # vector/bundle, so the caller never observes what arrived. Declarations
+    # and uses (assignment, return, argument position, member access on the
+    # result) all place other tokens before the call or after the closing
+    # paren.
+    for idx, line in enumerate(sf.code_lines):
+        m = _RECV_STMT.match(line)
+        if not m:
+            continue
+        # Continuation of a binding/return/argument broken across lines
+        # (`Bundle home =` on the previous line) is a consuming use.
+        prev = ""
+        for back in range(idx - 1, -1, -1):
+            prev = sf.code_lines[back].strip()
+            if prev:
+                break
+        if prev and (prev[-1] in "=(,<>?:+-*/%!&|" or
+                     prev.endswith("return")):
+            continue
+        # Find the end of the call on this line (best-effort for one-liners;
+        # a multi-line discard still starts the statement, handled below).
+        rest = line[m.end():]
+        depth = 1
+        pos = 0
+        for pos, ch in enumerate(rest):
+            if ch == "(":
+                depth += 1
+            elif ch == ")":
+                depth -= 1
+                if depth == 0:
+                    break
+        if depth != 0:
+            tail = ""  # call continues on later lines; statement-start suffices
+        else:
+            tail = rest[pos + 1:].strip()
+        if tail not in ("", ";"):
+            continue  # consumed or a definition, e.g. `recv(...)[0];`, `... {`
+        fn = m.group("fn")
+        yield idx + 1, (
+            f"result of `{fn}(...)` is discarded; bind it (or drain via a "
+            "checked wrapper) so the hardened-comm checks are observed"
+        )
+
+
+@rule(
+    "include-hygiene",
+    "own header first; no transitive-only includes of workspace.hpp / "
+    "metrics.hpp",
+    applies=lambda p: _in_dir(p, "src") and p.endswith((".cpp", ".hpp")),
+)
+def include_hygiene(sf):
+    path = sf.path.replace("\\", "/")
+    includes = []  # (line, target)
+    inc_rx = re.compile(r'^\s*#\s*include\s+["<]([^">]+)[">]')
+    for idx, line in enumerate(sf.lines):
+        m = inc_rx.match(line)
+        if m:
+            includes.append((idx + 1, m.group(1)))
+
+    # (a) a .cpp with a sibling header includes it first.
+    if path.endswith(".cpp"):
+        stem = os.path.splitext(os.path.basename(path))[0]
+        parent = os.path.basename(os.path.dirname(path))
+        own = f"{parent}/{stem}.hpp"
+        sibling = os.path.join(os.path.dirname(sf.abs_path), stem + ".hpp")
+        if os.path.exists(sibling):
+            if not includes:
+                yield 1, f"missing include of own header \"{own}\""
+            elif includes[0][1] != own:
+                yield includes[0][0], (
+                    f"first include must be the file's own header \"{own}\" "
+                    f"(got \"{includes[0][1]}\") so the header is proven "
+                    "self-contained"
+                )
+
+    # (b) direct-include discipline for arena / metrics types. Applies to
+    # .cpp files only: a header that passes an opaque pointer may forward-
+    # declare instead (kernels/flash_attention.hpp does exactly that).
+    if not path.endswith(".cpp"):
+        return
+    included = {t for _, t in includes}
+    code = "\n".join(sf.code_lines)
+    wants = [
+        (
+            "tensor/workspace.hpp",
+            r"\bWorkspace\b",
+            "uses tensor::Workspace",
+        ),
+        (
+            "obs/metrics.hpp",
+            r"\bobs\s*::\s*(Registry|Counter|Gauge|Histogram|global_registry)\b"
+            r"|\bScopedTimer\b",
+            "uses obs metrics types",
+        ),
+    ]
+    for header, pat, why in wants:
+        if path.endswith(header):
+            continue
+        m = re.search(pat, code)
+        if m and header not in included:
+            line = code.count("\n", 0, m.start()) + 1
+            yield line, (
+                f"{why} but does not include \"{header}\" directly "
+                "(transitive include only)"
+            )
+
+
+_FLOAT_LIT = re.compile(r"^[-+]?(\d+\.\d*|\.\d+)(e[-+]?\d+)?f?$|^[-+]?\d+\.?\d*f$")
+
+
+def _split_top_level_args(s):
+    """Splits a macro argument list at top-level commas. Returns None when
+    the parenthesization is unbalanced (multi-line call)."""
+    args = []
+    depth = 0
+    cur = []
+    for ch in s:
+        if ch in "([{":
+            depth += 1
+        elif ch in ")]}":
+            if depth == 0:
+                args.append("".join(cur).strip())
+                return args
+            depth -= 1
+        elif ch == "," and depth == 0:
+            args.append("".join(cur).strip())
+            cur = []
+            continue
+        cur.append(ch)
+    return None
+
+
+@rule(
+    "no-naked-float-eq",
+    "numerical honesty in tests: exact float comparison must be a deliberate "
+    "bitwise-determinism assertion (suppressed with a reason) or use "
+    "EXPECT_NEAR / EXPECT_FLOAT_EQ",
+    applies=lambda p: _in_dir(p, "tests"),
+)
+def no_naked_float_eq(sf):
+    rx = re.compile(r"\b(EXPECT_EQ|ASSERT_EQ|EXPECT_NE|ASSERT_NE)\s*\(")
+    for idx, line in enumerate(sf.code_lines):
+        for m in rx.finditer(line):
+            args = _split_top_level_args(line[m.end() :])
+            if not args or len(args) < 2:
+                continue
+            if any(_FLOAT_LIT.match(a) for a in args[:2]):
+                yield idx + 1, (
+                    f"{m.group(1)} against a float literal; use EXPECT_NEAR/"
+                    "EXPECT_FLOAT_EQ, or suppress with a reason when asserting "
+                    "bitwise determinism"
+                )
+
+
+# --------------------------------------------------------------------------
+# Directive resolution (needs RULES populated, hence defined last)
+# --------------------------------------------------------------------------
+
+
+def resolve_directives(sf):
+    """Fills sf.allowed / sf.file_allowed / sf.hotpath.
+
+    Returns findings for malformed directives (unknown rule names, unmatched
+    allow-begin/allow-end) under the synthetic rule name ``lint-directive``.
+    """
+    bad = []
+    open_blocks = {}  # rule -> start line
+    for d in sf.directives:
+        if d.verb == "hotpath":
+            sf.hotpath = True
+            continue
+        if not d.rules:
+            bad.append(
+                Finding(
+                    "lint-directive",
+                    sf.path,
+                    d.line,
+                    f"burst-lint: {d.verb} needs a (rule-name) argument",
+                )
+            )
+            continue
+        for r in d.rules:
+            if r not in RULES:
+                bad.append(
+                    Finding(
+                        "lint-directive",
+                        sf.path,
+                        d.line,
+                        f"unknown rule '{r}' in burst-lint: {d.verb} "
+                        f"(known: {', '.join(sorted(RULES))})",
+                    )
+                )
+                continue
+            lines = sf.allowed.setdefault(r, set())
+            if d.verb == "allow":
+                lines.add(d.line)
+                # Directive-on-its-own-line form: cover the next *code* line,
+                # skipping the rest of a multi-line justification comment.
+                nxt = d.line + 1
+                while (nxt <= len(sf.lines)
+                       and sf.lines[nxt - 1].strip()
+                       and not sf.code_lines[nxt - 1].strip()):
+                    nxt += 1
+                lines.add(nxt)
+            elif d.verb == "allow-file":
+                sf.file_allowed.add(r)
+            elif d.verb == "allow-begin":
+                open_blocks[r] = d.line
+            elif d.verb == "allow-end":
+                start = open_blocks.pop(r, None)
+                if start is None:
+                    bad.append(
+                        Finding(
+                            "lint-directive",
+                            sf.path,
+                            d.line,
+                            f"allow-end({r}) without a matching allow-begin",
+                        )
+                    )
+                else:
+                    lines.update(range(start, d.line + 1))
+    for r, start in open_blocks.items():
+        bad.append(
+            Finding(
+                "lint-directive",
+                sf.path,
+                start,
+                f"allow-begin({r}) never closed with allow-end({r})",
+            )
+        )
+    return bad
+
+
+# --------------------------------------------------------------------------
+# Driver
+# --------------------------------------------------------------------------
+
+SCAN_DIRS = ("src", "tests", "bench", "examples")
+CXX_EXT = (".cpp", ".hpp", ".cc", ".h")
+
+
+def collect_files(root, paths):
+    files = []
+    if paths:
+        for p in paths:
+            ap = os.path.abspath(p)
+            if os.path.isdir(ap):
+                for dirpath, _, names in sorted(os.walk(ap)):
+                    for name in sorted(names):
+                        if name.endswith(CXX_EXT):
+                            files.append(os.path.join(dirpath, name))
+            else:
+                files.append(ap)
+    else:
+        for d in SCAN_DIRS:
+            base = os.path.join(root, d)
+            if not os.path.isdir(base):
+                continue
+            for dirpath, _, names in sorted(os.walk(base)):
+                for name in sorted(names):
+                    if name.endswith(CXX_EXT):
+                        files.append(os.path.join(dirpath, name))
+    return files
+
+
+def lint_file(abs_path, root):
+    display = os.path.relpath(abs_path, root)
+    if display.startswith(".."):
+        display = abs_path
+    sf = parse_file(abs_path, display)
+    sf.abs_path = abs_path
+    findings = resolve_directives(sf)
+    for r in RULES.values():
+        if not r.applies(display):
+            continue
+        for line, message in r.check(sf) or ():
+            if sf.is_allowed(r.name, line):
+                continue
+            findings.append(Finding(r.name, display, line, message))
+    return findings
+
+
+def write_report(path, files_scanned, findings):
+    per_rule = {name: 0 for name in sorted(RULES)}
+    per_rule["lint-directive"] = 0
+    for f in findings:
+        per_rule[f.rule] = per_rule.get(f.rule, 0) + 1
+    checks = [
+        {"ok": count == 0, "what": f"lint rule {name}: {count} violation(s)"}
+        for name, count in sorted(per_rule.items())
+    ]
+    report = {
+        "schema": "burst.run_report",
+        "version": 1,
+        "kind": "lint",
+        "name": "burst_lint",
+        "config": {
+            "rules": ", ".join(sorted(RULES)),
+            "files_scanned": files_scanned,
+        },
+        "measurements": [
+            {
+                "name": "files_scanned",
+                "measured": files_scanned,
+                "paper_value": None,
+                "unit": "files",
+            },
+            {
+                "name": "violations",
+                "measured": len(findings),
+                "paper_value": None,
+                "unit": "findings",
+            },
+        ],
+        "metrics": {
+            "counters": {f"lint.{k}": v for k, v in sorted(per_rule.items())},
+            "gauges": {},
+            "histograms": {},
+        },
+        "checks": checks,
+        "errors": [
+            {"code": f"lint.{f.rule}", "message": f.render()} for f in findings
+        ],
+        "self_check": not findings,
+    }
+    with open(path, "w", encoding="utf-8") as fp:
+        json.dump(report, fp, indent=2)
+        fp.write("\n")
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(
+        description="BurstEngine repo lint", usage=__doc__
+    )
+    default_root = os.path.dirname(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    )
+    ap.add_argument("--root", default=default_root)
+    ap.add_argument("--json", dest="json_out", default=None)
+    ap.add_argument("--list-rules", action="store_true")
+    ap.add_argument("paths", nargs="*")
+    args = ap.parse_args(argv)
+
+    if args.list_rules:
+        for name in sorted(RULES):
+            print(f"{name}: {RULES[name].invariant}")
+        return 0
+
+    root = os.path.abspath(args.root)
+    files = collect_files(root, args.paths)
+    findings = []
+    for path in files:
+        findings.extend(lint_file(path, root))
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+
+    for f in findings:
+        print(f.render(), file=sys.stderr)
+    if args.json_out:
+        write_report(args.json_out, len(files), findings)
+    status = "clean" if not findings else f"{len(findings)} violation(s)"
+    print(f"burst-lint: {len(files)} file(s) scanned, {status}")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

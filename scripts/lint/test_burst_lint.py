@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Self-tests for burst_lint.py (stdlib unittest; the CI image has no pytest).
+
+Each lint rule is proven twice: a fixture file seeded with violations makes
+the linter exit non-zero and name the rule, and the suppression fixtures
+prove every allow form silences it. The JSON report is validated against the
+``burst.run_report`` contract scripts/verify.sh gates on. Finally the real
+repo tree must lint clean — the acceptance bar for the whole PR.
+
+Run directly (``python3 scripts/lint/test_burst_lint.py``) or via ctest
+(test name ``lint_selftest``).
+"""
+
+import io
+import json
+import os
+import sys
+import tempfile
+import unittest
+from contextlib import redirect_stderr, redirect_stdout
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+FIXTURES = os.path.join(HERE, "tests", "fixtures")
+REPO_ROOT = os.path.dirname(os.path.dirname(HERE))
+
+sys.path.insert(0, HERE)
+import burst_lint  # noqa: E402
+
+
+def run_lint(args):
+    """Runs burst_lint.main, returning (exit_code, stdout, stderr)."""
+    out, err = io.StringIO(), io.StringIO()
+    with redirect_stdout(out), redirect_stderr(err):
+        rc = burst_lint.main(args)
+    return rc, out.getvalue(), err.getvalue()
+
+
+def lint_fixture(rel):
+    path = os.path.join(FIXTURES, rel)
+    return run_lint(["--root", FIXTURES, path])
+
+
+class TestRuleDetection(unittest.TestCase):
+    """Every rule exits non-zero on its seeded fixture and names itself."""
+
+    def assert_rule_fires(self, rel, rule, expect_count):
+        rc, _, err = lint_fixture(rel)
+        self.assertEqual(rc, 1, f"{rel} should fail lint\nstderr: {err}")
+        hits = [l for l in err.splitlines() if f"[{rule}]" in l]
+        self.assertEqual(
+            len(hits), expect_count,
+            f"expected {expect_count} {rule} finding(s) in {rel}, got "
+            f"{len(hits)}:\n{err}")
+
+    def test_no_wallclock(self):
+        self.assert_rule_fires("src/sim/bad_wallclock.cpp", "no-wallclock", 3)
+
+    def test_no_raw_rand(self):
+        self.assert_rule_fires("src/sim/bad_rand.cpp", "no-raw-rand", 2)
+
+    def test_no_hotpath_alloc(self):
+        self.assert_rule_fires(
+            "src/kernels/bad_hotpath.cpp", "no-hotpath-alloc", 3)
+
+    def test_no_unchecked_recv(self):
+        self.assert_rule_fires("src/comm/bad_recv.cpp", "no-unchecked-recv", 2)
+
+    def test_include_hygiene(self):
+        self.assert_rule_fires("src/core/bad_include.cpp", "include-hygiene", 2)
+
+    def test_no_naked_float_eq(self):
+        self.assert_rule_fires(
+            "tests/bad_float_eq.cpp", "no-naked-float-eq", 2)
+
+    def test_malformed_directives(self):
+        self.assert_rule_fires("src/sim/bad_directive.cpp", "lint-directive", 2)
+
+
+class TestSuppressionAndNoise(unittest.TestCase):
+    def test_all_allow_forms_silence(self):
+        rc, _, err = lint_fixture("src/sim/suppressed.cpp")
+        self.assertEqual(rc, 0, f"suppressed fixture should be clean:\n{err}")
+
+    def test_comments_and_strings_ignored(self):
+        rc, _, err = lint_fixture("src/sim/clean.cpp")
+        self.assertEqual(rc, 0, f"clean fixture should be clean:\n{err}")
+
+    def test_hotpath_rule_off_without_tag(self):
+        # The same allocations in an untagged file are fine.
+        with tempfile.TemporaryDirectory() as tmp:
+            src = os.path.join(tmp, "src", "kernels")
+            os.makedirs(src)
+            path = os.path.join(src, "untagged.cpp")
+            with open(path, "w") as f:
+                f.write("#include <vector>\n"
+                        "void f() { std::vector<int> v; v.push_back(1); }\n")
+            rc, _, err = run_lint(["--root", tmp, path])
+            self.assertEqual(rc, 0, err)
+
+
+class TestJsonReport(unittest.TestCase):
+    def test_report_shape_on_failure(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            report_path = os.path.join(tmp, "lint.json")
+            path = os.path.join(FIXTURES, "src", "sim", "bad_rand.cpp")
+            rc, _, _ = run_lint(
+                ["--root", FIXTURES, "--json", report_path, path])
+            self.assertEqual(rc, 1)
+            with open(report_path) as f:
+                rep = json.load(f)
+            self.assertEqual(rep["schema"], "burst.run_report")
+            self.assertEqual(rep["version"], 1)
+            self.assertEqual(rep["kind"], "lint")
+            self.assertIs(rep["self_check"], False)
+            self.assertTrue(
+                any(e["code"] == "lint.no-raw-rand" for e in rep["errors"]))
+            failed = [c for c in rep["checks"] if not c["ok"]]
+            self.assertTrue(
+                any("no-raw-rand" in c["what"] for c in failed))
+            counters = rep["metrics"]["counters"]
+            self.assertEqual(counters["lint.no-raw-rand"], 2)
+
+    def test_report_self_check_true_when_clean(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            report_path = os.path.join(tmp, "lint.json")
+            path = os.path.join(FIXTURES, "src", "sim", "clean.cpp")
+            rc, _, _ = run_lint(
+                ["--root", FIXTURES, "--json", report_path, path])
+            self.assertEqual(rc, 0)
+            with open(report_path) as f:
+                rep = json.load(f)
+            self.assertIs(rep["self_check"], True)
+            self.assertEqual(rep["errors"], [])
+            self.assertTrue(all(c["ok"] for c in rep["checks"]))
+
+
+class TestRepoTreeClean(unittest.TestCase):
+    """The real tree lints clean — the PR's acceptance criterion."""
+
+    def test_repo_lints_clean(self):
+        rc, _, err = run_lint(["--root", REPO_ROOT])
+        self.assertEqual(rc, 0, f"repo tree has lint violations:\n{err}")
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)

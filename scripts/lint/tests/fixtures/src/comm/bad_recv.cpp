@@ -1,0 +1,16 @@
+// Fixture: seeded no-unchecked-recv violation.
+namespace fixture {
+
+struct Comm {
+  int recv(int src, int tag);
+  int recv_bundle(int src, int tag, int stream);
+};
+
+void drain(Comm& comm) {
+  comm.recv(0, 1);  // VIOLATION: no-unchecked-recv (result discarded)
+  comm.recv_bundle(0, 1, 2);  // VIOLATION: no-unchecked-recv
+  int ok = comm.recv(0, 2);  // ok: bound
+  (void)ok;
+}
+
+}  // namespace fixture

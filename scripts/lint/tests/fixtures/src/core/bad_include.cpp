@@ -1,0 +1,15 @@
+// Fixture: seeded include-hygiene violations — own header is not first, and
+// tensor::Workspace is used without a direct include of tensor/workspace.hpp.
+#include <vector>
+
+#include "core/bad_include.hpp"
+
+namespace fixture {
+
+int answer() {
+  auto& ws = Workspace::tls();  // VIOLATION: include-hygiene (no direct include)
+  (void)ws;
+  return 42;
+}
+
+}  // namespace fixture

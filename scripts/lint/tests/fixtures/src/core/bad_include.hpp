@@ -1,0 +1,6 @@
+// Fixture sibling header for bad_include.cpp.
+#pragma once
+
+namespace fixture {
+int answer();
+}  // namespace fixture

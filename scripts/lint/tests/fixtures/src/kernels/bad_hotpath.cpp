@@ -1,0 +1,19 @@
+// Fixture: seeded no-hotpath-alloc violations in a tagged hot-path file.
+// burst-lint: hotpath
+#include <vector>
+
+namespace fixture {
+
+// ok: reference/pointer parameters name the type without allocating
+void consume(const std::vector<float>& in, std::vector<int>* out);
+
+void bad_allocs(int n) {
+  std::vector<float> tile;  // VIOLATION: no-hotpath-alloc (vector)
+  tile.push_back(1.0f);     // VIOLATION: no-hotpath-alloc (growth)
+  float* p = new float[8];  // VIOLATION: no-hotpath-alloc (new)
+  delete[] p;
+  (void)n;
+  (void)tile;
+}
+
+}  // namespace fixture

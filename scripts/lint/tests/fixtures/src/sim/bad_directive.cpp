@@ -1,0 +1,10 @@
+// Fixture: malformed burst-lint directives are violations themselves.
+namespace fixture {
+
+// burst-lint: allow(not-a-real-rule) VIOLATION: lint-directive (unknown rule)
+int f() { return 1; }
+
+// burst-lint: allow-begin(no-raw-rand) VIOLATION: lint-directive (never closed)
+int g() { return 2; }
+
+}  // namespace fixture

@@ -1,0 +1,16 @@
+// Fixture: seeded no-raw-rand violations.
+#include <cstdlib>
+#include <random>
+
+namespace fixture {
+
+int bad_rand() {
+  return rand();  // VIOLATION: no-raw-rand
+}
+
+unsigned bad_device() {
+  std::random_device rd;  // VIOLATION: no-raw-rand
+  return rd();
+}
+
+}  // namespace fixture

@@ -1,0 +1,20 @@
+// Fixture: seeded no-wallclock violations (one per line flagged).
+#include <chrono>
+#include <ctime>
+
+namespace fixture {
+
+double bad_steady() {
+  auto t = std::chrono::steady_clock::now();  // VIOLATION: no-wallclock
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+long bad_time() {
+  return time(nullptr);  // VIOLATION: no-wallclock
+}
+
+long bad_std_time() {
+  return std::time(nullptr);  // VIOLATION: no-wallclock
+}
+
+}  // namespace fixture

@@ -1,0 +1,19 @@
+// Fixture: a clean file — comments and strings mentioning rand(), time(0),
+// or std::chrono::steady_clock must NOT trip any rule, and an allow-file
+// directive covers the one real use.
+// burst-lint: allow-file(no-raw-rand) fixture proves file-wide suppression
+#include "sim/clean.hpp"
+
+#include <cstdlib>
+#include <string>
+
+namespace fixture {
+
+std::string describe() {
+  // rand() and time(nullptr) in a comment are fine.
+  return "calls std::chrono::steady_clock::now() -- only in a string";
+}
+
+int file_wide_allowed() { return rand(); }
+
+}  // namespace fixture

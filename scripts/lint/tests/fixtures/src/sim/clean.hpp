@@ -1,0 +1,9 @@
+// Fixture sibling header for clean.cpp.
+#pragma once
+
+#include <string>
+
+namespace fixture {
+std::string describe();
+int file_wide_allowed();
+}  // namespace fixture

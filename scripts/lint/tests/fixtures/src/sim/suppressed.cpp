@@ -1,0 +1,23 @@
+// Fixture: every suppression form silences its seeded violation, so this
+// file must lint clean.
+#include <chrono>
+#include <cstdlib>
+
+namespace fixture {
+
+double same_line() {
+  // burst-lint: allow(no-wallclock) fixture exercises the same/next-line form
+  auto t = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+int next_line() {
+  return rand();  // burst-lint: allow(no-raw-rand) trailing-comment form
+}
+
+// burst-lint: allow-begin(no-raw-rand) block form covers everything between
+int block_a() { return rand(); }
+int block_b() { return rand(); }
+// burst-lint: allow-end(no-raw-rand)
+
+}  // namespace fixture

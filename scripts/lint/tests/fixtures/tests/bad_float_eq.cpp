@@ -1,0 +1,16 @@
+// Fixture: seeded no-naked-float-eq violations.
+#define EXPECT_EQ(a, b) ((void)((a) == (b)))
+#define ASSERT_NE(a, b) ((void)((a) != (b)))
+
+namespace fixture {
+
+void checks(float x, int n) {
+  EXPECT_EQ(x, 0.25f);     // VIOLATION: no-naked-float-eq
+  ASSERT_NE(1.5, x);       // VIOLATION: no-naked-float-eq
+  EXPECT_EQ(n, 3);         // ok: integer comparison
+  EXPECT_EQ(helper({n, 0.5}), 7);  // ok: literal nested inside a call
+}
+
+int helper(...);
+
+}  // namespace fixture

@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""Tests for scripts/bench_compare.py — the bench-regression gate.
+
+Covers the contract scripts/verify.sh relies on: exit 0 when every gated
+metric is within tolerance, non-zero on a >tolerance regression, a missing
+gated metric, a missing report, and a baseline with the wrong schema.
+Fixtures are built in a temp dir; registered with CTest as
+``bench_compare_selftest``.
+"""
+
+import io
+import json
+import os
+import sys
+import tempfile
+import unittest
+from contextlib import redirect_stderr, redirect_stdout
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+sys.path.insert(0, HERE)
+import bench_compare  # noqa: E402
+
+
+def make_baseline(path, value=100.0, gate=True, tolerance=0.10):
+    baseline = {
+        "schema": "burst.bench_baseline",
+        "version": 1,
+        "tolerance_frac": tolerance,
+        "benches": {
+            "micro_gemm": {
+                "metrics": {
+                    "gflops": {"value": value, "gate": gate, "unit": "GFLOP/s"},
+                    "speedup": {"value": 3.0, "gate": False, "unit": "x"},
+                }
+            }
+        },
+    }
+    with open(path, "w") as f:
+        json.dump(baseline, f)
+
+
+def make_report(path, gflops, include_metric=True):
+    measurements = [{"name": "speedup", "measured": 3.2, "unit": "x"}]
+    if include_metric:
+        measurements.append(
+            {"name": "gflops", "measured": gflops, "unit": "GFLOP/s"})
+    report = {
+        "schema": "burst.run_report",
+        "version": 1,
+        "kind": "bench",
+        "name": "bench_micro_gemm",
+        "measurements": measurements,
+        "self_check": True,
+    }
+    with open(path, "w") as f:
+        json.dump(report, f)
+
+
+def run_compare(argv):
+    out, err = io.StringIO(), io.StringIO()
+    with redirect_stdout(out), redirect_stderr(err):
+        rc = bench_compare.main(["bench_compare.py"] + argv)
+    return rc, out.getvalue(), err.getvalue()
+
+
+class TestBenchCompare(unittest.TestCase):
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+        self.baseline = os.path.join(self.tmp.name, "baseline.json")
+        self.report = os.path.join(self.tmp.name, "report.json")
+
+    def tearDown(self):
+        self.tmp.cleanup()
+
+    def test_pass_within_tolerance(self):
+        make_baseline(self.baseline, value=100.0)
+        make_report(self.report, gflops=95.0)  # -5% > the -10% floor
+        rc, out, _ = run_compare([self.baseline, f"micro_gemm={self.report}"])
+        self.assertEqual(rc, 0, out)
+        self.assertIn("pass: micro_gemm.gflops", out)
+        self.assertIn("all gated metrics within tolerance", out)
+
+    def test_pass_exactly_at_floor(self):
+        make_baseline(self.baseline, value=100.0)
+        make_report(self.report, gflops=90.0)  # exactly the floor passes
+        rc, _, _ = run_compare([self.baseline, f"micro_gemm={self.report}"])
+        self.assertEqual(rc, 0)
+
+    def test_fail_on_regression_beyond_tolerance(self):
+        make_baseline(self.baseline, value=100.0)
+        make_report(self.report, gflops=85.0)  # -15% < the -10% floor
+        rc, _, err = run_compare([self.baseline, f"micro_gemm={self.report}"])
+        self.assertNotEqual(rc, 0)
+        self.assertIn("REGRESSION", err)
+
+    def test_ungated_metric_never_fails(self):
+        make_baseline(self.baseline, value=100.0, gate=False)
+        make_report(self.report, gflops=1.0)  # catastrophic but informational
+        rc, out, _ = run_compare([self.baseline, f"micro_gemm={self.report}"])
+        self.assertEqual(rc, 0)
+        self.assertIn("info: micro_gemm.gflops", out)
+
+    def test_fail_on_missing_gated_metric(self):
+        make_baseline(self.baseline, value=100.0)
+        make_report(self.report, gflops=0.0, include_metric=False)
+        rc, _, err = run_compare([self.baseline, f"micro_gemm={self.report}"])
+        self.assertNotEqual(rc, 0)
+        self.assertIn("missing from report", err)
+
+    def test_fail_on_missing_report_file(self):
+        make_baseline(self.baseline, value=100.0)
+        rc, _, err = run_compare(
+            [self.baseline, f"micro_gemm={self.tmp.name}/nonexistent.json"])
+        self.assertNotEqual(rc, 0)
+        self.assertIn("cannot load report", err)
+
+    def test_fail_on_unknown_bench_name(self):
+        make_baseline(self.baseline, value=100.0)
+        make_report(self.report, gflops=100.0)
+        rc, _, err = run_compare([self.baseline, f"who_dis={self.report}"])
+        self.assertNotEqual(rc, 0)
+        self.assertIn("not present in baseline", err)
+
+    def test_fail_on_wrong_baseline_schema(self):
+        with open(self.baseline, "w") as f:
+            json.dump({"schema": "something.else", "version": 7}, f)
+        make_report(self.report, gflops=100.0)
+        rc, _, err = run_compare([self.baseline, f"micro_gemm={self.report}"])
+        self.assertNotEqual(rc, 0)
+        self.assertIn("schema", err)
+
+    def test_custom_tolerance_respected(self):
+        make_baseline(self.baseline, value=100.0, tolerance=0.25)
+        make_report(self.report, gflops=80.0)  # -20%, inside the wider band
+        rc, _, _ = run_compare([self.baseline, f"micro_gemm={self.report}"])
+        self.assertEqual(rc, 0)
+
+    def test_committed_baseline_parses(self):
+        """The repo's own BENCH_baseline.json satisfies the schema."""
+        committed = os.path.join(os.path.dirname(HERE), "BENCH_baseline.json")
+        with open(committed) as f:
+            baseline = json.load(f)
+        self.assertEqual(baseline["schema"], "burst.bench_baseline")
+        self.assertEqual(baseline["version"], 1)
+        self.assertTrue(baseline["benches"])
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)

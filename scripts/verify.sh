@@ -1,59 +1,158 @@
 #!/usr/bin/env bash
-# Full verification gate: configure + build (Release, -O3, host ISA), run the
-# test suite plus an explicit perf-labeled leg (workspace zero-allocation and
-# kernel-determinism suites), run the obs-labeled tests again under
-# AddressSanitizer, then run every bench and fail on any RunReport whose
-# self_check is false (each bench also exits non-zero on its own failed
-# checks, so either signal stops the script). Finally the micro-bench
-# RunReports are compared against the committed BENCH_baseline.json: any
-# gated metric more than 10% below its baseline value fails the script.
+# Full verification gate, in order:
 #
-# Usage: scripts/verify.sh [--skip-asan] [--skip-bench] [--skip-perf]
-# Env:   BUILD_DIR (default build), ASAN_BUILD_DIR (default build-asan),
-#        JOBS (default nproc).
-set -euo pipefail
+#   lint      burst-lint over the tree (JSON RunReport written next to the
+#             bench reports and gated on self_check, like every bench), then
+#             clang-tidy when installed (scripts/run_clang_tidy.sh no-ops
+#             gracefully when it is not).
+#   build     configure + build everything Release with -DBURST_WERROR=ON:
+#             the tree must compile warning-clean under
+#             -Wall -Wextra -Wshadow -Wconversion -Werror.
+#   test      full ctest suite (includes the header-hygiene target and the
+#             python gate self-tests), plus an explicit perf-labeled leg.
+#   asan      ASan+UBSan build (-DBURST_SANITIZE=address,undefined) running
+#             the full suite minus slow-labeled tests.
+#   tsan      TSan build (-DBURST_SANITIZE=thread) running the threaded
+#             suites: test_thread_pool, test_kernel_determinism,
+#             test_serve_engine.
+#   bench     bench fleet with the RunReport self_check gate, then the
+#             regression gate against the committed BENCH_baseline.json
+#             (gated metrics may not fall more than 10% below baseline).
+#
+# Usage: scripts/verify.sh [--skip-lint] [--skip-asan] [--skip-tsan]
+#                          [--skip-bench] [--skip-perf]
+# Env:   BUILD_DIR (default build-verify), ASAN_BUILD_DIR (default
+#        build-asan), TSAN_BUILD_DIR (default build-tsan), JOBS (default
+#        nproc), BURST_REPORT_DIR (default: fresh mktemp -d, removed on exit;
+#        set it to keep the lint/bench RunReports).
+set -uo pipefail
 
 cd "$(dirname "$0")/.."
 
-BUILD_DIR=${BUILD_DIR:-build}
+BUILD_DIR=${BUILD_DIR:-build-verify}
 ASAN_BUILD_DIR=${ASAN_BUILD_DIR:-build-asan}
+TSAN_BUILD_DIR=${TSAN_BUILD_DIR:-build-tsan}
 JOBS=${JOBS:-$(nproc)}
+RUN_LINT=1
 RUN_ASAN=1
+RUN_TSAN=1
 RUN_BENCH=1
 RUN_PERF=1
 for arg in "$@"; do
   case "$arg" in
+    --skip-lint) RUN_LINT=0 ;;
     --skip-asan) RUN_ASAN=0 ;;
+    --skip-tsan) RUN_TSAN=0 ;;
     --skip-bench) RUN_BENCH=0 ;;
     --skip-perf) RUN_PERF=0 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
 
-echo "== configure + build (${BUILD_DIR}, Release)"
-cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
-cmake --build "$BUILD_DIR" -j "$JOBS"
-
-echo "== ctest"
-ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
-
-if [[ $RUN_PERF -eq 1 ]]; then
-  echo "== perf-labeled tests (ctest -L perf)"
-  ctest --test-dir "$BUILD_DIR" --output-on-failure -L perf
-fi
-
-if [[ $RUN_ASAN -eq 1 ]]; then
-  echo "== ASan build + obs-labeled tests (${ASAN_BUILD_DIR})"
-  cmake -B "$ASAN_BUILD_DIR" -S . -DBURST_SANITIZE=address >/dev/null
-  cmake --build "$ASAN_BUILD_DIR" -j "$JOBS" --target test_obs test_comm_bytes
-  ctest --test-dir "$ASAN_BUILD_DIR" --output-on-failure -j "$JOBS" -L obs
-fi
-
-if [[ $RUN_BENCH -eq 1 ]]; then
-  echo "== bench fleet (RunReport self_check gate)"
+if [[ -n ${BURST_REPORT_DIR:-} ]]; then
+  report_dir=$BURST_REPORT_DIR
+  mkdir -p "$report_dir"
+else
   report_dir=$(mktemp -d)
   trap 'rm -rf "$report_dir"' EXIT
-  fail=0
+fi
+
+# Per-gate results for the summary table: "pass" / "FAIL" / "skip".
+declare -A gate_status
+for g in lint build test perf asan tsan bench; do gate_status[$g]=skip; done
+overall=0
+
+# run_gate NAME CMD... — record pass/FAIL, keep going so the summary shows
+# every gate's outcome, but remember any failure for the final exit code.
+run_gate() {
+  local name=$1
+  shift
+  if "$@"; then
+    gate_status[$name]=pass
+  else
+    gate_status[$name]=FAIL
+    overall=1
+  fi
+}
+
+check_run_report() {
+  python3 - "$1" "$2" <<'EOF'
+import json, sys
+path, name = sys.argv[1], sys.argv[2]
+try:
+    with open(path) as f:
+        rep = json.load(f)
+except (OSError, json.JSONDecodeError) as e:
+    sys.exit(f"FAIL: {name} wrote no parseable RunReport: {e}")
+if rep.get("schema") != "burst.run_report" or rep.get("version") != 1:
+    sys.exit(f"FAIL: {name} RunReport has wrong schema/version")
+if rep.get("self_check") is not True:
+    bad = [c["what"] for c in rep.get("checks", []) if not c.get("ok")]
+    sys.exit(f"FAIL: {name} self_check is false: {bad}")
+EOF
+}
+
+# ---- lint ------------------------------------------------------------------
+lint_gate() {
+  local report="$report_dir/burst_lint.json"
+  python3 scripts/lint/burst_lint.py --json "$report" || return 1
+  check_run_report "$report" burst_lint || return 1
+  python3 scripts/lint/test_burst_lint.py || return 1
+  scripts/run_clang_tidy.sh "$BUILD_DIR" || return 1
+}
+if [[ $RUN_LINT -eq 1 ]]; then
+  echo "== lint (burst-lint + self-tests + clang-tidy when present)"
+  run_gate lint lint_gate
+fi
+
+# ---- build (warning-clean under -Werror) -----------------------------------
+build_gate() {
+  cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release \
+        -DBURST_WERROR=ON >/dev/null &&
+  cmake --build "$BUILD_DIR" -j "$JOBS"
+}
+echo "== configure + build (${BUILD_DIR}, Release, -Werror)"
+run_gate build build_gate
+if [[ ${gate_status[build]} == FAIL ]]; then
+  echo "verify: build failed; skipping test/bench gates" >&2
+  RUN_BENCH=0
+  RUN_PERF=0
+else
+  echo "== ctest"
+  run_gate test ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+  if [[ $RUN_PERF -eq 1 ]]; then
+    echo "== perf-labeled tests (ctest -L perf)"
+    run_gate perf ctest --test-dir "$BUILD_DIR" --output-on-failure -L perf
+  fi
+fi
+
+# ---- sanitizers ------------------------------------------------------------
+asan_gate() {
+  cmake -B "$ASAN_BUILD_DIR" -S . -DBURST_SANITIZE=address,undefined \
+        >/dev/null &&
+  cmake --build "$ASAN_BUILD_DIR" -j "$JOBS" &&
+  ctest --test-dir "$ASAN_BUILD_DIR" --output-on-failure -j "$JOBS" -LE slow
+}
+if [[ $RUN_ASAN -eq 1 ]]; then
+  echo "== ASan+UBSan build + full suite minus slow (${ASAN_BUILD_DIR})"
+  run_gate asan asan_gate
+fi
+
+tsan_gate() {
+  cmake -B "$TSAN_BUILD_DIR" -S . -DBURST_SANITIZE=thread >/dev/null &&
+  cmake --build "$TSAN_BUILD_DIR" -j "$JOBS" \
+        --target test_thread_pool test_kernel_determinism test_serve_engine &&
+  ctest --test-dir "$TSAN_BUILD_DIR" --output-on-failure -j "$JOBS" \
+        -R 'ThreadPool|ParallelFor|Scheduler|KernelDeterminism|ServeEngine'
+}
+if [[ $RUN_TSAN -eq 1 ]]; then
+  echo "== TSan build + threaded suites (${TSAN_BUILD_DIR})"
+  run_gate tsan tsan_gate
+fi
+
+# ---- bench fleet + regression gate -----------------------------------------
+bench_gate() {
+  local fail=0 bench name args report
   for bench in "$BUILD_DIR"/bench/*; do
     [[ -f $bench && -x $bench ]] || continue
     name=$(basename "$bench")
@@ -71,30 +170,30 @@ if [[ $RUN_BENCH -eq 1 ]]; then
       fail=1
       continue
     fi
-    python3 - "$report" "$name" <<'EOF' || fail=1
-import json, sys
-path, name = sys.argv[1], sys.argv[2]
-try:
-    with open(path) as f:
-        rep = json.load(f)
-except (OSError, json.JSONDecodeError) as e:
-    sys.exit(f"FAIL: {name} wrote no parseable RunReport: {e}")
-if rep.get("schema") != "burst.run_report" or rep.get("version") != 1:
-    sys.exit(f"FAIL: {name} RunReport has wrong schema/version")
-if rep.get("self_check") is not True:
-    bad = [c["what"] for c in rep.get("checks", []) if not c.get("ok")]
-    sys.exit(f"FAIL: {name} self_check is false: {bad}")
-EOF
+    check_run_report "$report" "$name" || fail=1
   done
-
   if [[ $RUN_PERF -eq 1 ]]; then
     echo "== bench-regression gate (BENCH_baseline.json)"
     python3 scripts/bench_compare.py BENCH_baseline.json \
       micro_gemm="$report_dir/bench_micro_gemm.json" \
       micro_kernels="$report_dir/bench_micro_kernels.json" || fail=1
   fi
-
-  [[ $fail -eq 0 ]] || exit 1
+  return $fail
+}
+if [[ $RUN_BENCH -eq 1 ]]; then
+  echo "== bench fleet (RunReport self_check gate)"
+  run_gate bench bench_gate
 fi
 
+# ---- summary ---------------------------------------------------------------
+echo
+echo "== verify summary"
+printf '   %-7s %s\n' gate result
+for g in lint build test perf asan tsan bench; do
+  printf '   %-7s %s\n' "$g" "${gate_status[$g]}"
+done
+if [[ $overall -ne 0 ]]; then
+  echo "verify: FAILED (see table above)" >&2
+  exit 1
+fi
 echo "== verify: all gates passed"

@@ -19,7 +19,7 @@ constexpr float kNegInf = -std::numeric_limits<float>::infinity();
 VocabParallelResult vocab_parallel_lm_head_loss(
     comm::Communicator& comm, const Tensor& h_local,
     const std::vector<std::int64_t>& targets_local, const Tensor& w_shard,
-    std::int64_t vocab) {
+    [[maybe_unused]] std::int64_t vocab) {
   const int g = comm.world_size();
   const int r = comm.rank();
   const std::int64_t n_loc = h_local.rows();
@@ -44,7 +44,8 @@ VocabParallelResult vocab_parallel_lm_head_loss(
   VocabParallelResult out;
   out.logits_bytes =
       static_cast<std::uint64_t>(logits.numel()) * sizeof(float);
-  comm.ctx().compute(2.0 * static_cast<double>(n_tot) * vs * d);
+  comm.ctx().compute(2.0 * static_cast<double>(n_tot) *
+                     static_cast<double>(vs) * static_cast<double>(d));
 
   // Global LSE: exchange per-shard LSEs, logaddexp locally.
   Tensor lse_part = tensor::row_lse(logits);
@@ -110,7 +111,8 @@ VocabParallelResult vocab_parallel_lm_head_loss(
 
   // dH needs every slice's contribution: partial product + all-reduce.
   Tensor dh_full = tensor::matmul(logits, w_shard);
-  comm.ctx().compute(4.0 * static_cast<double>(n_tot) * vs * d);
+  comm.ctx().compute(4.0 * static_cast<double>(n_tot) *
+                     static_cast<double>(vs) * static_cast<double>(d));
   std::vector<int> world(static_cast<std::size_t>(g));
   for (int s = 0; s < g; ++s) {
     world[static_cast<std::size_t>(s)] = s;

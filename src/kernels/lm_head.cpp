@@ -1,4 +1,5 @@
 #include "kernels/lm_head.hpp"
+// burst-lint: hotpath
 
 #include <algorithm>
 #include <cassert>

@@ -97,14 +97,20 @@ class MaskSpec {
       case MaskKind::kDilated:
         return k <= q && (q - k) % stride_ == 0;
       case MaskKind::kBlockSparse: {
+        // Positions past the block grid are outside the mask's domain and
+        // therefore not allowed (classify() may probe arbitrary tiles).
         const std::int64_t qb = q / block_size_;
         const std::int64_t kb = k / block_size_;
-        assert(qb < block_mask_->rows() && kb < block_mask_->cols());
+        if (qb >= block_mask_->rows() || kb >= block_mask_->cols()) {
+          return false;
+        }
         return (*block_mask_)(qb, kb) != 0.0f;
       }
       case MaskKind::kDocument: {
-        assert(q < static_cast<std::int64_t>(doc_of_->size()) &&
-               k < static_cast<std::int64_t>(doc_of_->size()));
+        const auto n = static_cast<std::int64_t>(doc_of_->size());
+        if (q >= n || k >= n) {
+          return false;  // outside the packed documents
+        }
         return k <= q && (*doc_of_)[static_cast<std::size_t>(q)] ==
                              (*doc_of_)[static_cast<std::size_t>(k)];
       }

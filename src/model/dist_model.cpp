@@ -40,6 +40,9 @@ const char* attn_impl_name(AttnImpl impl) {
 
 namespace {
 
+// Model dimensions enter the simulated-FLOP arithmetic as doubles.
+inline double fd(std::int64_t v) { return static_cast<double>(v); }
+
 IndexMap index_map_for(const DistTrainConfig& cfg, std::int64_t n,
                        int world_size, int rank) {
   switch (cfg.impl) {
@@ -250,7 +253,8 @@ LayerForwardOut dist_layer_forward(DeviceState& st, const LayerWeights& w,
   Tensor v_all = tensor::matmul(x, w.wv);
   st.comm->ctx().compute(
       2.0 * static_cast<double>(x.rows()) *
-      (m.d_model * m.d_model + 2.0 * m.d_model * m.d_kv()));
+      (fd(m.d_model) * fd(m.d_model) +
+         2.0 * fd(m.d_model) * fd(m.d_kv())));
   std::vector<Tensor> q = split_heads(q_all, m.heads, dh);
   std::vector<Tensor> k = split_heads(k_all, m.num_kv_heads(), dh);
   std::vector<Tensor> v = split_heads(v_all, m.num_kv_heads(), dh);
@@ -271,7 +275,8 @@ LayerForwardOut dist_layer_forward(DeviceState& st, const LayerWeights& w,
   Tensor y = tensor::matmul(u, w.w2);
   tensor::add_inplace(y, hres);
   st.comm->ctx().compute(2.0 * static_cast<double>(x.rows()) *
-                         (m.d_model * m.d_model + 2.0 * m.d_model * m.d_ff));
+                         (fd(m.d_model) * fd(m.d_model) +
+                          2.0 * fd(m.d_model) * fd(m.d_ff)));
 
   // --- what survives until backward ----------------------------------------
   const bool external_cache = st.cfg->impl == AttnImpl::kUlysses ||
@@ -420,7 +425,8 @@ Tensor dist_layer_backward(DeviceState& st, const LayerWeights& w,
     Tensor v_all = tensor::matmul(x, w.wv);
     st.comm->ctx().compute(
         2.0 * static_cast<double>(x.rows()) *
-        (m.d_model * m.d_model + 2.0 * m.d_model * m.d_kv()));
+        (fd(m.d_model) * fd(m.d_model) +
+         2.0 * fd(m.d_model) * fd(m.d_kv())));
     q = split_heads(q_all, m.heads, dh);
     k = split_heads(k_all, m.num_kv_heads(), dh);
     v = split_heads(v_all, m.num_kv_heads(), dh);
@@ -450,7 +456,8 @@ Tensor dist_layer_backward(DeviceState& st, const LayerWeights& w,
     u_pre = tensor::matmul(hres, w.w1);
     u = tensor::relu(u_pre);
     st.comm->ctx().compute(2.0 * static_cast<double>(x.rows()) *
-                           (m.d_model * m.d_model + m.d_model * m.d_ff));
+                           (fd(m.d_model) * fd(m.d_model) +
+                            fd(m.d_model) * fd(m.d_ff)));
   }
 
   // ---- backward math (mirrors the serial layer) ----------------------------
@@ -464,7 +471,8 @@ Tensor dist_layer_backward(DeviceState& st, const LayerWeights& w,
   Tensor d_attn = tensor::matmul_nt(dh_total, w.wo);
   tensor::add_inplace(g.wo, tensor::matmul_tn(attn_concat, dh_total));
   st.comm->ctx().compute(4.0 * static_cast<double>(x.rows()) *
-                         (m.d_model * m.d_model + 2.0 * m.d_model * m.d_ff));
+                         (fd(m.d_model) * fd(m.d_model) +
+                          2.0 * fd(m.d_model) * fd(m.d_ff)));
 
   std::vector<Tensor> d_o_heads = split_heads(d_attn, m.heads, dh);
   Tensor dq_all(x.rows(), m.d_model);
@@ -518,8 +526,8 @@ Tensor dist_layer_backward(DeviceState& st, const LayerWeights& w,
   tensor::add_inplace(g.wq, tensor::matmul_tn(x, dq_all));
   tensor::add_inplace(g.wk, tensor::matmul_tn(x, dk_all));
   tensor::add_inplace(g.wv, tensor::matmul_tn(x, dv_all));
-  st.comm->ctx().compute(12.0 * static_cast<double>(x.rows()) * m.d_model *
-                         m.d_model);
+  st.comm->ctx().compute(12.0 * static_cast<double>(x.rows()) * fd(m.d_model) *
+                         fd(m.d_model));
 
   // Release everything this layer had charged.
   st.comm->ctx().mem().free(cache.charged_bytes);

@@ -8,7 +8,17 @@ namespace burst::obs {
 
 namespace {
 
-std::string quoted(const std::string& s) { return "\"" + json_escape(s) + "\""; }
+std::string quoted(const std::string& s) {
+  // Built up with += rather than `"\"" + json_escape(s) + "\""`: the
+  // operator+ form trips a -Wrestrict false positive in GCC 12 at -O3
+  // (GCC bug 105651), and the tree builds with -Werror.
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  out += json_escape(s);
+  out += '"';
+  return out;
+}
 
 }  // namespace
 

@@ -123,14 +123,16 @@ StepEstimate estimate_step(const RunConfig& cfg, const HardwareModel& hw) {
       hw.peak_flops * hw.kernel_efficiency * prof.impl_efficiency;
   out.compute_s = fl.model_total() / g / rate;
   out.recompute_s = fl.recompute / g / rate;
+  const double layers = static_cast<double>(m.layers);
+  const double d_model = static_cast<double>(m.d_model);
   const double attn_compute_layer =
-      (fl.attn_fwd + fl.attn_bwd) / m.layers / g / rate;
+      (fl.attn_fwd + fl.attn_bwd) / layers / g / rate;
   const double linear_compute =
       (fl.linear_fwd + fl.linear_bwd + fl.lm_head_fwd + fl.lm_head_bwd) / g /
       rate;
 
   // ---- attention communication per layer ------------------------------------
-  const double shard_bytes = n_loc * m.d_model * b;
+  const double shard_bytes = n_loc * d_model * b;
   const double vec_bytes = n_loc * b;
   double overlappable = 0.0;  // hidden behind attention compute
   double serial = 0.0;        // always exposed
@@ -141,9 +143,9 @@ StepEstimate estimate_step(const RunConfig& cfg, const HardwareModel& hw) {
     case Method::kUlysses: {
       // 8 tensor exchanges per layer (Q,K,V,O forward; dO,dQ,dK,dV
       // backward), none overlapped with compute.
-      const double vol = 8.0 * n_loc * m.d_model * b;
-      out.a2a_s += m.layers * comm.all_to_all(vol, cfg.cluster,
-                                              /*over_nvlink=*/false);
+      const double vol = 8.0 * n_loc * d_model * b;
+      out.a2a_s += layers * comm.all_to_all(vol, cfg.cluster,
+                                            /*over_nvlink=*/false);
       break;
     }
     case Method::kDoubleRing: {
@@ -159,15 +161,16 @@ StepEstimate estimate_step(const RunConfig& cfg, const HardwareModel& hw) {
       const int gr = std::max(1, cfg.cluster.world() / gh);
       // Ring stage: shards of N/gr tokens x d/gh features over a ring of gr
       // devices (one per node with head-first placement).
-      const double usp_shard = (cfg.seq_len / gr) * (m.d_model / gh) * b;
+      const double usp_shard =
+          (cfg.seq_len / gr) * static_cast<double>(m.d_model / gh) * b;
       ClusterShape ring_shape{gr, 1};
       const double pass = comm.pass_flat(usp_shard, ring_shape);
       overlappable = 4.0 * pass;
       serial = 2.0 * pass;  // RingAttention gradients, unoverlapped
       // Head-group all-to-all rides NVLink; not overlapped.
-      const double vol = 4.0 * n_loc * m.d_model * b;
+      const double vol = 4.0 * n_loc * d_model * b;
       out.a2a_s +=
-          m.layers * comm.all_to_all(vol, cfg.cluster, /*over_nvlink=*/true);
+          layers * comm.all_to_all(vol, cfg.cluster, /*over_nvlink=*/true);
       break;
     }
     case Method::kBurstEngine:
@@ -180,16 +183,18 @@ StepEstimate estimate_step(const RunConfig& cfg, const HardwareModel& hw) {
   const double overlap_budget =
       hw.attn_overlap_fraction * attn_compute_layer;
   out.attn_comm_exposed_s =
-      m.layers * (std::max(0.0, overlappable - overlap_budget) + serial);
+      layers * (std::max(0.0, overlappable - overlap_budget) + serial);
 
   // ---- FSDP / gradient synchronization ---------------------------------------
   double sync_comm = 0.0;
   if (prof.fsdp) {
-    sync_comm = comm.fsdp_step_comm(b * m.param_count(), cfg.cluster);
+    sync_comm = comm.fsdp_step_comm(
+        b * static_cast<double>(m.param_count()), cfg.cluster);
   } else {
     // Replicated data parallel still all-reduces gradients (2x volume of a
     // reduce-scatter).
-    const double vol = 2.0 * b * m.param_count() * (g - 1.0) / g;
+    const double vol =
+        2.0 * b * static_cast<double>(m.param_count()) * (g - 1.0) / g;
     sync_comm = cfg.cluster.nodes > 1 ? hw.inter_time(vol)
                                       : hw.intra_time(vol);
   }
@@ -225,7 +230,8 @@ AttnEstimate estimate_attention_only(const RunConfig& cfg,
   // attention keeps per-head P2P exchange workspace that grows with both the
   // local shard and the global length — calibrated so the OOM point lands
   // just past 256K on 32 GPUs as in Figure 14.
-  double working = 10.0 * n_loc * m.d_model * b;
+  const double d_model = static_cast<double>(m.d_model);
+  double working = 10.0 * n_loc * d_model * b;
   if (cfg.method == Method::kMegatronCP) {
     working += static_cast<double>(m.heads) * n_loc * cfg.seq_len * b / 8.0;
   }
@@ -255,7 +261,7 @@ AttnEstimate estimate_attention_only(const RunConfig& cfg,
   const double rate = hw.peak_flops * hw.kernel_efficiency * impl;
   const double compute = flops / g / rate;
 
-  const double shard_bytes = n_loc * m.d_model * b;
+  const double shard_bytes = n_loc * d_model * b;
   const double vec_bytes = n_loc * b;
   double comm_time = 0.0;
   double serial = 0.0;
@@ -264,7 +270,7 @@ AttnEstimate estimate_attention_only(const RunConfig& cfg,
       comm_time = comm.ring_attention_comm(shard_bytes, cfg.cluster);
       break;
     case Method::kUlysses: {
-      serial = 4.0 * comm.all_to_all(4.0 * n_loc * m.d_model * b / 4.0,
+      serial = 4.0 * comm.all_to_all(4.0 * n_loc * d_model * b / 4.0,
                                      cfg.cluster, false);
       break;
     }
@@ -279,12 +285,13 @@ AttnEstimate estimate_attention_only(const RunConfig& cfg,
       const int gh = cfg.usp_head_parallel > 0 ? cfg.usp_head_parallel
                                                : cfg.cluster.gpus_per_node;
       const int gr = std::max(1, cfg.cluster.world() / gh);
-      const double usp_shard = (cfg.seq_len / gr) * (m.d_model / gh) * b;
+      const double usp_shard =
+          (cfg.seq_len / gr) * static_cast<double>(m.d_model / gh) * b;
       ClusterShape ring_shape{gr, 1};
       const double pass = comm.pass_flat(usp_shard, ring_shape);
       comm_time = 4.0 * pass;
       serial = 2.0 * pass +
-               4.0 * comm.all_to_all(n_loc * m.d_model * b, cfg.cluster, true);
+               4.0 * comm.all_to_all(n_loc * d_model * b, cfg.cluster, true);
       break;
     }
     case Method::kBurstEngine:

@@ -6,7 +6,7 @@ using core::CkptConfig;
 using core::CkptStrategy;
 
 double stored_activation_per_token(const CkptConfig& ckpt, double d_model,
-                                   int bytes_per_el) {
+                                   double bytes_per_el) {
   switch (ckpt.strategy) {
     case CkptStrategy::kNone:
       // Everything kept: qkv/o/attn-out (~6d) + block IO (2d) + FFN (~2d_ff
@@ -22,7 +22,7 @@ double stored_activation_per_token(const CkptConfig& ckpt, double d_model,
   return 0.0;
 }
 
-double lm_head_logits_bytes(double tokens, double vocab, int bytes_per_el) {
+double lm_head_logits_bytes(double tokens, double vocab, double bytes_per_el) {
   return tokens * vocab * bytes_per_el;
 }
 
@@ -39,18 +39,21 @@ MemoryBreakdown peak_memory(const MemoryInputs& in, const HardwareModel& hw) {
   out.gathered_layer =
       in.fsdp ? b * static_cast<double>(m.params_per_layer()) : 0.0;
 
-  out.activations = stored_activation_per_token(in.ckpt, m.d_model, b) *
+  const double d_model = static_cast<double>(m.d_model);
+  const double vocab = static_cast<double>(m.vocab);
+  out.activations = stored_activation_per_token(in.ckpt, d_model, b) *
                     in.tokens_per_gpu * static_cast<double>(m.layers);
   out.working_set =
-      (8.0 * m.d_model + 2.0 * m.d_ff) * b * in.tokens_per_gpu;
+      (8.0 * d_model + 2.0 * static_cast<double>(m.d_ff)) * b *
+      in.tokens_per_gpu;
 
   out.lm_head =
       in.fused_lm_head
-          ? lm_head_logits_bytes(in.fused_block_rows, m.vocab, m.bytes_per_el)
-          : lm_head_logits_bytes(in.tokens_per_gpu, m.vocab, m.bytes_per_el);
+          ? lm_head_logits_bytes(in.fused_block_rows, vocab, b)
+          : lm_head_logits_bytes(in.tokens_per_gpu, vocab, b);
 
   // Triple-buffered (compute / intra / inter) K,V bundles.
-  out.comm_buffers = 6.0 * in.tokens_per_gpu * m.d_model * b;
+  out.comm_buffers = 6.0 * in.tokens_per_gpu * d_model * b;
   out.reserved = hw.reserved_bytes;
   return out;
 }

@@ -60,9 +60,9 @@ MemoryBreakdown peak_memory(const MemoryInputs& in, const HardwareModel& hw);
 /// Stored-activation bytes per token per layer for a checkpoint strategy
 /// (hidden size d elements, bf16). Used directly by the Figure 7 bench.
 double stored_activation_per_token(const core::CkptConfig& ckpt,
-                                   double d_model, int bytes_per_el);
+                                   double d_model, double bytes_per_el);
 
 /// LM-head logits bytes (Figure 8): tokens x vocab at bf16.
-double lm_head_logits_bytes(double tokens, double vocab, int bytes_per_el);
+double lm_head_logits_bytes(double tokens, double vocab, double bytes_per_el);
 
 }  // namespace burst::perfmodel

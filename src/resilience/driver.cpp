@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/metrics.hpp"
+
 namespace burst::resilience {
 
 using model::AdamOptimizer;

@@ -8,6 +8,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/metrics.hpp"
 #include "serve/kv_cache.hpp"
 #include "tensor/gemm.hpp"
 

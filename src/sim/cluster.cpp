@@ -5,6 +5,8 @@
 #include <string>
 #include <thread>
 
+#include "obs/metrics.hpp"
+
 namespace burst::sim {
 
 namespace {

@@ -1,4 +1,5 @@
 #include "tensor/gemm.hpp"
+// burst-lint: hotpath
 
 #include <algorithm>
 #include <cassert>

@@ -1,4 +1,5 @@
 // Panel packing for the blocked GEMM (BLIS-style).
+// burst-lint: hotpath
 //
 // The microkernel in gemm.cpp multiplies a kMR x kc sliver of op(A) by a
 // kc x kNR sliver of op(B). Packing copies those slivers once into
@@ -20,6 +21,7 @@
 #include <algorithm>
 #include <cstdint>
 
+#include "tensor/gemm.hpp"
 #include "tensor/tensor.hpp"
 
 namespace burst::tensor::pack {

@@ -73,6 +73,7 @@ TEST(Data, InductionKeysAlwaysMapToSameValue) {
 TEST(Data, NeedleQueryAndAnswer) {
   const std::int64_t n = 64;
   Tensor t = make_task_sequence(TaskKind::kNeedle, 17, n, 32);
+  // burst-lint: allow(no-naked-float-eq) sentinel is written as exactly 0.0f
   EXPECT_EQ(t[n - 1], 0.0f);  // query sentinel
   // The answer equals the value following the planted sentinel.
   std::int64_t planted = -1;

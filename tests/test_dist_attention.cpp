@@ -243,8 +243,9 @@ TEST(DistAttentionVolume, BurstBackwardMovesQuarterLessThanRing) {
       auto fwd = dist_attention_forward(comm, route, cfg, local);
       const std::uint64_t fwd_bytes = ctx.bytes_sent();
       // Forward: (G-1) hops x 2 tensors of [N/G, d].
-      EXPECT_EQ(fwd_bytes, static_cast<std::uint64_t>(
-                               (g - 1) * 2 * n_loc * p.d * w));
+      EXPECT_EQ(fwd_bytes,
+                static_cast<std::uint64_t>(
+                    static_cast<double>((g - 1) * 2 * n_loc * p.d) * w));
       auto grads = dist_attention_backward(comm, route, cfg, local, fwd,
                                            shard_rows(p.d_out, map));
       (void)grads;
@@ -259,16 +260,19 @@ TEST(DistAttentionVolume, BurstBackwardMovesQuarterLessThanRing) {
 
   // Exact per-implementation formulas (wire bytes, per device):
   const std::uint64_t ring_expected = static_cast<std::uint64_t>(
-      w * ((g - 1) * 2 * n_loc * p.d    // K,V immutable hops
-           + g * 2 * n_loc * p.d));     // ∇K,∇V accumulator hops
+      w * static_cast<double>(
+              (g - 1) * 2 * n_loc * p.d    // K,V immutable hops
+              + g * 2 * n_loc * p.d));     // ∇K,∇V accumulator hops
   const std::uint64_t burst_expected = static_cast<std::uint64_t>(
-      w * ((g - 1) * (2 * n_loc * p.d + 2 * n_loc)  // Q,∇O,Lse,D hops
-           + g * n_loc * p.d));                     // ∇Q accumulator hops
+      w * static_cast<double>(
+              (g - 1) * (2 * n_loc * p.d + 2 * n_loc)  // Q,∇O,Lse,D hops
+              + g * n_loc * p.d));                     // ∇Q accumulator hops
   EXPECT_EQ(ring_bytes, ring_expected);
   EXPECT_EQ(burst_bytes, burst_expected);
 
   // Headline ratio: ~ (3Nd + 2N) / 4Nd -> 0.75 + 1/(2d).
-  const double ratio = static_cast<double>(burst_bytes) / ring_bytes;
+  const double ratio =
+      static_cast<double>(burst_bytes) / static_cast<double>(ring_bytes);
   EXPECT_NEAR(ratio, 0.75 + 1.0 / (2.0 * static_cast<double>(p.d)), 0.07);
 }
 

@@ -139,6 +139,7 @@ TEST(FailureInjection, ClusterRecoversAfterAbort) {
     if (ctx.rank() == 0) {
       throw std::runtime_error("boom");
     }
+    // burst-lint: allow(no-unchecked-recv) receive exists to block; the peer crash is the assertion
     ctx.recv(0, 9, sim::kIntraComm);
   }),
                std::runtime_error);
@@ -272,6 +273,7 @@ TEST(FaultPlan, CorruptedFrameRejectedByChecksum) {
     if (ctx.rank() == 0) {
       comm.send(1, 3, {Tensor::full(4, 4, 1.0f)});
     } else {
+      // burst-lint: allow(no-unchecked-recv) corruption must throw before any payload exists
       comm.recv(0, 3);
     }
   }),
@@ -298,6 +300,7 @@ TEST(FaultPlan, DegradedLinkStretchesMakespan) {
       if (ctx.rank() == 0) {
         comm.send(1, 2, {Tensor::zeros(2048, 2048)});
       } else {
+      // burst-lint: allow(no-unchecked-recv) payload irrelevant; the test measures link-degraded makespan
         comm.recv(0, 2);
       }
     });
@@ -323,6 +326,7 @@ TEST(FaultPlan, RecvDeadlineRaisesTimeout) {
       comm::Reliability rel;
       rel.recv_timeout_s = 0.1;
       comm.set_reliability(rel);
+      // burst-lint: allow(no-unchecked-recv) timeout must fire before any payload exists
       comm.recv(0, 6);
     }
   }),
@@ -347,6 +351,7 @@ TEST(FaultPlan, RetryBudgetExhaustionRaisesTimeout) {
     if (ctx.rank() == 0) {
       comm.send(1, 4, {Tensor::zeros(2, 2)});
     } else {
+      // burst-lint: allow(no-unchecked-recv) the dropped frame means nothing ever arrives
       comm.recv(0, 4);
     }
   }),
@@ -374,6 +379,7 @@ TEST(FaultPlan, CrashedPeerObservedAsPeerFailed) {
       ctx.busy(1e-6);  // first op boundary: the crash fires here
     } else {
       try {
+        // burst-lint: allow(no-unchecked-recv) PeerFailedError is the expected outcome
         ctx.recv(1, 7);
       } catch (const sim::PeerFailedError& e) {
         observed_peer.store(e.peer());
@@ -403,6 +409,7 @@ TEST(FaultPlan, ConcurrentFailuresAttributeDeterministically) {
         ctx.busy(1e-3);
         throw std::runtime_error("early-wall-late-virtual");
       }
+      // burst-lint: allow(no-unchecked-recv) blocks until the abort; no payload
       ctx.recv(1, 9);  // rank 0 just blocks until the abort
     });
     FAIL() << "run should have thrown";

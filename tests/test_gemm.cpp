@@ -153,6 +153,8 @@ TEST(Gemm, WorksOnColBlockViews) {
   Tensor b_sub = b_wide.copy_rows(4, 4);
   Tensor expect(20, 4);
   gemm(a_sub.view(), Trans::No, b_sub.view(), Trans::No, expect.view());
+  // burst-lint: allow(no-naked-float-eq) strided-view gemm must match the
+  // packed contiguous path bitwise
   EXPECT_EQ(max_abs_diff(c, expect), 0.0f);
 }
 

@@ -17,11 +17,6 @@ using tensor::Tensor;
 
 TEST(Adam, SingleParamMatchesHandComputation) {
   // One 1x1 "model": check the textbook Adam update for two steps.
-  ModelConfig cfg = ModelConfig::toy();
-  cfg.layers = 0;
-  cfg.vocab = 1;
-  cfg.d_model = 1;
-  cfg.heads = 1;
   ModelWeights w;
   w.w_embed = Tensor::zeros(1, 1);
   w.w_head = Tensor::zeros(1, 1);

@@ -33,6 +33,7 @@ TEST(Flops, RecomputeOrderingAcrossCheckpointStrategies) {
   const auto rec = [&](CkptStrategy s) {
     return step_flops(c, n, {s, 0.5}).recompute;
   };
+  // burst-lint: allow(no-naked-float-eq) no-checkpoint recompute is exactly 0
   EXPECT_EQ(rec(CkptStrategy::kNone), 0.0);
   EXPECT_GT(rec(CkptStrategy::kFull), rec(CkptStrategy::kSeqSelective));
   EXPECT_GT(rec(CkptStrategy::kSeqSelective), rec(CkptStrategy::kSelectivePP));

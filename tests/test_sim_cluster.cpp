@@ -158,6 +158,7 @@ TEST(Cluster, StatsCapturePeakMemoryAndTraffic) {
       m.bytes = 10;
       ctx.send(1, 0, std::move(m), kIntraComm);
     } else {
+      // burst-lint: allow(no-unchecked-recv) raw sim receive; test asserts byte accounting only
       ctx.recv(0, 0, kIntraComm);
     }
   });
@@ -185,6 +186,7 @@ TEST(Cluster, DeviceFailureAbortsBlockedPeers) {
   EXPECT_THROW(
       cluster.run([&](DeviceContext& ctx) {
         if (ctx.rank() == 0) {
+          // burst-lint: allow(no-unchecked-recv) blocks forever; OOM abort on the peer is the assertion
           ctx.recv(1, 0, kIntraComm);  // blocks forever unless aborted
         } else {
           ctx.mem().alloc(1000, "too big");
@@ -230,6 +232,7 @@ TEST(Cluster, ReusableAcrossRuns) {
         m.bytes = 8;
         ctx.send(1, iter, std::move(m), kIntraComm);
       } else {
+        // burst-lint: allow(no-unchecked-recv) raw sim receive; test asserts per-iteration clocks
         ctx.recv(0, iter, kIntraComm);
       }
     });
@@ -256,8 +259,10 @@ TEST(Cluster, StreamsModelIndependentRails) {
       // Overlapped rails: elapsed is 1ms, not 2ms.
       EXPECT_NEAR(ctx.clock().elapsed(), 1e-3, 1e-12);
     } else if (ctx.rank() == 1) {
+      // burst-lint: allow(no-unchecked-recv) rail-overlap timing is the assertion, not the payload
       ctx.recv(0, 1, kIntraComm);
     } else if (ctx.rank() == 2) {
+      // burst-lint: allow(no-unchecked-recv) rail-overlap timing is the assertion, not the payload
       ctx.recv(0, 2, kInterComm);
     }
   });
