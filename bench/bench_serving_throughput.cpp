@@ -11,14 +11,17 @@
 #include <string>
 #include <vector>
 
+#include "api/loadgen.hpp"
 #include "model/transformer.hpp"
 #include "obs/metrics.hpp"
 #include "reporter.hpp"
 #include "serve/engine.hpp"
-#include "tensor/rng.hpp"
 
 namespace {
 
+using burst::api::GeneratedRequest;
+using burst::api::LoadGen;
+using burst::api::LoadGenConfig;
 using burst::model::ModelConfig;
 using burst::model::ModelWeights;
 using burst::serve::BatchPolicy;
@@ -38,18 +41,31 @@ ModelConfig bench_model() {
   return cfg;
 }
 
-struct Workload {
-  std::int64_t requests = 16;
-  std::int64_t prompt_tokens = 48;
-  std::int64_t max_new_tokens = 16;
-  // Bursty arrivals: short against the service time, so throughput is
-  // engine-limited (the regime where batching policy matters), not
-  // arrival-limited.
-  double mean_interarrival_s = 5e-7;
-};
+// Workload via the shared trace generator (api/loadgen.hpp). Length clamps
+// are pinned (min == max) to keep the classic fixed-size comparison; the
+// arrival rate is far above service capacity, so throughput is
+// engine-limited (the regime where batching policy matters), not
+// arrival-limited.
+LoadGenConfig workload_config() {
+  LoadGenConfig cfg;
+  cfg.seed = 2024;
+  cfg.requests = 16;
+  cfg.rate_rps = 2e6;
+  cfg.burst_rate_multiplier = 1.0;  // plain Poisson: bursts add nothing here
+  cfg.burst_start_prob = 0.0;
+  cfg.tenants = 1;
+  cfg.prompt_min = 48;
+  cfg.prompt_max = 48;
+  cfg.output_min = 16;
+  cfg.output_max = 16;
+  cfg.p_interactive = 0.0;
+  cfg.p_batch = 0.0;
+  return cfg;
+}
 
 ServeReport run_policy(BatchPolicy policy, const ModelConfig& cfg,
-                       const ModelWeights& w, const Workload& wl,
+                       const ModelWeights& w,
+                       const std::vector<GeneratedRequest>& trace,
                        std::int64_t max_kv_blocks,
                        burst::obs::Registry* metrics) {
   EngineConfig ec;
@@ -60,16 +76,10 @@ ServeReport run_policy(BatchPolicy policy, const ModelConfig& cfg,
   ec.max_kv_blocks = max_kv_blocks;
   ec.metrics = metrics;
   Engine engine(cfg, w, ec);
-  burst::tensor::Rng rng(2024);
-  double arrival = 0.0;
-  for (std::int64_t i = 0; i < wl.requests; ++i) {
-    std::vector<std::int64_t> prompt(
-        static_cast<std::size_t>(wl.prompt_tokens));
-    for (auto& t : prompt) {
-      t = rng.next_index(cfg.vocab);
-    }
-    engine.add_request(std::move(prompt), wl.max_new_tokens, arrival);
-    arrival += rng.next_uniform() * 2.0 * wl.mean_interarrival_s;
+  for (const auto& g : trace) {
+    engine.add_request(
+        LoadGen::materialize_prompt(g.prompt_seed, g.prompt_len, cfg.vocab),
+        g.max_tokens, g.arrival_s);
   }
   return run_on_single_device(engine);
 }
@@ -100,11 +110,12 @@ int main() {
 
   const ModelConfig cfg = bench_model();
   const ModelWeights w = ModelWeights::init(cfg, 91);
-  const Workload wl;
+  const LoadGenConfig wl = workload_config();
+  const auto trace = LoadGen(wl).generate();
   // Enough blocks for ~half the fleet's full sequences: continuous batching
   // runs a deep batch, FCFS cannot benefit either way.
   const std::int64_t max_kv_blocks =
-      wl.requests * (wl.prompt_tokens + wl.max_new_tokens) / 16 / 2;
+      wl.requests * (wl.prompt_min + wl.output_min) / 16 / 2;
 
   Reporter rep("serving_throughput");
   rep.config("layers", cfg.layers);
@@ -113,8 +124,8 @@ int main() {
   rep.config("kv_heads", cfg.num_kv_heads());
   rep.config("vocab", cfg.vocab);
   rep.config("requests", wl.requests);
-  rep.config("prompt_tokens", wl.prompt_tokens);
-  rep.config("max_new_tokens", wl.max_new_tokens);
+  rep.config("prompt_tokens", wl.prompt_min);
+  rep.config("max_new_tokens", wl.output_min);
   rep.config("max_kv_blocks", max_kv_blocks);
   rep.config("block_tokens", 16);
 
@@ -122,9 +133,9 @@ int main() {
   // continuous-batching run land in the report unmixed.
   burst::obs::Registry fcfs_reg;
   burst::obs::Registry cont_reg;
-  const ServeReport fcfs =
-      run_policy(BatchPolicy::kFcfs, cfg, w, wl, max_kv_blocks, &fcfs_reg);
-  const ServeReport cont = run_policy(BatchPolicy::kContinuous, cfg, w, wl,
+  const ServeReport fcfs = run_policy(BatchPolicy::kFcfs, cfg, w, trace,
+                                      max_kv_blocks, &fcfs_reg);
+  const ServeReport cont = run_policy(BatchPolicy::kContinuous, cfg, w, trace,
                                       max_kv_blocks, &cont_reg);
   rep.attach_registry(cont_reg);
 

@@ -1,0 +1,121 @@
+// Serving front door quickstart: JSON completion requests from two tenants
+// flow through the ApiServer (parse -> validate -> admit -> SLO-aware
+// schedule) and come back as virtual-time-ordered token streams, followed by
+// an admission-control section where a same-instant burst overflows a tiny
+// waiting queue and the overflow is shed as typed 429s.
+//
+//   cmake -B build -S . && cmake --build build -j && ./build/examples/api_demo
+//
+// Everything runs on the virtual clock, so the output is byte-identical on
+// every machine and every run.
+#include <cstdio>
+#include <string>
+#include <utility>
+
+#include "api/loadgen.hpp"
+#include "api/parser.hpp"
+#include "api/server.hpp"
+#include "model/transformer.hpp"
+
+using namespace burst;
+
+namespace {
+
+model::ModelConfig demo_model() {
+  model::ModelConfig cfg = model::ModelConfig::toy();
+  cfg.kv_heads = 2;  // GQA
+  cfg.use_rope = true;
+  return cfg;
+}
+
+std::string prompt_json(std::uint64_t seed, std::int64_t len,
+                        std::int64_t vocab) {
+  const auto toks = api::LoadGen::materialize_prompt(seed, len, vocab);
+  std::string out = "[";
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    out += (i ? "," : "") + std::to_string(toks[i]);
+  }
+  return out + "]";
+}
+
+}  // namespace
+
+int main() {
+  const model::ModelConfig cfg = demo_model();
+  const model::ModelWeights w = model::ModelWeights::init(cfg, 7);
+
+  // --- the front door: JSON in, SLO-scheduled token streams out -----------
+  api::ApiServerConfig sc;
+  sc.engine.sched.policy = serve::BatchPolicy::kSlo;
+  sc.engine.sched.token_budget = 32;
+  sc.engine.sched.chunk_tokens = 16;
+  sc.engine.block_tokens = 8;
+  sc.tenant_weights = {{"acme", 3.0}, {"widgets", 1.0}};
+  api::ApiServer server(cfg, w, sc);
+
+  api::CollectingSink sink;
+  server.submit(0.0,
+                R"({"tenant": "widgets", "priority": "batch", "prompt": )" +
+                    prompt_json(1, 24, cfg.vocab) + R"(, "max_tokens": 8})",
+                &sink);
+  server.submit(0.0,
+                R"({"tenant": "acme", "priority": "standard", "prompt": )" +
+                    prompt_json(2, 24, cfg.vocab) + R"(, "max_tokens": 8})",
+                &sink);
+  server.submit(2e-4,
+                R"({"tenant": "acme", "priority": "interactive", "prompt": )" +
+                    prompt_json(3, 16, cfg.vocab) +
+                    R"(, "max_tokens": 6, "ttft_slo_ms": 1.0})",
+                &sink);
+  // A malformed body never reaches the engine: typed 400, delivered now.
+  server.submit(0.0, R"({"prompt": "not token ids"})", &sink);
+
+  const api::ApiServer::Report rep = server.run();
+  std::printf("front door: %lld completed, %lld rejected, %lld invalid "
+              "(%lld tokens in %.1f us of virtual time, %lld preemption(s))\n",
+              static_cast<long long>(rep.completed),
+              static_cast<long long>(rep.rejected),
+              static_cast<long long>(rep.invalid),
+              static_cast<long long>(rep.metrics.generated_tokens),
+              rep.metrics.makespan_s * 1e6,
+              static_cast<long long>(rep.metrics.preempted));
+  for (const auto& [id, err] : sink.errors) {
+    std::printf("  error (request %lld): %s\n", static_cast<long long>(id),
+                api::to_json(err).c_str());
+  }
+  for (const auto& c : sink.completions) {
+    std::printf("  request %lld %s/%s: ttft %.0f ns, %lld+%lld tokens:",
+                static_cast<long long>(c.request_id), c.tenant.c_str(),
+                c.finish_reason.c_str(), c.ttft_s() * 1e9,
+                static_cast<long long>(c.usage.prompt_tokens),
+                static_cast<long long>(c.usage.completion_tokens));
+    for (const auto t : c.tokens) {
+      std::printf(" %lld", static_cast<long long>(t));
+    }
+    std::printf("\n");
+  }
+
+  // --- admission control: a burst overflows a bounded waiting queue -------
+  api::ApiServerConfig ac = sc;
+  ac.engine.sched.max_waiting = 2;
+  api::ApiServer bursty(cfg, w, ac);
+  api::CollectingSink burst_sink;
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    api::CompletionRequest req;
+    req.tenant = "acme";
+    req.prompt = api::LoadGen::materialize_prompt(10 + i, 16, cfg.vocab);
+    req.max_tokens = 4;
+    bursty.submit(/*arrival_s=*/0.0, std::move(req), &burst_sink);
+  }
+  const api::ApiServer::Report brep = bursty.run();
+  std::printf("\nadmission: 6 requests at t=0 against max_waiting=2 -> "
+              "%lld served, %lld shed\n",
+              static_cast<long long>(brep.completed),
+              static_cast<long long>(brep.rejected));
+  if (!burst_sink.errors.empty()) {
+    const auto& [id, err] = burst_sink.errors.front();
+    std::printf("  first 429 (request %lld): %s\n",
+                static_cast<long long>(id), err.message.c_str());
+  }
+  return 0;
+}

@@ -228,6 +228,36 @@ def no_wallclock(sf):
 
 
 @rule(
+    "no-serving-wallclock",
+    "serving determinism (DESIGN.md section 13): src/api/ and src/serve/ run "
+    "entirely on sim::VirtualClock; no <chrono>, std::this_thread, or sleep "
+    "calls of any kind, so replays and SLO decisions stay bitwise identical",
+    applies=lambda p: _in_dir(p, "src") and _in_dir(p, "api", "serve"),
+)
+def no_serving_wallclock(sf):
+    # Stricter than no-wallclock: the serving stack may not even *name*
+    # std::chrono types (durations included) — every timestamp is a double of
+    # virtual seconds — and may never sleep, because blocking on real time
+    # would desynchronize the simulated event stream from the virtual clock.
+    pat = (
+        r"#\s*include\s*<\s*chrono\s*>"
+        r"|std\s*::\s*chrono\b"
+        r"|std\s*::\s*this_thread\b"
+        r"|(?<![\w:.])(?:sleep_for|sleep_until|usleep|nanosleep|sleep)\s*\("
+    )
+    seen = set()
+    for line, m in _code_matches(sf, pat):
+        if line in seen:
+            continue  # one finding per line even when e.g. this_thread::sleep_for
+        seen.add(line)
+        yield line, (
+            f"wall-clock construct `{m.group(0).strip()}` in serving code; "
+            "src/api/ and src/serve/ schedule on sim::VirtualClock virtual "
+            "seconds only (no chrono types, no sleeping)"
+        )
+
+
+@rule(
     "no-raw-rand",
     "bitwise replay: all randomness flows through tensor::Rng with an "
     "explicit recorded seed",

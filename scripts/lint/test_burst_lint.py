@@ -58,6 +58,10 @@ class TestRuleDetection(unittest.TestCase):
     def test_no_raw_rand(self):
         self.assert_rule_fires("src/sim/bad_rand.cpp", "no-raw-rand", 2)
 
+    def test_no_serving_wallclock(self):
+        self.assert_rule_fires(
+            "src/api/bad_chrono.cpp", "no-serving-wallclock", 4)
+
     def test_no_hotpath_alloc(self):
         self.assert_rule_fires(
             "src/kernels/bad_hotpath.cpp", "no-hotpath-alloc", 3)
@@ -84,6 +88,19 @@ class TestSuppressionAndNoise(unittest.TestCase):
     def test_comments_and_strings_ignored(self):
         rc, _, err = lint_fixture("src/sim/clean.cpp")
         self.assertEqual(rc, 0, f"clean fixture should be clean:\n{err}")
+
+    def test_serving_wallclock_rule_scoped_to_serving_dirs(self):
+        # The same chrono duration in src/sim/ is outside the rule's scope
+        # (and names no clock, so no-wallclock stays quiet too).
+        with tempfile.TemporaryDirectory() as tmp:
+            src = os.path.join(tmp, "src", "sim")
+            os.makedirs(src)
+            path = os.path.join(src, "durations.cpp")
+            with open(path, "w") as f:
+                f.write("#include <chrono>\n"
+                        "auto d() { return std::chrono::milliseconds(5); }\n")
+            rc, _, err = run_lint(["--root", tmp, path])
+            self.assertEqual(rc, 0, err)
 
     def test_hotpath_rule_off_without_tag(self):
         # The same allocations in an untagged file are fine.

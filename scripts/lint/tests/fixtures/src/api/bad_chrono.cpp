@@ -1,0 +1,15 @@
+// Fixture: seeded no-serving-wallclock violations (one per line flagged).
+#include <chrono>  // VIOLATION: no-serving-wallclock
+
+namespace fixture {
+
+void bad_duration() {
+  auto d = std::chrono::milliseconds(5);  // VIOLATION: no-serving-wallclock
+  std::this_thread::sleep_for(d);         // VIOLATION: no-serving-wallclock
+}
+
+void bad_posix_sleep() {
+  usleep(100);  // VIOLATION: no-serving-wallclock
+}
+
+}  // namespace fixture

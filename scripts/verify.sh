@@ -14,7 +14,7 @@
 #             the full suite minus slow-labeled tests.
 #   tsan      TSan build (-DBURST_SANITIZE=thread) running the threaded
 #             suites: test_thread_pool, test_kernel_determinism,
-#             test_serve_engine.
+#             test_serve_engine, test_api_server, test_api_scheduler.
 #   bench     bench fleet with the RunReport self_check gate, then the
 #             regression gate against the committed BENCH_baseline.json
 #             (gated metrics may not fall more than 10% below baseline).
@@ -141,9 +141,10 @@ fi
 tsan_gate() {
   cmake -B "$TSAN_BUILD_DIR" -S . -DBURST_SANITIZE=thread >/dev/null &&
   cmake --build "$TSAN_BUILD_DIR" -j "$JOBS" \
-        --target test_thread_pool test_kernel_determinism test_serve_engine &&
+        --target test_thread_pool test_kernel_determinism test_serve_engine \
+                 test_api_server test_api_scheduler &&
   ctest --test-dir "$TSAN_BUILD_DIR" --output-on-failure -j "$JOBS" \
-        -R 'ThreadPool|ParallelFor|Scheduler|KernelDeterminism|ServeEngine'
+        -R 'ThreadPool|ParallelFor|Scheduler|KernelDeterminism|ServeEngine|ApiServer|SloEngine|Admission'
 }
 if [[ $RUN_TSAN -eq 1 ]]; then
   echo "== TSan build + threaded suites (${TSAN_BUILD_DIR})"
@@ -176,7 +177,8 @@ bench_gate() {
     echo "== bench-regression gate (BENCH_baseline.json)"
     python3 scripts/bench_compare.py BENCH_baseline.json \
       micro_gemm="$report_dir/bench_micro_gemm.json" \
-      micro_kernels="$report_dir/bench_micro_kernels.json" || fail=1
+      micro_kernels="$report_dir/bench_micro_kernels.json" \
+      serving_slo="$report_dir/bench_serving_slo.json" || fail=1
   fi
   return $fail
 }

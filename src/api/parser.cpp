@@ -1,0 +1,285 @@
+#include "api/parser.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+
+#include "obs/report.hpp"
+
+namespace burst::api {
+
+const char* priority_name(Priority p) {
+  switch (p) {
+    case Priority::kBatch:
+      return "batch";
+    case Priority::kStandard:
+      return "standard";
+    case Priority::kInteractive:
+      return "interactive";
+  }
+  return "?";
+}
+
+bool priority_from_name(const std::string& name, Priority* out) {
+  if (name == "batch") {
+    *out = Priority::kBatch;
+  } else if (name == "standard") {
+    *out = Priority::kStandard;
+  } else if (name == "interactive") {
+    *out = Priority::kInteractive;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+namespace {
+
+// Hand-rolled scanner for the strict JSON subset the API accepts: one
+// object of string keys mapping to strings, numbers, or arrays of numbers.
+// Tracks position for error messages; never throws.
+class Scanner {
+ public:
+  explicit Scanner(const std::string& s) : s_(s) {}
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  bool eof() {
+    skip_ws();
+    return pos_ >= s_.size();
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  char peek() {
+    skip_ws();
+    return pos_ < s_.size() ? s_[pos_] : '\0';
+  }
+
+  std::size_t pos() const { return pos_; }
+
+  /// JSON string with the common escapes; no \uXXXX (token-id payloads
+  /// never need it, and rejecting it keeps the parser honest about scope).
+  bool string(std::string* out) {
+    if (!consume('"')) {
+      return false;
+    }
+    out->clear();
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_++];
+      if (c == '"') {
+        return true;
+      }
+      if (c == '\\') {
+        if (pos_ >= s_.size()) {
+          return false;
+        }
+        const char e = s_[pos_++];
+        switch (e) {
+          case '"':
+            out->push_back('"');
+            break;
+          case '\\':
+            out->push_back('\\');
+            break;
+          case '/':
+            out->push_back('/');
+            break;
+          case 'n':
+            out->push_back('\n');
+            break;
+          case 't':
+            out->push_back('\t');
+            break;
+          case 'r':
+            out->push_back('\r');
+            break;
+          default:
+            return false;
+        }
+        continue;
+      }
+      out->push_back(c);
+    }
+    return false;  // unterminated
+  }
+
+  bool number(double* out) {
+    skip_ws();
+    const char* begin = s_.c_str() + pos_;
+    char* end = nullptr;
+    const double v = std::strtod(begin, &end);
+    if (end == begin || !std::isfinite(v)) {
+      return false;
+    }
+    pos_ += static_cast<std::size_t>(end - begin);
+    *out = v;
+    return true;
+  }
+
+ private:
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+bool fail(ApiError* err, const std::string& message) {
+  err->status = 400;
+  err->code = burst::ErrorCode::kInvalidRequest;
+  err->message = message;
+  return false;
+}
+
+bool as_int(double v, std::int64_t* out) {
+  if (v != std::floor(v) || std::abs(v) > 9e15) {
+    return false;
+  }
+  *out = static_cast<std::int64_t>(v);
+  return true;
+}
+
+}  // namespace
+
+bool parse_completion_request(const std::string& body, CompletionRequest* out,
+                              ApiError* err) {
+  *out = CompletionRequest{};
+  Scanner sc(body);
+  if (!sc.consume('{')) {
+    return fail(err, "request body must be a JSON object");
+  }
+  bool saw_prompt = false;
+  bool first = true;
+  while (true) {
+    if (sc.consume('}')) {
+      break;
+    }
+    if (!first && !sc.consume(',')) {
+      return fail(err, "expected ',' or '}' in request object");
+    }
+    first = false;
+    std::string key;
+    if (!sc.string(&key)) {
+      return fail(err, "expected a string key in request object");
+    }
+    if (!sc.consume(':')) {
+      return fail(err, "expected ':' after key \"" + key + "\"");
+    }
+    if (key == "tenant") {
+      std::string v;
+      if (!sc.string(&v)) {
+        return fail(err, "\"tenant\" must be a string");
+      }
+      if (v.empty() || v.size() > 64) {
+        return fail(err, "\"tenant\" must be 1..64 characters");
+      }
+      out->tenant = v;
+    } else if (key == "priority") {
+      std::string v;
+      if (!sc.string(&v)) {
+        return fail(err, "\"priority\" must be a string");
+      }
+      if (!priority_from_name(v, &out->priority)) {
+        return fail(err, "\"priority\" must be one of batch|standard|"
+                         "interactive, got \"" + v + "\"");
+      }
+    } else if (key == "prompt") {
+      if (!sc.consume('[')) {
+        return fail(err, "\"prompt\" must be an array of token ids");
+      }
+      out->prompt.clear();
+      if (!sc.consume(']')) {
+        while (true) {
+          double v = 0.0;
+          std::int64_t tok = 0;
+          if (!sc.number(&v) || !as_int(v, &tok) || tok < 0) {
+            return fail(err, "\"prompt\" entries must be non-negative "
+                             "integer token ids");
+          }
+          out->prompt.push_back(tok);
+          if (sc.consume(']')) {
+            break;
+          }
+          if (!sc.consume(',')) {
+            return fail(err, "expected ',' or ']' in \"prompt\"");
+          }
+        }
+      }
+      saw_prompt = true;
+    } else if (key == "max_tokens") {
+      double v = 0.0;
+      std::int64_t n = 0;
+      if (!sc.number(&v) || !as_int(v, &n)) {
+        return fail(err, "\"max_tokens\" must be an integer");
+      }
+      if (n < 1 || n > 1 << 20) {
+        return fail(err, "\"max_tokens\" must be in [1, 2^20]");
+      }
+      out->max_tokens = n;
+    } else if (key == "ttft_slo_ms") {
+      double v = 0.0;
+      if (!sc.number(&v) || v <= 0.0) {
+        return fail(err, "\"ttft_slo_ms\" must be a positive number");
+      }
+      out->ttft_slo_s = v * 1e-3;
+    } else {
+      return fail(err, "unknown field \"" + key + "\"");
+    }
+  }
+  if (!sc.eof()) {
+    return fail(err, "trailing characters after request object");
+  }
+  if (!saw_prompt) {
+    return fail(err, "missing required field \"prompt\"");
+  }
+  if (out->prompt.empty()) {
+    return fail(err, "\"prompt\" must not be empty");
+  }
+  return true;
+}
+
+std::string to_json(const CompletionResponse& r) {
+  std::ostringstream os;
+  os << "{\"id\": " << r.request_id << ", \"tenant\": \""
+     << obs::json_escape(r.tenant) << "\", \"finish_reason\": \""
+     << obs::json_escape(r.finish_reason) << "\", \"tokens\": [";
+  for (std::size_t i = 0; i < r.tokens.size(); ++i) {
+    os << (i != 0 ? ", " : "") << r.tokens[i];
+  }
+  os << "], \"usage\": {\"prompt_tokens\": " << r.usage.prompt_tokens
+     << ", \"completion_tokens\": " << r.usage.completion_tokens
+     << ", \"total_tokens\": " << r.usage.total_tokens()
+     << "}, \"arrival_s\": " << obs::json_number(r.arrival_s)
+     << ", \"ttft_s\": " << obs::json_number(r.ttft_s())
+     << ", \"finish_s\": " << obs::json_number(r.finish_s) << "}";
+  return os.str();
+}
+
+std::string to_json(const ApiError& e) {
+  std::ostringstream os;
+  os << "{\"error\": {\"status\": " << e.status << ", \"code\": \""
+     << burst::error_code_name(e.code) << "\", \"message\": \""
+     << obs::json_escape(e.message) << "\"}}";
+  return os.str();
+}
+
+std::string to_json(const TokenEvent& e) {
+  std::ostringstream os;
+  os << "{\"id\": " << e.request_id << ", \"index\": " << e.index
+     << ", \"token\": " << e.token
+     << ", \"time_s\": " << obs::json_number(e.time_s) << "}";
+  return os.str();
+}
+
+}  // namespace burst::api

@@ -1,0 +1,31 @@
+// Request parsing and validation for the API front door.
+//
+// The wire format is a strict subset of JSON — one object with the typed
+// fields of CompletionRequest ("tenant", "priority", "prompt", "max_tokens",
+// "ttft_slo_ms"). Anything else (unknown keys, wrong value types, trailing
+// garbage) is a typed 400 carrying burst::ErrorCode::kInvalidRequest, so a
+// client sees the same stable code in the HTTP-style error as a RunReport
+// records. Parsing never throws: malformed input is data, not an exception.
+#pragma once
+
+#include <string>
+
+#include "api/types.hpp"
+
+namespace burst::api {
+
+/// Parses and validates a completion-request body. On success fills `out`
+/// and returns true. On failure returns false and fills `err` with a
+/// 400/kInvalidRequest ApiError whose message names the offending field.
+/// Validation only covers the request shape; model-dependent checks (token
+/// ids vs vocab) happen at submission, where the server knows the model.
+bool parse_completion_request(const std::string& body, CompletionRequest* out,
+                              ApiError* err);
+
+/// JSON renderings of the response types (what a socket backend would put
+/// on the wire; the demo and tests use them for golden output).
+std::string to_json(const CompletionResponse& r);
+std::string to_json(const ApiError& e);
+std::string to_json(const TokenEvent& e);
+
+}  // namespace burst::api

@@ -1,0 +1,86 @@
+// OpenAI-style typed request/response surface for the serving front door.
+//
+// The wire shapes mirror a completions API: a CompletionRequest carries the
+// tenant, a priority class, the prompt (token ids — tokenization is outside
+// this repo's scope), max_tokens, and an optional TTFT SLO; the server
+// answers with streamed TokenEvents followed by one CompletionResponse with
+// usage accounting, or an ApiError carrying an HTTP-style status plus the
+// stable burst::ErrorCode the RunReport schema serializes.
+//
+// Everything is timestamped on the simulated device's virtual clock
+// (sim/clock.hpp), never the host's, so an API trace is a deterministic
+// function of the workload — the same property the engine's latency
+// percentiles are built on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/error.hpp"
+
+namespace burst::api {
+
+/// Priority classes, ordered: higher values are served first by the
+/// SLO-aware scheduler (serve::BatchPolicy::kSlo).
+enum class Priority : int {
+  kBatch = 0,        // throughput-oriented background work
+  kStandard = 1,     // default
+  kInteractive = 2,  // latency-sensitive, tightest TTFT targets
+};
+
+const char* priority_name(Priority p);
+
+/// Parses "batch" / "standard" / "interactive"; returns false on anything
+/// else (the caller turns that into a 400).
+bool priority_from_name(const std::string& name, Priority* out);
+
+struct CompletionRequest {
+  /// Tenant name; the server interns it to a dense id for the scheduler's
+  /// per-tenant weighted-fair queues.
+  std::string tenant = "default";
+  Priority priority = Priority::kStandard;
+  /// Prompt as token ids (must be non-empty and < model vocab).
+  std::vector<std::int64_t> prompt;
+  std::int64_t max_tokens = 16;
+  /// Time-to-first-token SLO in seconds; <= 0 means no target.
+  double ttft_slo_s = 0.0;
+};
+
+/// One streamed generation token (server-sent-event equivalent).
+struct TokenEvent {
+  std::int64_t request_id = -1;
+  std::int64_t index = 0;  // 0-based position in the generated sequence
+  std::int64_t token = -1;
+  double time_s = 0.0;  // virtual-clock completion time of this token
+};
+
+struct Usage {
+  std::int64_t prompt_tokens = 0;
+  std::int64_t completion_tokens = 0;
+  std::int64_t total_tokens() const { return prompt_tokens + completion_tokens; }
+};
+
+struct CompletionResponse {
+  std::int64_t request_id = -1;
+  std::string tenant;
+  std::vector<std::int64_t> tokens;
+  /// "length" is the only finish reason today (no stop-token support yet).
+  std::string finish_reason = "length";
+  Usage usage;
+  double arrival_s = 0.0;
+  double first_token_s = 0.0;
+  double finish_s = 0.0;
+  double ttft_s() const { return first_token_s - arrival_s; }
+};
+
+/// HTTP-style error: status + the stable burst::ErrorCode + human message.
+/// 400 = parse/validation failure, 429 = admission control shed the
+/// request, 503 = the engine itself failed.
+struct ApiError {
+  int status = 500;
+  burst::ErrorCode code = burst::ErrorCode::kUnknown;
+  std::string message;
+};
+
+}  // namespace burst::api

@@ -24,6 +24,8 @@ enum class ErrorCode {
   kPeerFailed,       // the specific peer this rank was blocked on failed
   kInjectedFault,    // a CrashDevice fault fired on this rank (root cause)
   kDeviceOom,        // allocation exceeded the device memory capacity
+  kInvalidRequest,   // API request failed parsing or validation (HTTP 400)
+  kAdmissionRejected,  // serving admission control shed the request (HTTP 429)
 };
 
 /// Stable serialization name of a code ("comm_timeout", "device_oom", ...).
@@ -41,6 +43,10 @@ inline const char* error_code_name(ErrorCode code) {
       return "injected_fault";
     case ErrorCode::kDeviceOom:
       return "device_oom";
+    case ErrorCode::kInvalidRequest:
+      return "invalid_request";
+    case ErrorCode::kAdmissionRejected:
+      return "admission_rejected";
     case ErrorCode::kUnknown:
       break;
   }

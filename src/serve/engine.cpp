@@ -58,6 +58,10 @@ ServeMetrics ServeMetrics::from_registry(obs::Registry& reg) {
       static_cast<std::int64_t>(reg.counter("serve.prefill_tokens").value());
   m.generated_tokens =
       static_cast<std::int64_t>(reg.counter("serve.generated_tokens").value());
+  m.admitted = static_cast<std::int64_t>(reg.counter("serve.admitted").value());
+  m.rejected = static_cast<std::int64_t>(reg.counter("serve.rejected").value());
+  m.preempted =
+      static_cast<std::int64_t>(reg.counter("serve.preempted").value());
   m.makespan_s = reg.gauge("serve.makespan_s").value();
   m.tokens_per_s = reg.gauge("serve.tokens_per_s").value();
   m.peak_kv_bytes =
@@ -65,6 +69,9 @@ ServeMetrics ServeMetrics::from_registry(obs::Registry& reg) {
   const obs::Histogram& lat = reg.histogram("serve.token_latency_s");
   m.p50_token_latency_s = lat.percentile(0.50);
   m.p99_token_latency_s = lat.percentile(0.99);
+  const obs::Histogram& ttft = reg.histogram("serve.ttft_s");
+  m.p50_ttft_s = ttft.percentile(0.50);
+  m.p99_ttft_s = ttft.percentile(0.99);
   return m;
 }
 
@@ -78,6 +85,8 @@ struct EngineSlot {
   std::vector<double> token_times;
   double first_token_s = -1.0;
   double finish_s = -1.0;
+  bool admission_checked = false;
+  RejectReason reject_reason = RejectReason::kNone;
 };
 
 Engine::Engine(const ModelConfig& model, const model::ModelWeights& weights,
@@ -91,15 +100,22 @@ Engine::Engine(const ModelConfig& model, const model::ModelWeights& weights,
 std::int64_t Engine::add_request(std::vector<std::int64_t> prompt,
                                  std::int64_t max_new_tokens,
                                  double arrival_s) {
-  if (prompt.empty() || max_new_tokens < 1) {
-    throw std::invalid_argument(
-        "add_request: need a non-empty prompt and max_new_tokens >= 1");
-  }
   Request r;
-  r.id = static_cast<std::int64_t>(pending_.size());
   r.prompt = std::move(prompt);
   r.max_new_tokens = max_new_tokens;
   r.arrival_s = arrival_s;
+  return add_request(std::move(r));
+}
+
+std::int64_t Engine::add_request(Request r) {
+  if (r.prompt.empty() || r.max_new_tokens < 1) {
+    throw std::invalid_argument(
+        "add_request: need a non-empty prompt and max_new_tokens >= 1");
+  }
+  if (r.tenant < 0) {
+    throw std::invalid_argument("add_request: tenant id must be >= 0");
+  }
+  r.id = static_cast<std::int64_t>(pending_.size());
   pending_.push_back(std::move(r));
   return pending_.back().id;
 }
@@ -108,7 +124,20 @@ ServeReport Engine::run(sim::DeviceContext& ctx) {
   KvBlockPool pool(ctx.mem(),
                    SequenceKvCache::block_bytes(model_, cfg_.block_tokens),
                    cfg_.max_kv_blocks);
-  Scheduler sched(cfg_.sched);
+  const std::uint64_t lin_per_tok = linear_flops_per_token(model_);
+  const std::uint64_t head_per_row = head_flops(model_);
+  const double weight_s =
+      static_cast<double>(weight_stream_bytes(model_)) / cfg_.hbm_bytes_per_s;
+
+  SchedulerConfig sched_cfg = cfg_.sched;
+  if (sched_cfg.policy == BatchPolicy::kSlo &&
+      sched_cfg.urgency_window_s <= 0.0) {
+    // Default urgency horizon: a few iteration floors (the weight stream is
+    // the fixed per-iteration cost) — "this deadline is at most a handful of
+    // iterations away" is when preempting decode budget can still save it.
+    sched_cfg.urgency_window_s = 4.0 * weight_s;
+  }
+  Scheduler sched(sched_cfg);
 
   std::vector<EngineSlot> slots;
   slots.reserve(pending_.size());
@@ -129,11 +158,6 @@ ServeReport Engine::run(sim::DeviceContext& ctx) {
     return slots[a].req.id < slots[b].req.id;
   });
 
-  const std::uint64_t lin_per_tok = linear_flops_per_token(model_);
-  const std::uint64_t head_per_row = head_flops(model_);
-  const double weight_s =
-      static_cast<double>(weight_stream_bytes(model_)) / cfg_.hbm_bytes_per_s;
-
   // The registry is the source of truth for run metrics; ServeMetrics is
   // built as a view of it at the end. Runs with no attached registry count
   // into a run-local one so the returned metrics cover exactly this run.
@@ -142,11 +166,72 @@ ServeReport Engine::run(sim::DeviceContext& ctx) {
   obs::Counter& c_iterations = reg.counter("serve.iterations");
   obs::Counter& c_prefill_tokens = reg.counter("serve.prefill_tokens");
   obs::Counter& c_generated_tokens = reg.counter("serve.generated_tokens");
+  obs::Counter& c_admitted = reg.counter("serve.admitted");
+  obs::Counter& c_rejected = reg.counter("serve.rejected");
+  obs::Counter& c_preempted = reg.counter("serve.preempted");
   obs::Histogram& h_token_latency = reg.histogram("serve.token_latency_s");
+  obs::Histogram& h_ttft = reg.histogram("serve.ttft_s");
+  obs::Histogram& h_tpot = reg.histogram("serve.tpot_s");
+
+  const auto tenant_weight = [&](std::int64_t tenant) {
+    const auto t = static_cast<std::size_t>(tenant);
+    return t < cfg_.tenant_weights.size() && cfg_.tenant_weights[t] > 0.0
+               ? cfg_.tenant_weights[t]
+               : 1.0;
+  };
+
+  // Admission control, evaluated once per request when its arrival time is
+  // reached: requests that can never fit the KV pool, or that land on a
+  // full waiting queue (depth or prompt-token backlog), are shed with a
+  // typed reason instead of growing the queue without bound.
+  const auto process_arrivals = [&](double now) {
+    std::int64_t waiting = 0;
+    std::int64_t waiting_tokens = 0;
+    for (const auto& s : slots) {
+      if (s.state == RequestState::kQueued && s.admission_checked) {
+        ++waiting;
+        waiting_tokens += static_cast<std::int64_t>(s.req.prompt.size());
+      }
+    }
+    for (std::size_t i : order) {
+      EngineSlot& s = slots[i];
+      if (s.state != RequestState::kQueued || s.admission_checked ||
+          s.req.arrival_s > now) {
+        continue;
+      }
+      s.admission_checked = true;
+      const auto prompt_len = static_cast<std::int64_t>(s.req.prompt.size());
+      RejectReason reason = RejectReason::kNone;
+      if (SequenceKvCache::blocks_for(prompt_len + s.req.max_new_tokens,
+                                      cfg_.block_tokens) >
+          cfg_.max_kv_blocks) {
+        reason = RejectReason::kKvInfeasible;
+      } else if (cfg_.sched.max_waiting > 0 &&
+                 waiting >= cfg_.sched.max_waiting) {
+        reason = RejectReason::kQueueFull;
+      } else if (cfg_.sched.max_waiting_tokens > 0 &&
+                 waiting_tokens + prompt_len > cfg_.sched.max_waiting_tokens) {
+        reason = RejectReason::kQueueTokens;
+      }
+      if (reason != RejectReason::kNone) {
+        s.state = RequestState::kRejected;
+        s.reject_reason = reason;
+        c_rejected.add(1);
+        reg.counter(obs::labeled("serve.rejected",
+                                 {{"reason", reject_reason_name(reason)}}))
+            .add(1);
+        continue;
+      }
+      c_admitted.add(1);
+      ++waiting;
+      waiting_tokens += prompt_len;
+    }
+  };
 
   const auto all_done = [&] {
     for (const auto& s : slots) {
-      if (s.state != RequestState::kDone) {
+      if (s.state != RequestState::kDone &&
+          s.state != RequestState::kRejected) {
         return false;
       }
     }
@@ -155,6 +240,10 @@ ServeReport Engine::run(sim::DeviceContext& ctx) {
 
   while (!all_done()) {
     const double now = ctx.clock().now(sim::kCompute);
+    process_arrivals(now);
+    if (all_done()) {
+      break;  // the last arrivals may all have been shed
+    }
 
     std::vector<SchedEntry> entries;
     entries.reserve(slots.size());
@@ -169,11 +258,16 @@ ServeReport Engine::run(sim::DeviceContext& ctx) {
       e.cache_len = s.cache.len();
       e.generated = static_cast<std::int64_t>(s.generated.size());
       e.max_new_tokens = s.req.max_new_tokens;
+      e.tenant = s.req.tenant;
+      e.priority = s.req.priority;
+      e.weight = tenant_weight(s.req.tenant);
+      e.deadline_s = s.req.arrival_s + s.req.ttft_target_s;
       entries.push_back(e);
     }
 
     const IterationPlan plan =
         sched.plan(now, entries, pool.free_blocks(), cfg_.block_tokens);
+    c_preempted.add(plan.preempted.size());
 
     if (plan.empty()) {
       // Nothing runnable now: jump to the next arrival, or report a stall
@@ -265,6 +359,7 @@ ServeReport Engine::run(sim::DeviceContext& ctx) {
     for (EngineSlot* s : produced) {
       if (s->first_token_s < 0.0) {
         s->first_token_s = end;
+        h_ttft.observe(end - s->req.arrival_s);
       } else {
         h_token_latency.observe(end - s->token_times.back());
       }
@@ -275,6 +370,10 @@ ServeReport Engine::run(sim::DeviceContext& ctx) {
         // Completion: evict — all KV blocks return to the pool.
         s->state = RequestState::kDone;
         s->finish_s = end;
+        if (s->token_times.size() > 1) {
+          h_tpot.observe((s->finish_s - s->first_token_s) /
+                         static_cast<double>(s->token_times.size() - 1));
+        }
         pool.release(s->blocks_held);
         s->blocks_held = 0;
         s->cache = SequenceKvCache();
@@ -305,11 +404,13 @@ ServeReport Engine::run(sim::DeviceContext& ctx) {
   for (const auto& s : slots) {
     RequestResult r;
     r.id = s.req.id;
+    r.tenant = s.req.tenant;
     r.generated = s.generated;
     r.arrival_s = s.req.arrival_s;
     r.first_token_s = s.first_token_s;
     r.finish_s = s.finish_s;
     r.token_times_s = s.token_times;
+    r.reject_reason = s.reject_reason;
     rep.results.push_back(std::move(r));
   }
   std::sort(rep.results.begin(), rep.results.end(),

@@ -40,8 +40,13 @@ struct EngineConfig {
   SchedulerConfig sched;
   /// KV-cache paging granularity (tokens per block).
   std::int64_t block_tokens = 16;
-  /// KV memory budget, in blocks. Admission stalls when exhausted.
+  /// KV memory budget, in blocks. Admission stalls when exhausted; requests
+  /// that could never fit (prompt + generation exceeds the whole pool) are
+  /// rejected at arrival with RejectReason::kKvInfeasible.
   std::int64_t max_kv_blocks = 1 << 20;
+  /// Weighted-fair-queueing weight per tenant id (BatchPolicy::kSlo).
+  /// Tenants beyond the vector (or an empty vector) default to weight 1.0.
+  std::vector<double> tenant_weights;
   /// Weight-streaming bandwidth for the per-iteration roofline charge.
   double hbm_bytes_per_s = 2e12;
   kernels::MaskSpec mask = kernels::MaskSpec::causal();
@@ -68,6 +73,13 @@ struct ServeMetrics {
   /// Inter-token decode latency percentiles (excludes time-to-first-token).
   double p50_token_latency_s = 0.0;
   double p99_token_latency_s = 0.0;
+  /// Time-to-first-token percentiles over completed requests.
+  double p50_ttft_s = 0.0;
+  double p99_ttft_s = 0.0;
+  /// Admission-control and SLO-preemption tallies.
+  std::int64_t admitted = 0;
+  std::int64_t rejected = 0;
+  std::int64_t preempted = 0;
   /// Peak KV-cache bytes charged to the device tracker.
   std::uint64_t peak_kv_bytes = 0;
 
@@ -89,6 +101,10 @@ class Engine {
   /// Enqueues a request; returns its id. Call before run().
   std::int64_t add_request(std::vector<std::int64_t> prompt,
                            std::int64_t max_new_tokens, double arrival_s = 0.0);
+
+  /// Full-fat variant: tenant, priority and TTFT target ride along (the API
+  /// front door uses this). `r.id` is assigned by the engine.
+  std::int64_t add_request(Request r);
 
   /// Drives every request to completion on `ctx`'s virtual clock. Call from
   /// within Cluster::run on a single-device cluster (the distributed prefill

@@ -1,24 +1,43 @@
 // Serving request types: the per-request state machine
-// (QUEUED -> PREFILL -> DECODE -> DONE) and its completion record.
+// (QUEUED -> PREFILL -> DECODE -> DONE | REJECTED) and its completion
+// record.
 //
 // Arrival, first-token, and finish times all live on the simulated device's
 // virtual clock (sim/clock.hpp), so latency percentiles are deterministic
 // functions of the workload and the batching policy — not of host load.
+//
+// Multi-tenant fields (tenant, priority, ttft_target_s) drive the SLO-aware
+// scheduler (BatchPolicy::kSlo): requests from the same tenant share one
+// weighted-fair queue, higher priority classes are served first, and a
+// finite TTFT target makes the scheduler preempt lower-priority decode work
+// when the deadline is at risk. They are inert under kFcfs/kContinuous.
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 namespace burst::serve {
 
 enum class RequestState {
-  kQueued,   // arrived, no cache allocated yet
-  kPrefill,  // prompt chunks streaming into the KV-cache
-  kDecode,   // autoregressive generation, one token per iteration
-  kDone,     // finished; KV blocks evicted
+  kQueued,    // arrived, no cache allocated yet
+  kPrefill,   // prompt chunks streaming into the KV-cache
+  kDecode,    // autoregressive generation, one token per iteration
+  kDone,      // finished; KV blocks evicted
+  kRejected,  // shed by admission control at arrival; never ran
 };
 
 const char* request_state_name(RequestState s);
+
+/// Why admission control shed a request (RequestResult::reject_reason).
+enum class RejectReason {
+  kNone = 0,
+  kQueueFull,     // waiting-queue depth bound exceeded at arrival
+  kQueueTokens,   // waiting prompt-token backlog bound exceeded
+  kKvInfeasible,  // prompt + generation can never fit the KV block budget
+};
+
+const char* reject_reason_name(RejectReason r);
 
 struct Request {
   std::int64_t id = -1;
@@ -26,11 +45,19 @@ struct Request {
   std::int64_t max_new_tokens = 0;
   /// Virtual-clock arrival; the scheduler never admits a request earlier.
   double arrival_s = 0.0;
+  /// Tenant index into EngineConfig::tenant_weights (0 = default tenant).
+  std::int64_t tenant = 0;
+  /// Priority class; higher values are served first under kSlo
+  /// (api::Priority maps kBatch=0 < kStandard=1 < kInteractive=2).
+  int priority = 1;
+  /// Time-to-first-token SLO, relative to arrival. Infinity = no target.
+  double ttft_target_s = std::numeric_limits<double>::infinity();
 };
 
 /// Completion record for one request.
 struct RequestResult {
   std::int64_t id = -1;
+  std::int64_t tenant = 0;
   std::vector<std::int64_t> generated;
   double arrival_s = 0.0;
   double first_token_s = 0.0;  // end of the iteration that finished prefill
@@ -38,6 +65,19 @@ struct RequestResult {
   /// Virtual completion time of each generated token (first entry is the
   /// prefill-produced token, so diffs give inter-token latencies).
   std::vector<double> token_times_s;
+  /// Admission-control outcome: a rejected request generated nothing and
+  /// its first_token_s/finish_s stay negative.
+  RejectReason reject_reason = RejectReason::kNone;
+
+  bool rejected() const { return reject_reason != RejectReason::kNone; }
+  /// Time to first token; meaningless (negative) for rejected requests.
+  double ttft_s() const { return first_token_s - arrival_s; }
+  /// Mean time per output token after the first; 0 with fewer than 2 tokens.
+  double tpot_s() const {
+    const auto n = static_cast<std::int64_t>(token_times_s.size());
+    return n > 1 ? (finish_s - first_token_s) / static_cast<double>(n - 1)
+                 : 0.0;
+  }
 };
 
 }  // namespace burst::serve

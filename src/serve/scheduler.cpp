@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
+#include <map>
 
 #include "model/kv_cache.hpp"
 
@@ -17,6 +19,22 @@ const char* request_state_name(RequestState s) {
       return "decode";
     case RequestState::kDone:
       return "done";
+    case RequestState::kRejected:
+      return "rejected";
+  }
+  return "?";
+}
+
+const char* reject_reason_name(RejectReason r) {
+  switch (r) {
+    case RejectReason::kNone:
+      return "none";
+    case RejectReason::kQueueFull:
+      return "queue_full";
+    case RejectReason::kQueueTokens:
+      return "queue_tokens";
+    case RejectReason::kKvInfeasible:
+      return "kv_infeasible";
   }
   return "?";
 }
@@ -27,6 +45,8 @@ const char* batch_policy_name(BatchPolicy p) {
       return "fcfs";
     case BatchPolicy::kContinuous:
       return "continuous";
+    case BatchPolicy::kSlo:
+      return "slo";
   }
   return "?";
 }
@@ -63,11 +83,16 @@ IterationPlan Scheduler::plan(double now_s,
   std::int64_t budget = cfg_.token_budget;
   assert(budget > 0 && cfg_.chunk_tokens > 0);
 
+  if (cfg_.policy == BatchPolicy::kSlo) {
+    return plan_slo(now_s, entries, free_blocks, block_tokens);
+  }
+
   if (cfg_.policy == BatchPolicy::kFcfs) {
     // One request at a time, strictly in arrival order: the first entry that
     // is running, else the first queued arrival.
     for (const auto& e : entries) {
-      if (e.state == RequestState::kDone) {
+      if (e.state == RequestState::kDone ||
+          e.state == RequestState::kRejected) {
         continue;
       }
       if (e.state == RequestState::kDecode) {
@@ -120,6 +145,144 @@ IterationPlan Scheduler::plan(double now_s,
       return plan;
     }
     plan.prefills.push_back({e.id, t});
+    free_blocks -= need;
+    budget -= t;
+  }
+  return plan;
+}
+
+// SLO-aware multi-tenant plan. Three phases under one token budget:
+//
+//   1. Urgent prefills — TTFT deadline within urgency_window_s — reserve
+//      budget first, ordered by (priority desc, deadline asc). They may take
+//      at most urgent_budget_frac of the budget while decodes want the rest
+//      (the whole budget otherwise); what they take is what preempts.
+//   2. Decodes, ordered by (priority desc, weighted-fair share asc). Ones
+//      that lose their slot to phase 1 are reported as preempted.
+//   3. Remaining budget to non-urgent prefills in the same weighted-fair
+//      order, so waiting tenants with the least service start first.
+//
+// A tenant's share is generated tokens / weight, aggregated over every entry
+// (including finished ones) — all state the engine already exposes, keeping
+// plan() a pure function.
+IterationPlan Scheduler::plan_slo(double now_s,
+                                  const std::vector<SchedEntry>& entries,
+                                  std::int64_t free_blocks,
+                                  std::int64_t block_tokens) const {
+  IterationPlan plan;
+  std::int64_t budget = cfg_.token_budget;
+  assert(budget > 0 && cfg_.chunk_tokens > 0);
+
+  // Weighted-fair share per tenant: generated tokens / weight.
+  std::map<std::int64_t, double> served;
+  std::map<std::int64_t, double> weight;
+  for (const auto& e : entries) {
+    served[e.tenant] += static_cast<double>(e.generated);
+    weight[e.tenant] = e.weight > 0.0 ? e.weight : 1.0;
+  }
+  const auto share = [&](const SchedEntry& e) {
+    return served[e.tenant] / weight[e.tenant];
+  };
+
+  std::vector<const SchedEntry*> decodes;
+  std::vector<const SchedEntry*> urgent;
+  std::vector<const SchedEntry*> waiting;
+  for (const auto& e : entries) {
+    if (e.state == RequestState::kDecode) {
+      decodes.push_back(&e);
+    } else if (wants_prefill(e, now_s)) {
+      const bool is_urgent = std::isfinite(e.deadline_s) &&
+                             e.deadline_s - now_s <= cfg_.urgency_window_s;
+      (is_urgent ? urgent : waiting).push_back(&e);
+    }
+  }
+
+  const auto by_priority_deadline = [&](const SchedEntry* a,
+                                        const SchedEntry* b) {
+    if (a->priority != b->priority) {
+      return a->priority > b->priority;
+    }
+    if (a->deadline_s != b->deadline_s) {
+      return a->deadline_s < b->deadline_s;
+    }
+    return a->id < b->id;
+  };
+  const auto by_priority_share = [&](const SchedEntry* a,
+                                     const SchedEntry* b) {
+    if (a->priority != b->priority) {
+      return a->priority > b->priority;
+    }
+    const double sa = share(*a);
+    const double sb = share(*b);
+    if (sa != sb) {
+      return sa < sb;
+    }
+    if (a->arrival_s != b->arrival_s) {
+      return a->arrival_s < b->arrival_s;
+    }
+    return a->id < b->id;
+  };
+  std::sort(urgent.begin(), urgent.end(), by_priority_deadline);
+  std::sort(decodes.begin(), decodes.end(), by_priority_share);
+  std::sort(waiting.begin(), waiting.end(), by_priority_share);
+
+  // Phase 1: urgent prefills reserve budget ahead of decodes, capped so
+  // running decodes keep at least (1 - urgent_budget_frac) of the budget.
+  std::int64_t urgent_cap = budget;
+  if (!decodes.empty()) {
+    const double frac = std::min(std::max(cfg_.urgent_budget_frac, 0.0), 1.0);
+    urgent_cap = static_cast<std::int64_t>(
+        std::ceil(static_cast<double>(budget) * frac));
+  }
+  std::int64_t urgent_spent = 0;
+  for (const SchedEntry* e : urgent) {
+    const std::int64_t t = std::min({cfg_.chunk_tokens,
+                                     e->prompt_len - e->prefilled,
+                                     urgent_cap - urgent_spent, budget});
+    if (t <= 0) {
+      continue;
+    }
+    const std::int64_t need = growth_blocks(e->cache_len, t, block_tokens);
+    if (need > free_blocks) {
+      continue;  // blocks will free as decodes complete; retry next iteration
+    }
+    plan.prefills.push_back({e->id, t});
+    free_blocks -= need;
+    budget -= t;
+    urgent_spent += t;
+  }
+
+  // Phase 2: decodes in (priority, weighted-fair) order. A decode that
+  // would fit its KV growth but finds the budget consumed by phase 1 was
+  // preempted for someone else's TTFT.
+  for (const SchedEntry* e : decodes) {
+    const std::int64_t need = growth_blocks(e->cache_len, 1, block_tokens);
+    if (need > free_blocks) {
+      continue;
+    }
+    if (budget == 0) {
+      if (urgent_spent > 0) {
+        plan.preempted.push_back(e->id);
+      }
+      continue;
+    }
+    plan.decodes.push_back(e->id);
+    free_blocks -= need;
+    --budget;
+  }
+
+  // Phase 3: leftover budget admits/advances waiting prefills fairly.
+  for (const SchedEntry* e : waiting) {
+    if (budget == 0) {
+      break;
+    }
+    const std::int64_t t =
+        std::min({cfg_.chunk_tokens, e->prompt_len - e->prefilled, budget});
+    const std::int64_t need = growth_blocks(e->cache_len, t, block_tokens);
+    if (need > free_blocks) {
+      continue;  // unlike kContinuous, fairness order already protects FIFO
+    }
+    plan.prefills.push_back({e->id, t});
     free_blocks -= need;
     budget -= t;
   }

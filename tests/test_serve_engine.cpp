@@ -240,11 +240,22 @@ TEST(ServeEngine, TraceRecordsIterationBatches) {
   EXPECT_EQ(iters, rep.metrics.iterations);
 }
 
-// A pool too small for even one request is a stall, reported loudly.
-TEST(ServeEngine, StarvedPoolThrows) {
+// A pool too small for even one request used to deadlock-then-throw; the
+// admission layer now sheds every request at arrival with a typed reason,
+// and the engine finishes cleanly having generated nothing.
+TEST(ServeEngine, StarvedPoolRejectsEveryRequest) {
   RunSpec spec;
   spec.max_kv_blocks = 2;  // 16 tokens of KV; prompts are 24
-  EXPECT_THROW(run_engine(spec), std::runtime_error);
+  const ServeReport rep = run_engine(spec);
+  EXPECT_EQ(rep.metrics.generated_tokens, 0);
+  EXPECT_EQ(rep.metrics.rejected, 6);
+  EXPECT_EQ(rep.metrics.admitted, 0);
+  for (const auto& r : rep.results) {
+    EXPECT_TRUE(r.rejected());
+    EXPECT_EQ(r.reject_reason, RejectReason::kKvInfeasible);
+    EXPECT_TRUE(r.generated.empty());
+    EXPECT_LT(r.first_token_s, 0.0);
+  }
 }
 
 }  // namespace
