@@ -1,0 +1,194 @@
+// Serving goodput under injected failure: the chaos analogue of
+// bench_serving_slo. One loadgen trace is served three ways — fault-free,
+// through a mid-trace device crash with checkpoint recovery, and across a
+// seeded random chaos sweep — and the bench reports how much completed-token
+// goodput survives the crash-plus-recovery path. The committed floor in
+// BENCH_baseline.json gates `chaos_goodput_retention`: a regression that
+// makes recovery slower (bigger checkpoints, longer restore, lost replay)
+// shows up as retention dropping below the baseline.
+//
+// Self-checking: every request must resolve to exactly one typed outcome in
+// every run, requests completed under chaos must produce the fault-free
+// token values, and the crash run must replay bit-identically when repeated
+// (same virtual-time event stream, same goodput).
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "api/loadgen.hpp"
+#include "api/server.hpp"
+#include "reporter.hpp"
+#include "sim/chaos.hpp"
+
+namespace {
+
+using namespace burst;
+
+model::ModelConfig bench_model() {
+  model::ModelConfig cfg = model::ModelConfig::toy();
+  cfg.kv_heads = 2;
+  cfg.use_rope = true;
+  return cfg;
+}
+
+std::vector<api::GeneratedRequest> bench_trace() {
+  api::LoadGenConfig lg;
+  lg.seed = 7331;
+  lg.requests = 16;
+  lg.rate_rps = 2e4;
+  lg.tenants = 3;
+  lg.prompt_log_mean = 2.7;
+  lg.prompt_min = 4;
+  lg.prompt_max = 48;
+  lg.output_log_mean = 1.4;
+  lg.output_min = 1;
+  lg.output_max = 8;
+  return api::LoadGen(lg).generate();
+}
+
+api::ApiServerConfig server_config(double default_timeout_s) {
+  api::ApiServerConfig cfg;
+  cfg.engine.block_tokens = 8;
+  cfg.engine.sched.policy = serve::BatchPolicy::kSlo;
+  cfg.engine.sched.token_budget = 32;
+  cfg.engine.sched.chunk_tokens = 16;
+  cfg.engine.default_timeout_s = default_timeout_s;
+  cfg.engine.shed_high = 8;
+  return cfg;
+}
+
+struct RunResult {
+  api::ApiServer::Report report;
+  std::int64_t n = 0;
+  std::int64_t completed_tokens = 0;
+  std::map<std::int64_t, std::vector<std::int64_t>> tokens_by_id;
+};
+
+RunResult run_trace(const api::ApiServerConfig& cfg) {
+  const model::ModelConfig model = bench_model();
+  static const model::ModelWeights weights =
+      model::ModelWeights::init(bench_model(), 73);
+  api::ApiServer server(model, weights, cfg);
+  RunResult out;
+  for (const api::GeneratedRequest& g : bench_trace()) {
+    api::CompletionRequest req;
+    req.tenant = "t" + std::to_string(g.tenant);
+    req.priority = g.priority;
+    req.prompt =
+        api::LoadGen::materialize_prompt(g.prompt_seed, g.prompt_len,
+                                         model.vocab);
+    req.max_tokens = g.max_tokens;
+    server.submit(g.arrival_s, std::move(req), nullptr);
+    ++out.n;
+  }
+  out.report = server.run();
+  for (const auto& r : out.report.results) {
+    if (r.outcome == serve::Outcome::kCompleted) {
+      out.completed_tokens += static_cast<std::int64_t>(r.generated.size());
+      out.tokens_by_id[r.id] = r.generated;
+    }
+  }
+  return out;
+}
+
+bool one_outcome_each(const RunResult& run) {
+  const auto& rep = run.report;
+  return rep.completed + rep.rejected + rep.timed_out + rep.shed +
+             rep.failed_fast ==
+         run.n;
+}
+
+}  // namespace
+
+int main() {
+  bench::Reporter out("serving_chaos");
+
+  // Fault-free reference: goodput floor and the token oracle.
+  const RunResult clean = run_trace(server_config(/*default_timeout_s=*/1e9));
+  const double clean_makespan = clean.report.metrics.makespan_s;
+  const double clean_goodput =
+      static_cast<double>(clean.completed_tokens) / clean_makespan;
+  out.config("requests", clean.n);
+  out.check(clean_makespan > 0.0 && clean.report.completed == clean.n,
+            "fault-free run completes every request");
+  out.measurement("fault_free_goodput_tok_per_s", clean_goodput,
+                  obs::RunReport::kNoPaperValue, "tok/s");
+
+  // Crash + recovery: rank 0 dies mid-trace, the engine restores from the
+  // latest checkpoint and replays. Generous deadlines keep degradation out
+  // of this leg so retention isolates pure recovery cost.
+  api::ApiServerConfig chaos_cfg = server_config(100.0 * clean_makespan);
+  sim::FaultPlan::CrashDevice crash;
+  crash.rank = 0;
+  crash.at_time_s = 0.5 * clean_makespan;
+  chaos_cfg.resilience.faults.crashes.push_back(crash);
+  chaos_cfg.resilience.checkpoint_every = 4;
+  chaos_cfg.resilience.breaker_cooldown_s = 0.05 * clean_makespan;
+
+  const RunResult crashed = run_trace(chaos_cfg);
+  const double crash_makespan = crashed.report.metrics.makespan_s;
+  const double crash_goodput =
+      static_cast<double>(crashed.completed_tokens) / crash_makespan;
+  const double retention = crash_goodput / clean_goodput;
+
+  out.check(crashed.report.recoveries.size() == 1,
+            "crash run recovers exactly once");
+  out.check(one_outcome_each(crashed),
+            "crash run: every request has exactly one typed outcome");
+  bool tokens_match = true;
+  for (const auto& [id, toks] : crashed.tokens_by_id) {
+    const auto it = clean.tokens_by_id.find(id);
+    tokens_match = tokens_match && it != clean.tokens_by_id.end() &&
+                   it->second == toks;
+  }
+  out.check(tokens_match,
+            "requests completed under crash produce fault-free tokens");
+
+  // Determinism: the same faulted config replays bit-identically.
+  const RunResult replay = run_trace(chaos_cfg);
+  out.check(replay.completed_tokens == crashed.completed_tokens &&
+                replay.report.metrics.makespan_s == crash_makespan &&
+                replay.tokens_by_id == crashed.tokens_by_id,
+            "crash run replays bit-identically");
+
+  out.measurement("chaos_goodput_tok_per_s", crash_goodput,
+                  obs::RunReport::kNoPaperValue, "tok/s");
+  out.measurement("chaos_goodput_retention", retention,
+                  obs::RunReport::kNoPaperValue, "x");
+  out.measurement("recovery_restore_s",
+                  crashed.report.recoveries.empty()
+                      ? 0.0
+                      : crashed.report.recoveries[0].restore_s,
+                  obs::RunReport::kNoPaperValue, "s");
+
+  // Seeded chaos sweep: random plans from the full single-device taxonomy.
+  // Every run must keep the outcome invariant; goodput varies per plan, so
+  // the sweep reports the worst retention as an informational metric.
+  sim::ChaosSpec spec;
+  spec.world = 1;
+  spec.horizon_s = clean_makespan;
+  double worst_retention = 1.0;
+  std::int64_t sweep_recoveries = 0;
+  bool sweep_ok = true;
+  constexpr int kSweepSeeds = 8;
+  for (std::uint64_t seed = 1; seed <= kSweepSeeds; ++seed) {
+    api::ApiServerConfig cfg = server_config(50.0 * clean_makespan);
+    cfg.resilience.faults = sim::make_chaos_plan(seed, spec);
+    cfg.resilience.checkpoint_every = 3;
+    cfg.resilience.breaker_cooldown_s = 0.1 * clean_makespan;
+    const RunResult run = run_trace(cfg);
+    sweep_ok = sweep_ok && one_outcome_each(run);
+    sweep_recoveries += static_cast<std::int64_t>(run.report.recoveries.size());
+    const double g = static_cast<double>(run.completed_tokens) /
+                     run.report.metrics.makespan_s;
+    worst_retention = std::min(worst_retention, g / clean_goodput);
+  }
+  out.config("sweep_seeds", kSweepSeeds);
+  out.check(sweep_ok, "chaos sweep: outcome invariant holds on every seed");
+  out.check(sweep_recoveries > 0, "chaos sweep exercised recovery");
+  out.measurement("sweep_worst_retention", worst_retention,
+                  obs::RunReport::kNoPaperValue, "x");
+  out.measurement("sweep_recoveries",
+                  static_cast<double>(sweep_recoveries));
+  return out.finish();
+}

@@ -258,6 +258,25 @@ def no_serving_wallclock(sf):
 
 
 @rule(
+    "typed-errors-only",
+    "typed serving errors (DESIGN.md section 14): src/api/ and src/serve/ "
+    "throw burst::Error subclasses, never raw std::runtime_error or "
+    "std::logic_error — the API layer and the recovery supervisor dispatch "
+    "on burst::ErrorCode, and an untyped throw silently degrades to a 500",
+    applies=lambda p: _in_dir(p, "src") and _in_dir(p, "api", "serve"),
+)
+def typed_errors_only(sf):
+    pat = r"\bthrow\s+std\s*::\s*(runtime_error|logic_error)\b"
+    for line, m in _code_matches(sf, pat):
+        yield line, (
+            f"raw `throw std::{m.group(1)}` in serving code; throw a "
+            "burst::Error subclass (serve/errors.hpp) so the outcome "
+            "carries a typed ErrorCode the API layer and recovery "
+            "supervisor can dispatch on"
+        )
+
+
+@rule(
     "no-raw-rand",
     "bitwise replay: all randomness flows through tensor::Rng with an "
     "explicit recorded seed",

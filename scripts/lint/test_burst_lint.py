@@ -62,6 +62,10 @@ class TestRuleDetection(unittest.TestCase):
         self.assert_rule_fires(
             "src/api/bad_chrono.cpp", "no-serving-wallclock", 4)
 
+    def test_typed_errors_only(self):
+        self.assert_rule_fires(
+            "src/serve/bad_throw.cpp", "typed-errors-only", 2)
+
     def test_no_hotpath_alloc(self):
         self.assert_rule_fires(
             "src/kernels/bad_hotpath.cpp", "no-hotpath-alloc", 3)
@@ -99,6 +103,19 @@ class TestSuppressionAndNoise(unittest.TestCase):
             with open(path, "w") as f:
                 f.write("#include <chrono>\n"
                         "auto d() { return std::chrono::milliseconds(5); }\n")
+            rc, _, err = run_lint(["--root", tmp, path])
+            self.assertEqual(rc, 0, err)
+
+    def test_typed_errors_rule_scoped_to_serving_dirs(self):
+        # A raw throw in src/sim/ is outside the rule's scope: the cluster
+        # simulator predates the typed serving taxonomy.
+        with tempfile.TemporaryDirectory() as tmp:
+            src = os.path.join(tmp, "src", "sim")
+            os.makedirs(src)
+            path = os.path.join(src, "raw_throw.cpp")
+            with open(path, "w") as f:
+                f.write("#include <stdexcept>\n"
+                        "void f() { throw std::logic_error(\"x\"); }\n")
             rc, _, err = run_lint(["--root", tmp, path])
             self.assertEqual(rc, 0, err)
 

@@ -1,0 +1,25 @@
+// Fixture: seeded typed-errors-only violations (one per line flagged).
+#include <stdexcept>
+
+namespace fixture {
+
+void bad_runtime_error() {
+  throw std::runtime_error("scheduler wedged");  // VIOLATION: typed-errors-only
+}
+
+void bad_logic_error() {
+  throw std::logic_error("invariant broken");  // VIOLATION: typed-errors-only
+}
+
+void fine_invalid_argument(int n) {
+  // invalid_argument marks a caller-contract bug, not a serving outcome —
+  // it is out of the rule's scope on purpose.
+  if (n < 0) {
+    throw std::invalid_argument("n must be >= 0");
+  }
+}
+
+// A string mentioning throw std::runtime_error must not fire the rule.
+const char* kDoc = "never throw std::runtime_error from serving code";
+
+}  // namespace fixture

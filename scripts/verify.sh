@@ -10,6 +10,9 @@
 #             -Wall -Wextra -Wshadow -Wconversion -Werror.
 #   test      full ctest suite (includes the header-hygiene target and the
 #             python gate self-tests), plus an explicit perf-labeled leg.
+#   chaos     chaos-labeled tests (ctest -L chaos): the 32-seed injected-
+#             failure sweeps over serving and distributed prefill, asserting
+#             one typed outcome per request and byte-identical replay.
 #   asan      ASan+UBSan build (-DBURST_SANITIZE=address,undefined) running
 #             the full suite minus slow-labeled tests.
 #   tsan      TSan build (-DBURST_SANITIZE=thread) running the threaded
@@ -20,7 +23,7 @@
 #             (gated metrics may not fall more than 10% below baseline).
 #
 # Usage: scripts/verify.sh [--skip-lint] [--skip-asan] [--skip-tsan]
-#                          [--skip-bench] [--skip-perf]
+#                          [--skip-bench] [--skip-perf] [--skip-chaos]
 # Env:   BUILD_DIR (default build-verify), ASAN_BUILD_DIR (default
 #        build-asan), TSAN_BUILD_DIR (default build-tsan), JOBS (default
 #        nproc), BURST_REPORT_DIR (default: fresh mktemp -d, removed on exit;
@@ -38,6 +41,7 @@ RUN_ASAN=1
 RUN_TSAN=1
 RUN_BENCH=1
 RUN_PERF=1
+RUN_CHAOS=1
 for arg in "$@"; do
   case "$arg" in
     --skip-lint) RUN_LINT=0 ;;
@@ -45,6 +49,7 @@ for arg in "$@"; do
     --skip-tsan) RUN_TSAN=0 ;;
     --skip-bench) RUN_BENCH=0 ;;
     --skip-perf) RUN_PERF=0 ;;
+    --skip-chaos) RUN_CHAOS=0 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
@@ -59,7 +64,7 @@ fi
 
 # Per-gate results for the summary table: "pass" / "FAIL" / "skip".
 declare -A gate_status
-for g in lint build test perf asan tsan bench; do gate_status[$g]=skip; done
+for g in lint build test perf chaos asan tsan bench; do gate_status[$g]=skip; done
 overall=0
 
 # run_gate NAME CMD... — record pass/FAIL, keep going so the summary shows
@@ -124,6 +129,10 @@ else
     echo "== perf-labeled tests (ctest -L perf)"
     run_gate perf ctest --test-dir "$BUILD_DIR" --output-on-failure -L perf
   fi
+  if [[ $RUN_CHAOS -eq 1 ]]; then
+    echo "== chaos-labeled tests (ctest -L chaos)"
+    run_gate chaos ctest --test-dir "$BUILD_DIR" --output-on-failure -L chaos
+  fi
 fi
 
 # ---- sanitizers ------------------------------------------------------------
@@ -178,7 +187,8 @@ bench_gate() {
     python3 scripts/bench_compare.py BENCH_baseline.json \
       micro_gemm="$report_dir/bench_micro_gemm.json" \
       micro_kernels="$report_dir/bench_micro_kernels.json" \
-      serving_slo="$report_dir/bench_serving_slo.json" || fail=1
+      serving_slo="$report_dir/bench_serving_slo.json" \
+      serving_chaos="$report_dir/bench_serving_chaos.json" || fail=1
   fi
   return $fail
 }
@@ -191,7 +201,7 @@ fi
 echo
 echo "== verify summary"
 printf '   %-7s %s\n' gate result
-for g in lint build test perf asan tsan bench; do
+for g in lint build test perf chaos asan tsan bench; do
   printf '   %-7s %s\n' "$g" "${gate_status[$g]}"
 done
 if [[ $overall -ne 0 ]]; then

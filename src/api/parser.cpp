@@ -233,6 +233,18 @@ bool parse_completion_request(const std::string& body, CompletionRequest* out,
         return fail(err, "\"ttft_slo_ms\" must be a positive number");
       }
       out->ttft_slo_s = v * 1e-3;
+    } else if (key == "timeout_ms") {
+      double v = 0.0;
+      if (!sc.number(&v) || v <= 0.0) {
+        return fail(err, "\"timeout_ms\" must be a positive number");
+      }
+      out->timeout_s = v * 1e-3;
+    } else if (key == "tpot_slo_ms") {
+      double v = 0.0;
+      if (!sc.number(&v) || v <= 0.0) {
+        return fail(err, "\"tpot_slo_ms\" must be a positive number");
+      }
+      out->tpot_slo_s = v * 1e-3;
     } else {
       return fail(err, "unknown field \"" + key + "\"");
     }

@@ -90,6 +90,12 @@ std::int64_t ApiServer::submit(double arrival_s, CompletionRequest request,
   a.request.ttft_target_s = request.ttft_slo_s > 0.0
                                 ? request.ttft_slo_s
                                 : std::numeric_limits<double>::infinity();
+  a.request.timeout_s = request.timeout_s > 0.0
+                            ? request.timeout_s
+                            : std::numeric_limits<double>::infinity();
+  a.request.tpot_target_s = request.tpot_slo_s > 0.0
+                                ? request.tpot_slo_s
+                                : std::numeric_limits<double>::infinity();
   // Engine ids are assignment-order-sequential, so the id is known now and
   // the caller can correlate streamed events before run() happens.
   a.request.id = static_cast<std::int64_t>(accepted_.size());
@@ -113,8 +119,22 @@ ApiServer::Report ApiServer::run() {
   if (accepted_.empty()) {
     return report;
   }
-  serve::ServeReport serve_report = run_on_single_device(
-      engine, cfg_.flops_per_s, cfg_.engine.trace);
+  serve::ServeReport serve_report;
+  const bool resilient = !cfg_.resilience.faults.empty() ||
+                         cfg_.resilience.checkpoint_every > 0;
+  if (resilient) {
+    serve::ServeResilienceConfig rc = cfg_.resilience;
+    rc.flops_per_s = cfg_.flops_per_s;
+    if (rc.trace == nullptr) {
+      rc.trace = cfg_.engine.trace;
+    }
+    serve::ResilientServeReport rrep = serve::serve_with_recovery(engine, rc);
+    serve_report = std::move(rrep.report);
+    report.recoveries = std::move(rrep.recoveries);
+  } else {
+    serve_report =
+        run_on_single_device(engine, cfg_.flops_per_s, cfg_.engine.trace);
+  }
   report.metrics = serve_report.metrics;
   report.results = std::move(serve_report.results);
 
@@ -129,17 +149,36 @@ ApiServer::Report ApiServer::run() {
   };
   std::vector<Event> events;
   for (const auto& r : report.results) {
-    if (r.rejected()) {
-      events.push_back({std::max(r.arrival_s, 0.0), 1, r.id, 0});
-      ++report.rejected;
-      continue;
+    switch (r.outcome) {
+      case serve::Outcome::kRejected:
+        events.push_back({std::max(r.arrival_s, 0.0), 1, r.id, 0});
+        ++report.rejected;
+        continue;
+      case serve::Outcome::kFailedFast:
+        // finish_s is the arrival instant: a breaker 503 is immediate.
+        events.push_back({std::max(r.finish_s, 0.0), 1, r.id, 0});
+        ++report.failed_fast;
+        continue;
+      case serve::Outcome::kTimedOut:
+        ++report.timed_out;
+        break;
+      case serve::Outcome::kShed:
+        ++report.shed;
+        break;
+      case serve::Outcome::kCompleted:
+        ++report.completed;
+        break;
+      case serve::Outcome::kPending:
+        break;
     }
+    // Streamed outcomes: any tokens generated before the terminal event are
+    // replayed first (a timed-out request delivers its partial stream, then
+    // the 504), the terminal response lands at finish_s.
     for (std::size_t j = 0; j < r.token_times_s.size(); ++j) {
       events.push_back(
           {r.token_times_s[j], 0, r.id, static_cast<std::int64_t>(j)});
     }
     events.push_back({r.finish_s, 1, r.id, 0});
-    ++report.completed;
   }
   std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
     if (a.time_s != b.time_s) {
@@ -170,13 +209,36 @@ ApiServer::Report ApiServer::run() {
       sink->on_token(te);
       continue;
     }
-    if (r.rejected()) {
+    if (r.outcome != serve::Outcome::kCompleted) {
       ApiError err;
-      err.status = 429;
-      err.code = burst::ErrorCode::kAdmissionRejected;
+      err.status = serve::outcome_http_status(r.outcome);
       std::ostringstream os;
-      os << "admission control rejected request " << r.id << ": "
-         << serve::reject_reason_name(r.reject_reason);
+      switch (r.outcome) {
+        case serve::Outcome::kRejected:
+          err.code = burst::ErrorCode::kAdmissionRejected;
+          os << "admission control rejected request " << r.id << ": "
+             << serve::reject_reason_name(r.reject_reason);
+          break;
+        case serve::Outcome::kTimedOut:
+          err.code = burst::ErrorCode::kDeadlineExceeded;
+          os << "request " << r.id << " exceeded its deadline after "
+             << r.generated.size() << " tokens";
+          break;
+        case serve::Outcome::kShed:
+          err.code = burst::ErrorCode::kOverloaded;
+          os << "request " << r.id << " shed under overload";
+          break;
+        case serve::Outcome::kFailedFast:
+          err.code = burst::ErrorCode::kRecoveryInProgress;
+          os << "request " << r.id
+             << " failed fast: engine recovery in progress";
+          break;
+        default:
+          err.code = burst::ErrorCode::kUnknown;
+          os << "request " << r.id << " resolved to "
+             << serve::outcome_name(r.outcome);
+          break;
+      }
       err.message = os.str();
       sink->on_error(r.id, err);
       continue;

@@ -25,6 +25,7 @@
 #include "model/config.hpp"
 #include "model/transformer.hpp"
 #include "serve/engine.hpp"
+#include "serve/resilience.hpp"
 
 namespace burst::api {
 
@@ -67,6 +68,12 @@ struct ApiServerConfig {
   double flops_per_s = 100e12;
   /// Weighted-fair share per tenant name; unlisted tenants weigh 1.0.
   std::vector<std::pair<std::string, double>> tenant_weights;
+  /// Fault tolerance: when the fault plan is non-empty or checkpointing is
+  /// on, run() routes through serve::serve_with_recovery — crash faults are
+  /// recovered from the newest checkpoint and surfaced in Report::recoveries
+  /// (flops_per_s and trace are taken from this server config). A default
+  /// ServeResilienceConfig keeps the exact fault-free single-device path.
+  serve::ServeResilienceConfig resilience;
 };
 
 class ApiServer {
@@ -92,6 +99,11 @@ class ApiServer {
     std::int64_t completed = 0;
     std::int64_t rejected = 0;  // admission control (429s delivered)
     std::int64_t invalid = 0;   // parse/validation failures (400s delivered)
+    std::int64_t timed_out = 0;    // deadline cancellations (504s delivered)
+    std::int64_t shed = 0;         // load-shed drops (503s delivered)
+    std::int64_t failed_fast = 0;  // breaker fast-fails (503s delivered)
+    /// Crash-recovery episodes when resilience was on (empty otherwise).
+    std::vector<serve::ServeRecoveryEvent> recoveries;
   };
 
   /// Runs every accepted request to completion on one simulated device and

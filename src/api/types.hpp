@@ -45,6 +45,12 @@ struct CompletionRequest {
   std::int64_t max_tokens = 16;
   /// Time-to-first-token SLO in seconds; <= 0 means no target.
   double ttft_slo_s = 0.0;
+  /// Wall deadline in seconds from arrival; <= 0 defers to the engine's
+  /// default. Past it the request resolves as a typed 504.
+  double timeout_s = 0.0;
+  /// Per-output-token SLO in seconds (decode TPOT); <= 0 means no target.
+  /// Hopelessly missed TPOT deadlines degrade the request to a 504.
+  double tpot_slo_s = 0.0;
 };
 
 /// One streamed generation token (server-sent-event equivalent).
@@ -76,7 +82,8 @@ struct CompletionResponse {
 
 /// HTTP-style error: status + the stable burst::ErrorCode + human message.
 /// 400 = parse/validation failure, 429 = admission control shed the
-/// request, 503 = the engine itself failed.
+/// request, 503 = overloaded (load shed) or recovering (circuit breaker),
+/// 504 = virtual-time deadline exceeded.
 struct ApiError {
   int status = 500;
   burst::ErrorCode code = burst::ErrorCode::kUnknown;

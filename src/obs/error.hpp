@@ -26,6 +26,11 @@ enum class ErrorCode {
   kDeviceOom,        // allocation exceeded the device memory capacity
   kInvalidRequest,   // API request failed parsing or validation (HTTP 400)
   kAdmissionRejected,  // serving admission control shed the request (HTTP 429)
+  kEngineStalled,      // serving engine wedged: no runnable work, no arrivals
+  kSchedulerInvariant,  // scheduler planned work violating engine invariants
+  kDeadlineExceeded,    // request missed its virtual-time deadline (HTTP 504)
+  kOverloaded,          // load shedding dropped the request (HTTP 503)
+  kRecoveryInProgress,  // circuit breaker open during recovery (HTTP 503)
 };
 
 /// Stable serialization name of a code ("comm_timeout", "device_oom", ...).
@@ -47,6 +52,16 @@ inline const char* error_code_name(ErrorCode code) {
       return "invalid_request";
     case ErrorCode::kAdmissionRejected:
       return "admission_rejected";
+    case ErrorCode::kEngineStalled:
+      return "engine_stalled";
+    case ErrorCode::kSchedulerInvariant:
+      return "scheduler_invariant";
+    case ErrorCode::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case ErrorCode::kOverloaded:
+      return "overloaded";
+    case ErrorCode::kRecoveryInProgress:
+      return "recovery_in_progress";
     case ErrorCode::kUnknown:
       break;
   }

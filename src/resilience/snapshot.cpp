@@ -11,102 +11,14 @@ namespace fs = std::filesystem;
 
 namespace {
 
-// File layout: [magic u64]["version" u32][payload_size u64][checksum u64]
-// [payload bytes]. Checksum is FNV-1a 64 over the payload only.
+// Container layout (shared via write_checked_blob / read_checked_blob):
+// [magic u64][version u32][payload_size u64][checksum u64][payload bytes].
+// Checksum is FNV-1a 64 over the payload only.
 constexpr std::uint64_t kMagic = 0x50414E53'54525542ull;  // "BURSTSNAP"-ish
 constexpr std::uint32_t kVersion = 1;
 
-std::uint64_t fnv1a64(const unsigned char* data, std::size_t n) {
-  std::uint64_t h = 14695981039346656037ull;
-  for (std::size_t i = 0; i < n; ++i) {
-    h = (h ^ data[i]) * 1099511628211ull;
-  }
-  return h;
-}
-
-class Writer {
- public:
-  void u32(std::uint32_t v) { raw(&v, sizeof(v)); }
-  void u64(std::uint64_t v) { raw(&v, sizeof(v)); }
-  void i64(std::int64_t v) { raw(&v, sizeof(v)); }
-  void f64(double v) { raw(&v, sizeof(v)); }
-  void f32s(const float* v, std::size_t n) { raw(v, n * sizeof(float)); }
-
-  void tensor(const tensor::Tensor& t) {
-    u32(static_cast<std::uint32_t>(t.rank()));
-    for (int d = 0; d < t.rank(); ++d) {
-      i64(t.size(d));
-    }
-    f32s(t.data(), static_cast<std::size_t>(t.numel()));
-  }
-
-  const std::vector<unsigned char>& bytes() const { return buf_; }
-
- private:
-  void raw(const void* p, std::size_t n) {
-    const auto* b = static_cast<const unsigned char*>(p);
-    buf_.insert(buf_.end(), b, b + n);
-  }
-
-  std::vector<unsigned char> buf_;
-};
-
-class Reader {
- public:
-  Reader(const unsigned char* data, std::size_t n) : data_(data), n_(n) {}
-
-  std::uint32_t u32() { return get<std::uint32_t>(); }
-  std::uint64_t u64() { return get<std::uint64_t>(); }
-  std::int64_t i64() { return get<std::int64_t>(); }
-  double f64() { return get<double>(); }
-
-  void f32s(float* out, std::size_t n) {
-    need(n * sizeof(float));
-    std::memcpy(out, data_ + pos_, n * sizeof(float));
-    pos_ += n * sizeof(float);
-  }
-
-  tensor::Tensor tensor() {
-    const std::uint32_t rank = u32();
-    if (rank != 1 && rank != 2) {
-      throw SnapshotCorruptError("tensor rank " + std::to_string(rank));
-    }
-    tensor::Tensor t;
-    if (rank == 1) {
-      t = tensor::Tensor(i64());
-    } else {
-      const std::int64_t rows = i64();
-      t = tensor::Tensor(rows, i64());
-    }
-    f32s(t.data(), static_cast<std::size_t>(t.numel()));
-    return t;
-  }
-
-  bool done() const { return pos_ == n_; }
-
- private:
-  template <typename T>
-  T get() {
-    need(sizeof(T));
-    T v;
-    std::memcpy(&v, data_ + pos_, sizeof(T));
-    pos_ += sizeof(T);
-    return v;
-  }
-
-  void need(std::size_t n) const {
-    if (pos_ + n > n_) {
-      throw SnapshotCorruptError("payload truncated");
-    }
-  }
-
-  const unsigned char* data_;
-  std::size_t n_;
-  std::size_t pos_ = 0;
-};
-
 std::vector<unsigned char> serialize_payload(const TrainSnapshot& snap) {
-  Writer w;
+  PayloadWriter w;
   w.u64(snap.step);
   w.u64(snap.data_cursor);
   w.u64(snap.data_rng.state);
@@ -131,7 +43,7 @@ std::vector<unsigned char> serialize_payload(const TrainSnapshot& snap) {
 }
 
 TrainSnapshot deserialize_payload(const std::vector<unsigned char>& payload) {
-  Reader r(payload.data(), payload.size());
+  PayloadReader r(payload.data(), payload.size());
   TrainSnapshot snap;
   snap.step = r.u64();
   snap.data_cursor = r.u64();
@@ -177,49 +89,22 @@ std::int64_t step_of(const fs::path& p) {
 
 }  // namespace
 
-bool bitwise_equal(const model::ModelWeights& a,
-                   const model::ModelWeights& b) {
-  const auto tensor_eq = [](const tensor::Tensor& x, const tensor::Tensor& y) {
-    return x.shape() == y.shape() &&
-           std::memcmp(x.data(), y.data(),
-                       static_cast<std::size_t>(x.numel()) * sizeof(float)) ==
-               0;
-  };
-  if (a.layers.size() != b.layers.size()) {
-    return false;
+std::uint64_t fnv1a64(const unsigned char* data, std::size_t n) {
+  std::uint64_t h = 14695981039346656037ull;
+  for (std::size_t i = 0; i < n; ++i) {
+    h = (h ^ data[i]) * 1099511628211ull;
   }
-  for (std::size_t i = 0; i < a.layers.size(); ++i) {
-    const auto& la = a.layers[i];
-    const auto& lb = b.layers[i];
-    if (!tensor_eq(la.wq, lb.wq) || !tensor_eq(la.wk, lb.wk) ||
-        !tensor_eq(la.wv, lb.wv) || !tensor_eq(la.wo, lb.wo) ||
-        !tensor_eq(la.w1, lb.w1) || !tensor_eq(la.w2, lb.w2)) {
-      return false;
-    }
-  }
-  return tensor_eq(a.w_embed, b.w_embed) && tensor_eq(a.w_head, b.w_head);
+  return h;
 }
 
-std::uint64_t snapshot_bytes(const TrainSnapshot& snap) {
-  return serialize_payload(snap).size() + 8 + 4 + 8 + 8;  // header overhead
-}
-
-SnapshotManager::SnapshotManager(std::string dir, int keep_last)
-    : dir_(std::move(dir)), keep_last_(std::max(1, keep_last)) {
-  fs::create_directories(dir_);
-}
-
-std::uint64_t SnapshotManager::save(const TrainSnapshot& snap) {
-  const std::vector<unsigned char> payload = serialize_payload(snap);
+std::uint64_t write_checked_blob(const std::string& final_path,
+                                 const std::vector<unsigned char>& payload) {
   const std::uint64_t checksum = fnv1a64(payload.data(), payload.size());
-
-  const fs::path final_path =
-      fs::path(dir_) / ("snap-" + std::to_string(snap.step) + ".bin");
-  const fs::path tmp_path = final_path.string() + ".tmp";
+  const std::string tmp_path = final_path + ".tmp";
   {
     std::ofstream os(tmp_path, std::ios::binary | std::ios::trunc);
     if (!os) {
-      throw std::runtime_error("cannot open " + tmp_path.string());
+      throw std::runtime_error("cannot open " + tmp_path);
     }
     const std::uint64_t size = payload.size();
     os.write(reinterpret_cast<const char*>(&kMagic), sizeof(kMagic));
@@ -229,23 +114,16 @@ std::uint64_t SnapshotManager::save(const TrainSnapshot& snap) {
     os.write(reinterpret_cast<const char*>(payload.data()),
              static_cast<std::streamsize>(payload.size()));
     if (!os) {
-      throw std::runtime_error("short write to " + tmp_path.string());
+      throw std::runtime_error("short write to " + tmp_path);
     }
   }
-  // Atomic commit: the snapshot name either holds the complete old file or
-  // the complete new one, never a partial write.
+  // Atomic commit: the final name either holds the complete old file or the
+  // complete new one, never a partial write.
   fs::rename(tmp_path, final_path);
-
-  // Retention: drop the oldest snapshots beyond keep_last.
-  std::vector<std::string> all = list();
-  while (static_cast<int>(all.size()) > keep_last_) {
-    fs::remove(all.front());
-    all.erase(all.begin());
-  }
-  return payload.size() + 8 + 4 + 8 + 8;
+  return payload.size() + kBlobHeaderBytes;
 }
 
-TrainSnapshot SnapshotManager::load(const std::string& path) const {
+std::vector<unsigned char> read_checked_blob(const std::string& path) {
   std::ifstream is(path, std::ios::binary);
   if (!is) {
     throw SnapshotCorruptError("cannot open " + path);
@@ -274,7 +152,58 @@ TrainSnapshot SnapshotManager::load(const std::string& path) const {
   if (fnv1a64(payload.data(), payload.size()) != checksum) {
     throw SnapshotCorruptError("checksum mismatch in " + path);
   }
-  return deserialize_payload(payload);
+  return payload;
+}
+
+bool bitwise_equal(const model::ModelWeights& a,
+                   const model::ModelWeights& b) {
+  const auto tensor_eq = [](const tensor::Tensor& x, const tensor::Tensor& y) {
+    return x.shape() == y.shape() &&
+           std::memcmp(x.data(), y.data(),
+                       static_cast<std::size_t>(x.numel()) * sizeof(float)) ==
+               0;
+  };
+  if (a.layers.size() != b.layers.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.layers.size(); ++i) {
+    const auto& la = a.layers[i];
+    const auto& lb = b.layers[i];
+    if (!tensor_eq(la.wq, lb.wq) || !tensor_eq(la.wk, lb.wk) ||
+        !tensor_eq(la.wv, lb.wv) || !tensor_eq(la.wo, lb.wo) ||
+        !tensor_eq(la.w1, lb.w1) || !tensor_eq(la.w2, lb.w2)) {
+      return false;
+    }
+  }
+  return tensor_eq(a.w_embed, b.w_embed) && tensor_eq(a.w_head, b.w_head);
+}
+
+std::uint64_t snapshot_bytes(const TrainSnapshot& snap) {
+  return serialize_payload(snap).size() + kBlobHeaderBytes;
+}
+
+SnapshotManager::SnapshotManager(std::string dir, int keep_last)
+    : dir_(std::move(dir)), keep_last_(std::max(1, keep_last)) {
+  fs::create_directories(dir_);
+}
+
+std::uint64_t SnapshotManager::save(const TrainSnapshot& snap) {
+  const fs::path final_path =
+      fs::path(dir_) / ("snap-" + std::to_string(snap.step) + ".bin");
+  const std::uint64_t written =
+      write_checked_blob(final_path.string(), serialize_payload(snap));
+
+  // Retention: drop the oldest snapshots beyond keep_last.
+  std::vector<std::string> all = list();
+  while (static_cast<int>(all.size()) > keep_last_) {
+    fs::remove(all.front());
+    all.erase(all.begin());
+  }
+  return written;
+}
+
+TrainSnapshot SnapshotManager::load(const std::string& path) const {
+  return deserialize_payload(read_checked_blob(path));
 }
 
 TrainSnapshot SnapshotManager::load_latest() const {

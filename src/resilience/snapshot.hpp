@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -30,6 +31,114 @@ class SnapshotCorruptError : public std::runtime_error {
  public:
   explicit SnapshotCorruptError(const std::string& what)
       : std::runtime_error("corrupt snapshot: " + what) {}
+};
+
+// ---- generic checked-blob container ---------------------------------------
+// The on-disk format every snapshot family shares (training snapshots here,
+// serving checkpoints in serve/snapshot.hpp): [magic u64][version u32]
+// [payload_size u64][checksum u64][payload], checksum = FNV-1a 64 over the
+// payload, written to a .tmp file and committed with an atomic rename.
+
+/// Container header overhead in bytes (magic + version + size + checksum).
+constexpr std::uint64_t kBlobHeaderBytes = 8 + 4 + 8 + 8;
+
+/// Atomically writes `payload` in the checked-blob container to
+/// `final_path` (a crash mid-save never leaves a partial file under that
+/// name). Returns the total bytes written, header included.
+std::uint64_t write_checked_blob(const std::string& final_path,
+                                 const std::vector<unsigned char>& payload);
+
+/// Reads and validates one checked-blob file; throws SnapshotCorruptError on
+/// bad magic, unsupported version, truncation, or checksum mismatch.
+std::vector<unsigned char> read_checked_blob(const std::string& path);
+
+/// FNV-1a 64 over a byte range (the container checksum; exposed so tests
+/// can forge/verify payloads).
+std::uint64_t fnv1a64(const unsigned char* data, std::size_t n);
+
+/// Little typed appender used to build checked-blob payloads.
+class PayloadWriter {
+ public:
+  void u32(std::uint32_t v) { raw(&v, sizeof(v)); }
+  void u64(std::uint64_t v) { raw(&v, sizeof(v)); }
+  void i64(std::int64_t v) { raw(&v, sizeof(v)); }
+  void f64(double v) { raw(&v, sizeof(v)); }
+  void f32s(const float* v, std::size_t n) { raw(v, n * sizeof(float)); }
+
+  void tensor(const tensor::Tensor& t) {
+    u32(static_cast<std::uint32_t>(t.rank()));
+    for (int d = 0; d < t.rank(); ++d) {
+      i64(t.size(d));
+    }
+    f32s(t.data(), static_cast<std::size_t>(t.numel()));
+  }
+
+  const std::vector<unsigned char>& bytes() const { return buf_; }
+
+ private:
+  void raw(const void* p, std::size_t n) {
+    const auto* b = static_cast<const unsigned char*>(p);
+    buf_.insert(buf_.end(), b, b + n);
+  }
+
+  std::vector<unsigned char> buf_;
+};
+
+/// Bounds-checked reader over a checked-blob payload; every overrun throws
+/// SnapshotCorruptError, so truncated payloads fail loud, never UB.
+class PayloadReader {
+ public:
+  PayloadReader(const unsigned char* data, std::size_t n)
+      : data_(data), n_(n) {}
+
+  std::uint32_t u32() { return get<std::uint32_t>(); }
+  std::uint64_t u64() { return get<std::uint64_t>(); }
+  std::int64_t i64() { return get<std::int64_t>(); }
+  double f64() { return get<double>(); }
+
+  void f32s(float* out, std::size_t n) {
+    need(n * sizeof(float));
+    std::memcpy(out, data_ + pos_, n * sizeof(float));
+    pos_ += n * sizeof(float);
+  }
+
+  tensor::Tensor tensor() {
+    const std::uint32_t rank = u32();
+    if (rank != 1 && rank != 2) {
+      throw SnapshotCorruptError("tensor rank " + std::to_string(rank));
+    }
+    tensor::Tensor t;
+    if (rank == 1) {
+      t = tensor::Tensor(i64());
+    } else {
+      const std::int64_t rows = i64();
+      t = tensor::Tensor(rows, i64());
+    }
+    f32s(t.data(), static_cast<std::size_t>(t.numel()));
+    return t;
+  }
+
+  bool done() const { return pos_ == n_; }
+
+ private:
+  template <typename T>
+  T get() {
+    need(sizeof(T));
+    T v;
+    std::memcpy(&v, data_ + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  void need(std::size_t n) const {
+    if (pos_ + n > n_) {
+      throw SnapshotCorruptError("payload truncated");
+    }
+  }
+
+  const unsigned char* data_;
+  std::size_t n_;
+  std::size_t pos_ = 0;
 };
 
 /// Everything the resilient training loop needs to resume a run.

@@ -9,7 +9,9 @@
 #include <string>
 
 #include "obs/metrics.hpp"
+#include "serve/errors.hpp"
 #include "serve/kv_cache.hpp"
+#include "serve/snapshot.hpp"
 #include "tensor/gemm.hpp"
 
 namespace burst::serve {
@@ -62,6 +64,10 @@ ServeMetrics ServeMetrics::from_registry(obs::Registry& reg) {
   m.rejected = static_cast<std::int64_t>(reg.counter("serve.rejected").value());
   m.preempted =
       static_cast<std::int64_t>(reg.counter("serve.preempted").value());
+  m.timeouts = static_cast<std::int64_t>(reg.counter("serve.timeouts").value());
+  m.shed = static_cast<std::int64_t>(reg.counter("serve.shed").value());
+  m.failed_fast =
+      static_cast<std::int64_t>(reg.counter("serve.breaker_rejects").value());
   m.makespan_s = reg.gauge("serve.makespan_s").value();
   m.tokens_per_s = reg.gauge("serve.tokens_per_s").value();
   m.peak_kv_bytes =
@@ -78,6 +84,7 @@ ServeMetrics ServeMetrics::from_registry(obs::Registry& reg) {
 struct EngineSlot {
   Request req;
   RequestState state = RequestState::kQueued;
+  Outcome outcome = Outcome::kPending;
   SequenceKvCache cache;
   std::int64_t prefilled = 0;
   std::int64_t blocks_held = 0;
@@ -85,6 +92,9 @@ struct EngineSlot {
   std::vector<double> token_times;
   double first_token_s = -1.0;
   double finish_s = -1.0;
+  /// Absolute wall deadline (arrival + request timeout, engine default when
+  /// the request carries none); infinity when neither is set.
+  double deadline_s = std::numeric_limits<double>::infinity();
   bool admission_checked = false;
   RejectReason reject_reason = RejectReason::kNone;
 };
@@ -120,7 +130,16 @@ std::int64_t Engine::add_request(Request r) {
   return pending_.back().id;
 }
 
+void Engine::add_breaker_window(double open_s, double close_s) {
+  cfg_.breaker_windows.emplace_back(open_s, close_s);
+}
+
 ServeReport Engine::run(sim::DeviceContext& ctx) {
+  return run(ctx, RunOptions{});
+}
+
+ServeReport Engine::run(sim::DeviceContext& ctx, const RunOptions& opts) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
   KvBlockPool pool(ctx.mem(),
                    SequenceKvCache::block_bytes(model_, cfg_.block_tokens),
                    cfg_.max_kv_blocks);
@@ -138,12 +157,19 @@ ServeReport Engine::run(sim::DeviceContext& ctx) {
     sched_cfg.urgency_window_s = 4.0 * weight_s;
   }
   Scheduler sched(sched_cfg);
+  // Same default for TPOT degradation slack: a missed next-token deadline is
+  // hopeless once no handful of iterations can recover it.
+  const double tpot_slack =
+      cfg_.tpot_slack_s > 0.0 ? cfg_.tpot_slack_s : 4.0 * weight_s;
 
   std::vector<EngineSlot> slots;
   slots.reserve(pending_.size());
   for (const auto& r : pending_) {
     EngineSlot s;
     s.req = r;
+    const double timeout =
+        std::isfinite(r.timeout_s) ? r.timeout_s : cfg_.default_timeout_s;
+    s.deadline_s = std::isfinite(timeout) ? r.arrival_s + timeout : kInf;
     slots.push_back(std::move(s));
   }
   // Scheduler contract: entries sorted by (arrival, id).
@@ -161,17 +187,71 @@ ServeReport Engine::run(sim::DeviceContext& ctx) {
   // The registry is the source of truth for run metrics; ServeMetrics is
   // built as a view of it at the end. Runs with no attached registry count
   // into a run-local one so the returned metrics cover exactly this run.
+  // All tallies live in run state and publish only when the run *finishes* —
+  // a run that dies on an injected fault publishes nothing, so a recovery
+  // supervisor can re-run against the same registry without double counting.
   obs::Registry local_reg;
   obs::Registry& reg = cfg_.metrics != nullptr ? *cfg_.metrics : local_reg;
-  obs::Counter& c_iterations = reg.counter("serve.iterations");
-  obs::Counter& c_prefill_tokens = reg.counter("serve.prefill_tokens");
-  obs::Counter& c_generated_tokens = reg.counter("serve.generated_tokens");
-  obs::Counter& c_admitted = reg.counter("serve.admitted");
-  obs::Counter& c_rejected = reg.counter("serve.rejected");
-  obs::Counter& c_preempted = reg.counter("serve.preempted");
-  obs::Histogram& h_token_latency = reg.histogram("serve.token_latency_s");
-  obs::Histogram& h_ttft = reg.histogram("serve.ttft_s");
-  obs::Histogram& h_tpot = reg.histogram("serve.tpot_s");
+
+  std::int64_t iteration = 0;
+  std::int64_t preempted_total = 0;
+
+  if (opts.resume != nullptr) {
+    const EngineCheckpoint& ck = *opts.resume;
+    if (ck.slots.size() != slots.size()) {
+      throw SchedulerInvariantError(
+          "checkpoint has " + std::to_string(ck.slots.size()) +
+          " slots, engine has " + std::to_string(slots.size()));
+    }
+    iteration = ck.iteration;
+    preempted_total = ck.preempted;
+    const std::int64_t streams = model_.layers * model_.num_kv_heads();
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      EngineSlot& s = slots[i];
+      const EngineCheckpoint::Slot& cs = ck.slots[i];
+      s.state = static_cast<RequestState>(cs.state);
+      s.outcome = static_cast<Outcome>(cs.outcome);
+      s.reject_reason = static_cast<RejectReason>(cs.reject_reason);
+      s.admission_checked = cs.admission_checked;
+      s.prefilled = cs.prefilled;
+      s.first_token_s = cs.first_token_s;
+      s.finish_s = cs.finish_s;
+      s.generated = cs.generated;
+      s.token_times = cs.token_times;
+      if (cs.blocks_held > 0) {
+        if (static_cast<std::int64_t>(cs.k.size()) != streams ||
+            cs.v.size() != cs.k.size()) {
+          throw SchedulerInvariantError(
+              "checkpoint KV streams mismatch for request " +
+              std::to_string(s.req.id));
+        }
+        if (!pool.try_acquire(cs.blocks_held,
+                              "kv:req" + std::to_string(s.req.id))) {
+          throw SchedulerInvariantError(
+              "checkpoint KV blocks exceed the pool for request " +
+              std::to_string(s.req.id));
+        }
+        s.blocks_held = cs.blocks_held;
+        s.cache = SequenceKvCache::create(model_, cfg_.block_tokens);
+        s.cache.reserve(cs.blocks_held * cfg_.block_tokens);
+        if (cs.cache_len > 0) {
+          for (std::int64_t l = 0; l < model_.layers; ++l) {
+            for (std::int64_t h = 0; h < model_.num_kv_heads(); ++h) {
+              const std::int64_t idx = l * model_.num_kv_heads() + h;
+              s.cache.put_at(l, h, 0, cs.k[static_cast<std::size_t>(idx)],
+                             cs.v[static_cast<std::size_t>(idx)]);
+            }
+          }
+          s.cache.commit(cs.cache_len);
+        }
+      }
+    }
+    // A standalone resume starts its clock at the checkpoint; a recovery
+    // supervisor has already advanced it past the failure + restore time.
+    if (ctx.clock().now(sim::kCompute) < ck.time_s) {
+      ctx.clock().advance_to(sim::kCompute, ck.time_s);
+    }
+  }
 
   const auto tenant_weight = [&](std::int64_t tenant) {
     const auto t = static_cast<std::size_t>(tenant);
@@ -180,10 +260,40 @@ ServeReport Engine::run(sim::DeviceContext& ctx) {
                : 1.0;
   };
 
+  const auto is_terminal = [](const EngineSlot& s) {
+    return s.state == RequestState::kDone ||
+           s.state == RequestState::kRejected ||
+           s.state == RequestState::kCancelled;
+  };
+
+  const auto in_breaker = [&](double t) {
+    for (const auto& w : cfg_.breaker_windows) {
+      if (t >= w.first && t < w.second) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  // Terminates a live request with a degradation outcome: its KV pages go
+  // back to the pool, any tokens already generated stay (the API layer
+  // replays partial streams before the typed error event).
+  const auto cancel = [&](EngineSlot& s, Outcome outcome, double now) {
+    if (s.blocks_held > 0) {
+      pool.release(s.blocks_held);
+      s.blocks_held = 0;
+    }
+    s.cache = SequenceKvCache();
+    s.state = RequestState::kCancelled;
+    s.outcome = outcome;
+    s.finish_s = now;
+  };
+
   // Admission control, evaluated once per request when its arrival time is
   // reached: requests that can never fit the KV pool, or that land on a
   // full waiting queue (depth or prompt-token backlog), are shed with a
-  // typed reason instead of growing the queue without bound.
+  // typed reason instead of growing the queue without bound. Arrivals inside
+  // a circuit-breaker window fail fast before any admission math.
   const auto process_arrivals = [&](double now) {
     std::int64_t waiting = 0;
     std::int64_t waiting_tokens = 0;
@@ -200,6 +310,12 @@ ServeReport Engine::run(sim::DeviceContext& ctx) {
         continue;
       }
       s.admission_checked = true;
+      if (in_breaker(s.req.arrival_s)) {
+        s.state = RequestState::kCancelled;
+        s.outcome = Outcome::kFailedFast;
+        s.finish_s = s.req.arrival_s;
+        continue;
+      }
       const auto prompt_len = static_cast<std::int64_t>(s.req.prompt.size());
       RejectReason reason = RejectReason::kNone;
       if (SequenceKvCache::blocks_for(prompt_len + s.req.max_new_tokens,
@@ -216,22 +332,80 @@ ServeReport Engine::run(sim::DeviceContext& ctx) {
       if (reason != RejectReason::kNone) {
         s.state = RequestState::kRejected;
         s.reject_reason = reason;
-        c_rejected.add(1);
-        reg.counter(obs::labeled("serve.rejected",
-                                 {{"reason", reject_reason_name(reason)}}))
-            .add(1);
+        s.outcome = Outcome::kRejected;
         continue;
       }
-      c_admitted.add(1);
       ++waiting;
       waiting_tokens += prompt_len;
     }
   };
 
+  // Graceful degradation, part 1: wall-deadline and hopeless-TPOT requests
+  // become typed 504s at the next iteration boundary instead of occupying
+  // KV pages and batch budget they can no longer convert into useful work.
+  const auto cancel_overdue = [&](double now) {
+    for (auto& s : slots) {
+      if (is_terminal(s) || !s.admission_checked) {
+        continue;
+      }
+      if (now > s.deadline_s) {
+        cancel(s, Outcome::kTimedOut, now);
+        continue;
+      }
+      if (s.state == RequestState::kDecode &&
+          std::isfinite(s.req.tpot_target_s) && !s.token_times.empty() &&
+          now > s.token_times.back() + s.req.tpot_target_s + tpot_slack) {
+        cancel(s, Outcome::kTimedOut, now);
+      }
+    }
+  };
+
+  // Graceful degradation, part 2: load shedding. When the admitted waiting
+  // queue overflows shed_high, drop lowest-priority work first — and within
+  // a priority class the most-over-deadline request — down to shed_low.
+  const auto shed_overload = [&](double now) {
+    if (cfg_.shed_high <= 0) {
+      return;
+    }
+    std::vector<std::size_t> waiting;
+    for (std::size_t i : order) {
+      const EngineSlot& s = slots[i];
+      if (s.state == RequestState::kQueued && s.admission_checked) {
+        waiting.push_back(i);
+      }
+    }
+    if (static_cast<std::int64_t>(waiting.size()) <= cfg_.shed_high) {
+      return;
+    }
+    const std::int64_t target =
+        cfg_.shed_low > 0 ? cfg_.shed_low : cfg_.shed_high;
+    const auto shed_key = [&](std::size_t i) {
+      const EngineSlot& s = slots[i];
+      const double ttft_deadline = s.req.arrival_s + s.req.ttft_target_s;
+      return std::min(ttft_deadline, s.deadline_s);
+    };
+    std::sort(waiting.begin(), waiting.end(),
+              [&](std::size_t a, std::size_t b) {
+                if (slots[a].req.priority != slots[b].req.priority) {
+                  return slots[a].req.priority < slots[b].req.priority;
+                }
+                const double da = shed_key(a);
+                const double db = shed_key(b);
+                if (da != db) {
+                  return da < db;
+                }
+                return slots[a].req.id < slots[b].req.id;
+              });
+    const std::size_t drop =
+        waiting.size() - static_cast<std::size_t>(target);
+    for (std::size_t j = 0; j < drop; ++j) {
+      cancel(slots[waiting[j]], Outcome::kShed, now);
+    }
+  };
+
   const auto all_done = [&] {
     for (const auto& s : slots) {
-      if (s.state != RequestState::kDone &&
-          s.state != RequestState::kRejected) {
+      if (!is_terminal(s)) {
         return false;
       }
     }
@@ -241,8 +415,10 @@ ServeReport Engine::run(sim::DeviceContext& ctx) {
   while (!all_done()) {
     const double now = ctx.clock().now(sim::kCompute);
     process_arrivals(now);
+    cancel_overdue(now);
+    shed_overload(now);
     if (all_done()) {
-      break;  // the last arrivals may all have been shed
+      break;  // the last arrivals may all have been shed or cancelled
     }
 
     std::vector<SchedEntry> entries;
@@ -262,26 +438,41 @@ ServeReport Engine::run(sim::DeviceContext& ctx) {
       e.priority = s.req.priority;
       e.weight = tenant_weight(s.req.tenant);
       e.deadline_s = s.req.arrival_s + s.req.ttft_target_s;
+      e.tpot_deadline_s =
+          s.state == RequestState::kDecode &&
+                  std::isfinite(s.req.tpot_target_s) && !s.token_times.empty()
+              ? s.token_times.back() + s.req.tpot_target_s
+              : kInf;
       entries.push_back(e);
     }
 
     const IterationPlan plan =
         sched.plan(now, entries, pool.free_blocks(), cfg_.block_tokens);
-    c_preempted.add(plan.preempted.size());
+    preempted_total += static_cast<std::int64_t>(plan.preempted.size());
 
     if (plan.empty()) {
-      // Nothing runnable now: jump to the next arrival, or report a stall
-      // (every non-done request is wedged on KV blocks — a budget too small
-      // to ever fit a single request).
+      // Nothing runnable now: jump to the next event — an arrival, or a
+      // deadline whose expiry frees wedged KV pages — or report a stall
+      // (every non-done request is wedged on KV blocks and nothing will
+      // ever unwedge it: a budget too small to ever fit a single request).
       double next = std::numeric_limits<double>::infinity();
       for (const auto& s : slots) {
         if (s.state == RequestState::kQueued && s.req.arrival_s > now) {
           next = std::min(next, s.req.arrival_s);
         }
+        if (!is_terminal(s) && s.admission_checked &&
+            std::isfinite(s.deadline_s)) {
+          // Cancellation fires strictly past the deadline.
+          next = std::min(next, std::nextafter(s.deadline_s, kInf));
+        }
       }
       if (!std::isfinite(next)) {
-        throw std::runtime_error(
-            "serve::Engine stalled: no runnable work and no future arrivals "
+        reg.counter(obs::labeled(
+                        "serve.errors",
+                        {{"code", error_code_name(ErrorCode::kEngineStalled)}}))
+            .add(1);
+        throw EngineStalledError(
+            "no runnable work and no future arrivals "
             "(KV block budget too small for a single request?)");
       }
       ctx.clock().advance_to(sim::kCompute, next);
@@ -300,8 +491,13 @@ ServeReport Engine::run(sim::DeviceContext& ctx) {
       if (need > 0) {
         if (!pool.try_acquire(need,
                               "kv:req" + std::to_string(s.req.id))) {
-          throw std::logic_error(
-              "serve::Engine: scheduler planned work exceeding the KV pool");
+          reg.counter(
+                 obs::labeled("serve.errors",
+                              {{"code", error_code_name(
+                                            ErrorCode::kSchedulerInvariant)}}))
+              .add(1);
+          throw SchedulerInvariantError(
+              "scheduler planned work exceeding the KV pool");
         }
         s.blocks_held += need;
       }
@@ -323,7 +519,6 @@ ServeReport Engine::run(sim::DeviceContext& ctx) {
           p.tokens, cfg_.mask, &stats);
       s.prefilled += p.tokens;
       lin_flops += static_cast<std::uint64_t>(p.tokens) * lin_per_tok;
-      c_prefill_tokens.add(static_cast<std::uint64_t>(p.tokens));
       if (s.prefilled == static_cast<std::int64_t>(s.req.prompt.size())) {
         // Prefill done: the last prompt row's logits give the first token.
         const Tensor logits =
@@ -359,21 +554,26 @@ ServeReport Engine::run(sim::DeviceContext& ctx) {
     for (EngineSlot* s : produced) {
       if (s->first_token_s < 0.0) {
         s->first_token_s = end;
-        h_ttft.observe(end - s->req.arrival_s);
-      } else {
-        h_token_latency.observe(end - s->token_times.back());
       }
+      // TPOT degradation is checked when the token lands, not only at the
+      // loop top: a continuously-scheduled request refreshes token_times
+      // every iteration, so a hopeless per-token SLO (tighter than the
+      // iteration floor) is only ever visible as the gap between this token
+      // and the previous one.
+      const bool tpot_late =
+          std::isfinite(s->req.tpot_target_s) && !s->token_times.empty() &&
+          end > s->token_times.back() + s->req.tpot_target_s + tpot_slack;
       s->token_times.push_back(end);
-      c_generated_tokens.add(1);
+      if (tpot_late) {
+        cancel(*s, Outcome::kTimedOut, end);
+        continue;
+      }
       if (static_cast<std::int64_t>(s->generated.size()) ==
           s->req.max_new_tokens) {
         // Completion: evict — all KV blocks return to the pool.
         s->state = RequestState::kDone;
+        s->outcome = Outcome::kCompleted;
         s->finish_s = end;
-        if (s->token_times.size() > 1) {
-          h_tpot.observe((s->finish_s - s->first_token_s) /
-                         static_cast<double>(s->token_times.size() - 1));
-        }
         pool.release(s->blocks_held);
         s->blocks_held = 0;
         s->cache = SequenceKvCache();
@@ -388,14 +588,130 @@ ServeReport Engine::run(sim::DeviceContext& ctx) {
               std::to_string(plan.total_tokens()),
           iter_begin, end);
     }
-    c_iterations.add(1);
+    ++iteration;
+
+    if (opts.checkpoint_every > 0 && opts.on_checkpoint &&
+        iteration % opts.checkpoint_every == 0 && !all_done()) {
+      EngineCheckpoint ck;
+      ck.iteration = iteration;
+      ck.time_s = end;
+      ck.preempted = preempted_total;
+      ck.slots.reserve(slots.size());
+      for (const auto& s : slots) {
+        EngineCheckpoint::Slot cs;
+        cs.state = static_cast<std::uint32_t>(s.state);
+        cs.outcome = static_cast<std::uint32_t>(s.outcome);
+        cs.reject_reason = static_cast<std::uint32_t>(s.reject_reason);
+        cs.admission_checked = s.admission_checked;
+        cs.prefilled = s.prefilled;
+        cs.blocks_held = s.blocks_held;
+        cs.first_token_s = s.first_token_s;
+        cs.finish_s = s.finish_s;
+        cs.generated = s.generated;
+        cs.token_times = s.token_times;
+        cs.cache_len = s.cache.len();
+        if (s.blocks_held > 0) {
+          for (std::int64_t l = 0; l < model_.layers; ++l) {
+            for (std::int64_t h = 0; h < model_.num_kv_heads(); ++h) {
+              const tensor::ConstMatView kv = s.cache.k_view(l, h, cs.cache_len);
+              const tensor::ConstMatView vv = s.cache.v_view(l, h, cs.cache_len);
+              Tensor kt(kv.rows, kv.cols);
+              Tensor vt(vv.rows, vv.cols);
+              for (std::int64_t rr = 0; rr < kv.rows; ++rr) {
+                for (std::int64_t cc = 0; cc < kv.cols; ++cc) {
+                  kt(rr, cc) = kv(rr, cc);
+                  vt(rr, cc) = vv(rr, cc);
+                }
+              }
+              cs.k.push_back(std::move(kt));
+              cs.v.push_back(std::move(vt));
+            }
+          }
+        }
+        ck.slots.push_back(std::move(cs));
+      }
+      opts.on_checkpoint(ck, ctx);
+    }
+  }
+
+  // Publication: every tally and histogram lands in the registry only now,
+  // at successful completion — derived from final slot state, so a resumed
+  // run counts each logical token and request exactly once.
+  std::int64_t admitted = 0;
+  std::int64_t rejected = 0;
+  std::int64_t timeouts = 0;
+  std::int64_t shed_count = 0;
+  std::int64_t failed_fast = 0;
+  std::int64_t prefill_sum = 0;
+  std::int64_t generated_sum = 0;
+  std::map<Outcome, std::int64_t> by_outcome;
+  obs::Histogram& h_token_latency = reg.histogram("serve.token_latency_s");
+  obs::Histogram& h_ttft = reg.histogram("serve.ttft_s");
+  obs::Histogram& h_tpot = reg.histogram("serve.tpot_s");
+  for (const auto& s : slots) {
+    prefill_sum += s.prefilled;
+    generated_sum += static_cast<std::int64_t>(s.generated.size());
+    ++by_outcome[s.outcome];
+    switch (s.outcome) {
+      case Outcome::kRejected:
+        ++rejected;
+        reg.counter(obs::labeled(
+                        "serve.rejected",
+                        {{"reason", reject_reason_name(s.reject_reason)}}))
+            .add(1);
+        break;
+      case Outcome::kFailedFast:
+        ++failed_fast;
+        break;
+      case Outcome::kTimedOut:
+        ++timeouts;
+        ++admitted;
+        break;
+      case Outcome::kShed:
+        ++shed_count;
+        ++admitted;
+        break;
+      case Outcome::kCompleted:
+        ++admitted;
+        break;
+      case Outcome::kPending:
+        break;
+    }
+    if (!s.token_times.empty()) {
+      h_ttft.observe(s.token_times.front() - s.req.arrival_s);
+      for (std::size_t j = 1; j < s.token_times.size(); ++j) {
+        h_token_latency.observe(s.token_times[j] - s.token_times[j - 1]);
+      }
+    }
+    if (s.outcome == Outcome::kCompleted && s.token_times.size() > 1) {
+      h_tpot.observe((s.finish_s - s.first_token_s) /
+                     static_cast<double>(s.token_times.size() - 1));
+    }
+  }
+  reg.counter("serve.iterations").add(static_cast<std::uint64_t>(iteration));
+  reg.counter("serve.prefill_tokens")
+      .add(static_cast<std::uint64_t>(prefill_sum));
+  obs::Counter& c_generated = reg.counter("serve.generated_tokens");
+  c_generated.add(static_cast<std::uint64_t>(generated_sum));
+  reg.counter("serve.admitted").add(static_cast<std::uint64_t>(admitted));
+  reg.counter("serve.rejected").add(static_cast<std::uint64_t>(rejected));
+  reg.counter("serve.preempted")
+      .add(static_cast<std::uint64_t>(preempted_total));
+  reg.counter("serve.timeouts").add(static_cast<std::uint64_t>(timeouts));
+  reg.counter("serve.shed").add(static_cast<std::uint64_t>(shed_count));
+  reg.counter("serve.breaker_rejects")
+      .add(static_cast<std::uint64_t>(failed_fast));
+  for (const auto& [outcome, n] : by_outcome) {
+    reg.counter(
+           obs::labeled("serve.outcomes", {{"outcome", outcome_name(outcome)}}))
+        .add(static_cast<std::uint64_t>(n));
   }
 
   const double makespan = ctx.clock().elapsed();
   reg.gauge("serve.makespan_s").set(makespan);
   reg.gauge("serve.tokens_per_s")
       .set(makespan > 0.0
-               ? static_cast<double>(c_generated_tokens.value()) / makespan
+               ? static_cast<double>(c_generated.value()) / makespan
                : 0.0);
   reg.gauge("serve.peak_kv_bytes").set(static_cast<double>(ctx.mem().peak()));
 
@@ -411,6 +727,7 @@ ServeReport Engine::run(sim::DeviceContext& ctx) {
     r.finish_s = s.finish_s;
     r.token_times_s = s.token_times;
     r.reject_reason = s.reject_reason;
+    r.outcome = s.outcome;
     rep.results.push_back(std::move(r));
   }
   std::sort(rep.results.begin(), rep.results.end(),

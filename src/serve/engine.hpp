@@ -22,6 +22,9 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <limits>
+#include <utility>
 #include <vector>
 
 #include "kernels/mask.hpp"
@@ -49,6 +52,29 @@ struct EngineConfig {
   std::vector<double> tenant_weights;
   /// Weight-streaming bandwidth for the per-iteration roofline charge.
   double hbm_bytes_per_s = 2e12;
+  /// Default per-request wall deadline (virtual seconds from arrival) for
+  /// requests that don't carry their own Request::timeout_s. A request still
+  /// unfinished past its deadline is cancelled at the next iteration
+  /// boundary with Outcome::kTimedOut (HTTP 504) and its KV blocks are
+  /// released. Infinity = requests never time out.
+  double default_timeout_s = std::numeric_limits<double>::infinity();
+  /// Slack past a missed TPOT next-token deadline before the engine degrades
+  /// the request to kTimedOut (kSlo + finite Request::tpot_target_s only).
+  /// <= 0 picks a default of a few iteration floors, like urgency_window_s.
+  double tpot_slack_s = 0.0;
+  /// Load-shed mode: when the admitted-but-waiting queue exceeds shed_high
+  /// requests at an iteration boundary, waiting work is dropped with
+  /// Outcome::kShed (HTTP 503) — lowest priority first, most-over-deadline
+  /// first within a class — until the queue is back to shed_low (or
+  /// shed_high when shed_low <= 0). 0 disables shedding.
+  std::int64_t shed_high = 0;
+  std::int64_t shed_low = 0;
+  /// Circuit-breaker windows [open_s, close_s): requests *arriving* inside
+  /// any window fail fast with Outcome::kFailedFast (HTTP 503,
+  /// recovery_in_progress) instead of queueing behind a recovery. The
+  /// recovery supervisor (serve/resilience.hpp) installs one window per
+  /// crash via Engine::add_breaker_window.
+  std::vector<std::pair<double, double>> breaker_windows;
   kernels::MaskSpec mask = kernels::MaskSpec::causal();
   /// Optional sink for per-iteration and per-request trace events.
   sim::TraceRecorder* trace = nullptr;
@@ -80,6 +106,11 @@ struct ServeMetrics {
   std::int64_t admitted = 0;
   std::int64_t rejected = 0;
   std::int64_t preempted = 0;
+  /// Degradation tallies: wall/TPOT deadline cancellations (504), load-shed
+  /// drops (503 overloaded), circuit-breaker fast-fails (503 recovering).
+  std::int64_t timeouts = 0;
+  std::int64_t shed = 0;
+  std::int64_t failed_fast = 0;
   /// Peak KV-cache bytes charged to the device tracker.
   std::uint64_t peak_kv_bytes = 0;
 
@@ -93,8 +124,20 @@ struct ServeReport {
   ServeMetrics metrics;
 };
 
+struct EngineCheckpoint;  // serve/snapshot.hpp
+
 class Engine {
  public:
+  /// Knobs for a fault-tolerant run: resume from a checkpoint, and/or emit
+  /// one every `checkpoint_every` iterations through `on_checkpoint` (which
+  /// may charge virtual snapshot-I/O time on the DeviceContext it receives).
+  struct RunOptions {
+    const EngineCheckpoint* resume = nullptr;
+    std::int64_t checkpoint_every = 0;
+    std::function<void(const EngineCheckpoint&, sim::DeviceContext&)>
+        on_checkpoint;
+  };
+
   Engine(const model::ModelConfig& model, const model::ModelWeights& weights,
          EngineConfig cfg);
 
@@ -110,6 +153,18 @@ class Engine {
   /// within Cluster::run on a single-device cluster (the distributed prefill
   /// front-end in serve/dist_prefill.hpp is a separate phase).
   ServeReport run(sim::DeviceContext& ctx);
+
+  /// Fault-tolerant variant. With `opts.resume`, the run restarts from the
+  /// checkpointed iteration — committed work (tokens, KV pages, scheduler
+  /// state) is restored bitwise, only iterations after the checkpoint
+  /// re-execute. Requests must be the same set that produced the checkpoint.
+  ServeReport run(sim::DeviceContext& ctx, const RunOptions& opts);
+
+  /// Installs a circuit-breaker window [open_s, close_s); see
+  /// EngineConfig::breaker_windows.
+  void add_breaker_window(double open_s, double close_s);
+
+  const EngineConfig& config() const { return cfg_; }
 
  private:
   const model::ModelConfig model_;

@@ -1,0 +1,38 @@
+// Typed serving-path errors.
+//
+// Everything the serving stack throws carries a stable burst::ErrorCode so
+// supervisors (serve_with_recovery, the resilience driver) can switch on
+// code() and RunReports serialize the cause uniformly. The burst-lint rule
+// `typed-errors-only` forbids bare std::runtime_error / std::logic_error
+// throws anywhere under src/serve/ and src/api/ — new failure modes get a
+// class here (and, when needed, a new code in obs/error.hpp; codes are
+// append-only).
+#pragma once
+
+#include <string>
+
+#include "obs/error.hpp"
+
+namespace burst::serve {
+
+/// The engine wedged: no runnable work, no future arrivals, yet requests
+/// remain unfinished (typically a KV block budget too small for any single
+/// request to ever fit). Code: engine_stalled.
+class EngineStalledError : public burst::Error {
+ public:
+  explicit EngineStalledError(const std::string& detail)
+      : burst::Error(ErrorCode::kEngineStalled,
+                     "serve::Engine stalled: " + detail) {}
+};
+
+/// The scheduler handed the engine a plan that violates an engine invariant
+/// (e.g. planned KV growth exceeding the block pool) — always a bug, never
+/// an operational condition. Code: scheduler_invariant.
+class SchedulerInvariantError : public burst::Error {
+ public:
+  explicit SchedulerInvariantError(const std::string& detail)
+      : burst::Error(ErrorCode::kSchedulerInvariant,
+                     "serve invariant violated: " + detail) {}
+};
+
+}  // namespace burst::serve

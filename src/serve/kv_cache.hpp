@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <string>
 
+#include "serve/errors.hpp"
 #include "sim/memory.hpp"
 
 namespace burst::serve {
@@ -47,7 +48,7 @@ class KvBlockPool {
   /// Returns blocks on request completion (eviction).
   void release(std::int64_t blocks) {
     if (blocks < 0 || blocks > used_blocks_) {
-      throw std::logic_error("KvBlockPool: release exceeds used blocks");
+      throw SchedulerInvariantError("KvBlockPool release exceeds used blocks");
     }
     mem_.free(static_cast<std::uint64_t>(blocks) * bytes_per_block_);
     used_blocks_ -= blocks;

@@ -25,9 +25,28 @@ enum class RequestState {
   kDecode,    // autoregressive generation, one token per iteration
   kDone,      // finished; KV blocks evicted
   kRejected,  // shed by admission control at arrival; never ran
+  kCancelled,  // terminated early (timeout / load shed / breaker); KV evicted
 };
 
 const char* request_state_name(RequestState s);
+
+/// The exactly-one terminal outcome every request resolves to — the chaos
+/// harness's core invariant. The HTTP mapping is what the API front door
+/// delivers (outcome_http_status).
+enum class Outcome {
+  kPending = 0,  // not yet resolved; only observable mid-run / in checkpoints
+  kCompleted,    // full generation delivered                        (200)
+  kRejected,     // admission control shed it at arrival             (429)
+  kTimedOut,     // missed its virtual-time deadline (wall or TPOT)  (504)
+  kShed,         // load-shed mode dropped it under overload         (503)
+  kFailedFast,   // circuit breaker open while recovery in progress  (503)
+};
+
+const char* outcome_name(Outcome o);
+
+/// HTTP status the API layer reports for an outcome (200 for kCompleted;
+/// kPending maps to 500 — a resolved report never contains one).
+int outcome_http_status(Outcome o);
 
 /// Why admission control shed a request (RequestResult::reject_reason).
 enum class RejectReason {
@@ -52,6 +71,16 @@ struct Request {
   int priority = 1;
   /// Time-to-first-token SLO, relative to arrival. Infinity = no target.
   double ttft_target_s = std::numeric_limits<double>::infinity();
+  /// Wall deadline on the virtual clock, relative to arrival: a request
+  /// still unfinished once now > arrival_s + timeout_s is cancelled with a
+  /// typed 504 (Outcome::kTimedOut) and its KV blocks are released.
+  /// Infinity defers to EngineConfig::default_timeout_s.
+  double timeout_s = std::numeric_limits<double>::infinity();
+  /// Decode-time per-token SLO (kSlo only): the next token is due at
+  /// last_token_time + tpot_target_s. Urgent decodes jump the fair-share
+  /// queue, and a request whose next-token deadline is hopelessly missed is
+  /// degraded to Outcome::kTimedOut. Infinity = no target.
+  double tpot_target_s = std::numeric_limits<double>::infinity();
 };
 
 /// Completion record for one request.
@@ -68,8 +97,13 @@ struct RequestResult {
   /// Admission-control outcome: a rejected request generated nothing and
   /// its first_token_s/finish_s stay negative.
   RejectReason reject_reason = RejectReason::kNone;
+  /// The single terminal outcome this request resolved to. For kTimedOut the
+  /// tokens generated before cancellation remain in `generated` and finish_s
+  /// is the cancellation time.
+  Outcome outcome = Outcome::kPending;
 
   bool rejected() const { return reject_reason != RejectReason::kNone; }
+  bool completed() const { return outcome == Outcome::kCompleted; }
   /// Time to first token; meaningless (negative) for rejected requests.
   double ttft_s() const { return first_token_s - arrival_s; }
   /// Mean time per output token after the first; 0 with fewer than 2 tokens.

@@ -1,0 +1,122 @@
+// Serving resilience: request recovery and graceful degradation under the
+// deterministic fault machinery (sim/fault.hpp).
+//
+// Two supervisors live here, one per serving phase:
+//
+// serve_with_recovery — wraps Engine::run on a one-device cluster with an
+// injected FaultPlan. The engine checkpoints its run state (serve/
+// snapshot.hpp) every N iterations; when a crash fault kills the device,
+// the supervisor restores the newest checkpoint — charging a modeled
+// restore time against a disk bandwidth — re-runs on the *same* cluster
+// (fired crash faults stay disarmed, exactly the training supervisor's
+// resume semantics), and installs a circuit-breaker window on the engine so
+// requests arriving mid-recovery fail fast with HTTP 503 instead of piling
+// onto a queue that isn't moving. Replay from a checkpoint is bitwise: the
+// same tokens come out, shifted only by the recovery delay.
+//
+// resilient_distributed_prefill — wraps the sequence-parallel prefill ring.
+// Message-level faults (drops, corruption) surface as typed comm errors
+// from the reliable Communicator; crashes abort the ring. The supervisor
+// retries with bounded exponential backoff on a fresh cluster, advancing
+// the fault plan past what already fired (sim::advance_plan); after a
+// crash it shrinks the ring to the survivors (the largest prompt-divisor
+// world that excludes the dead rank's slot). The retried result is
+// bit-identical to a fault-free prefill at the same final world size.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "kernels/mask.hpp"
+#include "model/config.hpp"
+#include "model/transformer.hpp"
+#include "serve/dist_prefill.hpp"
+#include "serve/engine.hpp"
+#include "sim/cluster.hpp"
+#include "sim/fault.hpp"
+
+namespace burst::serve {
+
+struct ServeResilienceConfig {
+  /// Device compute rate for the one-device serving cluster.
+  double flops_per_s = 100e12;
+  /// Deterministic fault schedule for the serving device.
+  sim::FaultPlan faults{};
+  /// Checkpoint cadence in engine iterations; 0 disables checkpoints (a
+  /// crash then restarts the run from scratch).
+  std::int64_t checkpoint_every = 0;
+  /// Durable checkpoint directory. Empty = keep the latest serialized
+  /// checkpoint in memory only (same bytes, no filesystem).
+  std::string snapshot_dir;
+  int keep_last = 2;
+  /// Give up and rethrow after this many recoveries.
+  int max_recoveries = 8;
+  /// Models checkpoint save/restore I/O time (bytes / bandwidth charged to
+  /// the virtual clock).
+  double disk_bandwidth_bytes_per_s = 2e9;
+  /// Extra breaker-open time after the restore completes.
+  double breaker_cooldown_s = 0.0;
+  /// Optional execution-trace sink for the serving cluster.
+  sim::TraceRecorder* trace = nullptr;
+};
+
+/// One recovery episode: when the device died, what killed it, and where
+/// the replay resumed.
+struct ServeRecoveryEvent {
+  double fail_time_s = 0.0;
+  int failed_rank = -1;
+  std::string cause_code;  // stable burst::ErrorCode name
+  /// Iteration the restored checkpoint resumes from (0 = from scratch).
+  std::int64_t resumed_iteration = 0;
+  /// Modeled checkpoint-read time charged before replay.
+  double restore_s = 0.0;
+  /// Virtual time burned: work since the last checkpoint plus the restore.
+  double lost_s = 0.0;
+};
+
+struct ResilientServeReport {
+  ServeReport report;
+  std::vector<ServeRecoveryEvent> recoveries;
+  /// Checkpoints taken across all attempts, and their total container bytes.
+  std::int64_t checkpoints = 0;
+  std::uint64_t checkpoint_bytes = 0;
+};
+
+/// Drives `engine` to completion under `cfg.faults`, recovering from every
+/// crash until the run finishes or max_recoveries is exhausted (then the
+/// last failure is rethrown). Fault-free plans reduce to a plain
+/// single-device run plus checkpoint I/O charges.
+ResilientServeReport serve_with_recovery(Engine& engine,
+                                         const ServeResilienceConfig& cfg);
+
+struct PrefillRetryConfig {
+  int max_attempts = 4;
+  /// Exponential backoff charged (as wasted virtual time) between attempts.
+  double backoff_base_s = 1e-3;
+  double backoff_multiplier = 2.0;
+};
+
+struct ResilientPrefillResult {
+  DistPrefillResult result;
+  int attempts = 1;
+  /// Ring size that produced the result (shrinks after crashes).
+  int final_world = 0;
+  /// Virtual time burned in failed attempts and backoff waits.
+  double wasted_s = 0.0;
+  /// Stable error-code name of each failed attempt, in order.
+  std::vector<std::string> failure_codes;
+};
+
+/// Distributed prefill with ring-fault retry: fresh cluster per attempt,
+/// fault plan advanced past fired entries, world shrunk to the survivors
+/// after a crash. Throws the last error when retries are exhausted or the
+/// failure is not recoverable.
+ResilientPrefillResult resilient_distributed_prefill(
+    const sim::Cluster::Config& base, const model::ModelConfig& cfg,
+    const model::ModelWeights& w, const std::vector<std::int64_t>& prompt,
+    std::int64_t block_tokens,
+    const kernels::MaskSpec& mask = kernels::MaskSpec::causal(),
+    const PrefillRetryConfig& retry = {});
+
+}  // namespace burst::serve

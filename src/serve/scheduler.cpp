@@ -21,8 +21,45 @@ const char* request_state_name(RequestState s) {
       return "done";
     case RequestState::kRejected:
       return "rejected";
+    case RequestState::kCancelled:
+      return "cancelled";
   }
   return "?";
+}
+
+const char* outcome_name(Outcome o) {
+  switch (o) {
+    case Outcome::kPending:
+      return "pending";
+    case Outcome::kCompleted:
+      return "completed";
+    case Outcome::kRejected:
+      return "rejected";
+    case Outcome::kTimedOut:
+      return "timed_out";
+    case Outcome::kShed:
+      return "shed";
+    case Outcome::kFailedFast:
+      return "failed_fast";
+  }
+  return "?";
+}
+
+int outcome_http_status(Outcome o) {
+  switch (o) {
+    case Outcome::kCompleted:
+      return 200;
+    case Outcome::kRejected:
+      return 429;
+    case Outcome::kTimedOut:
+      return 504;
+    case Outcome::kShed:
+    case Outcome::kFailedFast:
+      return 503;
+    case Outcome::kPending:
+      break;
+  }
+  return 500;
 }
 
 const char* reject_reason_name(RejectReason r) {
@@ -92,7 +129,8 @@ IterationPlan Scheduler::plan(double now_s,
     // is running, else the first queued arrival.
     for (const auto& e : entries) {
       if (e.state == RequestState::kDone ||
-          e.state == RequestState::kRejected) {
+          e.state == RequestState::kRejected ||
+          e.state == RequestState::kCancelled) {
         continue;
       }
       if (e.state == RequestState::kDecode) {
@@ -222,8 +260,29 @@ IterationPlan Scheduler::plan_slo(double now_s,
     }
     return a->id < b->id;
   };
+  // Decode order adds TPOT urgency within a priority class: a decode whose
+  // next-token deadline falls inside the urgency window is served before
+  // non-urgent peers (earliest deadline first); fair share orders the rest.
+  const auto tpot_urgent = [&](const SchedEntry& e) {
+    return std::isfinite(e.tpot_deadline_s) &&
+           e.tpot_deadline_s - now_s <= cfg_.urgency_window_s;
+  };
+  const auto by_decode_order = [&](const SchedEntry* a, const SchedEntry* b) {
+    if (a->priority != b->priority) {
+      return a->priority > b->priority;
+    }
+    const bool ua = tpot_urgent(*a);
+    const bool ub = tpot_urgent(*b);
+    if (ua != ub) {
+      return ua;
+    }
+    if (ua && a->tpot_deadline_s != b->tpot_deadline_s) {
+      return a->tpot_deadline_s < b->tpot_deadline_s;
+    }
+    return by_priority_share(a, b);
+  };
   std::sort(urgent.begin(), urgent.end(), by_priority_deadline);
-  std::sort(decodes.begin(), decodes.end(), by_priority_share);
+  std::sort(decodes.begin(), decodes.end(), by_decode_order);
   std::sort(waiting.begin(), waiting.end(), by_priority_share);
 
   // Phase 1: urgent prefills reserve budget ahead of decodes, capped so

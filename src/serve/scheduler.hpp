@@ -30,6 +30,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "serve/request.hpp"
@@ -84,6 +85,11 @@ struct SchedEntry {
   double weight = 1.0;  // tenant weight (engine resolves the tenant table)
   /// Absolute TTFT deadline (arrival_s + ttft_target_s); +inf when none.
   double deadline_s = 0.0;
+  /// Absolute deadline of the *next* decode token (last token time +
+  /// tpot_target_s); +inf when the request carries no TPOT SLO. kSlo serves
+  /// TPOT-urgent decodes (deadline within urgency_window_s) first within a
+  /// priority class, ordered by deadline.
+  double tpot_deadline_s = std::numeric_limits<double>::infinity();
 };
 
 /// One iteration's work: prefill chunks and single-token decode steps.

@@ -1,0 +1,162 @@
+#include "serve/snapshot.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <utility>
+
+#include "resilience/snapshot.hpp"
+
+namespace burst::serve {
+
+namespace fs = std::filesystem;
+
+using resilience::PayloadReader;
+using resilience::PayloadWriter;
+using resilience::SnapshotCorruptError;
+
+std::vector<unsigned char> serialize_checkpoint(const EngineCheckpoint& ck) {
+  PayloadWriter w;
+  w.i64(ck.iteration);
+  w.f64(ck.time_s);
+  w.i64(ck.preempted);
+  w.u64(ck.slots.size());
+  for (const auto& s : ck.slots) {
+    w.u32(s.state);
+    w.u32(s.outcome);
+    w.u32(s.reject_reason);
+    w.u32(s.admission_checked ? 1 : 0);
+    w.i64(s.prefilled);
+    w.i64(s.blocks_held);
+    w.f64(s.first_token_s);
+    w.f64(s.finish_s);
+    w.u64(s.generated.size());
+    for (const std::int64_t t : s.generated) {
+      w.i64(t);
+    }
+    w.u64(s.token_times.size());
+    for (const double t : s.token_times) {
+      w.f64(t);
+    }
+    w.i64(s.cache_len);
+    w.u64(s.k.size());
+    for (std::size_t i = 0; i < s.k.size(); ++i) {
+      w.tensor(s.k[i]);
+      w.tensor(s.v[i]);
+    }
+  }
+  return w.bytes();
+}
+
+EngineCheckpoint deserialize_checkpoint(
+    const std::vector<unsigned char>& payload) {
+  PayloadReader r(payload.data(), payload.size());
+  EngineCheckpoint ck;
+  ck.iteration = r.i64();
+  ck.time_s = r.f64();
+  ck.preempted = r.i64();
+  ck.slots.resize(r.u64());
+  for (auto& s : ck.slots) {
+    s.state = r.u32();
+    s.outcome = r.u32();
+    s.reject_reason = r.u32();
+    s.admission_checked = r.u32() != 0;
+    s.prefilled = r.i64();
+    s.blocks_held = r.i64();
+    s.first_token_s = r.f64();
+    s.finish_s = r.f64();
+    s.generated.resize(r.u64());
+    for (auto& t : s.generated) {
+      t = r.i64();
+    }
+    s.token_times.resize(r.u64());
+    for (auto& t : s.token_times) {
+      t = r.f64();
+    }
+    s.cache_len = r.i64();
+    const std::uint64_t streams = r.u64();
+    s.k.reserve(streams);
+    s.v.reserve(streams);
+    for (std::uint64_t i = 0; i < streams; ++i) {
+      s.k.push_back(r.tensor());
+      s.v.push_back(r.tensor());
+    }
+  }
+  if (!r.done()) {
+    throw SnapshotCorruptError("trailing bytes after serve checkpoint");
+  }
+  return ck;
+}
+
+std::uint64_t checkpoint_bytes(const EngineCheckpoint& ck) {
+  return serialize_checkpoint(ck).size() + resilience::kBlobHeaderBytes;
+}
+
+namespace {
+
+/// Iteration number encoded in a checkpoint filename, or -1 if not one.
+std::int64_t iteration_of(const fs::path& p) {
+  const std::string name = p.filename().string();
+  if (name.rfind("serve-", 0) != 0 || p.extension() != ".bin") {
+    return -1;
+  }
+  try {
+    return std::stoll(name.substr(6));
+  } catch (...) {
+    return -1;
+  }
+}
+
+}  // namespace
+
+ServeSnapshotManager::ServeSnapshotManager(std::string dir, int keep_last)
+    : dir_(std::move(dir)), keep_last_(std::max(1, keep_last)) {
+  fs::create_directories(dir_);
+}
+
+std::uint64_t ServeSnapshotManager::save(const EngineCheckpoint& ck) {
+  const fs::path final_path =
+      fs::path(dir_) / ("serve-" + std::to_string(ck.iteration) + ".bin");
+  const std::uint64_t written = resilience::write_checked_blob(
+      final_path.string(), serialize_checkpoint(ck));
+  std::vector<std::string> all = list();
+  while (static_cast<int>(all.size()) > keep_last_) {
+    fs::remove(all.front());
+    all.erase(all.begin());
+  }
+  return written;
+}
+
+EngineCheckpoint ServeSnapshotManager::load(const std::string& path) const {
+  return deserialize_checkpoint(resilience::read_checked_blob(path));
+}
+
+EngineCheckpoint ServeSnapshotManager::load_latest() const {
+  std::vector<std::string> all = list();
+  for (auto it = all.rbegin(); it != all.rend(); ++it) {
+    try {
+      return load(*it);
+    } catch (const SnapshotCorruptError&) {
+      // Fall back to the next-newest checkpoint.
+    }
+  }
+  throw SnapshotCorruptError("no valid serve checkpoint in " + dir_);
+}
+
+std::vector<std::string> ServeSnapshotManager::list() const {
+  std::vector<std::pair<std::int64_t, std::string>> found;
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    const std::int64_t it = iteration_of(entry.path());
+    if (it >= 0) {
+      found.emplace_back(it, entry.path().string());
+    }
+  }
+  std::sort(found.begin(), found.end());
+  std::vector<std::string> paths;
+  paths.reserve(found.size());
+  for (auto& [it, path] : found) {
+    paths.push_back(std::move(path));
+  }
+  return paths;
+}
+
+}  // namespace burst::serve

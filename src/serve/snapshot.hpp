@@ -1,0 +1,93 @@
+// Serving-engine checkpoints: everything needed to resume a crashed run
+// bitwise identically.
+//
+// An EngineCheckpoint freezes the engine's run state at an iteration
+// boundary — per-slot scheduler state (queue position, outcome, admission
+// verdict), every generated token with its emission time, and the raw KV
+// rows each live request holds — so a recovery supervisor can restart the
+// run from the last checkpoint and replay only the iterations after it.
+// Replay is exact: the scheduler is a pure function of this state, the
+// forward passes are deterministic, and the KV rows are restored byte for
+// byte, so the post-recovery token streams match a fault-free run.
+//
+// Serialization rides on the checked-blob container from
+// resilience/snapshot.hpp ([magic][version][size][fnv1a64][payload], .tmp +
+// atomic rename), so serving checkpoints get the same torn-write and
+// corruption guarantees as training snapshots, and ServeSnapshotManager
+// mirrors SnapshotManager (retention, load_latest skipping corrupt files).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/request.hpp"
+#include "tensor/tensor.hpp"
+
+namespace burst::serve {
+
+struct EngineCheckpoint {
+  /// Iterations committed before capture (resume re-enters the loop here).
+  std::int64_t iteration = 0;
+  /// Virtual clock at capture; resume advances a fresh clock to this point.
+  double time_s = 0.0;
+  /// Cumulative SLO-preemption tally (not derivable from final slot state).
+  std::int64_t preempted = 0;
+
+  struct Slot {
+    std::uint32_t state = 0;          // RequestState
+    std::uint32_t outcome = 0;        // Outcome
+    std::uint32_t reject_reason = 0;  // RejectReason
+    bool admission_checked = false;
+    std::int64_t prefilled = 0;
+    std::int64_t blocks_held = 0;
+    double first_token_s = -1.0;
+    double finish_s = -1.0;
+    std::vector<std::int64_t> generated;
+    std::vector<double> token_times;
+    /// Committed KV rows, and their contents per (layer * kv_heads + kvh),
+    /// each tensor [cache_len, head_dim]. Empty when no blocks are held.
+    std::int64_t cache_len = 0;
+    std::vector<tensor::Tensor> k;
+    std::vector<tensor::Tensor> v;
+  };
+  std::vector<Slot> slots;
+};
+
+/// Checkpoint payload bytes <-> struct. The payload goes inside the checked
+/// blob container (or travels in memory for diskless recovery tests).
+std::vector<unsigned char> serialize_checkpoint(const EngineCheckpoint& ck);
+EngineCheckpoint deserialize_checkpoint(
+    const std::vector<unsigned char>& payload);
+
+/// Serialized size, container header included — what save() writes; the
+/// recovery supervisor charges this against a disk bandwidth.
+std::uint64_t checkpoint_bytes(const EngineCheckpoint& ck);
+
+/// Durable checkpoint store: serve-<iteration>.bin files in one directory,
+/// checksummed, atomically renamed, oldest pruned beyond keep_last.
+class ServeSnapshotManager {
+ public:
+  explicit ServeSnapshotManager(std::string dir, int keep_last = 2);
+
+  const std::string& dir() const { return dir_; }
+
+  /// Atomically persists `ck`; returns bytes written (header included).
+  std::uint64_t save(const EngineCheckpoint& ck);
+
+  /// Loads and validates one checkpoint file.
+  EngineCheckpoint load(const std::string& path) const;
+
+  /// Newest checkpoint that validates, skipping corrupt files. Throws
+  /// resilience::SnapshotCorruptError when none validates.
+  EngineCheckpoint load_latest() const;
+
+  /// Checkpoint file paths, oldest iteration first.
+  std::vector<std::string> list() const;
+
+ private:
+  std::string dir_;
+  int keep_last_;
+};
+
+}  // namespace burst::serve

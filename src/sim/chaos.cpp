@@ -1,0 +1,66 @@
+#include "sim/chaos.hpp"
+
+#include <algorithm>
+
+#include "tensor/rng.hpp"
+
+namespace burst::sim {
+
+FaultPlan make_chaos_plan(std::uint64_t seed, const ChaosSpec& spec) {
+  tensor::Rng rng(seed * 0x9E3779B97F4A7C15ull + 0xC4A05);
+  FaultPlan plan;
+  const int world = std::max(1, spec.world);
+  const auto rank = [&] { return static_cast<int>(rng.next_index(world)); };
+  const auto when = [&] { return rng.next_uniform() * spec.horizon_s; };
+
+  if (rng.next_uniform() < spec.crash_prob) {
+    const int n =
+        1 + static_cast<int>(rng.next_index(std::max(1, spec.max_crashes)));
+    for (int i = 0; i < n; ++i) {
+      FaultPlan::CrashDevice c;
+      c.rank = rank();
+      c.at_time_s = when();
+      plan.crashes.push_back(c);
+    }
+  }
+  if (rng.next_uniform() < spec.straggler_prob) {
+    FaultPlan::Straggler s;
+    s.rank = rank();
+    s.slowdown = 1.5 + rng.next_uniform() * (spec.max_straggler_slowdown - 1.5);
+    s.from_time_s = when();
+    plan.stragglers.push_back(s);
+  }
+  if (world > 1) {
+    if (rng.next_uniform() < spec.degrade_prob) {
+      FaultPlan::DegradeLink d;
+      d.src = rank();
+      d.dst = -1;
+      d.from_time_s = when();
+      d.until_time_s = d.from_time_s + spec.horizon_s * rng.next_uniform();
+      d.bandwidth_factor = 0.1 + 0.5 * rng.next_uniform();
+      d.extra_latency_s = 1e-6 * rng.next_uniform();
+      plan.degradations.push_back(d);
+    }
+    if (rng.next_uniform() < spec.drop_prob) {
+      FaultPlan::DropMessages d;
+      d.src = -1;
+      d.dst = rank();
+      d.count = 1 + static_cast<int>(
+                        rng.next_index(std::max(1, spec.max_message_faults)));
+      d.from_time_s = when();
+      plan.drops.push_back(d);
+    }
+    if (rng.next_uniform() < spec.corrupt_prob) {
+      FaultPlan::CorruptMessages c;
+      c.src = -1;
+      c.dst = rank();
+      c.count = 1 + static_cast<int>(
+                        rng.next_index(std::max(1, spec.max_message_faults)));
+      c.from_time_s = when();
+      plan.corruptions.push_back(c);
+    }
+  }
+  return plan;
+}
+
+}  // namespace burst::sim

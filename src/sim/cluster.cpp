@@ -226,18 +226,9 @@ void Cluster::count_fault(obs::Counter* FaultCounters::* which) {
 void Cluster::reset_faults() {
   std::lock_guard lock(fault_mutex_);
   std::fill(crash_fired_.begin(), crash_fired_.end(), 0);
-  drops_left_.clear();
-  dups_left_.clear();
-  corrupts_left_.clear();
-  for (const auto& d : cfg_.faults.drops) {
-    drops_left_.push_back(d.count);
-  }
-  for (const auto& d : cfg_.faults.duplicates) {
-    dups_left_.push_back(d.count);
-  }
-  for (const auto& c : cfg_.faults.corruptions) {
-    corrupts_left_.push_back(c.count);
-  }
+  drops_left_.assign(cfg_.faults.drops.size(), {});
+  dups_left_.assign(cfg_.faults.duplicates.size(), {});
+  corrupts_left_.assign(cfg_.faults.corruptions.size(), {});
   // The internal registry is the FaultStats source of truth; the attached
   // mirror (if any) is left alone — it belongs to the caller.
   fault_counters_.crashes->reset();
@@ -291,23 +282,15 @@ void Cluster::run(const std::function<void(DeviceContext&)>& fn) {
     root_cause_time_ = 0.0;
   }
   last_failure_rank_ = -1;
+  last_failure_time_s_ = 0.0;
   {
     std::lock_guard lock(fault_mutex_);
     // Per-message fault counters re-arm each run (a persistently lossy link
     // stays lossy across supervisor retries); crash flags persist so a
     // resumed run does not re-fire a crash it already recovered from.
-    drops_left_.clear();
-    dups_left_.clear();
-    corrupts_left_.clear();
-    for (const auto& d : cfg_.faults.drops) {
-      drops_left_.push_back(d.count);
-    }
-    for (const auto& d : cfg_.faults.duplicates) {
-      dups_left_.push_back(d.count);
-    }
-    for (const auto& c : cfg_.faults.corruptions) {
-      corrupts_left_.push_back(c.count);
-    }
+    drops_left_.assign(cfg_.faults.drops.size(), {});
+    dups_left_.assign(cfg_.faults.duplicates.size(), {});
+    corrupts_left_.assign(cfg_.faults.corruptions.size(), {});
   }
   {
     std::lock_guard lock(barrier_mutex_);
@@ -349,6 +332,8 @@ void Cluster::run(const std::function<void(DeviceContext&)>& fn) {
     error = root_cause_ ? root_cause_ : first_error_;
     last_failure_rank_ =
         root_cause_ ? root_cause_rank_ : first_error_rank_;
+    last_failure_time_s_ =
+        root_cause_ ? root_cause_time_ : first_error_time_;
     if (error) {
       // Leftover messages are expected when a run aborts mid-flight.
       mailboxes_.clear();
@@ -391,32 +376,44 @@ bool Cluster::post(int src, int dst, int tag, Message msg, double send_time) {
   if (!faults.drops.empty() || !faults.corruptions.empty() ||
       !faults.duplicates.empty()) {
     std::lock_guard lock(fault_mutex_);
+    // Budgets are lazily materialized per concrete link: a wildcard entry
+    // gives every matching link its own `count`, so which messages a plan
+    // hits never depends on real-thread arrival order across links.
+    const auto link_budget = [&](auto& left, std::size_t i, int count) {
+      return &left[i].try_emplace({src, dst}, count).first->second;
+    };
     for (std::size_t i = 0; i < faults.drops.size(); ++i) {
       const auto& d = faults.drops[i];
-      if (link_matches(d.src, d.dst, src, dst) && send_time >= d.from_time_s &&
-          drops_left_[i] > 0) {
-        --drops_left_[i];
-        count_fault(&FaultCounters::dropped);
-        return false;
+      if (link_matches(d.src, d.dst, src, dst) && send_time >= d.from_time_s) {
+        int* left = link_budget(drops_left_, i, d.count);
+        if (*left > 0) {
+          --*left;
+          count_fault(&FaultCounters::dropped);
+          return false;
+        }
       }
     }
     for (std::size_t i = 0; i < faults.corruptions.size(); ++i) {
       const auto& c = faults.corruptions[i];
       if (link_matches(c.src, c.dst, src, dst) && send_time >= c.from_time_s &&
-          corrupts_left_[i] > 0 && !msg.tensors.empty() &&
-          msg.tensors.front().numel() > 0) {
-        --corrupts_left_[i];
-        count_fault(&FaultCounters::corrupted);
-        msg.tensors.front().data()[0] += 1024.0f;  // in-flight bit rot
+          !msg.tensors.empty() && msg.tensors.front().numel() > 0) {
+        int* left = link_budget(corrupts_left_, i, c.count);
+        if (*left > 0) {
+          --*left;
+          count_fault(&FaultCounters::corrupted);
+          msg.tensors.front().data()[0] += 1024.0f;  // in-flight bit rot
+        }
       }
     }
     for (std::size_t i = 0; i < faults.duplicates.size(); ++i) {
       const auto& d = faults.duplicates[i];
-      if (link_matches(d.src, d.dst, src, dst) && send_time >= d.from_time_s &&
-          dups_left_[i] > 0) {
-        --dups_left_[i];
-        count_fault(&FaultCounters::duplicated);
-        duplicate = true;
+      if (link_matches(d.src, d.dst, src, dst) && send_time >= d.from_time_s) {
+        int* left = link_budget(dups_left_, i, d.count);
+        if (*left > 0) {
+          --*left;
+          count_fault(&FaultCounters::duplicated);
+          duplicate = true;
+        }
       }
     }
   }

@@ -218,6 +218,12 @@ class Cluster {
   /// ranks throw concurrently.
   int last_failure_rank() const { return last_failure_rank_; }
 
+  /// Virtual time at which the rank reported by last_failure_rank() failed
+  /// in the most recent run. Unlike makespan() — which depends on how far
+  /// surviving ranks happened to advance before observing the abort — this
+  /// is deterministic for a deterministic fault plan. 0 for a clean run.
+  double last_failure_time_s() const { return last_failure_time_s_; }
+
   /// Counters of injected faults that actually fired (cumulative). A thin
   /// compatibility view over the cluster's internal metrics registry
   /// (sim.faults.* counters) — the registry is the source of truth.
@@ -274,14 +280,19 @@ class Cluster {
   int root_cause_rank_ = -1;
   double root_cause_time_ = 0.0;
   int last_failure_rank_ = -1;
+  double last_failure_time_s_ = 0.0;
 
   // Fault runtime state (guarded by fault_mutex_; crash flags persist
-  // across runs, per-message counters re-arm each run).
+  // across runs, per-message counters re-arm each run). Message budgets are
+  // tracked per concrete (src, dst) link — a wildcard entry otherwise burns
+  // its count in real-thread arrival order across links, which would make
+  // chaos replays nondeterministic. One link has one sender thread, so
+  // per-link consumption follows that sender's deterministic program order.
   mutable std::mutex fault_mutex_;
   std::vector<char> crash_fired_;
-  std::vector<int> drops_left_;
-  std::vector<int> dups_left_;
-  std::vector<int> corrupts_left_;
+  std::vector<std::map<std::pair<int, int>, int>> drops_left_;
+  std::vector<std::map<std::pair<int, int>, int>> dups_left_;
+  std::vector<std::map<std::pair<int, int>, int>> corrupts_left_;
 
   // Fault accounting lives in the internal registry; FaultStats is read
   // back from these handles. The attached Config::metrics registry (if any)

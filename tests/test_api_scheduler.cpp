@@ -294,5 +294,99 @@ TEST(Admission, SpreadArrivalsAllAdmitted) {
   EXPECT_EQ(rep.metrics.rejected, 0);
 }
 
+// --- kSlo edge cases --------------------------------------------------------
+
+// The urgency predicate is inclusive: a deadline landing *exactly* at
+// now + urgency_window_s preempts, one ulp past it does not.
+TEST(SloScheduler, UrgencyWindowBoundaryIsInclusive) {
+  SchedulerConfig cfg;
+  cfg.policy = BatchPolicy::kSlo;
+  cfg.token_budget = 4;
+  cfg.chunk_tokens = 8;
+  cfg.urgency_window_s = 1.0;
+  cfg.urgent_budget_frac = 0.5;
+  Scheduler sched(cfg);
+
+  const double now = 2.0;
+  std::vector<SchedEntry> entries;
+  for (std::int64_t i = 0; i < 4; ++i) {
+    entries.push_back(entry(i, RequestState::kDecode, 0, 0, 1.0, 4, kInf));
+  }
+  entries.push_back(entry(4, RequestState::kQueued, 1, 2, 1.0, 0,
+                          /*deadline_s=*/now + cfg.urgency_window_s));
+
+  const auto at_boundary = sched.plan(now, entries, 1 << 20, 16);
+  ASSERT_EQ(at_boundary.prefills.size(), 1u);
+  EXPECT_EQ(at_boundary.prefills[0].id, 4);
+  EXPECT_FALSE(at_boundary.preempted.empty());
+
+  entries[4].deadline_s =
+      std::nextafter(now + cfg.urgency_window_s, kInf);
+  const auto past_boundary = sched.plan(now, entries, 1 << 20, 16);
+  EXPECT_TRUE(past_boundary.prefills.empty());
+  EXPECT_TRUE(past_boundary.preempted.empty());
+  EXPECT_EQ(past_boundary.decodes.size(), 4u);
+}
+
+// A weight table longer than the set of tenants actually present (and a
+// tenant id beyond the table, which defaults to weight 1.0) must not
+// perturb scheduling or crash indexing.
+TEST(SloEngine, TenantWeightsLongerThanTenantTable) {
+  EngineConfig ec;
+  ec.sched.policy = BatchPolicy::kSlo;
+  ec.sched.token_budget = 32;
+  ec.block_tokens = 8;
+  ec.tenant_weights = {2.0, 3.0, 5.0, 7.0, 11.0};  // only tenants 0/1 exist
+  Engine engine(serve_toy(), toy_weights(), ec);
+  for (std::int64_t t : {0, 1, 7}) {  // 7 is past the table: weight 1.0
+    Request r;
+    r.prompt = prompt_of(850 + static_cast<std::uint64_t>(t), 16);
+    r.max_new_tokens = 4;
+    r.tenant = t;
+    engine.add_request(std::move(r));
+  }
+  const auto rep = run_on_single_device(engine);
+  EXPECT_EQ(rep.metrics.admitted, 3);
+  for (const auto& r : rep.results) {
+    EXPECT_EQ(r.outcome, Outcome::kCompleted);
+    EXPECT_EQ(r.generated.size(), 4u);
+  }
+}
+
+// Admission races a block-pool release: B and C arrive while A owns the
+// whole pool. B takes the single waiting slot; C is rejected kQueueFull at
+// the same iteration boundary — even though A's completion frees the pool
+// and drains B soon after. A later D sees the drained queue and is
+// admitted: admission verdicts are instantaneous snapshots, never
+// retroactive.
+TEST(Admission, RejectionRacesBlockPoolRelease) {
+  EngineConfig ec;
+  ec.sched.policy = BatchPolicy::kContinuous;
+  ec.sched.max_waiting = 1;
+  ec.block_tokens = 8;
+  ec.max_kv_blocks = 4;  // exactly A's footprint
+  const auto solo_finish = [&] {
+    Engine solo(serve_toy(), toy_weights(), ec);
+    solo.add_request(prompt_of(860, 24), 6);  // 30 tokens -> 4 blocks
+    return run_on_single_device(solo).results[0].finish_s;
+  }();
+  ASSERT_GT(solo_finish, 0.0);
+
+  Engine engine(serve_toy(), toy_weights(), ec);
+  engine.add_request(prompt_of(860, 24), 6);                    // A
+  engine.add_request(prompt_of(861, 8), 2, /*arrival_s=*/1e-9); // B
+  engine.add_request(prompt_of(862, 8), 2, /*arrival_s=*/2e-9); // C
+  engine.add_request(prompt_of(863, 8), 2, 1.5 * solo_finish);  // D
+
+  const auto rep = run_on_single_device(engine);
+  EXPECT_EQ(rep.results[0].outcome, Outcome::kCompleted);
+  EXPECT_EQ(rep.results[1].outcome, Outcome::kCompleted);
+  EXPECT_EQ(rep.results[2].outcome, Outcome::kRejected);
+  EXPECT_EQ(rep.results[2].reject_reason, RejectReason::kQueueFull);
+  EXPECT_EQ(rep.results[3].outcome, Outcome::kCompleted);
+  EXPECT_EQ(rep.metrics.admitted, 3);
+  EXPECT_EQ(rep.metrics.rejected, 1);
+}
+
 }  // namespace
 }  // namespace burst::serve

@@ -140,7 +140,7 @@ TEST(KvBlockPool, AcquireChargesTrackerAndBudget) {
   pool.release(3);
   EXPECT_EQ(mem.used(), 0u);
   EXPECT_EQ(pool.free_blocks(), 4);
-  EXPECT_THROW(pool.release(1), std::logic_error);
+  EXPECT_THROW(pool.release(1), serve::SchedulerInvariantError);
 }
 
 // A capacity-limited tracker turns pool over-admission into DeviceOomError,
