@@ -8,6 +8,7 @@
 
 #include "bench_util.hpp"
 #include "comm/communicator.hpp"
+#include "comm/sim_transport.hpp"
 #include "reporter.hpp"
 #include "core/dist_attention.hpp"
 #include "core/partition.hpp"
@@ -39,7 +40,8 @@ double run_traced(bool overlap, sim::TraceRecorder& trace, double* makespan) {
 
   trace.clear();
   cluster.run([&](sim::DeviceContext& ctx) {
-    comm::Communicator comm(ctx);
+    comm::SimTransport comm_tp(ctx);
+    comm::Communicator comm(comm_tp);
     const auto route = core::SweepRoute::double_ring(cc.topo);
     core::DistAttnConfig cfg;
     cfg.mask = kernels::MaskSpec::causal();

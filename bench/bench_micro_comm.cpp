@@ -6,6 +6,7 @@
 #include "reporter.hpp"
 
 #include "comm/communicator.hpp"
+#include "comm/sim_transport.hpp"
 #include "sim/cluster.hpp"
 #include "tensor/rng.hpp"
 
@@ -23,7 +24,8 @@ void BM_AllGather(benchmark::State& state) {
   double virtual_time = 0.0;
   for (auto _ : state) {
     cluster.run([&](DeviceContext& ctx) {
-      comm::Communicator comm(ctx);
+      comm::SimTransport comm_tp(ctx);
+      comm::Communicator comm(comm_tp);
       Tensor local = Tensor::zeros(64, 64);
       auto full = comm.all_gather_rows(local);
       benchmark::DoNotOptimize(full.data());
@@ -39,7 +41,8 @@ void BM_ReduceScatter(benchmark::State& state) {
   Cluster cluster({Topology::single_node(g)});
   for (auto _ : state) {
     cluster.run([&](DeviceContext& ctx) {
-      comm::Communicator comm(ctx);
+      comm::SimTransport comm_tp(ctx);
+      comm::Communicator comm(comm_tp);
       Tensor full = Tensor::zeros(64 * g, 64);
       auto shard = comm.reduce_scatter_rows(full);
       benchmark::DoNotOptimize(shard.data());
@@ -53,7 +56,8 @@ void BM_AllToAll(benchmark::State& state) {
   Cluster cluster({Topology::single_node(g)});
   for (auto _ : state) {
     cluster.run([&](DeviceContext& ctx) {
-      comm::Communicator comm(ctx);
+      comm::SimTransport comm_tp(ctx);
+      comm::Communicator comm(comm_tp);
       std::vector<Tensor> send;
       for (int i = 0; i < g; ++i) {
         send.push_back(Tensor::zeros(32, 64));

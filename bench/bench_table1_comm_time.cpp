@@ -8,6 +8,7 @@
 #include "bench_util.hpp"
 #include "reporter.hpp"
 #include "comm/communicator.hpp"
+#include "comm/sim_transport.hpp"
 #include "core/dist_attention.hpp"
 #include "core/sweep.hpp"
 #include "perfmodel/comm_model.hpp"
@@ -29,7 +30,8 @@ double simulate_forward_sweep(int nodes, int gpus, double shard_bytes,
   cc.topo = sim::Topology::multi_node(nodes, gpus);
   sim::Cluster cluster(cc);
   cluster.run([&](sim::DeviceContext& ctx) {
-    comm::Communicator comm(ctx, 1.0);
+    comm::SimTransport comm_tp(ctx);
+    comm::Communicator comm(comm_tp, 1.0);
     const core::SweepRoute route =
         topo_aware ? core::SweepRoute::double_ring(cc.topo)
                    : core::SweepRoute::flat(comm::flat_ring(nodes * gpus));

@@ -17,6 +17,7 @@
 
 #include "bench_util.hpp"
 #include "comm/communicator.hpp"
+#include "comm/sim_transport.hpp"
 #include "core/dist_attention.hpp"
 #include "core/partition.hpp"
 #include "reporter.hpp"
@@ -50,7 +51,8 @@ double run_config(const MaskSpec& mask, Balance balance, std::int64_t n,
   tensor::Tensor v = rng.gaussian(n, d, 0.5f);
   tensor::Tensor d_out = rng.gaussian(n, d, 0.5f);
   cluster.run([&](sim::DeviceContext& ctx) {
-    comm::Communicator comm(ctx);
+    comm::SimTransport comm_tp(ctx);
+    comm::Communicator comm(comm_tp);
     const auto route = core::SweepRoute::flat(comm::flat_ring(g));
     core::DistAttnConfig cfg;
     cfg.mask = mask;

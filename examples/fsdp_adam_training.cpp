@@ -12,6 +12,7 @@
 #include <mutex>
 
 #include "comm/communicator.hpp"
+#include "comm/sim_transport.hpp"
 #include "model/fsdp.hpp"
 #include "model/optimizer.hpp"
 #include "model/transformer.hpp"
@@ -108,7 +109,8 @@ int main() {
   std::mutex mu;
   std::uint64_t shard_bytes = 0;
   cluster.run([&](sim::DeviceContext& ctx) {
-    comm::Communicator comm(ctx);
+    comm::SimTransport comm_tp(ctx);
+    comm::Communicator comm(comm_tp);
     model::FsdpShards shards =
         model::FsdpShards::shard(cfg, init, g, ctx.rank());
     ShardAdam adam(shards, 0.02f);

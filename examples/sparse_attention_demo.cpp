@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "comm/communicator.hpp"
+#include "comm/sim_transport.hpp"
 #include "core/dist_attention.hpp"
 #include "core/partition.hpp"
 #include "kernels/reference_attention.hpp"
@@ -52,7 +53,8 @@ int main() {
     std::vector<std::uint64_t> flops(gpus, 0);
     std::mutex mu;
     cluster.run([&](sim::DeviceContext& ctx) {
-      comm::Communicator comm(ctx);
+      comm::SimTransport comm_tp(ctx);
+      comm::Communicator comm(comm_tp);
       const auto route = core::SweepRoute::flat(comm::flat_ring(gpus));
       const auto map = core::route_index_map(route, cfg, ctx.rank());
       core::LocalQKV local{core::shard_rows(q, map), core::shard_rows(k, map),

@@ -7,6 +7,7 @@
 #include <mutex>
 
 #include "comm/communicator.hpp"
+#include "comm/sim_transport.hpp"
 #include "model/dist_model.hpp"
 #include "model/transformer.hpp"
 #include "sim/cluster.hpp"
@@ -67,7 +68,8 @@ int main() {
     std::mutex mu;
     model::ModelGrads dist_grads = model::ModelGrads::zeros(cfg);
     cluster.run([&](sim::DeviceContext& ctx) {
-      comm::Communicator comm(ctx);
+      comm::SimTransport comm_tp(ctx);
+      comm::Communicator comm(comm_tp);
       auto r = model::dist_train_step(comm, dist_cfg, weights, tokens);
       if (ctx.rank() == 0) {
         std::lock_guard lock(mu);

@@ -466,6 +466,47 @@ def include_hygiene(sf):
             )
 
 
+def _is_sim_backend_file(path):
+    p = path.replace("\\", "/")
+    return p.endswith(("comm/sim_transport.hpp", "comm/sim_transport.cpp"))
+
+
+@rule(
+    "no-direct-cluster",
+    "transport abstraction (DESIGN.md section 15): outside src/sim/ and the "
+    "simulator transport backend, src/ code reaches the device only through "
+    "comm::Transport; direct sim::Cluster / sim::DeviceContext use couples "
+    "protocol or model code to one backend",
+    applies=lambda p: (
+        _in_dir(p, "src") and not _in_dir(p, "sim")
+        and not _is_sim_backend_file(p)
+    ),
+)
+def no_direct_cluster(sf):
+    # Includes are detected from raw lines (the string stripper blanks the
+    # path), code references from the stripped lines.
+    inc_rx = re.compile(r'^\s*#\s*include\s+"sim/cluster\.hpp"')
+    for idx, line in enumerate(sf.lines):
+        if inc_rx.match(line):
+            yield idx + 1, (
+                'direct include of "sim/cluster.hpp"; construct a '
+                "comm::SimTransport at the cluster-hosting boundary and pass "
+                "comm::Transport& down (or suppress with a reason at a "
+                "legitimate hosting site)"
+            )
+    pat = r"\bsim\s*::\s*(Cluster|DeviceContext)\b|(?<![\w:])DeviceContext\b"
+    seen = set()
+    for line, m in _code_matches(sf, pat):
+        if line in seen:
+            continue  # one finding per line, like no-serving-wallclock
+        seen.add(line)
+        yield line, (
+            f"direct simulator type `{m.group(0).strip()}`; depend on "
+            "comm::Transport instead so the code also runs on the socket "
+            "backend"
+        )
+
+
 _FLOAT_LIT = re.compile(r"^[-+]?(\d+\.\d*|\.\d+)(e[-+]?\d+)?f?$|^[-+]?\d+\.?\d*f$")
 
 

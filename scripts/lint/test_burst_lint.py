@@ -76,6 +76,10 @@ class TestRuleDetection(unittest.TestCase):
     def test_include_hygiene(self):
         self.assert_rule_fires("src/core/bad_include.cpp", "include-hygiene", 2)
 
+    def test_no_direct_cluster(self):
+        self.assert_rule_fires(
+            "src/serve/bad_cluster.cpp", "no-direct-cluster", 3)
+
     def test_no_naked_float_eq(self):
         self.assert_rule_fires(
             "tests/bad_float_eq.cpp", "no-naked-float-eq", 2)
@@ -116,6 +120,34 @@ class TestSuppressionAndNoise(unittest.TestCase):
             with open(path, "w") as f:
                 f.write("#include <stdexcept>\n"
                         "void f() { throw std::logic_error(\"x\"); }\n")
+            rc, _, err = run_lint(["--root", tmp, path])
+            self.assertEqual(rc, 0, err)
+
+    def test_direct_cluster_rule_exempts_sim_and_backend(self):
+        # src/sim/ itself and the simulator transport backend are the two
+        # places allowed to name cluster types without a suppression.
+        body = ("#include \"sim/cluster.hpp\"\n"
+                "int r(burst::sim::DeviceContext& ctx);\n")
+        for rel in (("src", "sim", "inner.cpp"),
+                    ("src", "comm", "sim_transport.cpp")):
+            with tempfile.TemporaryDirectory() as tmp:
+                d = os.path.join(tmp, *rel[:-1])
+                os.makedirs(d)
+                path = os.path.join(d, rel[-1])
+                with open(path, "w") as f:
+                    f.write(body)
+                rc, _, err = run_lint(["--root", tmp, path])
+                self.assertEqual(rc, 0, f"{'/'.join(rel)} flagged:\n{err}")
+
+    def test_direct_cluster_rule_off_outside_src(self):
+        # Tests, benches and examples legitimately host clusters everywhere.
+        with tempfile.TemporaryDirectory() as tmp:
+            d = os.path.join(tmp, "tests")
+            os.makedirs(d)
+            path = os.path.join(d, "test_host.cpp")
+            with open(path, "w") as f:
+                f.write("#include \"sim/cluster.hpp\"\n"
+                        "int r(burst::sim::DeviceContext& ctx);\n")
             rc, _, err = run_lint(["--root", tmp, path])
             self.assertEqual(rc, 0, err)
 

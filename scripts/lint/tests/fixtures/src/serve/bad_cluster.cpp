@@ -1,0 +1,11 @@
+// Fixture: direct simulator coupling outside src/sim/ — the no-direct-cluster
+// rule must flag the include and both type references (3 findings).
+#include "sim/cluster.hpp"
+
+namespace burst::serve {
+
+int bad_world(sim::Cluster& cluster) { return cluster.world_size(); }
+
+int bad_rank(sim::DeviceContext& ctx) { return ctx.rank(); }
+
+}  // namespace burst::serve

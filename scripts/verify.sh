@@ -13,17 +13,25 @@
 #   chaos     chaos-labeled tests (ctest -L chaos): the 32-seed injected-
 #             failure sweeps over serving and distributed prefill, asserting
 #             one typed outcome per request and byte-identical replay.
+#   transport transport-labeled tests (ctest -L transport): the conformance
+#             suite run over both comm backends (sim + TCP sockets) and the
+#             dist_ring_tcp multi-process smoke at 2 and 4 ranks, plus an
+#             explicit 4-process example run from this script.
 #   asan      ASan+UBSan build (-DBURST_SANITIZE=address,undefined) running
 #             the full suite minus slow-labeled tests.
 #   tsan      TSan build (-DBURST_SANITIZE=thread) running the threaded
 #             suites: test_thread_pool, test_kernel_determinism,
-#             test_serve_engine, test_api_server, test_api_scheduler.
+#             test_serve_engine, test_api_server, test_api_scheduler, and
+#             test_transport_conformance (SocketTransport's mesh build runs
+#             accept/connect threads; the socket-backed cases put them under
+#             TSan).
 #   bench     bench fleet with the RunReport self_check gate, then the
 #             regression gate against the committed BENCH_baseline.json
 #             (gated metrics may not fall more than 10% below baseline).
 #
 # Usage: scripts/verify.sh [--skip-lint] [--skip-asan] [--skip-tsan]
 #                          [--skip-bench] [--skip-perf] [--skip-chaos]
+#                          [--skip-transport]
 # Env:   BUILD_DIR (default build-verify), ASAN_BUILD_DIR (default
 #        build-asan), TSAN_BUILD_DIR (default build-tsan), JOBS (default
 #        nproc), BURST_REPORT_DIR (default: fresh mktemp -d, removed on exit;
@@ -42,6 +50,7 @@ RUN_TSAN=1
 RUN_BENCH=1
 RUN_PERF=1
 RUN_CHAOS=1
+RUN_TRANSPORT=1
 for arg in "$@"; do
   case "$arg" in
     --skip-lint) RUN_LINT=0 ;;
@@ -50,6 +59,7 @@ for arg in "$@"; do
     --skip-bench) RUN_BENCH=0 ;;
     --skip-perf) RUN_PERF=0 ;;
     --skip-chaos) RUN_CHAOS=0 ;;
+    --skip-transport) RUN_TRANSPORT=0 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
@@ -64,7 +74,9 @@ fi
 
 # Per-gate results for the summary table: "pass" / "FAIL" / "skip".
 declare -A gate_status
-for g in lint build test perf chaos asan tsan bench; do gate_status[$g]=skip; done
+for g in lint build test perf chaos transport asan tsan bench; do
+  gate_status[$g]=skip
+done
 overall=0
 
 # run_gate NAME CMD... — record pass/FAIL, keep going so the summary shows
@@ -133,6 +145,14 @@ else
     echo "== chaos-labeled tests (ctest -L chaos)"
     run_gate chaos ctest --test-dir "$BUILD_DIR" --output-on-failure -L chaos
   fi
+  if [[ $RUN_TRANSPORT -eq 1 ]]; then
+    echo "== transport gate (ctest -L transport + 4-process TCP example)"
+    transport_gate() {
+      ctest --test-dir "$BUILD_DIR" --output-on-failure -L transport &&
+      "$BUILD_DIR"/examples/dist_ring_tcp 4
+    }
+    run_gate transport transport_gate
+  fi
 fi
 
 # ---- sanitizers ------------------------------------------------------------
@@ -151,9 +171,10 @@ tsan_gate() {
   cmake -B "$TSAN_BUILD_DIR" -S . -DBURST_SANITIZE=thread >/dev/null &&
   cmake --build "$TSAN_BUILD_DIR" -j "$JOBS" \
         --target test_thread_pool test_kernel_determinism test_serve_engine \
-                 test_api_server test_api_scheduler &&
+                 test_api_server test_api_scheduler \
+                 test_transport_conformance &&
   ctest --test-dir "$TSAN_BUILD_DIR" --output-on-failure -j "$JOBS" \
-        -R 'ThreadPool|ParallelFor|Scheduler|KernelDeterminism|ServeEngine|ApiServer|SloEngine|Admission'
+        -R 'ThreadPool|ParallelFor|Scheduler|KernelDeterminism|ServeEngine|ApiServer|SloEngine|Admission|TransportConformance|SocketTransportSmoke'
 }
 if [[ $RUN_TSAN -eq 1 ]]; then
   echo "== TSan build + threaded suites (${TSAN_BUILD_DIR})"
@@ -200,9 +221,9 @@ fi
 # ---- summary ---------------------------------------------------------------
 echo
 echo "== verify summary"
-printf '   %-7s %s\n' gate result
-for g in lint build test perf chaos asan tsan bench; do
-  printf '   %-7s %s\n' "$g" "${gate_status[$g]}"
+printf '   %-9s %s\n' gate result
+for g in lint build test perf chaos transport asan tsan bench; do
+  printf '   %-9s %s\n' "$g" "${gate_status[$g]}"
 done
 if [[ $overall -ne 0 ]]; then
   echo "verify: FAILED (see table above)" >&2

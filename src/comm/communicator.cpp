@@ -51,27 +51,27 @@ std::uint64_t Communicator::wire_bytes(const std::vector<Tensor>& ts) const {
 }
 
 int Communicator::stream_for(int peer) const {
-  return ctx_.topo().same_node(ctx_.rank(), peer) ? sim::kIntraComm
-                                                  : sim::kInterComm;
+  return tp_.topo().same_node(tp_.rank(), peer) ? sim::kIntraComm
+                                                : sim::kInterComm;
 }
 
 void Communicator::send_frame(int dst, int tag, std::vector<Tensor> payload,
                               std::uint64_t bytes, int stream) {
   const std::int64_t seq = ++send_seq_[dst];
-  // On a reliable network (no message faults configured) skip the integrity
+  // On a reliable network (no message faults possible) skip the integrity
   // machinery: no checksum pass over the payload and no retransmission
   // copy, so fault-free runs take a zero-overhead path.
-  const bool lossy = ctx_.unreliable_network();
+  const bool lossy = tp_.unreliable_network();
   payload.push_back(make_header(seq, lossy ? frame_checksum(payload) : 0));
   for (int attempt = 0;; ++attempt) {
-    sim::Message msg;
-    msg.bytes = bytes;
+    Frame frame;
+    frame.wire_bytes = bytes;
     if (lossy) {
-      msg.tensors = payload;  // keep a copy in case this attempt is dropped
+      frame.tensors = payload;  // keep a copy in case this attempt is dropped
     } else {
-      msg.tensors = std::move(payload);
+      frame.tensors = std::move(payload);
     }
-    if (ctx_.try_send(dst, tag, std::move(msg), stream)) {
+    if (tp_.send_frame(Endpoint::of(dst), tag, std::move(frame), stream)) {
       return;
     }
     if (attempt + 1 >= rel_.max_send_attempts) {
@@ -80,33 +80,34 @@ void Communicator::send_frame(int dst, int tag, std::vector<Tensor> payload,
                    std::to_string(attempt + 1) + " attempts");
     }
     ++retries_;
-    if (obs::Registry* reg = ctx_.metrics()) {
+    if (obs::Registry* reg = tp_.metrics()) {
       // Rare path (a link fault fired); lazy lookup is fine here.
       reg->counter(obs::labeled("comm.retries",
-                                {{"rank", std::to_string(ctx_.rank())}}))
+                                {{"rank", std::to_string(tp_.rank())}}))
           .add(1);
     }
-    ctx_.busy(rel_.backoff_base_s * std::pow(rel_.backoff_mult, attempt),
-              stream, "retry-backoff");
+    tp_.busy(rel_.backoff_base_s * std::pow(rel_.backoff_mult, attempt),
+             stream, "retry-backoff");
   }
 }
 
 std::vector<Tensor> Communicator::recv_frame(int src, int tag, int stream) {
-  const double begin = ctx_.clock().now(stream);
-  const bool lossy = ctx_.unreliable_network();
+  const double begin = tp_.now(stream);
+  const bool lossy = tp_.unreliable_network();
+  const double timeout = effective_recv_timeout_s();
   for (;;) {
-    sim::Message msg = ctx_.recv(src, tag, stream);
-    assert(!msg.tensors.empty());  // every comm-layer message is framed
-    Tensor hdr = std::move(msg.tensors.back());
-    msg.tensors.pop_back();
+    Frame frame = tp_.recv_frame(Endpoint::of(src), tag, stream, timeout);
+    assert(!frame.tensors.empty());  // every comm-layer message is framed
+    Tensor hdr = std::move(frame.tensors.back());
+    frame.tensors.pop_back();
     const auto seq = static_cast<std::int64_t>(std::llround(hdr[0]));
     if (seq == last_recv_seq_[src]) {
       // A link fault delivered this frame twice; drop the late copy.
       ++duplicates_discarded_;
-      if (obs::Registry* reg = ctx_.metrics()) {
+      if (obs::Registry* reg = tp_.metrics()) {
         reg->counter(
                obs::labeled("comm.duplicates_discarded",
-                            {{"rank", std::to_string(ctx_.rank())}}))
+                            {{"rank", std::to_string(tp_.rank())}}))
             .add(1);
       }
       continue;
@@ -114,18 +115,18 @@ std::vector<Tensor> Communicator::recv_frame(int src, int tag, int stream) {
     const std::uint32_t expect =
         static_cast<std::uint32_t>(std::llround(hdr[1])) |
         (static_cast<std::uint32_t>(std::llround(hdr[2])) << 16);
-    if (lossy && frame_checksum(msg.tensors) != expect) {
+    if (lossy && frame_checksum(frame.tensors) != expect) {
       throw CommCorruptionError(
           src, "checksum mismatch on frame " + std::to_string(seq));
     }
     last_recv_seq_[src] = seq;
-    if (msg.ready_time > begin + rel_.recv_timeout_s) {
+    if (frame.ready_time > begin + timeout) {
       throw CommTimeoutError(
           src, "frame " + std::to_string(seq) + " ready at t=" +
-                   std::to_string(msg.ready_time) + "s, deadline was t=" +
-                   std::to_string(begin + rel_.recv_timeout_s) + "s");
+                   std::to_string(frame.ready_time) + "s, deadline was t=" +
+                   std::to_string(begin + timeout) + "s");
     }
-    return std::move(msg.tensors);
+    return std::move(frame.tensors);
   }
 }
 

@@ -1,4 +1,4 @@
-// MPI/NCCL-style communicator over the simulated cluster.
+// MPI/NCCL-style communicator over a pluggable Transport.
 //
 // Provides point-to-point tensor transfer plus the collectives the
 // reproduction needs: ring all-gather, ring reduce-scatter, all-reduce,
@@ -6,6 +6,12 @@
 // collectives in the same order — tags are generated from a per-communicator
 // counter that stays aligned because the code is SPMD (same call sequence on
 // every rank), mirroring how NCCL matches collectives by launch order.
+//
+// The communicator is constructed over a comm::Transport (transport.hpp) and
+// owns every protocol concern above it — framing, sequence numbers,
+// checksums, retry, deadlines, collective algorithms — so the same code runs
+// on the virtual-clock simulator (SimTransport) and on real TCP processes
+// (SocketTransport) without modification.
 //
 // Wire accounting: payloads are fp32 in functional mode but charged at
 // `wire_bytes_per_element` (default 2, i.e. bf16 on the wire like the paper's
@@ -17,23 +23,21 @@
 // (sim::FaultPlan) and retry with exponential backoff up to
 // Reliability::max_send_attempts, charging the backoff to the sending
 // stream; receives discard duplicate frames by sequence number, reject
-// corrupted frames (CommCorruptionError), and can enforce a per-recv
-// deadline against the virtual clock (CommTimeoutError). Headers are
-// control plane: excluded from wire-byte accounting, like bundle metadata.
-// When the cluster's fault plan cannot damage messages
-// (DeviceContext::unreliable_network() is false) the checksum pass and the
-// retransmission payload copy are skipped entirely, so fault-free runs pay
-// no wall-clock overhead for the hardening.
+// corrupted frames (CommCorruptionError), and enforce a per-recv deadline
+// against the transport clock (CommTimeoutError). Headers are control
+// plane: excluded from wire-byte accounting, like bundle metadata. When the
+// transport cannot damage messages (Transport::unreliable_network() is
+// false) the checksum pass and the retransmission payload copy are skipped
+// entirely, so fault-free runs pay no overhead for the hardening.
 #pragma once
 
 #include <cstdint>
-#include <limits>
 #include <map>
 #include <vector>
 
 #include "comm/errors.hpp"
 #include "comm/ring.hpp"
-#include "sim/cluster.hpp"
+#include "comm/transport.hpp"
 #include "tensor/tensor.hpp"
 
 namespace burst::comm {
@@ -42,6 +46,9 @@ namespace burst::comm {
 /// faults transparently; a fault-free run takes the first-attempt path with
 /// zero overhead.
 struct Reliability {
+  /// Sentinel for recv_timeout_s: defer to the transport's default deadline.
+  static constexpr double kTransportDefault = -1.0;
+
   /// Total transmission attempts per frame (1 initial + retries) before a
   /// send gives up with CommTimeoutError.
   int max_send_attempts = 4;
@@ -49,24 +56,41 @@ struct Reliability {
   /// charged to the sending stream (visible in traces as "retry-backoff").
   double backoff_base_s = 20e-6;
   double backoff_mult = 2.0;
-  /// Per-recv deadline on the virtual clock: a message whose ready time is
+  /// Per-recv deadline on the transport clock: a message whose ready time is
   /// later than recv-begin + recv_timeout_s raises CommTimeoutError.
-  /// Infinite by default.
-  double recv_timeout_s = std::numeric_limits<double>::infinity();
+  ///
+  /// Any negative value (the default) resolves to
+  /// Transport::default_recv_timeout_s(), which differs by backend:
+  ///   * simulator — infinity. A blocked virtual-clock recv can never hang
+  ///     the process (the cluster's abort machinery wakes it when a peer
+  ///     dies), so an un-asked-for deadline would only add spurious failures
+  ///     to long chaos runs.
+  ///   * sockets — finite (SocketTransportConfig::recv_timeout_s, ~15 s).
+  ///     A dead TCP peer otherwise blocks forever with no one to wake us.
+  /// Set an explicit non-negative value to override either backend.
+  double recv_timeout_s = kTransportDefault;
 };
 
 class Communicator {
  public:
-  explicit Communicator(sim::DeviceContext& ctx,
+  explicit Communicator(Transport& transport,
                         double wire_bytes_per_element = 2.0)
-      : ctx_(ctx), wire_bytes_per_element_(wire_bytes_per_element) {}
+      : tp_(transport), wire_bytes_per_element_(wire_bytes_per_element) {}
 
-  sim::DeviceContext& ctx() { return ctx_; }
-  int rank() const { return ctx_.rank(); }
-  int world_size() const { return ctx_.world_size(); }
+  Transport& transport() { return tp_; }
+  const Transport& transport() const { return tp_; }
+  int rank() const { return tp_.rank(); }
+  int world_size() const { return tp_.world_size(); }
 
   void set_reliability(const Reliability& r) { rel_ = r; }
   const Reliability& reliability() const { return rel_; }
+
+  /// The recv deadline actually in force: rel_.recv_timeout_s when
+  /// non-negative, else the transport's default.
+  double effective_recv_timeout_s() const {
+    return rel_.recv_timeout_s < 0.0 ? tp_.default_recv_timeout_s()
+                                     : rel_.recv_timeout_s;
+  }
 
   /// Retransmissions performed by this communicator (drops absorbed).
   std::uint64_t retries() const { return retries_; }
@@ -129,7 +153,7 @@ class Communicator {
 
   void broadcast(tensor::Tensor& t, int root);
 
-  void barrier() { ctx_.barrier(); }
+  void barrier() { tp_.barrier(); }
 
  private:
   int fresh_tag_block();
@@ -145,7 +169,7 @@ class Communicator {
   /// frames, rejects corruption, enforces the recv deadline.
   std::vector<tensor::Tensor> recv_frame(int src, int tag, int stream);
 
-  sim::DeviceContext& ctx_;
+  Transport& tp_;
   double wire_bytes_per_element_;
   Reliability rel_;
   // Collective tags live above 2^20 so user p2p tags below never collide.

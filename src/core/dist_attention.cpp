@@ -33,7 +33,7 @@ int route_position(const SweepRoute& route, int rank) {
 
 void charge(comm::Communicator& comm, const KernelStats& st,
             KernelStats* out) {
-  comm.ctx().compute(static_cast<double>(st.flops));
+  comm.transport().compute(static_cast<double>(st.flops));
   if (out != nullptr) {
     out->flops += st.flops;
     out->tiles_computed += st.tiles_computed;
@@ -54,7 +54,7 @@ AttnResult dist_attention_forward_subset(
     const Tensor& q_sub, const IndexMap& qmap_sub, const Tensor& k_local,
     const Tensor& v_local, KernelStats* stats) {
   assert(q_sub.rows() == qmap_sub.size() || q_sub.rows() == 0);
-  sim::ScopedPhaseMetrics phase(comm.ctx(), "attn.forward");
+  sim::ScopedPhaseMetrics phase(comm.transport(), "attn.forward");
 
   AttnResult result;
   result.o = Tensor::zeros(q_sub.rows(), k_local.cols());
@@ -145,7 +145,7 @@ LocalGrads backward_burst(Communicator& comm, const SweepRoute& route,
 
   // D_i once per device (Algorithm 2 line 2).
   Tensor dvec = kernels::attention_dvec(d_out, fwd.o);
-  comm.ctx().compute(static_cast<double>(2 * d_out.numel()));
+  comm.transport().compute(static_cast<double>(2 * d_out.numel()));
   if (stats != nullptr) {
     stats->flops += static_cast<std::uint64_t>(2 * d_out.numel());
   }
@@ -182,7 +182,7 @@ LocalGrads dist_attention_backward(Communicator& comm, const SweepRoute& route,
                                    const LocalQKV& local,
                                    const AttnResult& fwd, const Tensor& d_out,
                                    KernelStats* stats) {
-  sim::ScopedPhaseMetrics phase(comm.ctx(), "attn.backward");
+  sim::ScopedPhaseMetrics phase(comm.transport(), "attn.backward");
   if (cfg.backward == BackwardComm::kRing) {
     return backward_ring(comm, route, cfg, local, fwd, d_out, stats);
   }

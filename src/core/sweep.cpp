@@ -83,14 +83,14 @@ void ring_sweep_activation(
     Communicator& comm, const SweepRoute& route, const SweepOptions& opt,
     std::vector<Tensor> own,
     const std::function<void(const std::vector<Tensor>&, int)>& visit) {
-  sim::DeviceContext& ctx = comm.ctx();
-  const int me = ctx.rank();
+  comm::Transport& tp = comm.transport();
+  const int me = tp.rank();
   const int steps = route.steps();
 
   Communicator::Bundle cur;
   cur.tensors = std::move(own);
   cur.meta = me;
-  Event ready = ctx.clock().record(sim::kCompute);  // own data just produced
+  Event ready = tp.record(sim::kCompute);  // own data just produced
 
   for (int s = 0; s < steps; ++s) {
     if (opt.overlap && s < steps - 1) {
@@ -98,27 +98,27 @@ void ring_sweep_activation(
       // wait on compute (Figure 5, top).
       const int dst = route.hop_target(me, s);
       const int stream = comm.stream_for(dst);
-      ctx.clock().wait(stream, ready);
+      tp.wait(stream, ready);
       comm.send_bundle(dst, imm_tag(opt, s), cur, stream);
     }
-    ctx.clock().wait(sim::kCompute, ready);
+    tp.wait(sim::kCompute, ready);
     visit(cur.tensors, cur.meta);
     if (!opt.overlap && s < steps - 1) {
       // No double buffer: the exchange only starts once this step's compute
       // is done, serializing compute and communication.
       const int dst = route.hop_target(me, s);
       const int stream = comm.stream_for(dst);
-      ctx.clock().wait(stream, ctx.clock().record(sim::kCompute));
+      tp.wait(stream, tp.record(sim::kCompute));
       comm.send_bundle(dst, imm_tag(opt, s), cur, stream);
     }
     if (s < steps - 1) {
       const int src = route.hop_source(me, s);
       const int stream = comm.stream_for(src);
       cur = comm.recv_bundle(src, imm_tag(opt, s), stream);
-      ready = ctx.clock().record(stream);
+      ready = tp.record(stream);
     }
     if (!opt.overlap) {
-      ctx.clock().sync_all();
+      tp.sync_all();
     }
   }
 }
@@ -128,26 +128,26 @@ std::vector<Tensor> ring_sweep_gradient(
     std::vector<Tensor> own_imm, std::vector<Tensor> own_accum,
     const std::function<std::vector<Tensor>(const std::vector<Tensor>&, int)>&
         visit) {
-  sim::DeviceContext& ctx = comm.ctx();
-  const int me = ctx.rank();
+  comm::Transport& tp = comm.transport();
+  const int me = tp.rank();
   const int steps = route.steps();
 
   Communicator::Bundle cur;
   cur.tensors = std::move(own_imm);
   cur.meta = me;
-  Event imm_ready = ctx.clock().record(sim::kCompute);
+  Event imm_ready = tp.record(sim::kCompute);
 
   for (int s = 0; s < steps; ++s) {
     if (opt.overlap && s < steps - 1) {
       const int dst = route.hop_target(me, s);
       const int stream = comm.stream_for(dst);
-      ctx.clock().wait(stream, imm_ready);
+      tp.wait(stream, imm_ready);
       comm.send_bundle(dst, imm_tag(opt, s), cur, stream);
     }
 
-    ctx.clock().wait(sim::kCompute, imm_ready);
+    tp.wait(sim::kCompute, imm_ready);
     std::vector<Tensor> contrib = visit(cur.tensors, cur.meta);
-    const Event computed = ctx.clock().record(sim::kCompute);
+    const Event computed = tp.record(sim::kCompute);
 
     // Fetch the accumulator matching this shard: local for our own shard
     // (step 0), else it trails the shard by one hop.
@@ -159,7 +159,7 @@ std::vector<Tensor> ring_sweep_gradient(
       const int src = route.hop_source(me, s - 1);
       const int stream = comm.stream_for(src);
       acc = comm.recv_bundle(src, acc_tag(opt, s - 1), stream);
-      ctx.clock().wait(sim::kCompute, ctx.clock().record(stream));
+      tp.wait(sim::kCompute, tp.record(stream));
     }
     if (acc.meta != cur.meta) {
       throw std::logic_error("gradient sweep: accumulator/shard mismatch");
@@ -176,14 +176,14 @@ std::vector<Tensor> ring_sweep_gradient(
     {
       const int dst = route.hop_target(me, s);
       const int stream = comm.stream_for(dst);
-      ctx.clock().wait(stream, computed);
+      tp.wait(stream, computed);
       comm.send_bundle(dst, acc_tag(opt, s), std::move(acc), stream);
     }
 
     if (!opt.overlap && s < steps - 1) {
       const int dst = route.hop_target(me, s);
       const int stream = comm.stream_for(dst);
-      ctx.clock().wait(stream, computed);
+      tp.wait(stream, computed);
       comm.send_bundle(dst, imm_tag(opt, s), cur, stream);
     }
 
@@ -191,10 +191,10 @@ std::vector<Tensor> ring_sweep_gradient(
       const int src = route.hop_source(me, s);
       const int stream = comm.stream_for(src);
       cur = comm.recv_bundle(src, imm_tag(opt, s), stream);
-      imm_ready = ctx.clock().record(stream);
+      imm_ready = tp.record(stream);
     }
     if (!opt.overlap) {
-      ctx.clock().sync_all();
+      tp.sync_all();
     }
   }
 
@@ -206,7 +206,7 @@ std::vector<Tensor> ring_sweep_gradient(
   if (home.meta != me) {
     throw std::logic_error("gradient sweep: returned accumulator is not ours");
   }
-  ctx.clock().wait(sim::kCompute, ctx.clock().record(stream));
+  tp.wait(sim::kCompute, tp.record(stream));
   return std::move(home.tensors);
 }
 

@@ -46,7 +46,7 @@ std::vector<Tensor> ulysses_forward(Communicator& comm,
                                     kf[static_cast<std::size_t>(t)],
                                     vf[static_cast<std::size_t>(t)], full_map,
                                     cfg.mask, cfg.scale, &st);
-    comm.ctx().compute(static_cast<double>(st.flops));
+    comm.transport().compute(static_cast<double>(st.flops));
     if (stats != nullptr) {
       stats->flops += st.flops;
       stats->tiles_computed += st.tiles_computed;
@@ -96,7 +96,7 @@ UlyssesGrads ulysses_backward(Communicator& comm, const UlyssesConfig& cfg,
                                     saved.v[ti], full_map, cfg.mask, cfg.scale,
                                     do_full[ti], saved.lse[ti], dvec, dq, dk,
                                     dv, &st);
-    comm.ctx().compute(static_cast<double>(st.flops));
+    comm.transport().compute(static_cast<double>(st.flops));
     if (stats != nullptr) {
       stats->flops += st.flops;
     }

@@ -44,7 +44,7 @@ VocabParallelResult vocab_parallel_lm_head_loss(
   VocabParallelResult out;
   out.logits_bytes =
       static_cast<std::uint64_t>(logits.numel()) * sizeof(float);
-  comm.ctx().compute(2.0 * static_cast<double>(n_tot) *
+  comm.transport().compute(2.0 * static_cast<double>(n_tot) *
                      static_cast<double>(vs) * static_cast<double>(d));
 
   // Global LSE: exchange per-shard LSEs, logaddexp locally.
@@ -111,7 +111,7 @@ VocabParallelResult vocab_parallel_lm_head_loss(
 
   // dH needs every slice's contribution: partial product + all-reduce.
   Tensor dh_full = tensor::matmul(logits, w_shard);
-  comm.ctx().compute(4.0 * static_cast<double>(n_tot) *
+  comm.transport().compute(4.0 * static_cast<double>(n_tot) *
                      static_cast<double>(vs) * static_cast<double>(d));
   std::vector<int> world(static_cast<std::size_t>(g));
   for (int s = 0; s < g; ++s) {

@@ -233,7 +233,7 @@ Tensor gather_vec(const Tensor& t, const std::vector<std::int64_t>& rows) {
 void charge(DeviceState& st, LayerCache& cache, const Tensor& t,
             const char* tag) {
   const std::uint64_t bytes = bf16_bytes(t);
-  st.comm->ctx().mem().alloc(bytes, tag);
+  st.comm->transport().mem().alloc(bytes, tag);
   cache.charged_bytes += bytes;
 }
 
@@ -251,7 +251,7 @@ LayerForwardOut dist_layer_forward(DeviceState& st, const LayerWeights& w,
   Tensor q_all = tensor::matmul(x, w.wq);
   Tensor k_all = tensor::matmul(x, w.wk);
   Tensor v_all = tensor::matmul(x, w.wv);
-  st.comm->ctx().compute(
+  st.comm->transport().compute(
       2.0 * static_cast<double>(x.rows()) *
       (fd(m.d_model) * fd(m.d_model) +
          2.0 * fd(m.d_model) * fd(m.d_kv())));
@@ -274,7 +274,7 @@ LayerForwardOut dist_layer_forward(DeviceState& st, const LayerWeights& w,
   Tensor u = tensor::relu(u_pre);
   Tensor y = tensor::matmul(u, w.w2);
   tensor::add_inplace(y, hres);
-  st.comm->ctx().compute(2.0 * static_cast<double>(x.rows()) *
+  st.comm->transport().compute(2.0 * static_cast<double>(x.rows()) *
                          (fd(m.d_model) * fd(m.d_model) +
                           2.0 * fd(m.d_model) * fd(m.d_ff)));
 
@@ -423,7 +423,7 @@ Tensor dist_layer_backward(DeviceState& st, const LayerWeights& w,
     Tensor q_all = tensor::matmul(x, w.wq);
     Tensor k_all = tensor::matmul(x, w.wk);
     Tensor v_all = tensor::matmul(x, w.wv);
-    st.comm->ctx().compute(
+    st.comm->transport().compute(
         2.0 * static_cast<double>(x.rows()) *
         (fd(m.d_model) * fd(m.d_model) +
          2.0 * fd(m.d_model) * fd(m.d_kv())));
@@ -455,7 +455,7 @@ Tensor dist_layer_backward(DeviceState& st, const LayerWeights& w,
     hres = tensor::add(a, x);
     u_pre = tensor::matmul(hres, w.w1);
     u = tensor::relu(u_pre);
-    st.comm->ctx().compute(2.0 * static_cast<double>(x.rows()) *
+    st.comm->transport().compute(2.0 * static_cast<double>(x.rows()) *
                            (fd(m.d_model) * fd(m.d_model) +
                             fd(m.d_model) * fd(m.d_ff)));
   }
@@ -470,7 +470,7 @@ Tensor dist_layer_backward(DeviceState& st, const LayerWeights& w,
 
   Tensor d_attn = tensor::matmul_nt(dh_total, w.wo);
   tensor::add_inplace(g.wo, tensor::matmul_tn(attn_concat, dh_total));
-  st.comm->ctx().compute(4.0 * static_cast<double>(x.rows()) *
+  st.comm->transport().compute(4.0 * static_cast<double>(x.rows()) *
                          (fd(m.d_model) * fd(m.d_model) +
                           2.0 * fd(m.d_model) * fd(m.d_ff)));
 
@@ -526,11 +526,11 @@ Tensor dist_layer_backward(DeviceState& st, const LayerWeights& w,
   tensor::add_inplace(g.wq, tensor::matmul_tn(x, dq_all));
   tensor::add_inplace(g.wk, tensor::matmul_tn(x, dk_all));
   tensor::add_inplace(g.wv, tensor::matmul_tn(x, dv_all));
-  st.comm->ctx().compute(12.0 * static_cast<double>(x.rows()) * fd(m.d_model) *
+  st.comm->transport().compute(12.0 * static_cast<double>(x.rows()) * fd(m.d_model) *
                          fd(m.d_model));
 
   // Release everything this layer had charged.
-  st.comm->ctx().mem().free(cache.charged_bytes);
+  st.comm->transport().mem().free(cache.charged_bytes);
   cache.charged_bytes = 0;
   return dx;
 }
@@ -556,9 +556,9 @@ DistStepResult dist_train_step(comm::Communicator& comm,
   st.n_global = n;
   st.map = index_map_for(cfg, n, g, comm.rank());
   st.scale = 1.0f / std::sqrt(static_cast<float>(m.head_dim()));
-  const bool multi = comm.ctx().topo().num_nodes > 1;
+  const bool multi = comm.transport().topo().num_nodes > 1;
   st.route = (cfg.topo_aware && multi)
-                 ? SweepRoute::double_ring(comm.ctx().topo())
+                 ? SweepRoute::double_ring(comm.transport().topo())
                  : SweepRoute::flat(comm::flat_ring(g));
 
   // ---- embedding -------------------------------------------------------------
@@ -592,8 +592,8 @@ DistStepResult dist_train_step(comm::Communicator& comm,
     lm = kernels::naive_lm_head_loss(x, weights.w_head, targets);
   }
   // Charge the LM-head scratch high-water mark (fp32 actual -> as-if bf16).
-  comm.ctx().mem().alloc(lm.peak_scratch_bytes / 2, "lm head scratch");
-  comm.ctx().compute(static_cast<double>(lm.flops));
+  comm.transport().mem().alloc(lm.peak_scratch_bytes / 2, "lm head scratch");
+  comm.transport().compute(static_cast<double>(lm.flops));
 
   // Global mean loss: every shard has N/G rows, so the global mean is the
   // average of local means; gradient scale follows.
@@ -617,7 +617,7 @@ DistStepResult dist_train_step(comm::Communicator& comm,
   tensor::scale_inplace(out.grads.w_head, inv_g);
   Tensor dx = std::move(lm.dh);
   tensor::scale_inplace(dx, inv_g);
-  comm.ctx().mem().free(lm.peak_scratch_bytes / 2);
+  comm.transport().mem().free(lm.peak_scratch_bytes / 2);
 
   // ---- backward ------------------------------------------------------------
   for (std::int64_t l = m.layers - 1; l >= 0; --l) {

@@ -63,7 +63,7 @@ std::uint64_t FsdpShards::shard_bytes() const {
 
 LayerWeights fsdp_gather_layer(comm::Communicator& comm,
                                const FsdpShards& shards, std::int64_t layer) {
-  sim::ScopedPhaseMetrics phase(comm.ctx(), "fsdp.gather");
+  sim::ScopedPhaseMetrics phase(comm.transport(), "fsdp.gather");
   const auto& l = shards.layers[static_cast<std::size_t>(layer)];
   LayerWeights full;
   full.wq = comm.all_gather_rows(l.wq);
@@ -76,12 +76,12 @@ LayerWeights fsdp_gather_layer(comm::Communicator& comm,
 }
 
 Tensor fsdp_gather_embed(comm::Communicator& comm, const FsdpShards& shards) {
-  sim::ScopedPhaseMetrics phase(comm.ctx(), "fsdp.gather");
+  sim::ScopedPhaseMetrics phase(comm.transport(), "fsdp.gather");
   return comm.all_gather_rows(shards.w_embed);
 }
 
 Tensor fsdp_gather_head(comm::Communicator& comm, const FsdpShards& shards) {
-  sim::ScopedPhaseMetrics phase(comm.ctx(), "fsdp.gather");
+  sim::ScopedPhaseMetrics phase(comm.transport(), "fsdp.gather");
   return comm.all_gather_rows(shards.w_head);
 }
 
@@ -89,7 +89,7 @@ FsdpShards fsdp_reduce_scatter_grads(comm::Communicator& comm,
                                      const ModelConfig& cfg,
                                      const ModelGrads& full) {
   (void)cfg;
-  sim::ScopedPhaseMetrics phase(comm.ctx(), "fsdp.reduce_scatter");
+  sim::ScopedPhaseMetrics phase(comm.transport(), "fsdp.reduce_scatter");
   FsdpShards out;
   for (const auto& l : full.layers) {
     LayerWeights lw;
@@ -126,7 +126,7 @@ void fsdp_apply_sgd(FsdpShards& shards, const FsdpShards& grad_shards,
 FsdpStepResult fsdp_train_step(comm::Communicator& comm, DistTrainConfig cfg,
                                const FsdpShards& shards,
                                const tensor::Tensor& tokens) {
-  sim::ScopedPhaseMetrics phase(comm.ctx(), "fsdp.step");
+  sim::ScopedPhaseMetrics phase(comm.transport(), "fsdp.step");
   // Functional simplification: gather everything up front. Real BMTrain
   // gathers block by block to bound transient memory; the communication
   // volume is identical and the perfmodel charges the block-level overlap.

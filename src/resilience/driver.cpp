@@ -1,4 +1,5 @@
 #include "resilience/driver.hpp"
+// burst-lint: allow-file(no-direct-cluster) hosting boundary: constructs clusters and wraps each rank in a SimTransport before protocol code runs
 
 #include <algorithm>
 #include <memory>
@@ -6,6 +7,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "comm/sim_transport.hpp"
 #include "obs/metrics.hpp"
 
 namespace burst::resilience {
@@ -113,7 +115,8 @@ ResilienceReport resilient_train_loop(const ResilienceConfig& cfg,
     try {
       cluster->run([&](DeviceContext& ctx) {
         ctx.begin_step(static_cast<std::int64_t>(step));
-        comm::Communicator comm(ctx);
+        comm::SimTransport comm_tp(ctx);
+        comm::Communicator comm(comm_tp);
         comm.set_reliability(cfg.reliability);
         auto r = model::dist_train_step(comm, cfg.dist, weights, tokens);
         if (ctx.rank() == 0) {

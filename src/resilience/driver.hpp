@@ -24,6 +24,7 @@
 // time, lost steps) land both in the returned report and, when a
 // TraceRecorder is attached, in the trace on a synthetic supervisor track
 // (pid == world_size).
+// burst-lint: allow-file(no-direct-cluster) the training-resilience supervisor owns the cluster lifecycle (build, crash, rebuild), which is inherently a simulator-hosting concern
 #pragma once
 
 #include <cstdint>

@@ -1,10 +1,12 @@
 #include "serve/dist_prefill.hpp"
+// burst-lint: allow-file(no-direct-cluster) hosting boundary: wraps each cluster rank in a SimTransport before the comm layer is used
 
 #include <cassert>
 #include <cmath>
 #include <stdexcept>
 
 #include "comm/communicator.hpp"
+#include "comm/sim_transport.hpp"
 #include "core/dist_attention.hpp"
 #include "core/sweep.hpp"
 #include "kernels/rope.hpp"
@@ -51,7 +53,8 @@ DistPrefillResult distributed_prefill(sim::Cluster& cluster,
   const std::int64_t kvh_n = cfg.num_kv_heads();
 
   cluster.run([&](sim::DeviceContext& ctx) {
-    comm::Communicator comm(ctx);
+    comm::SimTransport comm_tp(ctx);
+    comm::Communicator comm(comm_tp);
     const auto route = core::SweepRoute::double_ring(cluster.config().topo);
 
     core::DistAttnConfig acfg;

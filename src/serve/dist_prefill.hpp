@@ -10,6 +10,7 @@
 // gathered to rank 0 and assembled into one model::SequenceKvCache that is
 // bit-compatible with serial chunked prefill, ready for the single-device
 // decode engine to take over.
+// burst-lint: allow-file(no-direct-cluster) distributed prefill is entered with a caller-owned cluster; ranks are wrapped in SimTransport internally
 #pragma once
 
 #include <cstdint>

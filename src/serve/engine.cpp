@@ -1,4 +1,5 @@
 #include "serve/engine.hpp"
+// burst-lint: allow-file(no-direct-cluster) hosting boundary: serve_once constructs the cluster the engine runs on
 
 #include <algorithm>
 #include <cassert>

@@ -19,6 +19,7 @@
 // released when a request completes (eviction), so peak KV bytes show up on
 // the device MemoryTracker, and a TraceRecorder (when attached) gets one
 // interval per iteration labeled with its batch composition.
+// burst-lint: allow-file(no-direct-cluster) the serving engine runs inside one simulated rank and exposes cluster-hosting entry points
 #pragma once
 
 #include <cstdint>

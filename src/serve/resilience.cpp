@@ -1,4 +1,5 @@
 #include "serve/resilience.hpp"
+// burst-lint: allow-file(no-direct-cluster) hosting boundary: builds a fresh cluster per recovery attempt
 
 #include <optional>
 #include <utility>

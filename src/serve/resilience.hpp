@@ -22,6 +22,7 @@
 // crash it shrinks the ring to the survivors (the largest prompt-divisor
 // world that excludes the dead rank's slot). The retried result is
 // bit-identical to a fault-free prefill at the same final world size.
+// burst-lint: allow-file(no-direct-cluster) the serving recovery supervisor rebuilds clusters across faults; cluster configs are its input surface
 #pragma once
 
 #include <cstdint>

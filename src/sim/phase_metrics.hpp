@@ -2,32 +2,36 @@
 //
 // Wraps one phase of work on a device (an attention ring sweep, an FSDP
 // gather, a reduce-scatter) and, on scope exit, records the wire-byte and
-// virtual-time deltas into the registry attached to the cluster:
+// clock-time deltas into the registry attached to the device:
 //
 //   <base>.bytes{rank=R}   counter   — wire bytes this rank sent in the phase
 //   <base>.calls{rank=R}   counter   — number of times the phase ran
-//   <base>.time_s{rank=R}  histogram — virtual seconds per phase
+//   <base>.time_s{rank=R}  histogram — clock seconds per phase
 //
-// Reads the virtual clock but never advances it, so instrumented runs are
-// bitwise identical to bare ones. Inert when no registry is attached — the
-// constructor does one null check and nothing else.
+// Templated over any device-like object exposing metrics(), bytes_sent(),
+// elapsed() and rank() — both sim::DeviceContext and comm::Transport qualify
+// (sim lives below comm, so the duck-typed template is what lets this header
+// serve both without a layering inversion). Reads the clock but never
+// advances it, so instrumented simulator runs are bitwise identical to bare
+// ones. Inert when no registry is attached — the constructor does one null
+// check and nothing else.
 #pragma once
 
 #include <cstdint>
 #include <string>
 
 #include "obs/metrics.hpp"
-#include "sim/cluster.hpp"
 
 namespace burst::sim {
 
+template <typename Device>
 class ScopedPhaseMetrics {
  public:
-  ScopedPhaseMetrics(DeviceContext& ctx, const char* base)
-      : ctx_(ctx), reg_(ctx.metrics()), base_(base) {
+  ScopedPhaseMetrics(Device& dev, const char* base)
+      : dev_(dev), reg_(dev.metrics()), base_(base) {
     if (reg_ != nullptr) {
-      begin_bytes_ = ctx_.bytes_sent();
-      begin_s_ = ctx_.clock().elapsed();
+      begin_bytes_ = dev_.bytes_sent();
+      begin_s_ = dev_.elapsed();
     }
   }
   ScopedPhaseMetrics(const ScopedPhaseMetrics&) = delete;
@@ -37,16 +41,16 @@ class ScopedPhaseMetrics {
       return;
     }
     const std::string base(base_);
-    const obs::Labels labels = {{"rank", std::to_string(ctx_.rank())}};
+    const obs::Labels labels = {{"rank", std::to_string(dev_.rank())}};
     reg_->counter(obs::labeled(base + ".bytes", labels))
-        .add(ctx_.bytes_sent() - begin_bytes_);
+        .add(dev_.bytes_sent() - begin_bytes_);
     reg_->counter(obs::labeled(base + ".calls", labels)).add(1);
     reg_->histogram(obs::labeled(base + ".time_s", labels))
-        .observe(ctx_.clock().elapsed() - begin_s_);
+        .observe(dev_.elapsed() - begin_s_);
   }
 
  private:
-  DeviceContext& ctx_;
+  Device& dev_;
   obs::Registry* reg_;
   const char* base_;
   std::uint64_t begin_bytes_ = 0;

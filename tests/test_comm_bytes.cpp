@@ -25,6 +25,7 @@
 #include <gtest/gtest.h>
 
 #include "comm/communicator.hpp"
+#include "comm/sim_transport.hpp"
 #include "core/dist_attention.hpp"
 #include "core/partition.hpp"
 #include "obs/metrics.hpp"
@@ -68,7 +69,8 @@ RunResult run_attention(const Topology& topo, BackwardComm backward,
   RunResult out;
   std::mutex mu;
   cluster.run([&](DeviceContext& ctx) {
-    Communicator comm(ctx, /*wire_bytes_per_element=*/1.0);
+    comm::SimTransport comm_tp(ctx);
+    Communicator comm(comm_tp, /*wire_bytes_per_element=*/1.0);
     const SweepRoute route = route_kind == "double"
                                  ? SweepRoute::double_ring(topo)
                                  : SweepRoute::flat(comm::flat_ring(g));

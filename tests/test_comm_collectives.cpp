@@ -1,4 +1,5 @@
 #include "comm/communicator.hpp"
+#include "comm/sim_transport.hpp"
 
 #include <gtest/gtest.h>
 
@@ -23,7 +24,8 @@ TEST_P(Collectives, AllGatherRowsConcatenatesByRank) {
   Cluster cluster({Topology::single_node(g)});
   std::vector<int> ok(static_cast<std::size_t>(g), 0);
   cluster.run([&](DeviceContext& ctx) {
-    Communicator comm(ctx);
+    comm::SimTransport comm_tp(ctx);
+    Communicator comm(comm_tp);
     Tensor local = Tensor::full(2, 3, static_cast<float>(ctx.rank()));
     Tensor full = comm.all_gather_rows(local);
     ASSERT_EQ(full.rows(), 2 * g);
@@ -47,7 +49,8 @@ TEST_P(Collectives, ReduceScatterRowsSumsAndShards) {
   Cluster cluster({Topology::single_node(g)});
   std::vector<float> got(static_cast<std::size_t>(g), -1.0f);
   cluster.run([&](DeviceContext& ctx) {
-    Communicator comm(ctx);
+    comm::SimTransport comm_tp(ctx);
+    Communicator comm(comm_tp);
     // Each rank contributes chunk value (rank+1) * (chunk index+1).
     Tensor full(g * 2, 2);
     for (int c = 0; c < g; ++c) {
@@ -85,7 +88,8 @@ TEST_P(Collectives, AllReduceMatchesSerialSum) {
   }
   std::vector<float> err(static_cast<std::size_t>(g), 1.0f);
   cluster.run([&](DeviceContext& ctx) {
-    Communicator comm(ctx);
+    comm::SimTransport comm_tp(ctx);
+    Communicator comm(comm_tp);
     Tensor t = inputs[static_cast<std::size_t>(ctx.rank())];
     comm.all_reduce_inplace(t);
     err[static_cast<std::size_t>(ctx.rank())] =
@@ -101,7 +105,8 @@ TEST_P(Collectives, AllToAllTransposesOwnership) {
   Cluster cluster({Topology::single_node(g)});
   std::vector<int> ok(static_cast<std::size_t>(g), 0);
   cluster.run([&](DeviceContext& ctx) {
-    Communicator comm(ctx);
+    comm::SimTransport comm_tp(ctx);
+    Communicator comm(comm_tp);
     std::vector<Tensor> send;
     for (int dst = 0; dst < g; ++dst) {
       // Encode (src, dst) into the payload.
@@ -129,7 +134,8 @@ TEST(CollectivesFixed, BroadcastFromNonzeroRoot) {
   Cluster cluster({Topology::single_node(g)});
   std::vector<float> got(g, -1.0f);
   cluster.run([&](DeviceContext& ctx) {
-    Communicator comm(ctx);
+    comm::SimTransport comm_tp(ctx);
+    Communicator comm(comm_tp);
     Tensor t = ctx.rank() == 2 ? Tensor::full(2, 2, 9.0f) : Tensor();
     comm.broadcast(t, 2);
     got[static_cast<std::size_t>(ctx.rank())] = t(1, 1);
@@ -142,8 +148,10 @@ TEST(CollectivesFixed, BroadcastFromNonzeroRoot) {
 TEST(CollectivesFixed, WireBytesUsesConfiguredWidth) {
   Cluster cluster({Topology::single_node(1)});
   cluster.run([&](DeviceContext& ctx) {
-    Communicator bf16(ctx, 2.0);
-    Communicator fp32(ctx, 4.0);
+    comm::SimTransport bf16_tp(ctx);
+    Communicator bf16(bf16_tp, 2.0);
+    comm::SimTransport fp32_tp(ctx);
+    Communicator fp32(fp32_tp, 4.0);
     std::vector<Tensor> bundle;
     bundle.push_back(Tensor::zeros(4, 8));   // 32 elements
     bundle.push_back(Tensor::zeros(16));     // 16 elements
@@ -155,7 +163,8 @@ TEST(CollectivesFixed, WireBytesUsesConfiguredWidth) {
 TEST(CollectivesFixed, StreamSelectionFollowsTopology) {
   Cluster cluster({Topology::multi_node(2, 2)});
   cluster.run([&](DeviceContext& ctx) {
-    Communicator comm(ctx);
+    comm::SimTransport comm_tp(ctx);
+    Communicator comm(comm_tp);
     if (ctx.rank() == 0) {
       EXPECT_EQ(comm.stream_for(1), sim::kIntraComm);
       EXPECT_EQ(comm.stream_for(2), sim::kInterComm);
@@ -169,7 +178,8 @@ TEST(CollectivesFixed, AllGatherWireVolumeIsOptimal) {
   const int g = 4;
   Cluster cluster({Topology::single_node(g)});
   cluster.run([&](DeviceContext& ctx) {
-    Communicator comm(ctx, 2.0);
+    comm::SimTransport comm_tp(ctx);
+    Communicator comm(comm_tp, 2.0);
     Tensor local = Tensor::zeros(2, 8);  // 16 elements -> 32 wire bytes
     comm.all_gather_rows(local);
     EXPECT_EQ(ctx.bytes_sent(), static_cast<std::uint64_t>((g - 1) * 32));
@@ -180,7 +190,8 @@ TEST(CollectivesFixed, AllGatherWireVolumeIsOptimal) {
 TEST(CollectivesFixed, SingleRankCollectivesAreIdentity) {
   Cluster cluster({Topology::single_node(1)});
   cluster.run([&](DeviceContext& ctx) {
-    Communicator comm(ctx);
+    comm::SimTransport comm_tp(ctx);
+    Communicator comm(comm_tp);
     Rng rng(1);
     Tensor t = rng.gaussian(3, 3, 1.0f);
     Tensor ag = comm.all_gather_rows(t);

@@ -6,6 +6,7 @@
 #include <mutex>
 
 #include "comm/communicator.hpp"
+#include "comm/sim_transport.hpp"
 #include "sim/cluster.hpp"
 #include "tensor/ops.hpp"
 #include "tensor/rng.hpp"
@@ -37,7 +38,8 @@ TEST_P(MultiNodeCollectives, AllReduceMatchesSerialAcrossNodes) {
   }
   std::vector<float> err(static_cast<std::size_t>(g), 1.0f);
   cluster.run([&](DeviceContext& ctx) {
-    Communicator comm(ctx);
+    comm::SimTransport comm_tp(ctx);
+    Communicator comm(comm_tp);
     Tensor t = inputs[static_cast<std::size_t>(ctx.rank())];
     comm.all_reduce_inplace(t);
     err[static_cast<std::size_t>(ctx.rank())] =
@@ -55,7 +57,8 @@ TEST_P(MultiNodeCollectives, AllToAllGroupWithinOneNodeStaysOnNvlink) {
   }
   Cluster cluster({Topology::multi_node(nodes, gpus)});
   cluster.run([&](DeviceContext& ctx) {
-    Communicator comm(ctx);
+    comm::SimTransport comm_tp(ctx);
+    Communicator comm(comm_tp);
     // Group = this rank's node.
     const int node = ctx.topo().node_of(ctx.rank());
     std::vector<int> group;
@@ -92,7 +95,8 @@ TEST(MultiNodeTiming, CrossNodeBroadcastSlowerThanLocal) {
   const auto broadcast_time = [&](int root) {
     Cluster cluster(cc);
     cluster.run([&](DeviceContext& ctx) {
-      Communicator comm(ctx);
+      comm::SimTransport comm_tp(ctx);
+      Communicator comm(comm_tp);
       Tensor t = ctx.rank() == root ? Tensor::zeros(rows, 64) : Tensor();
       comm.broadcast(t, root);
     });
@@ -107,7 +111,8 @@ TEST(MultiNodeTiming, CrossNodeBroadcastSlowerThanLocal) {
   local.topo.intra = cc.topo.intra;
   Cluster local_cluster(local);
   local_cluster.run([&](DeviceContext& ctx) {
-    Communicator comm(ctx);
+    comm::SimTransport comm_tp(ctx);
+    Communicator comm(comm_tp);
     Tensor t = ctx.rank() == 0 ? Tensor::zeros(rows, 64) : Tensor();
     comm.broadcast(t, 0);
   });
@@ -117,7 +122,8 @@ TEST(MultiNodeTiming, CrossNodeBroadcastSlowerThanLocal) {
 TEST(MultiNodeTiming, ReduceScatterUsesBothStreams) {
   Cluster cluster({Topology::multi_node(2, 2)});
   cluster.run([&](DeviceContext& ctx) {
-    Communicator comm(ctx);
+    comm::SimTransport comm_tp(ctx);
+    Communicator comm(comm_tp);
     Tensor full = Tensor::zeros(8, 16);
     comm.reduce_scatter_rows(full);
     // The flat ring crosses node boundaries: ranks adjacent to the boundary

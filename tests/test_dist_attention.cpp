@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "comm/communicator.hpp"
+#include "comm/sim_transport.hpp"
 #include "core/partition.hpp"
 #include "kernels/reference_attention.hpp"
 #include "sim/cluster.hpp"
@@ -85,7 +86,8 @@ GlobalResult run_distributed(const Problem& p, const Topology& topo,
   out.dv = Tensor::zeros(p.n, p.d);
   std::mutex mu;
   cluster.run([&](DeviceContext& ctx) {
-    Communicator comm(ctx);
+    comm::SimTransport comm_tp(ctx);
+    Communicator comm(comm_tp);
     const SweepRoute route = route_kind == "flat"
                                  ? SweepRoute::flat(comm::flat_ring(g))
                                  : SweepRoute::double_ring(topo);
@@ -230,7 +232,8 @@ TEST(DistAttentionVolume, BurstBackwardMovesQuarterLessThanRing) {
     Cluster cluster({Topology::single_node(g)});
     std::vector<std::uint64_t> bytes(static_cast<std::size_t>(g));
     cluster.run([&](DeviceContext& ctx) {
-      Communicator comm(ctx, w);
+      comm::SimTransport comm_tp(ctx);
+      Communicator comm(comm_tp, w);
       const SweepRoute route = SweepRoute::flat(comm::flat_ring(g));
       DistAttnConfig cfg;
       cfg.mask = MaskSpec::full();

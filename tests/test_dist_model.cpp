@@ -12,6 +12,7 @@
 #include <tuple>
 
 #include "comm/communicator.hpp"
+#include "comm/sim_transport.hpp"
 #include "model/transformer.hpp"
 #include "sim/cluster.hpp"
 #include "tensor/ops.hpp"
@@ -64,7 +65,8 @@ DistStepResult run_distributed(const Fixture& fx, const DistTrainConfig& cfg,
   DistStepResult result;
   std::mutex mu;
   cluster.run([&](DeviceContext& ctx) {
-    comm::Communicator comm(ctx);
+    comm::SimTransport comm_tp(ctx);
+    comm::Communicator comm(comm_tp);
     DistStepResult r = dist_train_step(comm, cfg, fx.weights, fx.tokens);
     if (ctx.rank() == 0) {
       std::lock_guard lock(mu);
@@ -153,7 +155,8 @@ TEST(DistModelMemory, CheckpointStrategiesOrderPeakMemory) {
     cfg.fused_lm_head = fused;
     Cluster cluster({Topology::single_node(4)});
     cluster.run([&](DeviceContext& ctx) {
-      comm::Communicator comm(ctx);
+      comm::SimTransport comm_tp(ctx);
+      comm::Communicator comm(comm_tp);
       dist_train_step(comm, cfg, fx.weights, fx.tokens);
     });
     return cluster.stats()[0].peak_mem_bytes;
@@ -179,7 +182,8 @@ TEST(DistModelMemory, CheckpointStrategiesOrderPeakMemory) {
     cfg.fused_lm_head = fused;
     Cluster cluster({Topology::single_node(2)});
     cluster.run([&](DeviceContext& ctx) {
-      comm::Communicator comm(ctx);
+      comm::SimTransport comm_tp(ctx);
+      comm::Communicator comm(comm_tp);
       dist_train_step(comm, cfg, fx.weights, long_tokens);
     });
     return cluster.stats()[0].peak_mem_bytes;
@@ -208,7 +212,8 @@ TEST(DistModelTraining, DistributedSgdConvergesLikeSerial) {
 
     std::mutex mu;
     cluster.run([&](DeviceContext& ctx) {
-      comm::Communicator comm(ctx);
+      comm::SimTransport comm_tp(ctx);
+      comm::Communicator comm(comm_tp);
       auto r = dist_train_step(comm, cfg, w_dist, fx.tokens);
       if (ctx.rank() == 0) {
         std::lock_guard lock(mu);

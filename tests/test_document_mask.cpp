@@ -5,6 +5,7 @@
 #include <mutex>
 
 #include "comm/communicator.hpp"
+#include "comm/sim_transport.hpp"
 #include "core/dist_attention.hpp"
 #include "core/partition.hpp"
 #include "kernels/mask.hpp"
@@ -99,7 +100,8 @@ TEST(DocumentMask, DistributedMatchesReference) {
     Tensor dk_global = Tensor::zeros(n, d);
     std::mutex mu;
     cluster.run([&](sim::DeviceContext& ctx) {
-      comm::Communicator comm(ctx);
+      comm::SimTransport comm_tp(ctx);
+      comm::Communicator comm(comm_tp);
       const auto route = core::SweepRoute::flat(comm::flat_ring(g));
       const auto map = core::route_index_map(route, cfg, ctx.rank());
       core::LocalQKV local{core::shard_rows(q, map), core::shard_rows(k, map),

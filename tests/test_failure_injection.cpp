@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "comm/communicator.hpp"
+#include "comm/sim_transport.hpp"
 #include "model/dist_model.hpp"
 #include "model/transformer.hpp"
 #include "sim/cluster.hpp"
@@ -49,7 +50,8 @@ TEST(FailureInjection, OomDuringDistributedTrainingAborts) {
   {
     Cluster probe(cc);
     probe.run([&](DeviceContext& ctx) {
-      comm::Communicator comm(ctx);
+      comm::SimTransport comm_tp(ctx);
+      comm::Communicator comm(comm_tp);
       model::dist_train_step(comm, dc, w, tokens);
     });
     peak = probe.stats()[0].peak_mem_bytes;
@@ -59,7 +61,8 @@ TEST(FailureInjection, OomDuringDistributedTrainingAborts) {
   cc.device_memory_capacity = peak / 2;
   Cluster capped(cc);
   EXPECT_THROW(capped.run([&](DeviceContext& ctx) {
-    comm::Communicator comm(ctx);
+    comm::SimTransport comm_tp(ctx);
+    comm::Communicator comm(comm_tp);
     model::dist_train_step(comm, dc, w, tokens);
   }),
                DeviceOomError);
@@ -80,13 +83,15 @@ TEST(FailureInjection, CapJustAbovePeakSucceeds) {
   cc.topo = Topology::single_node(4);
   Cluster probe(cc);
   probe.run([&](DeviceContext& ctx) {
-    comm::Communicator comm(ctx);
+    comm::SimTransport comm_tp(ctx);
+    comm::Communicator comm(comm_tp);
     model::dist_train_step(comm, dc, w, tokens);
   });
   cc.device_memory_capacity = probe.stats()[0].peak_mem_bytes;
   Cluster capped(cc);
   capped.run([&](DeviceContext& ctx) {
-    comm::Communicator comm(ctx);
+    comm::SimTransport comm_tp(ctx);
+    comm::Communicator comm(comm_tp);
     model::dist_train_step(comm, dc, w, tokens);
   });
   SUCCEED();
@@ -102,7 +107,8 @@ TEST(FailureInjection, StragglerGatesTheRing) {
 
   const auto run_with_straggler = [&](double extra_s) {
     cluster.run([&](DeviceContext& ctx) {
-      comm::Communicator comm(ctx);
+      comm::SimTransport comm_tp(ctx);
+      comm::Communicator comm(comm_tp);
       if (ctx.rank() == 2) {
         ctx.busy(extra_s);  // e.g. thermal throttling
       }
@@ -122,7 +128,8 @@ TEST(FailureInjection, StragglerGatesTheRing) {
 TEST(FailureInjection, UserExceptionAbortsBlockedCollective) {
   Cluster cluster({Topology::single_node(3)});
   EXPECT_THROW(cluster.run([&](DeviceContext& ctx) {
-    comm::Communicator comm(ctx);
+    comm::SimTransport comm_tp(ctx);
+    comm::Communicator comm(comm_tp);
     if (ctx.rank() == 1) {
       throw std::runtime_error("injected fault");
     }
@@ -166,7 +173,8 @@ TEST(FaultPlan, StragglerSlowsTraceWithoutDeadlock) {
   Cluster cluster(cc);
 
   cluster.run([&](DeviceContext& ctx) {
-    comm::Communicator comm(ctx);
+    comm::SimTransport comm_tp(ctx);
+    comm::Communicator comm(comm_tp);
     ctx.compute(1e6, sim::kCompute, "step-compute");
     Tensor t = Tensor::zeros(4, 4);
     comm.all_reduce_inplace(t);
@@ -204,7 +212,8 @@ TEST(FaultPlan, LinkFlapDuringRingRecoversViaRetry) {
   std::atomic<std::uint64_t> retries{0};
   std::atomic<int> wrong{0};
   cluster.run([&](DeviceContext& ctx) {
-    comm::Communicator comm(ctx);
+    comm::SimTransport comm_tp(ctx);
+    comm::Communicator comm(comm_tp);
     Tensor local = Tensor::full(2, 3, static_cast<float>(ctx.rank()));
     Tensor full = comm.all_gather_rows(local);
     for (int g = 0; g < 4; ++g) {
@@ -239,7 +248,8 @@ TEST(FaultPlan, DuplicateFrameDiscardedBySequenceNumber) {
   std::atomic<std::uint64_t> discarded{0};
   std::atomic<int> wrong{0};
   cluster.run([&](DeviceContext& ctx) {
-    comm::Communicator comm(ctx);
+    comm::SimTransport comm_tp(ctx);
+    comm::Communicator comm(comm_tp);
     if (ctx.rank() == 0) {
       comm.send(1, 5, {Tensor::full(2, 2, 7.0f)});
       comm.send(1, 5, {Tensor::full(2, 2, 9.0f)});
@@ -269,7 +279,8 @@ TEST(FaultPlan, CorruptedFrameRejectedByChecksum) {
   Cluster cluster(cc);
 
   EXPECT_THROW(cluster.run([&](DeviceContext& ctx) {
-    comm::Communicator comm(ctx);
+    comm::SimTransport comm_tp(ctx);
+    comm::Communicator comm(comm_tp);
     if (ctx.rank() == 0) {
       comm.send(1, 3, {Tensor::full(4, 4, 1.0f)});
     } else {
@@ -296,7 +307,8 @@ TEST(FaultPlan, DegradedLinkStretchesMakespan) {
     }
     Cluster cluster(cc);
     cluster.run([&](DeviceContext& ctx) {
-      comm::Communicator comm(ctx);
+      comm::SimTransport comm_tp(ctx);
+      comm::Communicator comm(comm_tp);
       if (ctx.rank() == 0) {
         comm.send(1, 2, {Tensor::zeros(2048, 2048)});
       } else {
@@ -317,7 +329,8 @@ TEST(FaultPlan, DegradedLinkStretchesMakespan) {
 TEST(FaultPlan, RecvDeadlineRaisesTimeout) {
   Cluster cluster({Topology::single_node(2)});
   EXPECT_THROW(cluster.run([&](DeviceContext& ctx) {
-    comm::Communicator comm(ctx);
+    comm::SimTransport comm_tp(ctx);
+    comm::Communicator comm(comm_tp);
     if (ctx.rank() == 0) {
       // Stall the comm stream: the message leaves 1 virtual second late.
       ctx.busy(1.0, sim::kIntraComm);
@@ -347,7 +360,8 @@ TEST(FaultPlan, RetryBudgetExhaustionRaisesTimeout) {
   Cluster cluster(cc);
 
   EXPECT_THROW(cluster.run([&](DeviceContext& ctx) {
-    comm::Communicator comm(ctx);
+    comm::SimTransport comm_tp(ctx);
+    comm::Communicator comm(comm_tp);
     if (ctx.rank() == 0) {
       comm.send(1, 4, {Tensor::zeros(2, 2)});
     } else {

@@ -8,6 +8,7 @@
 #include <mutex>
 
 #include "comm/communicator.hpp"
+#include "comm/sim_transport.hpp"
 #include "sim/cluster.hpp"
 #include "tensor/ops.hpp"
 #include "tensor/rng.hpp"
@@ -28,7 +29,8 @@ TEST(Fsdp, ShardGatherRoundTrip) {
   Cluster cluster({Topology::single_node(g)});
   std::vector<float> err(static_cast<std::size_t>(g), 1.0f);
   cluster.run([&](DeviceContext& ctx) {
-    comm::Communicator comm(ctx);
+    comm::SimTransport comm_tp(ctx);
+    comm::Communicator comm(comm_tp);
     FsdpShards shards = FsdpShards::shard(cfg, full, g, ctx.rank());
     ModelWeights rebuilt = fsdp_gather_all(comm, shards);
     float e = tensor::max_abs_diff(rebuilt.layers[0].wq, full.layers[0].wq);
@@ -88,7 +90,8 @@ TEST(Fsdp, TrainingTrajectoryMatchesReplicated) {
   for (int step = 0; step < 3; ++step) {
     std::mutex mu;
     cluster.run([&](DeviceContext& ctx) {
-      comm::Communicator comm(ctx);
+      comm::SimTransport comm_tp(ctx);
+      comm::Communicator comm(comm_tp);
       auto r = dist_train_step(comm, dc, w_rep, tokens);
       if (ctx.rank() == 0) {
         std::lock_guard lock(mu);
@@ -103,7 +106,8 @@ TEST(Fsdp, TrainingTrajectoryMatchesReplicated) {
   ModelWeights final_gathered;
   std::mutex mu;
   cluster.run([&](DeviceContext& ctx) {
-    comm::Communicator comm(ctx);
+    comm::SimTransport comm_tp(ctx);
+    comm::Communicator comm(comm_tp);
     FsdpShards shards = FsdpShards::shard(cfg, init, g, ctx.rank());
     for (int step = 0; step < 3; ++step) {
       auto r = fsdp_train_step(comm, dc, shards, tokens);
@@ -151,7 +155,8 @@ TEST(Fsdp, GradShardsSumAcrossDevices) {
   ModelGrads ref = ModelGrads::zeros(cfg);
   std::mutex mu;
   cluster.run([&](DeviceContext& ctx) {
-    comm::Communicator comm(ctx);
+    comm::SimTransport comm_tp(ctx);
+    comm::Communicator comm(comm_tp);
     auto r = dist_train_step(comm, dc, w, tokens);
     if (ctx.rank() == 0) {
       std::lock_guard lock(mu);
@@ -161,7 +166,8 @@ TEST(Fsdp, GradShardsSumAcrossDevices) {
 
   std::vector<float> err(static_cast<std::size_t>(g), 1.0f);
   cluster.run([&](DeviceContext& ctx) {
-    comm::Communicator comm(ctx);
+    comm::SimTransport comm_tp(ctx);
+    comm::Communicator comm(comm_tp);
     FsdpShards shards = FsdpShards::shard(cfg, w, g, ctx.rank());
     auto r = fsdp_train_step(comm, dc, shards, tokens);
     const std::int64_t m = ref.layers[0].wq.rows() / g;

@@ -7,6 +7,7 @@
 #include <mutex>
 
 #include "comm/communicator.hpp"
+#include "comm/sim_transport.hpp"
 #include "model/dist_model.hpp"
 #include "model/transformer.hpp"
 #include "sim/cluster.hpp"
@@ -104,7 +105,8 @@ TEST_P(GqaDist, DistributedMatchesSerial) {
   float wv_err = 1.0f;
   std::mutex mu;
   cluster.run([&](DeviceContext& ctx) {
-    comm::Communicator comm(ctx);
+    comm::SimTransport comm_tp(ctx);
+    comm::Communicator comm(comm_tp);
     auto r = dist_train_step(comm, dc, w, tokens);
     if (ctx.rank() == 0) {
       std::lock_guard lock(mu);
@@ -132,7 +134,8 @@ TEST(Gqa, HeadParallelImplsRejectGqa) {
   dc.impl = AttnImpl::kUlysses;
   Cluster cluster({Topology::single_node(4)});
   EXPECT_THROW(cluster.run([&](DeviceContext& ctx) {
-    comm::Communicator comm(ctx);
+    comm::SimTransport comm_tp(ctx);
+    comm::Communicator comm(comm_tp);
     dist_train_step(comm, dc, w, tokens);
   }),
                std::invalid_argument);

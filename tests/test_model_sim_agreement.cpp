@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "comm/communicator.hpp"
+#include "comm/sim_transport.hpp"
 #include "core/sweep.hpp"
 #include "perfmodel/comm_model.hpp"
 #include "sim/cluster.hpp"
@@ -34,7 +35,8 @@ double simulate_activation_sweep(const Topology& topo, double shard_bytes,
                                  bool topo_aware) {
   Cluster cluster({topo});
   cluster.run([&](DeviceContext& ctx) {
-    comm::Communicator comm(ctx, 1.0);
+    comm::SimTransport comm_tp(ctx);
+    comm::Communicator comm(comm_tp, 1.0);
     const auto route =
         topo_aware ? core::SweepRoute::double_ring(topo)
                    : core::SweepRoute::flat(comm::flat_ring(topo.world_size()));

@@ -8,6 +8,7 @@
 #include <mutex>
 
 #include "comm/communicator.hpp"
+#include "comm/sim_transport.hpp"
 #include "kernels/flash_attention.hpp"
 #include "model/dist_model.hpp"
 #include "model/transformer.hpp"
@@ -133,7 +134,8 @@ TEST(Rope, DistributedZigzagMatchesSerial) {
   float err = 1.0f;
   std::mutex mu;
   cluster.run([&](sim::DeviceContext& ctx) {
-    comm::Communicator comm(ctx);
+    comm::SimTransport comm_tp(ctx);
+    comm::Communicator comm(comm_tp);
     auto r = model::dist_train_step(comm, dc, w, tokens);
     if (ctx.rank() == 0) {
       std::lock_guard lock(mu);
@@ -167,7 +169,8 @@ TEST(Rope, DistributedStripedMatchesSerial) {
   double loss = 0.0;
   std::mutex mu;
   cluster.run([&](sim::DeviceContext& ctx) {
-    comm::Communicator comm(ctx);
+    comm::SimTransport comm_tp(ctx);
+    comm::Communicator comm(comm_tp);
     auto r = model::dist_train_step(comm, dc, w, tokens);
     if (ctx.rank() == 0) {
       std::lock_guard lock(mu);

@@ -11,6 +11,7 @@
 #include <string>
 
 #include "comm/communicator.hpp"
+#include "comm/sim_transport.hpp"
 #include "model/dist_model.hpp"
 #include "model/optimizer.hpp"
 #include "resilience/driver.hpp"
@@ -150,7 +151,8 @@ void train_steps(const DistTrainConfig& dc, ModelWeights& w,
     ModelGrads grads;
     std::mutex mu;
     cluster.run([&](DeviceContext& ctx) {
-      comm::Communicator comm(ctx);
+      comm::SimTransport comm_tp(ctx);
+      comm::Communicator comm(comm_tp);
       auto r = model::dist_train_step(comm, dc, w, tokens);
       if (ctx.rank() == 0) {
         std::lock_guard lock(mu);

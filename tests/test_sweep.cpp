@@ -6,6 +6,7 @@
 #include <set>
 #include <vector>
 
+#include "comm/sim_transport.hpp"
 #include "sim/cluster.hpp"
 #include "tensor/ops.hpp"
 
@@ -82,7 +83,8 @@ void expect_activation_visits_all(Cluster& cluster, const SweepRoute& route) {
   std::vector<std::vector<int>> seen(static_cast<std::size_t>(g));
   std::mutex mu;
   cluster.run([&](DeviceContext& ctx) {
-    Communicator comm(ctx);
+    comm::SimTransport comm_tp(ctx);
+    Communicator comm(comm_tp);
     Tensor own = Tensor::full(2, 2, static_cast<float>(ctx.rank()));
     ring_sweep_activation(
         comm, route, SweepOptions{}, {own},
@@ -119,7 +121,8 @@ TEST(ActivationSweep, SubgroupRing) {
     if (ctx.rank() % 2 == 0) {
       return;
     }
-    Communicator comm(ctx);
+    comm::SimTransport comm_tp(ctx);
+    Communicator comm(comm_tp);
     SweepRoute route = SweepRoute::flat(RingOrder({1, 3}));
     Tensor own = Tensor::full(1, 1, static_cast<float>(ctx.rank()));
     int visits = 0;
@@ -132,7 +135,8 @@ TEST(ActivationSweep, SubgroupRing) {
 TEST(ActivationSweep, SingleDeviceVisitsSelfOnly) {
   Cluster cluster({Topology::single_node(1)});
   cluster.run([&](DeviceContext& ctx) {
-    Communicator comm(ctx);
+    comm::SimTransport comm_tp(ctx);
+    Communicator comm(comm_tp);
     int visits = 0;
     ring_sweep_activation(comm, SweepRoute::flat(comm::flat_ring(1)),
                           SweepOptions{}, {Tensor::zeros(1, 1)},
@@ -151,7 +155,8 @@ TEST(ActivationSweep, SingleDeviceVisitsSelfOnly) {
 void expect_gradient_accumulation(Cluster& cluster, const SweepRoute& route) {
   const int g = route.size();
   cluster.run([&](DeviceContext& ctx) {
-    Communicator comm(ctx);
+    comm::SimTransport comm_tp(ctx);
+    Communicator comm(comm_tp);
     Tensor imm = Tensor::full(1, 1, static_cast<float>(ctx.rank()));
     Tensor acc = Tensor::zeros(1, 1);
     std::vector<Tensor> returned = ring_sweep_gradient(
@@ -184,7 +189,8 @@ TEST(GradientSweep, DoubleRingAccumulatesAllContributions) {
 TEST(GradientSweep, SingleDevice) {
   Cluster cluster({Topology::single_node(1)});
   cluster.run([&](DeviceContext& ctx) {
-    Communicator comm(ctx);
+    comm::SimTransport comm_tp(ctx);
+    Communicator comm(comm_tp);
     auto returned = ring_sweep_gradient(
         comm, SweepRoute::flat(comm::flat_ring(1)), SweepOptions{},
         {Tensor::zeros(1, 1)}, {Tensor::zeros(1, 1)},
@@ -211,7 +217,8 @@ TEST(SweepTiming, OverlapReducesActivationMakespan) {
     SweepOptions opt;
     opt.overlap = overlap;
     cluster.run([&](DeviceContext& ctx) {
-      Communicator comm(ctx);
+      comm::SimTransport comm_tp(ctx);
+      Communicator comm(comm_tp);
       Tensor own = Tensor::zeros(512, 64);  // 64 KiB wire -> 64 us per hop
       ring_sweep_activation(comm, SweepRoute::flat(comm::flat_ring(4)), opt,
                             {own}, [&](const std::vector<Tensor>&, int) {
@@ -242,7 +249,8 @@ TEST(SweepTiming, DoubleRingBeatsFlatRingAcrossSlowLinks) {
 
   const auto run_route = [&](const SweepRoute& route) {
     cluster.run([&](DeviceContext& ctx) {
-      Communicator comm(ctx);
+      comm::SimTransport comm_tp(ctx);
+      Communicator comm(comm_tp);
       Tensor own = Tensor::zeros(4096, 64);  // 512 KiB wire
       ring_sweep_activation(comm, route, SweepOptions{}, {own},
                             [&](const std::vector<Tensor>&, int) {});

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "comm/communicator.hpp"
+#include "comm/sim_transport.hpp"
 #include "core/partition.hpp"
 #include "kernels/reference_attention.hpp"
 #include "sim/cluster.hpp"
@@ -98,7 +99,8 @@ TEST(Ulysses, ForwardBackwardMatchReference) {
   }
   std::mutex mu;
   cluster.run([&](DeviceContext& ctx) {
-    Communicator comm(ctx);
+    comm::SimTransport comm_tp(ctx);
+    Communicator comm(comm_tp);
     UlyssesConfig cfg;
     cfg.mask = mask;
     cfg.scale = p.scale;
@@ -137,7 +139,8 @@ TEST(Ulysses, MultipleHeadsPerDevice) {
   HeadResults ref = reference(p, MaskSpec::full());
   std::vector<float> err(static_cast<std::size_t>(g), 1.0f);
   cluster.run([&](DeviceContext& ctx) {
-    Communicator comm(ctx);
+    comm::SimTransport comm_tp(ctx);
+    Communicator comm(comm_tp);
     UlyssesConfig cfg;
     cfg.mask = MaskSpec::full();
     cfg.scale = p.scale;
@@ -169,7 +172,8 @@ TEST(Ulysses, IndivisibleHeadCountThrows) {
   Cluster cluster({Topology::single_node(g)});
   EXPECT_THROW(
       cluster.run([&](DeviceContext& ctx) {
-        Communicator comm(ctx);
+        comm::SimTransport comm_tp(ctx);
+        Communicator comm(comm_tp);
         UlyssesConfig cfg;
         cfg.seq_len = 8 * g;
         cfg.num_heads = 5;  // 5 % 4 != 0
@@ -198,7 +202,8 @@ TEST_P(UspMatches, ForwardBackwardMatchReference) {
   }
   std::mutex mu;
   cluster.run([&](DeviceContext& ctx) {
-    Communicator comm(ctx);
+    comm::SimTransport comm_tp(ctx);
+    Communicator comm(comm_tp);
     UspConfig cfg;
     cfg.mask = mask;
     cfg.scale = p.scale;
@@ -245,7 +250,8 @@ TEST(Usp, InvalidHeadParallelThrows) {
   Cluster cluster({Topology::single_node(g)});
   EXPECT_THROW(
       cluster.run([&](DeviceContext& ctx) {
-        Communicator comm(ctx);
+        comm::SimTransport comm_tp(ctx);
+        Communicator comm(comm_tp);
         UspConfig cfg;
         cfg.seq_len = 16;
         cfg.num_heads = 4;

@@ -7,6 +7,7 @@
 #include <mutex>
 
 #include "comm/communicator.hpp"
+#include "comm/sim_transport.hpp"
 #include "kernels/lm_head.hpp"
 #include "sim/cluster.hpp"
 #include "tensor/ops.hpp"
@@ -57,7 +58,8 @@ TEST_P(VocabParallel, MatchesSerialNaiveHead) {
   const std::int64_t n_loc = p.n / g;
   const std::int64_t vs = p.v / g;
   cluster.run([&](DeviceContext& ctx) {
-    comm::Communicator comm(ctx);
+    comm::SimTransport comm_tp(ctx);
+    comm::Communicator comm(comm_tp);
     const int r = ctx.rank();
     Tensor h_local = p.h.copy_rows(r * n_loc, n_loc);
     std::vector<std::int64_t> t_local(
@@ -94,7 +96,8 @@ TEST(VocabParallelFixed, AgreesWithFusedHead) {
   Cluster cluster({Topology::single_node(g)});
   std::vector<double> losses(g);
   cluster.run([&](DeviceContext& ctx) {
-    comm::Communicator comm(ctx);
+    comm::SimTransport comm_tp(ctx);
+    comm::Communicator comm(comm_tp);
     const int r = ctx.rank();
     const std::int64_t n_loc = p.n / g;
     const std::int64_t vs = p.v / g;
@@ -120,7 +123,8 @@ TEST(VocabParallelFixed, GradcheckThroughCollectives) {
     Cluster cluster({Topology::single_node(g)});
     std::vector<double> losses(g);
     cluster.run([&](DeviceContext& ctx) {
-      comm::Communicator comm(ctx);
+      comm::SimTransport comm_tp(ctx);
+      comm::Communicator comm(comm_tp);
       const int r = ctx.rank();
       const std::int64_t n_loc = prob.n / g;
       const std::int64_t vs = prob.v / g;
@@ -141,7 +145,8 @@ TEST(VocabParallelFixed, GradcheckThroughCollectives) {
   Tensor dw0;
   std::mutex mu;
   cluster.run([&](DeviceContext& ctx) {
-    comm::Communicator comm(ctx);
+    comm::SimTransport comm_tp(ctx);
+    comm::Communicator comm(comm_tp);
     const int r = ctx.rank();
     const std::int64_t n_loc = p.n / g;
     const std::int64_t vs = p.v / g;
