@@ -31,7 +31,7 @@ int main() {
       const auto bytes = [&](CkptStrategy s) {
         return perfmodel::stored_activation_per_token(
                    {s, 0.5}, static_cast<double>(cfg.d_model),
-                   cfg.bytes_per_el) *
+                   cfg.bytes_per_el()) *
                n_loc * static_cast<double>(cfg.layers);
       };
       const double full = bytes(CkptStrategy::kFull);

@@ -1,0 +1,101 @@
+// Quantized serving quickstart (DESIGN.md section 16): the same toy model
+// served twice through the continuous-batching engine — dense bf16 weights
+// vs a Q4_0 QuantSpec — printing the packed weight footprint and the
+// roofline makespans side by side. Q4_0 weights stream 0.625 B/el instead
+// of 2, so the per-iteration weight-stream charge (the decode bottleneck)
+// shrinks 3.2x.
+//
+//   cmake -B build -S . && cmake --build build -j &&
+//   ./build/examples/quant_serve_demo
+#include <cstdio>
+#include <vector>
+
+#include "model/transformer.hpp"
+#include "serve/engine.hpp"
+#include "tensor/dtype.hpp"
+#include "tensor/rng.hpp"
+
+using namespace burst;
+
+namespace {
+
+std::vector<std::int64_t> make_prompt(std::uint64_t seed, std::int64_t n,
+                                      std::int64_t vocab) {
+  tensor::Rng rng(seed);
+  std::vector<std::int64_t> p(static_cast<std::size_t>(n));
+  for (auto& t : p) {
+    t = rng.next_index(vocab);
+  }
+  return p;
+}
+
+struct RunOut {
+  serve::ServeReport rep;
+  std::uint64_t packed_bytes = 0;
+};
+
+RunOut serve_once(const model::ModelWeights& w, tensor::DType weights) {
+  model::ModelConfig cfg = model::ModelConfig::toy();
+  cfg.kv_heads = 2;  // GQA
+  cfg.use_rope = true;
+  cfg.quant.weights = weights;
+
+  serve::EngineConfig ec;
+  ec.sched.policy = serve::BatchPolicy::kContinuous;
+  ec.block_tokens = 8;
+  ec.hbm_bytes_per_s = 1e9;  // slow enough that the weight stream dominates
+  serve::Engine engine(cfg, w, ec);
+  for (int i = 0; i < 4; ++i) {
+    engine.add_request(make_prompt(10 + static_cast<std::uint64_t>(i), 20,
+                                   cfg.vocab),
+                       /*max_new_tokens=*/8,
+                       /*arrival_s=*/1e-5 * i);
+  }
+  return RunOut{serve::run_on_single_device(engine),
+                engine.packed_weight_bytes()};
+}
+
+}  // namespace
+
+int main() {
+  model::ModelConfig cfg = model::ModelConfig::toy();
+  cfg.kv_heads = 2;
+  cfg.use_rope = true;
+  const model::ModelWeights w = model::ModelWeights::init(cfg, 7);
+
+  const double dense_bytes =
+      static_cast<double>(cfg.param_count()) *
+      tensor::dtype_bytes_per_el(tensor::DType::kBf16);
+
+  const RunOut bf16 = serve_once(w, tensor::DType::kBf16);
+  const RunOut q4 = serve_once(w, tensor::DType::kQ4_0);
+
+  std::printf("dense bf16 : %5.1f KiB weights, %lld tokens, makespan %.1f us"
+              " (%.0f tok/s)\n",
+              dense_bytes / 1024.0,
+              static_cast<long long>(bf16.rep.metrics.generated_tokens),
+              bf16.rep.metrics.makespan_s * 1e6,
+              bf16.rep.metrics.tokens_per_s);
+  std::printf("packed q4_0: %5.1f KiB weights, %lld tokens, makespan %.1f us"
+              " (%.0f tok/s)\n",
+              static_cast<double>(q4.packed_bytes) / 1024.0,
+              static_cast<long long>(q4.rep.metrics.generated_tokens),
+              q4.rep.metrics.makespan_s * 1e6, q4.rep.metrics.tokens_per_s);
+  std::printf("weight stream shrinks %.2fx, makespan %.2fx\n",
+              dense_bytes / static_cast<double>(q4.packed_bytes),
+              bf16.rep.metrics.makespan_s / q4.rep.metrics.makespan_s);
+
+  // Self-check (examples double as smoke tests): the quantized run must
+  // complete every request, be smaller, and be faster on the roofline.
+  const bool ok = q4.packed_bytes > 0 &&
+                  static_cast<double>(q4.packed_bytes) < dense_bytes &&
+                  q4.rep.metrics.makespan_s < bf16.rep.metrics.makespan_s &&
+                  q4.rep.metrics.generated_tokens ==
+                      bf16.rep.metrics.generated_tokens;
+  if (!ok) {
+    std::printf("FAIL: quantized run did not beat dense bf16\n");
+    return 1;
+  }
+  std::printf("OK\n");
+  return 0;
+}

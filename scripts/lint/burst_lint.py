@@ -554,6 +554,32 @@ def no_naked_float_eq(sf):
                 )
 
 
+@rule(
+    "quantized-hotpath",
+    "quantized-storage encapsulation (DESIGN.md section 16): only src/tensor/ "
+    "may touch the quantized block layout — the per-block codecs "
+    "(quantize_block_q*/dequantize_q*), the panel-layout helpers "
+    "(b_chunk_bytes/b_panel_stride_bytes/pack_b_dt), and PackedB's raw "
+    "cache_block() stream. Everything else consumes quantized weights "
+    "through PackedB / gemm_packed* / gemm_dt, so the block format can "
+    "change without a treewide audit",
+    applies=lambda p: _in_dir(p, "src") and not _in_dir(p, "tensor"),
+)
+def quantized_hotpath(sf):
+    pat = (
+        r"(?<![\w:])(?:quantize_block_q8_0|quantize_block_q4_0"
+        r"|dequantize_q8_0|dequantize_q4_0"
+        r"|b_chunk_bytes|b_panel_stride_bytes|b_panel_bytes|pack_b_dt)\s*\("
+        r"|[.\->]\s*cache_block\s*\("
+    )
+    for line, m in _code_matches(sf, pat):
+        yield line, (
+            f"quantized block-layout access `{m.group(0).strip()}` outside "
+            "src/tensor/; go through PackedB / gemm_packed* / gemm_dt "
+            "(tensor/gemm.hpp) instead of reinterpreting the packed stream"
+        )
+
+
 # --------------------------------------------------------------------------
 # Directive resolution (needs RULES populated, hence defined last)
 # --------------------------------------------------------------------------

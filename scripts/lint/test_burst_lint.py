@@ -84,6 +84,10 @@ class TestRuleDetection(unittest.TestCase):
         self.assert_rule_fires(
             "tests/bad_float_eq.cpp", "no-naked-float-eq", 2)
 
+    def test_quantized_hotpath(self):
+        self.assert_rule_fires(
+            "src/model/bad_quant.cpp", "quantized-hotpath", 3)
+
     def test_malformed_directives(self):
         self.assert_rule_fires("src/sim/bad_directive.cpp", "lint-directive", 2)
 
@@ -150,6 +154,24 @@ class TestSuppressionAndNoise(unittest.TestCase):
                         "int r(burst::sim::DeviceContext& ctx);\n")
             rc, _, err = run_lint(["--root", tmp, path])
             self.assertEqual(rc, 0, err)
+
+    def test_quantized_hotpath_scoped_to_src_outside_tensor(self):
+        # src/tensor/ owns the block layout; tests (the conformance suite)
+        # exercise the codecs directly and are outside the rule's scope.
+        body = ("namespace burst::tensor { float dequantize_q8_0(float, "
+                "signed char); }\n"
+                "float f() { return burst::tensor::dequantize_q8_0(1.0f, 3); "
+                "}\n")
+        for rel in (("src", "tensor", "codec_use.cpp"),
+                    ("tests", "test_codec.cpp")):
+            with tempfile.TemporaryDirectory() as tmp:
+                d = os.path.join(tmp, *rel[:-1])
+                os.makedirs(d)
+                path = os.path.join(d, rel[-1])
+                with open(path, "w") as f:
+                    f.write(body)
+                rc, _, err = run_lint(["--root", tmp, path])
+                self.assertEqual(rc, 0, f"{'/'.join(rel)} flagged:\n{err}")
 
     def test_hotpath_rule_off_without_tag(self):
         # The same allocations in an untagged file are fine.

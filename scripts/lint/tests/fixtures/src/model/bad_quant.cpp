@@ -1,0 +1,18 @@
+// Fixture: quantized block-layout access outside src/tensor/ — the codecs,
+// the panel-layout helpers, and PackedB's raw stream are tensor-internal.
+#include <cstdint>
+
+namespace burst::tensor {
+float dequantize_q8_0(float, std::int8_t);
+std::int64_t b_chunk_bytes(int);
+struct PackedB {
+  const std::uint8_t* cache_block(std::int64_t, std::int64_t) const;
+};
+}  // namespace burst::tensor
+
+float peek(const burst::tensor::PackedB& b) {
+  const std::uint8_t* raw = b.cache_block(0, 0);  // violation: raw stream
+  const std::int64_t n = burst::tensor::b_chunk_bytes(2);  // violation: layout
+  return burst::tensor::dequantize_q8_0(  // violation: codec call
+      static_cast<float>(n), static_cast<std::int8_t>(raw[0]));
+}

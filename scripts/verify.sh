@@ -19,6 +19,11 @@
 #             explicit 4-process example run from this script.
 #   asan      ASan+UBSan build (-DBURST_SANITIZE=address,undefined) running
 #             the full suite minus slow-labeled tests.
+#   quant     quantized-parity leg (ctest -L quant): the dtype conformance
+#             suite and the quantized model/serve tests, run explicitly in
+#             the Release build and again under ASan+UBSan — the block
+#             codecs and dequantizing microkernels do raw byte-stream
+#             walks, so parity must also hold with the sanitizers watching.
 #   tsan      TSan build (-DBURST_SANITIZE=thread) running the threaded
 #             suites: test_thread_pool, test_kernel_determinism,
 #             test_serve_engine, test_api_server, test_api_scheduler, and
@@ -31,7 +36,7 @@
 #
 # Usage: scripts/verify.sh [--skip-lint] [--skip-asan] [--skip-tsan]
 #                          [--skip-bench] [--skip-perf] [--skip-chaos]
-#                          [--skip-transport]
+#                          [--skip-transport] [--skip-quant]
 # Env:   BUILD_DIR (default build-verify), ASAN_BUILD_DIR (default
 #        build-asan), TSAN_BUILD_DIR (default build-tsan), JOBS (default
 #        nproc), BURST_REPORT_DIR (default: fresh mktemp -d, removed on exit;
@@ -51,6 +56,7 @@ RUN_BENCH=1
 RUN_PERF=1
 RUN_CHAOS=1
 RUN_TRANSPORT=1
+RUN_QUANT=1
 for arg in "$@"; do
   case "$arg" in
     --skip-lint) RUN_LINT=0 ;;
@@ -60,6 +66,7 @@ for arg in "$@"; do
     --skip-perf) RUN_PERF=0 ;;
     --skip-chaos) RUN_CHAOS=0 ;;
     --skip-transport) RUN_TRANSPORT=0 ;;
+    --skip-quant) RUN_QUANT=0 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
@@ -74,7 +81,7 @@ fi
 
 # Per-gate results for the summary table: "pass" / "FAIL" / "skip".
 declare -A gate_status
-for g in lint build test perf chaos transport asan tsan bench; do
+for g in lint build test perf chaos transport asan quant tsan bench; do
   gate_status[$g]=skip
 done
 overall=0
@@ -167,6 +174,18 @@ if [[ $RUN_ASAN -eq 1 ]]; then
   run_gate asan asan_gate
 fi
 
+# ---- quantized parity (dtype suite, Release + ASan) ------------------------
+quant_gate() {
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -L quant || return 1
+  if [[ $RUN_ASAN -eq 1 && -d $ASAN_BUILD_DIR ]]; then
+    ctest --test-dir "$ASAN_BUILD_DIR" --output-on-failure -L quant || return 1
+  fi
+}
+if [[ $RUN_QUANT -eq 1 && ${gate_status[build]} == pass ]]; then
+  echo "== quantized-parity leg (ctest -L quant, Release + ASan)"
+  run_gate quant quant_gate
+fi
+
 tsan_gate() {
   cmake -B "$TSAN_BUILD_DIR" -S . -DBURST_SANITIZE=thread >/dev/null &&
   cmake --build "$TSAN_BUILD_DIR" -j "$JOBS" \
@@ -222,7 +241,7 @@ fi
 echo
 echo "== verify summary"
 printf '   %-9s %s\n' gate result
-for g in lint build test perf chaos transport asan tsan bench; do
+for g in lint build test perf chaos transport asan quant tsan bench; do
   printf '   %-9s %s\n' "$g" "${gate_status[$g]}"
 done
 if [[ $overall -ne 0 ]]; then

@@ -3,7 +3,25 @@
 
 #include <cstdint>
 
+#include "tensor/dtype.hpp"
+
 namespace burst::model {
+
+/// Storage dtypes for the quantized / mixed-precision path (DESIGN.md
+/// section 16). Byte accounting always follows these enums — a config can
+/// no longer claim bf16 KV while charging fp32 bytes.
+struct QuantSpec {
+  /// Weight storage for serving/inference. kBf16 (the default) keeps the
+  /// dense fp32 functional path with bf16 byte accounting — the pre-quant
+  /// behavior. kF32/kQ8_0/kQ4_0 route the projection weights and the
+  /// vocab-tiled W_head through prepacked tensor::PackedB operands
+  /// (dequantize-inside-the-microkernel), with bf16 rounding at layer
+  /// activation boundaries.
+  tensor::DType weights = tensor::DType::kBf16;
+  /// KV-cache storage dtype (drives paged-KV byte accounting; bf16 matches
+  /// the paper's setup).
+  tensor::DType kv = tensor::DType::kBf16;
+};
 
 struct ModelConfig {
   std::int64_t layers = 2;
@@ -17,12 +35,29 @@ struct ModelConfig {
   std::int64_t kv_heads = 0;
   std::int64_t vocab = 256;
   std::int64_t d_ff = 172;  // LLaMA uses ~2.7x d_model
-  /// Training dtype width on device (bf16 in the paper).
-  int bytes_per_el = 2;
+  /// Training dtype on device (bf16 in the paper).
+  tensor::DType train_dtype = tensor::DType::kBf16;
+  /// Weight / KV storage dtypes for serving (see QuantSpec).
+  QuantSpec quant;
   /// Apply rotary position embeddings to Q/K (LLaMA-style). Under context
   /// parallelism the rotation uses *global* token positions from the
   /// shard's IndexMap.
   bool use_rope = false;
+
+  /// Storage bytes per element of the training dtype (what activations,
+  /// gradients, and wire transfers charge).
+  double bytes_per_el() const {
+    return tensor::dtype_bytes_per_el(train_dtype);
+  }
+  /// Storage bytes per element of the KV-cache dtype.
+  double kv_bytes_per_el() const {
+    return tensor::dtype_bytes_per_el(quant.kv);
+  }
+  /// Average storage bytes per weight element at the serving dtype
+  /// (quantized dtypes amortize per-block scales).
+  double weight_bytes_per_el() const {
+    return tensor::dtype_bytes_per_el(quant.weights);
+  }
 
   std::int64_t head_dim() const { return d_model / heads; }
   std::int64_t num_kv_heads() const { return kv_heads > 0 ? kv_heads : heads; }

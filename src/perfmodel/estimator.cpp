@@ -88,7 +88,7 @@ StepEstimate estimate_step(const RunConfig& cfg, const HardwareModel& hw) {
   const CommModel comm(hw);
   const auto& m = cfg.model;
   const double g = cfg.cluster.world();
-  const double b = m.bytes_per_el;
+  const double b = m.bytes_per_el();
   const MethodProfile prof = profile_for(cfg);
 
   // ---- effective parallel degree -------------------------------------------
@@ -216,7 +216,7 @@ AttnEstimate estimate_attention_only(const RunConfig& cfg,
   const CommModel comm(hw);
   const auto& m = cfg.model;
   const double g = cfg.cluster.world();
-  const double b = m.bytes_per_el;
+  const double b = m.bytes_per_el();
 
   if (cfg.method == Method::kUlysses &&
       m.heads % cfg.cluster.world() != 0) {

@@ -29,7 +29,7 @@ double lm_head_logits_bytes(double tokens, double vocab, double bytes_per_el) {
 MemoryBreakdown peak_memory(const MemoryInputs& in, const HardwareModel& hw) {
   const auto& m = in.model;
   const double p = static_cast<double>(m.param_count());
-  const double b = m.bytes_per_el;
+  const double b = m.bytes_per_el();
   const double shard = in.fsdp ? static_cast<double>(in.world) : 1.0;
 
   MemoryBreakdown out;

@@ -31,6 +31,7 @@
 #include "kernels/mask.hpp"
 #include "model/config.hpp"
 #include "model/kv_cache.hpp"
+#include "model/quant_weights.hpp"
 #include "model/transformer.hpp"
 #include "obs/metrics.hpp"
 #include "serve/request.hpp"
@@ -167,9 +168,21 @@ class Engine {
 
   const EngineConfig& config() const { return cfg_; }
 
+  /// True when model.quant.weights routes forwards through the prepacked
+  /// quantized path (kF32/kQ8_0/kQ4_0; kBf16 = dense functional path).
+  bool quantized() const { return quantized_; }
+  /// Packed weight bytes at the serving dtype (0 unless quantized()).
+  std::uint64_t packed_weight_bytes() const {
+    return quantized_ ? qweights_.model_bytes() : 0;
+  }
+
  private:
   const model::ModelConfig model_;
   const model::ModelWeights& weights_;
+  /// Built once at construction when the QuantSpec asks for a packed
+  /// serving dtype; forwards then run dequantize-in-microkernel GEMMs.
+  model::QuantizedWeights qweights_;
+  bool quantized_ = false;
   EngineConfig cfg_;
   std::vector<Request> pending_;
 };

@@ -1,0 +1,184 @@
+// Weight dtype system for the quantized / mixed-precision compute path.
+//
+// The functional math in this codebase runs in fp32, but real fleets train
+// in bf16 and serve weight-quantized. This header defines the storage
+// formats the packed-GEMM stack (tensor/pack.hpp, tensor/gemm.cpp) and the
+// memory accounting (model/kv_cache, perfmodel, serve) agree on:
+//
+//   kF32   4 B/el      the functional reference; bit-identical hot path
+//   kBf16  2 B/el      round-to-nearest-even top-16-bits of fp32 (the
+//                      paper's training dtype; also the KV/activation dtype)
+//   kQ8_0  36 B/32 el  GGML-style block quant: 32 int8 + one fp32 scale,
+//                      scale = max|x| / 127, q = rne(x / scale)
+//   kQ4_0  20 B/32 el  32 4-bit codes (two per byte) + one fp32 scale,
+//                      scale = signed_absmax / -8, q = clamp(rne(x/scale))
+//                      stored biased as q+8 in [0, 15]
+//
+// Q4_0 keys the scale off the signed extremal element (like GGML) so the
+// largest-magnitude value lands exactly on the -8 code; worst-case error is
+// max|x|/8 for an element at the opposite extreme, max|x|/16 typically.
+// Rows that are not a multiple of kQuantBlock round up to whole blocks
+// (padding quantizes to exact zero), and byte accounting charges the
+// padded blocks — exactly what a real packed weight buffer would hold.
+//
+// DESIGN.md section 16 documents the formats and the error-budget policy.
+// Code outside src/tensor/ must not call the block codecs or reinterpret
+// quantized storage directly (burst-lint rule `quantized-hotpath`): all
+// dequantization flows through the pack/microkernel API in gemm.hpp.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+
+namespace burst::tensor {
+
+/// Storage dtype for weights (and byte accounting for KV/activations).
+enum class DType : std::uint8_t { kF32 = 0, kBf16 = 1, kQ8_0 = 2, kQ4_0 = 3 };
+
+/// Elements per quantization block (GGML Q8_0/Q4_0 block size).
+inline constexpr std::int64_t kQuantBlock = 32;
+/// Bytes of one Q8_0 block: fp32 scale + 32 int8 codes.
+inline constexpr std::int64_t kQ8BlockBytes = 4 + kQuantBlock;
+/// Bytes of one Q4_0 block: fp32 scale + 32 packed 4-bit codes.
+inline constexpr std::int64_t kQ4BlockBytes = 4 + kQuantBlock / 2;
+
+constexpr const char* dtype_name(DType dt) {
+  switch (dt) {
+    case DType::kF32:
+      return "f32";
+    case DType::kBf16:
+      return "bf16";
+    case DType::kQ8_0:
+      return "q8_0";
+    case DType::kQ4_0:
+      return "q4_0";
+  }
+  return "?";
+}
+
+constexpr bool dtype_is_quantized(DType dt) {
+  return dt == DType::kQ8_0 || dt == DType::kQ4_0;
+}
+
+/// Average storage bytes per element (quantized dtypes amortize the
+/// per-block scale). Use dtype_row_bytes for exact, padding-aware counts.
+constexpr double dtype_bytes_per_el(DType dt) {
+  switch (dt) {
+    case DType::kF32:
+      return 4.0;
+    case DType::kBf16:
+      return 2.0;
+    case DType::kQ8_0:
+      return static_cast<double>(kQ8BlockBytes) / kQuantBlock;
+    case DType::kQ4_0:
+      return static_cast<double>(kQ4BlockBytes) / kQuantBlock;
+  }
+  return 4.0;
+}
+
+/// Exact bytes of one `cols`-element row stored at `dt`. Quantized rows
+/// round up to whole blocks, like the packed buffers actually do.
+inline std::uint64_t dtype_row_bytes(DType dt, std::int64_t cols) {
+  const auto blocks = static_cast<std::uint64_t>((cols + kQuantBlock - 1) /
+                                                 kQuantBlock);
+  switch (dt) {
+    case DType::kF32:
+      return static_cast<std::uint64_t>(cols) * 4u;
+    case DType::kBf16:
+      return static_cast<std::uint64_t>(cols) * 2u;
+    case DType::kQ8_0:
+      return blocks * static_cast<std::uint64_t>(kQ8BlockBytes);
+    case DType::kQ4_0:
+      return blocks * static_cast<std::uint64_t>(kQ4BlockBytes);
+  }
+  return static_cast<std::uint64_t>(cols) * 4u;
+}
+
+/// Bytes of an r x c matrix stored at `dt` (rows padded independently).
+inline std::uint64_t dtype_mat_bytes(DType dt, std::int64_t rows,
+                                     std::int64_t cols) {
+  return static_cast<std::uint64_t>(rows) * dtype_row_bytes(dt, cols);
+}
+
+/// One fp32 value rounded to the nearest bf16-representable value
+/// (round-to-nearest-even on the top 16 bits; same math as
+/// tensor::round_bf16_inplace).
+inline float round_bf16(float x) {
+  std::uint32_t bits;
+  static_assert(sizeof(bits) == sizeof(float));
+  std::memcpy(&bits, &x, sizeof(bits));
+  const std::uint32_t rounding = 0x7FFFu + ((bits >> 16) & 1u);
+  bits = (bits + rounding) & 0xFFFF0000u;
+  std::memcpy(&x, &bits, sizeof(bits));
+  return x;
+}
+
+// ---- block codecs ---------------------------------------------------------
+// These are the single source of truth for the bit-level formats. Strided
+// variants exist because the packed-GEMM panel layout stores a block's 32
+// k-values `stride` floats apart (one float per microkernel column).
+
+/// Quantizes n (<= kQuantBlock) floats, read at `stride`, into int8 codes
+/// written at `qstride`. Codes beyond n are zeroed. Returns the scale.
+inline float quantize_block_q8_0(const float* x, std::int64_t n,
+                                 std::int64_t stride, std::int8_t* qs,
+                                 std::int64_t qstride) {
+  float amax = 0.0f;
+  for (std::int64_t i = 0; i < n; ++i) {
+    amax = std::max(amax, std::fabs(x[i * stride]));
+  }
+  const float scale = amax / 127.0f;
+  const float inv = scale != 0.0f ? 1.0f / scale : 0.0f;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const auto q = static_cast<int>(std::lrintf(x[i * stride] * inv));
+    qs[i * qstride] = static_cast<std::int8_t>(std::clamp(q, -127, 127));
+  }
+  for (std::int64_t i = n; i < kQuantBlock; ++i) {
+    qs[i * qstride] = 0;
+  }
+  return scale;
+}
+
+/// Quantizes n (<= kQuantBlock) floats into biased 4-bit codes in [0, 15]
+/// (value = scale * (code - 8)). Codes beyond n encode zero. Returns the
+/// (possibly negative) scale keyed off the signed extremal element.
+inline float quantize_block_q4_0(const float* x, std::int64_t n,
+                                 std::int64_t stride, std::uint8_t* codes,
+                                 std::int64_t qstride) {
+  float amax = 0.0f;
+  float smax = 0.0f;  // signed value with the largest magnitude
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float v = x[i * stride];
+    if (std::fabs(v) > amax) {
+      amax = std::fabs(v);
+      smax = v;
+    }
+  }
+  const float scale = smax / -8.0f;
+  const float inv = scale != 0.0f ? 1.0f / scale : 0.0f;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const auto q = static_cast<int>(std::lrintf(x[i * stride] * inv));
+    codes[i * qstride] =
+        static_cast<std::uint8_t>(std::clamp(q, -8, 7) + 8);
+  }
+  for (std::int64_t i = n; i < kQuantBlock; ++i) {
+    codes[i * qstride] = 8;  // biased zero
+  }
+  return scale;
+}
+
+/// Dequantized value of one Q8_0 code. The packed microkernels compute this
+/// exact expression inside the FMA loop, so "dequantize then fp32 GEMM"
+/// and "dequantize-in-kernel" agree bitwise.
+inline float dequantize_q8_0(float scale, std::int8_t q) {
+  return scale * static_cast<float>(q);
+}
+
+/// Dequantized value of one biased Q4_0 code.
+inline float dequantize_q4_0(float scale, std::uint8_t code) {
+  return scale * static_cast<float>(static_cast<int>(code) - 8);
+}
+
+}  // namespace burst::tensor

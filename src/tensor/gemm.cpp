@@ -3,6 +3,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstring>
+#include <vector>
 
 #include "obs/metrics.hpp"
 #include "parallel/thread_pool.hpp"
@@ -18,10 +20,11 @@ using pack::kNR;
 
 // Cache-blocking sizes: an A block (kMC x kKC floats = 64KB) stays L2
 // resident per task; a B panel (kKC x kNC = 512KB) is packed once per
-// (jc, pc) step and shared read-only by every row task.
-constexpr std::int64_t kMC = 64;
-constexpr std::int64_t kKC = 256;
-constexpr std::int64_t kNC = 512;
+// (jc, pc) step and shared read-only by every row task. The values are
+// exported as kGemmMC/kGemmKC/kGemmNC so PackedB consumers can align.
+constexpr std::int64_t kMC = kGemmMC;
+constexpr std::int64_t kKC = kGemmKC;
+constexpr std::int64_t kNC = kGemmNC;
 
 // Observation-only metric handles (see attach_gemm_metrics): null unless a
 // registry is attached, so the detached hot path pays one pointer test.
@@ -64,6 +67,228 @@ inline void micro_kernel(const float* __restrict__ ap,
     acc[1 * kNR + c] = a1[c];
     acc[2 * kNR + c] = a2[c];
     acc[3 * kNR + c] = a3[c];
+  }
+}
+
+// ---- dequantizing microkernel variants ------------------------------------
+// Same 4x16 register tile as micro_kernel, but the B panel is the quantized
+// block stream from pack::pack_b_dt. Each 32-row block is dequantized into
+// an L1-resident staging tile with `bc = scale[c] * (float)q` — exactly the
+// dequantize_q*_0 expression — and then fed through the same FMA loop as
+// micro_kernel, so a quantized GEMM is bitwise-equal to running the fp32
+// GEMM over the pre-dequantized panel (per-accumulator addition order is
+// the k order either way). Splitting convert from FMA keeps both loops
+// trivially vectorizable; per micro-panel the kernel streams 16 (q8) or
+// 8 (q4) B bytes per k-step from memory instead of 64 — the bandwidth win
+// that pays for the int->float convert.
+
+using QKernel = void (*)(const float* __restrict__, const std::uint8_t*,
+                         std::int64_t, float* __restrict__);
+
+void micro_kernel_f32p(const float* __restrict__ ap, const std::uint8_t* bp,
+                       std::int64_t kc, float* __restrict__ acc) {
+  // f32/bf16 panels are plain packed floats (bf16 rounded at pack time);
+  // offsets within the panel stream are multiples of 4 bytes by layout.
+  micro_kernel(ap, reinterpret_cast<const float*>(bp), kc, acc);
+}
+
+void micro_kernel_q8(const float* __restrict__ ap, const std::uint8_t* bp,
+                     std::int64_t kc, float* __restrict__ acc) {
+  constexpr std::int64_t kChunk = kNR * 4 + kQuantBlock * kNR;
+  float a0[kNR] = {0.0f};
+  float a1[kNR] = {0.0f};
+  float a2[kNR] = {0.0f};
+  float a3[kNR] = {0.0f};
+  float bf[kQuantBlock * kNR];
+  for (std::int64_t kk0 = 0; kk0 < kc; kk0 += kQuantBlock) {
+    const std::uint8_t* chunk = bp + (kk0 / kQuantBlock) * kChunk;
+    float scales[kNR];
+    std::memcpy(scales, chunk, sizeof(scales));
+    const auto* qs = reinterpret_cast<const std::int8_t*>(chunk + kNR * 4);
+    const std::int64_t rows = std::min(kQuantBlock, kc - kk0);
+    for (std::int64_t kk = 0; kk < rows; ++kk) {
+      const std::int8_t* q = qs + kk * kNR;
+      float* b = bf + kk * kNR;
+      for (std::int64_t c = 0; c < kNR; ++c) {
+        b[c] = scales[c] * static_cast<float>(q[c]);
+      }
+    }
+    for (std::int64_t kk = 0; kk < rows; ++kk) {
+      const float* a = ap + (kk0 + kk) * kMR;
+      const float* b = bf + kk * kNR;
+      const float x0 = a[0];
+      const float x1 = a[1];
+      const float x2 = a[2];
+      const float x3 = a[3];
+      for (std::int64_t c = 0; c < kNR; ++c) {
+        const float bc = b[c];
+        a0[c] += x0 * bc;
+        a1[c] += x1 * bc;
+        a2[c] += x2 * bc;
+        a3[c] += x3 * bc;
+      }
+    }
+  }
+  for (std::int64_t c = 0; c < kNR; ++c) {
+    acc[0 * kNR + c] = a0[c];
+    acc[1 * kNR + c] = a1[c];
+    acc[2 * kNR + c] = a2[c];
+    acc[3 * kNR + c] = a3[c];
+  }
+}
+
+void micro_kernel_q4(const float* __restrict__ ap, const std::uint8_t* bp,
+                     std::int64_t kc, float* __restrict__ acc) {
+  constexpr std::int64_t kChunk = kNR * 4 + kQuantBlock / 2 * kNR;
+  float a0[kNR] = {0.0f};
+  float a1[kNR] = {0.0f};
+  float a2[kNR] = {0.0f};
+  float a3[kNR] = {0.0f};
+  float bf[kQuantBlock * kNR];
+  for (std::int64_t kk0 = 0; kk0 < kc; kk0 += kQuantBlock) {
+    const std::uint8_t* chunk = bp + (kk0 / kQuantBlock) * kChunk;
+    float scales[kNR];
+    std::memcpy(scales, chunk, sizeof(scales));
+    const std::uint8_t* codes = chunk + kNR * 4;
+    const std::int64_t rows = std::min(kQuantBlock, kc - kk0);
+    // Each payload byte packs two consecutive k-rows (low nibble = even
+    // row); a short block's odd last row uses only the low nibble.
+    const std::int64_t pairs = rows / 2;
+    for (std::int64_t j = 0; j < pairs; ++j) {
+      const std::uint8_t* qb = codes + j * kNR;
+      float* blo = bf + 2 * j * kNR;
+      float* bhi = blo + kNR;
+      for (std::int64_t c = 0; c < kNR; ++c) {
+        const int byte = qb[c];
+        blo[c] = scales[c] * static_cast<float>((byte & 0x0F) - 8);
+        bhi[c] = scales[c] * static_cast<float>((byte >> 4) - 8);
+      }
+    }
+    if ((rows & 1) != 0) {
+      const std::uint8_t* qb = codes + pairs * kNR;
+      float* b = bf + 2 * pairs * kNR;
+      for (std::int64_t c = 0; c < kNR; ++c) {
+        b[c] = scales[c] * static_cast<float>((qb[c] & 0x0F) - 8);
+      }
+    }
+    for (std::int64_t kk = 0; kk < rows; ++kk) {
+      const float* a = ap + (kk0 + kk) * kMR;
+      const float* b = bf + kk * kNR;
+      const float x0 = a[0];
+      const float x1 = a[1];
+      const float x2 = a[2];
+      const float x3 = a[3];
+      for (std::int64_t c = 0; c < kNR; ++c) {
+        const float bc = b[c];
+        a0[c] += x0 * bc;
+        a1[c] += x1 * bc;
+        a2[c] += x2 * bc;
+        a3[c] += x3 * bc;
+      }
+    }
+  }
+  for (std::int64_t c = 0; c < kNR; ++c) {
+    acc[0 * kNR + c] = a0[c];
+    acc[1 * kNR + c] = a1[c];
+    acc[2 * kNR + c] = a2[c];
+    acc[3 * kNR + c] = a3[c];
+  }
+}
+
+QKernel kernel_for(DType dt) {
+  switch (dt) {
+    case DType::kQ8_0:
+      return micro_kernel_q8;
+    case DType::kQ4_0:
+      return micro_kernel_q4;
+    case DType::kF32:
+    case DType::kBf16:
+      return micro_kernel_f32p;
+  }
+  return micro_kernel_f32p;
+}
+
+// Shared driver for the dtype paths. Mirrors gemm()'s structure exactly —
+// beta pre-scale, jc/pc cache-block loops, deterministic row-block
+// parallel_for with per-task A packing — so every dtype is bitwise
+// deterministic across pool sizes, and the kF32 panel path reproduces
+// gemm() bit for bit. `panel_for(ws, jc, nc, pc, kc)` supplies the packed
+// B stream for one cache block: a borrowed PackedB block (gemm_packed*) or
+// a workspace pack quantized on the fly (gemm_dt).
+template <typename PanelFn>
+void gemm_dt_driver(ConstMatView a, Trans ta, std::int64_t m, std::int64_t k,
+                    std::int64_t n, DType dt, MatView c, float alpha,
+                    float beta, PanelFn&& panel_for) {
+  assert(c.rows == m && c.cols == n);
+  for (std::int64_t i = 0; i < m; ++i) {
+    float* crow = c.data + i * c.stride;
+    if (beta == 0.0f) {
+      std::fill(crow, crow + n, 0.0f);
+    } else if (beta != 1.0f) {
+      for (std::int64_t j = 0; j < n; ++j) {
+        crow[j] *= beta;
+      }
+    }
+  }
+
+  if (g_metrics.calls != nullptr) {
+    g_metrics.calls->add(1);
+  }
+
+  const QKernel kern = kernel_for(dt);
+  Workspace& ws = Workspace::tls();
+  for (std::int64_t jc = 0; jc < n; jc += kNC) {
+    const std::int64_t nc = std::min(kNC, n - jc);
+    for (std::int64_t pc = 0; pc < k; pc += kKC) {
+      const std::int64_t kc = std::min(kKC, k - pc);
+      Workspace::Scope bscope(ws);
+      const std::uint8_t* bpack = panel_for(ws, jc, nc, pc, kc);
+      const std::int64_t bstride = pack::b_panel_stride_bytes(dt, kc);
+
+      const std::int64_t mblocks = (m + kMC - 1) / kMC;
+      parallel::parallel_for(
+          0, static_cast<std::size_t>(mblocks), 1,
+          [&](std::size_t bi0, std::size_t bi1) {
+            Workspace& wst = Workspace::tls();
+            for (std::size_t bi = bi0; bi < bi1; ++bi) {
+              const std::int64_t ic = static_cast<std::int64_t>(bi) * kMC;
+              const std::int64_t mc = std::min(kMC, m - ic);
+              Workspace::Scope ascope(wst);
+              float* apack = wst.alloc_f32(
+                  static_cast<std::size_t>(pack::a_panel_floats(mc, kc)));
+              const std::int64_t apanels =
+                  pack::pack_a(a, ta, ic, mc, pc, kc, alpha, apack);
+              if (g_metrics.a_panels != nullptr) {
+                g_metrics.a_panels->add(static_cast<std::uint64_t>(apanels));
+              }
+              float acc[kMR * kNR];
+              for (std::int64_t jr = 0; jr < nc; jr += kNR) {
+                const std::int64_t nr = std::min(kNR, nc - jr);
+                const std::uint8_t* bp = bpack + (jr / kNR) * bstride;
+                for (std::int64_t ir = 0; ir < mc; ir += kMR) {
+                  const std::int64_t mr = std::min(kMR, mc - ir);
+                  const float* ap = apack + (ir / kMR) * kc * kMR;
+                  kern(ap, bp, kc, acc);
+                  for (std::int64_t r = 0; r < mr; ++r) {
+                    float* crow =
+                        c.data + (ic + ir + r) * c.stride + jc + jr;
+                    const float* arow = acc + r * kNR;
+                    for (std::int64_t cc = 0; cc < nr; ++cc) {
+                      crow[cc] += arow[cc];
+                    }
+                  }
+                }
+              }
+            }
+          });
+    }
+  }
+
+  if (g_metrics.ws_high_water != nullptr) {
+    const auto hw = static_cast<double>(ws.high_water_bytes());
+    if (hw > g_metrics.ws_high_water->value()) {
+      g_metrics.ws_high_water->set(hw);
+    }
   }
 }
 
@@ -180,6 +405,123 @@ Tensor matmul_tn(const Tensor& a, const Tensor& b) {
   Tensor c(a.cols(), b.cols());
   gemm(a.view(), Trans::Yes, b.view(), Trans::No, c.view());
   return c;
+}
+
+// burst-lint: allow-begin(no-hotpath-alloc) pack() is one-time weight setup,
+// not the steady-state GEMM path; the owned storage is the whole point.
+PackedB PackedB::pack(ConstMatView b, Trans tb, DType dt) {
+  PackedB out;
+  out.dtype_ = dt;
+  out.k_ = (tb == Trans::No) ? b.rows : b.cols;
+  out.n_ = (tb == Trans::No) ? b.cols : b.rows;
+  out.pc_blocks_ = (out.k_ + kKC - 1) / kKC;
+  const std::int64_t jc_blocks = (out.n_ + kNC - 1) / kNC;
+  out.offsets_.resize(
+      static_cast<std::size_t>(jc_blocks * out.pc_blocks_));
+
+  std::uint64_t total = 0;
+  for (std::int64_t jcb = 0; jcb < jc_blocks; ++jcb) {
+    const std::int64_t nc = std::min(kNC, out.n_ - jcb * kNC);
+    for (std::int64_t pcb = 0; pcb < out.pc_blocks_; ++pcb) {
+      const std::int64_t kc = std::min(kKC, out.k_ - pcb * kKC);
+      out.offsets_[static_cast<std::size_t>(jcb * out.pc_blocks_ + pcb)] =
+          total;
+      total += static_cast<std::uint64_t>(pack::b_panel_bytes(dt, nc, kc));
+    }
+  }
+  out.storage_.resize(static_cast<std::size_t>(total));
+
+  std::vector<float> scratch(
+      static_cast<std::size_t>(pack::b_panel_floats(kNC, kKC)));
+  std::int64_t bpanels = 0;
+  for (std::int64_t jcb = 0; jcb < jc_blocks; ++jcb) {
+    const std::int64_t jc = jcb * kNC;
+    const std::int64_t nc = std::min(kNC, out.n_ - jc);
+    for (std::int64_t pcb = 0; pcb < out.pc_blocks_; ++pcb) {
+      const std::int64_t pc = pcb * kKC;
+      const std::int64_t kc = std::min(kKC, out.k_ - pc);
+      std::uint8_t* dst =
+          out.storage_.data() +
+          out.offsets_[static_cast<std::size_t>(jcb * out.pc_blocks_ + pcb)];
+      bpanels +=
+          pack::pack_b_dt(b, tb, pc, kc, jc, nc, dt, scratch.data(), dst);
+    }
+  }
+  if (g_metrics.b_panels != nullptr) {
+    g_metrics.b_panels->add(static_cast<std::uint64_t>(bpanels));
+  }
+
+  // Quantized packs resident bytes == the real serving artifact (scales +
+  // payload, block/panel padding included); dense dtypes charge the plain
+  // K*N matrix at their element width.
+  out.model_bytes_ = dtype_is_quantized(dt)
+                         ? total
+                         : dtype_mat_bytes(dt, out.k_, out.n_);
+  return out;
+}
+// burst-lint: allow-end(no-hotpath-alloc)
+
+void gemm_packed_window(ConstMatView a, Trans ta, const PackedB& b,
+                        std::int64_t j0, std::int64_t nw, std::int64_t k0,
+                        std::int64_t kw, MatView c, float alpha, float beta) {
+  const std::int64_t m = (ta == Trans::No) ? a.rows : a.cols;
+  const std::int64_t ka = (ta == Trans::No) ? a.cols : a.rows;
+  assert(ka == kw);
+  (void)ka;
+  assert(j0 >= 0 && nw >= 0 && j0 + nw <= b.n());
+  assert(k0 >= 0 && kw >= 0 && k0 + kw <= b.k());
+  // Windows ride the packed cache blocks: they must start on a block
+  // boundary and end on one (or at the matrix edge).
+  assert(j0 % kNC == 0);
+  assert(j0 + nw == b.n() || (j0 + nw) % kNC == 0);
+  assert(k0 % kKC == 0);
+  assert(k0 + kw == b.k() || (k0 + kw) % kKC == 0);
+  gemm_dt_driver(a, ta, m, kw, nw, b.dtype(), c, alpha, beta,
+                 [&](Workspace& /*ws*/, std::int64_t jc, std::int64_t /*nc*/,
+                     std::int64_t pc, std::int64_t /*kc*/) {
+                   return b.cache_block((j0 + jc) / kNC, (k0 + pc) / kKC);
+                 });
+}
+
+void gemm_packed(ConstMatView a, Trans ta, const PackedB& b, MatView c,
+                 float alpha, float beta) {
+  gemm_packed_window(a, ta, b, 0, b.n(), 0, b.k(), c, alpha, beta);
+}
+
+Tensor packed_matmul(const Tensor& a, const PackedB& b) {
+  Tensor c(a.rows(), b.n());
+  gemm_packed(a.view(), Trans::No, b, c.view());
+  return c;
+}
+
+void gemm_dt(ConstMatView a, Trans ta, ConstMatView b, Trans tb, MatView c,
+             DType dt, float alpha, float beta) {
+  if (dt == DType::kF32) {
+    gemm(a, ta, b, tb, c, alpha, beta);
+    return;
+  }
+  const std::int64_t m = (ta == Trans::No) ? a.rows : a.cols;
+  const std::int64_t k = (ta == Trans::No) ? a.cols : a.rows;
+  const std::int64_t kb = (tb == Trans::No) ? b.rows : b.cols;
+  const std::int64_t n = (tb == Trans::No) ? b.cols : b.rows;
+  assert(k == kb);
+  (void)kb;
+  gemm_dt_driver(
+      a, ta, m, k, n, dt, c, alpha, beta,
+      [&](Workspace& ws, std::int64_t jc, std::int64_t nc, std::int64_t pc,
+          std::int64_t kc) -> const std::uint8_t* {
+        float* scratch = ws.alloc_f32(
+            static_cast<std::size_t>(pack::b_panel_floats(nc, kc)));
+        const std::int64_t bytes = pack::b_panel_bytes(dt, nc, kc);
+        auto* dst = reinterpret_cast<std::uint8_t*>(
+            ws.alloc_f32(static_cast<std::size_t>((bytes + 3) / 4)));
+        const std::int64_t bpanels =
+            pack::pack_b_dt(b, tb, pc, kc, jc, nc, dt, scratch, dst);
+        if (g_metrics.b_panels != nullptr) {
+          g_metrics.b_panels->add(static_cast<std::uint64_t>(bpanels));
+        }
+        return dst;
+      });
 }
 
 void attach_gemm_metrics(obs::Registry* registry) {

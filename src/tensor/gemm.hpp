@@ -8,8 +8,18 @@
 // microkernel runs over the packed panels. Row blocks are dispatched over
 // parallel::ThreadPool with deterministic partitioning, so results are
 // bitwise identical for any pool size (including BURST_THREADS overrides).
+// Quantized weights (DESIGN.md §16): B operands can be stored in any
+// tensor/dtype.hpp DType. PackedB quantizes + panelizes op(B) once (weights
+// are static), then gemm_packed streams the quantized panels through
+// dequantize-in-microkernel variants — the fp32 path is bit-identical to
+// gemm() on the same operands. gemm_dt quantizes at B-pack time per call
+// for drop-in use on non-static operands.
 #pragma once
 
+#include <cstdint>
+#include <vector>
+
+#include "tensor/dtype.hpp"
 #include "tensor/tensor.hpp"
 
 namespace burst::obs {
@@ -19,6 +29,15 @@ class Registry;
 namespace burst::tensor {
 
 enum class Trans { No, Yes };
+
+/// Cache-blocking sizes of the packed GEMM driver (one A block of
+/// kGemmMC x kGemmKC floats stays L2-resident per task; a B panel of
+/// kGemmKC x kGemmNC is shared read-only by every row task). Exposed so
+/// consumers that tile over a PackedB (the vocab-tiled LM head) can align
+/// their windows to the packing.
+inline constexpr std::int64_t kGemmMC = 64;
+inline constexpr std::int64_t kGemmKC = 256;
+inline constexpr std::int64_t kGemmNC = 512;
 
 /// C = alpha * op(A) @ op(B) + beta * C, where op is identity or transpose.
 /// Shapes are validated with assertions: op(A) is MxK, op(B) is KxN, C MxN.
@@ -35,6 +54,80 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b);
 
 /// Returns A^T @ B.
 Tensor matmul_tn(const Tensor& a, const Tensor& b);
+
+/// A weight operand packed (and, for kQ8_0/kQ4_0, quantized) once into the
+/// GEMM driver's cache-block panel layout (tensor/pack.hpp). Construction
+/// pays the layout + quantization cost a single time, so steady-state GEMMs
+/// stream the 4-8x smaller panels straight into the dequantizing
+/// microkernels with zero per-call packing. The panel layout matches
+/// gemm()'s blocking exactly: gemm_packed over a kF32 pack is
+/// bitwise-identical to gemm() on the original operand.
+///
+/// A PackedB is immutable after pack() and safe to share across threads.
+class PackedB {
+ public:
+  PackedB() = default;
+
+  /// Packs op(B) — the K x N operand after resolving `tb` — at dtype `dt`.
+  static PackedB pack(ConstMatView b, Trans tb, DType dt);
+
+  DType dtype() const { return dtype_; }
+  std::int64_t k() const { return k_; }
+  std::int64_t n() const { return n_; }
+
+  /// Bytes this weight logically occupies at its dtype: the quantized
+  /// scale+payload stream (padding included) for kQ8_0/kQ4_0, K*N at
+  /// 4 B / 2 B for kF32/kBf16. This is what memory accounting charges.
+  std::uint64_t model_bytes() const { return model_bytes_; }
+
+  /// Actual resident bytes of the packed buffer (f32/bf16 panels store
+  /// plain fp32 floats; quantized panels equal model_bytes()).
+  std::uint64_t storage_bytes() const {
+    return static_cast<std::uint64_t>(storage_.size());
+  }
+
+  /// Start of the packed (jc-block, pc-block) cache-block stream.
+  const std::uint8_t* cache_block(std::int64_t jcb, std::int64_t pcb) const {
+    return storage_.data() +
+           offsets_[static_cast<std::size_t>(jcb * pc_blocks_ + pcb)];
+  }
+
+ private:
+  DType dtype_ = DType::kF32;
+  std::int64_t k_ = 0;
+  std::int64_t n_ = 0;
+  std::int64_t pc_blocks_ = 0;
+  std::uint64_t model_bytes_ = 0;
+  std::vector<std::uint64_t> offsets_;  // (jcb * pc_blocks_ + pcb) -> byte off
+  std::vector<std::uint8_t> storage_;
+};
+
+/// C = alpha * op(A) @ B + beta * C over a prepacked operand. Blocking,
+/// accumulation order, and deterministic row-block parallelism match
+/// gemm(); results are bitwise identical for any thread-pool size.
+void gemm_packed(ConstMatView a, Trans ta, const PackedB& b, MatView c,
+                 float alpha = 1.0f, float beta = 0.0f);
+
+/// Windowed variant over B[k0:k0+kw, j0:j0+nw] (op(A) is M x kw, C is
+/// M x nw). Windows must align to the packed cache blocks: j0 % kGemmNC and
+/// k0 % kGemmKC are 0, and each window either ends at the matrix edge or on
+/// a block boundary. This is what the vocab-tiled LM head uses to walk a
+/// quantized W_head one tile at a time (forward: column windows of W^T;
+/// backward: row windows of W with beta = 1 accumulation).
+void gemm_packed_window(ConstMatView a, Trans ta, const PackedB& b,
+                        std::int64_t j0, std::int64_t nw, std::int64_t k0,
+                        std::int64_t kw, MatView c, float alpha = 1.0f,
+                        float beta = 0.0f);
+
+/// Returns A @ B over a prepacked operand.
+Tensor packed_matmul(const Tensor& a, const PackedB& b);
+
+/// Drop-in dtype-dispatched gemm for operands that are not prepacked: op(B)
+/// is packed + quantized per cache block into the thread-local workspace at
+/// `dt`, then streamed through the same dequantizing microkernels. kF32
+/// routes to gemm() (bit-identical); kBf16 rounds B to bf16 at pack time.
+void gemm_dt(ConstMatView a, Trans ta, ConstMatView b, Trans tb, MatView c,
+             DType dt, float alpha = 1.0f, float beta = 0.0f);
 
 /// Observation-only counters (PR 3 discipline: attached metrics never change
 /// results). Wires `tensor.gemm.calls`, `tensor.gemm.a_panels_packed`,

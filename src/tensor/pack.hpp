@@ -16,11 +16,29 @@
 // microkernel never branches on tile edges; the GEMM driver writes back only
 // the valid part of the accumulator. alpha is folded into the A pack so the
 // microkernel is a pure FMA loop.
+//
+// Quantized B panels (DESIGN.md section 16): pack_b_dt quantizes op(B) once
+// at pack time into a per-micro-panel block stream the dequantizing
+// microkernels in gemm.cpp walk. Per micro-panel of kNR columns, K is split
+// into kQuantBlock-row blocks; each block stores
+//
+//   float scales[kNR];                  // per-column scale of this k-block
+//   q8_0: int8  qs[kQuantBlock * kNR]   // kk-major: qs[kk*kNR + c]
+//   q4_0: uint8 codes[kQuantBlock/2 * kNR]
+//         // byte (j*kNR + c) packs kk=2j (low nibble) and 2j+1 (high)
+//
+// so the microkernel loads one 16-wide scale vector per 32 k-steps and
+// streams 16 (q8) or 8 (q4, two rows) bytes per k-step — the 4-8x
+// B-bandwidth saving that pays for the in-kernel int->float convert.
+// bf16 panels reuse the f32 float layout with values rounded at pack time
+// (byte *accounting* is 2 B/el; the functional buffer stays fp32).
 #pragma once
 
 #include <algorithm>
 #include <cstdint>
+#include <cstring>
 
+#include "tensor/dtype.hpp"
 #include "tensor/gemm.hpp"
 #include "tensor/tensor.hpp"
 
@@ -109,6 +127,92 @@ inline std::int64_t pack_b(ConstMatView b, Trans tb, std::int64_t pc,
         for (std::int64_t kk = 0; kk < kc; ++kk) {
           for (std::int64_t c = cols; c < kNR; ++c) {
             out[kk * kNR + c] = 0.0f;
+          }
+        }
+      }
+    }
+  }
+  return panels;
+}
+
+// ---- quantized B-panel packing --------------------------------------------
+
+/// Quantization blocks along K of a kc-row panel slice.
+inline std::int64_t k_blocks(std::int64_t kc) {
+  return (kc + kQuantBlock - 1) / kQuantBlock;
+}
+
+/// Bytes of one (micro-panel, k-block) chunk: kNR fp32 scales + payload.
+inline std::int64_t b_chunk_bytes(DType dt) {
+  switch (dt) {
+    case DType::kQ8_0:
+      return kNR * 4 + kQuantBlock * kNR;
+    case DType::kQ4_0:
+      return kNR * 4 + kQuantBlock / 2 * kNR;
+    case DType::kF32:
+    case DType::kBf16:
+      return kQuantBlock * kNR * 4;  // plain float rows, no scales
+  }
+  return kQuantBlock * kNR * 4;
+}
+
+/// Stride in bytes between consecutive micro-panels of a kc-row B slice.
+inline std::int64_t b_panel_stride_bytes(DType dt, std::int64_t kc) {
+  if (dtype_is_quantized(dt)) {
+    return k_blocks(kc) * b_chunk_bytes(dt);
+  }
+  return kc * kNR * 4;  // f32/bf16: kc rows of kNR floats
+}
+
+/// Total bytes of the packed op(B)[pc:pc+kc, jc:jc+nc] panel range at `dt`.
+inline std::int64_t b_panel_bytes(DType dt, std::int64_t nc, std::int64_t kc) {
+  return ((nc + kNR - 1) / kNR) * b_panel_stride_bytes(dt, kc);
+}
+
+/// Packs + quantizes op(B)[pc:pc+kc, jc:jc+nc] into `dst` (layout above).
+/// `scratch` must hold b_panel_floats(nc, kc) floats; the f32 pack runs
+/// first so every Trans/edge case is resolved once, then the codec reads
+/// the panel columns at stride kNR. Padding columns quantize to exact zero.
+/// Returns the number of micro-panels written. `dst` must be 4-byte aligned.
+inline std::int64_t pack_b_dt(ConstMatView b, Trans tb, std::int64_t pc,
+                              std::int64_t kc, std::int64_t jc,
+                              std::int64_t nc, DType dt, float* scratch,
+                              std::uint8_t* dst) {
+  const std::int64_t panels = pack_b(b, tb, pc, kc, jc, nc, scratch);
+  if (dt == DType::kF32 || dt == DType::kBf16) {
+    auto* out = reinterpret_cast<float*>(dst);
+    const std::int64_t floats = panels * kc * kNR;
+    if (dt == DType::kF32) {
+      std::memcpy(out, scratch, static_cast<std::size_t>(floats) * 4);
+    } else {
+      for (std::int64_t i = 0; i < floats; ++i) {
+        out[i] = round_bf16(scratch[i]);
+      }
+    }
+    return panels;
+  }
+  const std::int64_t nblk = k_blocks(kc);
+  const std::int64_t chunk = b_chunk_bytes(dt);
+  for (std::int64_t p = 0; p < panels; ++p) {
+    const float* src = scratch + p * kc * kNR;
+    std::uint8_t* pdst = dst + p * nblk * chunk;
+    for (std::int64_t blk = 0; blk < nblk; ++blk) {
+      const std::int64_t kk0 = blk * kQuantBlock;
+      const std::int64_t rows = std::min(kQuantBlock, kc - kk0);
+      std::uint8_t* cdst = pdst + blk * chunk;
+      auto* scales = reinterpret_cast<float*>(cdst);
+      std::uint8_t* payload = cdst + kNR * 4;
+      for (std::int64_t c = 0; c < kNR; ++c) {
+        const float* col = src + kk0 * kNR + c;
+        if (dt == DType::kQ8_0) {
+          auto* qs = reinterpret_cast<std::int8_t*>(payload) + c;
+          scales[c] = quantize_block_q8_0(col, rows, kNR, qs, kNR);
+        } else {
+          std::uint8_t codes[kQuantBlock];
+          scales[c] = quantize_block_q4_0(col, rows, kNR, codes, 1);
+          for (std::int64_t j = 0; j < kQuantBlock / 2; ++j) {
+            payload[j * kNR + c] = static_cast<std::uint8_t>(
+                codes[2 * j] | (codes[2 * j + 1] << 4));
           }
         }
       }

@@ -33,9 +33,10 @@ TEST(KvCache, BlockArithmetic) {
 
   const ModelConfig cfg = gqa_toy();
   // One block holds K + V rows for every (layer, kv head).
-  const std::uint64_t expect =
-      static_cast<std::uint64_t>(16 * cfg.layers * cfg.num_kv_heads() *
-                                 cfg.head_dim() * 2 * cfg.bytes_per_el);
+  const std::uint64_t expect = static_cast<std::uint64_t>(
+      static_cast<double>(16 * cfg.layers * cfg.num_kv_heads() *
+                          cfg.head_dim() * 2) *
+      cfg.kv_bytes_per_el());
   EXPECT_EQ(SequenceKvCache::block_bytes(cfg, 16), expect);
 }
 
