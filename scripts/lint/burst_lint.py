@@ -1,19 +1,38 @@
 #!/usr/bin/env python3
 """burst-lint: repo-specific static analysis for the BurstEngine tree.
 
-Each rule guards a machine-checked invariant of the codebase (DESIGN.md
-section 12 has the full table). The engine walks the C++ sources, strips
-comments and string literals so rules only see code, and reports violations
-as both human-readable diagnostics and a versioned JSON report in the same
-``burst.run_report`` shape the benches emit, so scripts/verify.sh gates on
-``self_check`` uniformly.
+Two tiers (DESIGN.md sections 12 and 17 have the full invariant tables):
+
+  1. Per-file rules. The engine walks the C++ sources, strips comments and
+     string literals so rules only see code, and checks line-level
+     invariants one translation unit at a time.
+  2. Whole-program analyses. Every scanned file is tokenized once into a
+     ProgramModel (resolved include graph, per-file identifier and
+     public-symbol sets, per-function lock acquisitions and call sites, the
+     burst::Error class hierarchy, every catch site); registered analyses
+     run over the model: ``layer-dag`` (architecture layering against
+     scripts/lint/layers.json, include cycles, IWYU-lite unused includes),
+     ``lock-order`` (global lock-acquisition-order cycles = potential
+     deadlock, cv.wait without predicate), and ``error-flow`` (catch
+     clauses that silently swallow a burst::Error).
+
+Violations are reported as human-readable diagnostics and a versioned JSON
+report in the same ``burst.run_report`` shape the benches emit, so
+scripts/verify.sh gates on ``self_check`` uniformly.
 
 Usage:
-    burst_lint.py [--root DIR] [--json REPORT.json] [--list-rules] [PATH ...]
+    burst_lint.py [--root DIR] [--json REPORT.json] [--list-rules]
+                  [--baseline FILE] [--write-baseline] [--no-analyses]
+                  [PATH ...]
 
 With no PATH arguments the default scan set is src/, tests/, bench/ and
 examples/ under --root (default: the repo root containing this script).
 Exit code 0 iff no violations.
+
+Whole-program findings can additionally be grandfathered in a committed
+baseline file (default: scripts/lint/baseline.json under --root, when it
+exists). Baseline entries match by stable (rule, path, key) — no line
+numbers — and stale entries are themselves violations.
 
 Suppressions (all require a rule name; a reason is strongly encouraged):
 
@@ -84,6 +103,22 @@ class SourceFile:
         return line in self.allowed.get(rule, ())
 
 
+def _is_digit_separator(text: str, i: int) -> bool:
+    """True when the ' at text[i] is a C++14 digit separator.
+
+    A ' directly following an identifier/number character is a separator
+    unless that token is one of the char-literal prefixes (u, U, L, u8) —
+    the only spellings where a letter legally abuts a char literal.
+    """
+    j = i - 1
+    if j < 0 or not (text[j].isalnum() or text[j] == "_"):
+        return False
+    start = j
+    while start > 0 and (text[start - 1].isalnum() or text[start - 1] in "_."):
+        start -= 1
+    return text[start:i] not in ("u", "U", "L", "u8")
+
+
 def strip_comments_and_strings(text: str) -> str:
     """Blanks comments and string/char literals, preserving line structure.
 
@@ -109,6 +144,11 @@ def strip_comments_and_strings(text: str) -> str:
             if i < n:
                 out.append("  ")
                 i += 2
+        elif c == "'" and _is_digit_separator(text, i):
+            # C++14 digit separator (0x50414E'53u, 1'000'000): part of a
+            # numeric literal, not a char-literal open.
+            out.append(c)
+            i += 1
         elif c == '"' or c == "'":
             quote = c
             out.append(" ")
@@ -157,6 +197,10 @@ class Finding:
     path: str
     line: int  # 1-based
     message: str
+    # Stable identity for whole-program findings, independent of line
+    # numbers, so the committed baseline survives unrelated edits. Empty for
+    # per-file rule findings (those are fixed, never baselined).
+    key: str = ""
 
     def render(self) -> str:
         return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
@@ -259,20 +303,21 @@ def no_serving_wallclock(sf):
 
 @rule(
     "typed-errors-only",
-    "typed serving errors (DESIGN.md section 14): src/api/ and src/serve/ "
-    "throw burst::Error subclasses, never raw std::runtime_error or "
-    "std::logic_error — the API layer and the recovery supervisor dispatch "
-    "on burst::ErrorCode, and an untyped throw silently degrades to a 500",
-    applies=lambda p: _in_dir(p, "src") and _in_dir(p, "api", "serve"),
+    "typed errors everywhere (DESIGN.md sections 14 and 17): all of src/ "
+    "throws burst::Error subclasses, never raw std::runtime_error or "
+    "std::logic_error — supervisors, the API layer, and RunReport all "
+    "dispatch on burst::ErrorCode, and an untyped throw degrades to "
+    "code \"unknown\" (a 500 at the serving boundary)",
+    applies=lambda p: _in_dir(p, "src"),
 )
 def typed_errors_only(sf):
     pat = r"\bthrow\s+std\s*::\s*(runtime_error|logic_error)\b"
     for line, m in _code_matches(sf, pat):
         yield line, (
-            f"raw `throw std::{m.group(1)}` in serving code; throw a "
-            "burst::Error subclass (serve/errors.hpp) so the outcome "
-            "carries a typed ErrorCode the API layer and recovery "
-            "supervisor can dispatch on"
+            f"raw `throw std::{m.group(1)}`; throw a burst::Error subclass "
+            "(obs/error.hpp, serve/errors.hpp, comm/errors.hpp) so the "
+            "failure carries a typed ErrorCode supervisors and reports "
+            "can dispatch on"
         )
 
 
@@ -580,6 +625,917 @@ def quantized_hotpath(sf):
         )
 
 
+# ==========================================================================
+# Tier 2: whole-program analyses over a ProgramModel
+# ==========================================================================
+#
+# The per-file rules above see one translation unit at a time. The
+# ProgramModel pass tokenizes every scanned file once and builds the global
+# structures the cross-file analyses need: the resolved include graph, the
+# identifier sets per file, the public-symbol ("provides") sets per header,
+# the function table with per-function lock acquisitions and call sites, the
+# burst::Error class hierarchy, and every catch site. Registered analyses
+# (ANALYSES) then run over the model and emit Findings through the same
+# suppression machinery as the per-file rules, plus an optional committed
+# baseline (scripts/lint/baseline.json) for grandfathered findings.
+
+_CPP_KEYWORDS = frozenset(
+    """alignas alignof and and_eq asm auto bitand bitor bool break case catch
+    char char8_t char16_t char32_t class co_await co_return co_yield compl
+    concept const const_cast consteval constexpr constinit continue decltype
+    default delete do double dynamic_cast else enum explicit export extern
+    false final float for friend goto if inline int long mutable namespace
+    new noexcept not not_eq nullptr operator or or_eq override private
+    protected public register reinterpret_cast requires return short signed
+    sizeof static static_assert static_cast struct switch template this
+    thread_local throw true try typedef typeid typename union unsigned using
+    virtual void volatile wchar_t while""".split()
+)
+
+_IDENT_RE = re.compile(r"[A-Za-z_]\w*")
+_CALLISH_RE = re.compile(r"\b([A-Za-z_]\w*)\s*\(")
+
+
+def _line_of(text, pos):
+    return text.count("\n", 0, pos) + 1
+
+
+def _match_balanced(text, open_pos, pairs="()"):
+    """Returns the index just past the delimiter matching text[open_pos]
+    (which must be pairs[0]), or -1 when unbalanced."""
+    o, c = pairs[0], pairs[1]
+    depth = 0
+    for i in range(open_pos, len(text)):
+        if text[i] == o:
+            depth += 1
+        elif text[i] == c:
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return -1
+
+
+@dataclass
+class IncludeEdge:
+    line: int
+    target: str  # as written inside the quotes/brackets
+    resolved: str  # display path of the included file, or "" when external
+
+
+@dataclass
+class LockAcq:
+    lock: str  # normalized lock id
+    line: int
+    depth: int  # brace depth inside the body at the acquisition
+    var: str  # guard variable name ("" for direct .lock())
+
+
+@dataclass
+class CallSite:
+    callee: str  # last-component name
+    line: int
+    held: tuple  # lock ids held at the call
+
+
+@dataclass
+class Function:
+    name: str  # as written, possibly qualified (Cluster::take)
+    short: str  # last component
+    path: str
+    line: int
+    acquisitions: list = field(default_factory=list)  # [LockAcq]
+    lock_edges: list = field(default_factory=list)  # [(l1, l2, line)]
+    calls: list = field(default_factory=list)  # [CallSite]
+    locks: set = field(default_factory=set)  # ids acquired directly
+
+
+@dataclass
+class CatchSite:
+    path: str
+    line: int
+    type_name: str  # "..." or last component of the caught type
+    var: str  # bound variable name, "" when anonymous
+    body: str  # stripped body text (between the braces)
+
+
+# -- function extraction ----------------------------------------------------
+
+_FUNC_HEAD_RE = re.compile(
+    r"(~?[A-Za-z_]\w*(?:\s*::\s*~?[A-Za-z_]\w*)*)\s*\("
+)
+_QUALIFIERS = frozenset(["const", "noexcept", "override", "final", "mutable"])
+
+
+def _skip_initializer_list(text, i):
+    """Consumes a constructor member-initializer list starting at the ':' at
+    text[i]. Returns the index of the body '{', or -1 when this is not an
+    initializer list (e.g. a ternary or a label)."""
+    i += 1
+    n = len(text)
+    while True:
+        while i < n and text[i].isspace():
+            i += 1
+        m = _IDENT_RE.match(text, i)
+        if not m:
+            return -1
+        i = m.end()
+        while i < n and text[i].isspace():
+            i += 1
+        # Optional template args on a base-class initializer.
+        if i < n and text[i] == "<":
+            close = text.find(">", i)
+            if close < 0:
+                return -1
+            i = close + 1
+            while i < n and text[i].isspace():
+                i += 1
+        if i >= n or text[i] not in "({":
+            return -1
+        end = _match_balanced(text, i, "()" if text[i] == "(" else "{}")
+        if end < 0:
+            return -1
+        i = end
+        while i < n and text[i].isspace():
+            i += 1
+        if i < n and text[i] == ",":
+            i += 1
+            continue
+        if i < n and text[i] == "{":
+            return i
+        return -1
+
+
+def _find_body(text, params_end):
+    """Given the index just past a parameter list's ')', returns the index of
+    the function body's '{' or -1 when the construct is not a definition."""
+    i = params_end
+    n = len(text)
+    while i < n:
+        while i < n and text[i].isspace():
+            i += 1
+        if i >= n:
+            return -1
+        c = text[i]
+        if c == "{":
+            return i
+        if c == ":":
+            return _skip_initializer_list(text, i)
+        if c == "-" and i + 1 < n and text[i + 1] == ">":
+            # Trailing return type: consume tokens until '{' or ';'.
+            j = i + 2
+            while j < n and text[j] not in "{;":
+                j += 1
+            return j if j < n and text[j] == "{" else -1
+        m = _IDENT_RE.match(text, i)
+        if m and m.group(0) in _QUALIFIERS:
+            i = m.end()
+            # noexcept(...) / final(...) arguments
+            while i < n and text[i].isspace():
+                i += 1
+            if i < n and text[i] == "(":
+                end = _match_balanced(text, i)
+                if end < 0:
+                    return -1
+                i = end
+            continue
+        return -1
+    return -1
+
+
+def extract_functions(sf):
+    """Yields (name, body_start, body_end, line) for every function
+    definition in sf's stripped code. body_start/end delimit the text inside
+    the outer braces."""
+    text = "\n".join(sf.code_lines)
+    pos = 0
+    n = len(text)
+    while pos < n:
+        m = _FUNC_HEAD_RE.search(text, pos)
+        if not m:
+            return
+        name = re.sub(r"\s+", "", m.group(1))
+        first = name.split("::")[0].lstrip("~")
+        if first in _CPP_KEYWORDS:
+            pos = m.end()
+            continue
+        params_end = _match_balanced(text, m.end() - 1)
+        if params_end < 0:
+            pos = m.end()
+            continue
+        body_open = _find_body(text, params_end)
+        if body_open < 0:
+            pos = m.end()
+            continue
+        body_close = _match_balanced(text, body_open, "{}")
+        if body_close < 0:
+            pos = m.end()
+            continue
+        yield name, body_open + 1, body_close - 1, _line_of(text, m.start())
+        pos = body_close
+
+
+# -- lock extraction --------------------------------------------------------
+
+_ACQ_PREFIX_RE = re.compile(
+    r"std\s*::\s*(?P<kind>lock_guard|unique_lock|scoped_lock)\b"
+    r"(?:\s*<[^<>;]*>)?\s+(?P<var>[A-Za-z_]\w*)\s*(?P<open>[({])"
+)
+_MUTEX_DECL_RE = re.compile(
+    r"std\s*::\s*(?:recursive_|timed_|shared_)?mutex\s*&?\s+"
+    r"([A-Za-z_]\w*)\s*[;({=]"
+)
+_CV_DECL_RE = re.compile(
+    r"std\s*::\s*condition_variable(?:_any)?\s+([A-Za-z_]\w*)\s*[;{]"
+)
+# Only class/struct scopes own member mutexes; a namespace-level or local
+# mutex stays file-qualified so same-named locals in two files never merge.
+_SCOPE_OPEN_RE = re.compile(
+    r"\b(?:class|struct)\s+([A-Za-z_]\w*)[^;{()]*\{"
+)
+
+
+def _lock_id_of(expr, owners, path):
+    """Normalizes a mutex expression to a stable lock id. The last
+    identifier names the mutex; when exactly one class in the model declares
+    a member of that name the id is Class::name, otherwise name@file."""
+    idents = [t for t in _IDENT_RE.findall(expr)
+              if t not in ("std", "adopt_lock", "defer_lock", "try_to_lock")]
+    if not idents:
+        return ""
+    name = idents[-1]
+    owner = owners.get(name)
+    if owner and len(owner) == 1:
+        return f"{next(iter(owner))}::{name}"
+    return f"{name}@{path}"
+
+
+def _scan_mutex_owners(sources):
+    """Maps mutex/cv member names to the set of classes declaring them, by
+    walking each file's brace structure with a named-scope stack."""
+    owners = {}
+    cv_names = set()
+    for sf in sources:
+        text = "\n".join(sf.code_lines)
+        scopes = []  # (name_or_None, depth_at_open)
+        depth = 0
+        events = []
+        for m in _SCOPE_OPEN_RE.finditer(text):
+            events.append((m.end() - 1, "scope", m.group(1)))
+        for m in _MUTEX_DECL_RE.finditer(text):
+            events.append((m.start(), "mutex", m.group(1)))
+        for m in _CV_DECL_RE.finditer(text):
+            events.append((m.start(), "cv", m.group(1)))
+            cv_names.add(m.group(1))
+        for i, ch in enumerate(text):
+            if ch in "{}":
+                events.append((i, ch, None))
+        events.sort(key=lambda e: e[0])
+        pending_scope = None
+        for _, kind, val in events:
+            if kind == "scope":
+                pending_scope = val
+            elif kind == "{":
+                scopes.append((pending_scope, depth))
+                pending_scope = None
+                depth += 1
+            elif kind == "}":
+                depth -= 1
+                while scopes and scopes[-1][1] >= depth:
+                    scopes.pop()
+            elif kind in ("mutex", "cv"):
+                cls = next(
+                    (s for s, _ in reversed(scopes) if s is not None), None)
+                if cls is not None:
+                    owners.setdefault(val, set()).add(cls)
+    return owners, cv_names
+
+
+def _scan_function_locks(fn, body, body_line0, owners, path):
+    """Fills fn.acquisitions / lock_edges / calls / locks from one body.
+
+    Brace depth is tracked so a guard dies when its enclosing block closes;
+    `held` is therefore a faithful lockset at every acquisition and call
+    site, and `lock_edges` records only genuine nesting (lock A held while
+    acquiring lock B), not sequential scopes.
+    """
+    events = []  # (pos, kind, payload)
+    for i, ch in enumerate(body):
+        if ch in "{}":
+            events.append((i, ch, None))
+    consumed_until = 0
+    for m in _ACQ_PREFIX_RE.finditer(body):
+        end = _match_balanced(
+            body, m.end() - 1, "()" if m.group("open") == "(" else "{}")
+        if end < 0:
+            continue
+        args = _split_top_level_args(body[m.end():end])
+        if args is None:
+            args = [body[m.end():end - 1]]
+        locks = []
+        for a in args:
+            lid = _lock_id_of(a, owners, path)
+            if lid:
+                locks.append(lid)
+        if locks:
+            events.append((m.start(), "acq", (locks, m.group("var"))))
+    for m in re.finditer(r"\b([A-Za-z_]\w*)\s*\.\s*(lock|unlock)\s*\(", body):
+        events.append((m.start(), m.group(2), m.group(1)))
+    for m in _CALLISH_RE.finditer(body):
+        name = m.group(1)
+        if name in _CPP_KEYWORDS or name in ("lock", "unlock"):
+            continue
+        events.append((m.start(), "call", name))
+    events.sort(key=lambda e: (e[0], e[1] != "}"))
+
+    depth = 0
+    held = []  # [LockAcq]
+    var_lock = {}  # guard var -> lock id (for .lock()/.unlock())
+    for pos, kind, payload in events:
+        if kind == "{":
+            depth += 1
+        elif kind == "}":
+            depth -= 1
+            held = [a for a in held if a.depth <= depth]
+        elif kind == "acq":
+            locks, var = payload
+            line = body_line0 + _line_of(body, pos) - 1
+            for lid in locks:
+                for prev in held:
+                    if prev.lock != lid:
+                        fn.lock_edges.append((prev.lock, lid, line))
+                acq = LockAcq(lock=lid, line=line, depth=depth, var=var)
+                held.append(acq)
+                fn.acquisitions.append(acq)
+                fn.locks.add(lid)
+                var_lock[var] = lid
+        elif kind == "unlock":
+            lid = var_lock.get(payload)
+            if lid is not None:
+                held = [a for a in held if not (a.lock == lid
+                                                and a.var == payload)]
+        elif kind == "lock":
+            lid = var_lock.get(payload)
+            if lid is not None and all(a.lock != lid for a in held):
+                line = body_line0 + _line_of(body, pos) - 1
+                for prev in held:
+                    fn.lock_edges.append((prev.lock, lid, line))
+                acq = LockAcq(lock=lid, line=line, depth=depth, var=payload)
+                held.append(acq)
+                fn.acquisitions.append(acq)
+                fn.locks.add(lid)
+        elif kind == "call":
+            if held:
+                line = body_line0 + _line_of(body, pos) - 1
+                fn.calls.append(CallSite(
+                    callee=payload, line=line,
+                    held=tuple(a.lock for a in held)))
+
+
+# -- catch-site extraction --------------------------------------------------
+
+_CATCH_RE = re.compile(r"\bcatch\s*\(")
+
+
+def _extract_catches(sf):
+    text = "\n".join(sf.code_lines)
+    out = []
+    for m in _CATCH_RE.finditer(text):
+        clause_end = _match_balanced(text, m.end() - 1)
+        if clause_end < 0:
+            continue
+        clause = text[m.end():clause_end - 1].strip()
+        i = clause_end
+        while i < len(text) and text[i].isspace():
+            i += 1
+        if i >= len(text) or text[i] != "{":
+            continue
+        body_end = _match_balanced(text, i, "{}")
+        if body_end < 0:
+            continue
+        body = text[i + 1:body_end - 1]
+        if clause == "...":
+            type_name, var = "...", ""
+        else:
+            idents = [t for t in _IDENT_RE.findall(clause)
+                      if t not in _CPP_KEYWORDS and t != "std"]
+            if not idents:
+                continue
+            # `const ns::Type& name` -> type is the last ident before any
+            # declarator name; a trailing ident after the type chain is the
+            # binding. Heuristic: '&'/'*' splits type from binding.
+            amp = max(clause.rfind("&"), clause.rfind("*"))
+            if amp >= 0:
+                type_part = clause[:amp]
+                var_part = clause[amp + 1:]
+            else:
+                type_part, var_part = clause, ""
+            tids = [t for t in _IDENT_RE.findall(type_part)
+                    if t not in _CPP_KEYWORDS and t != "std"]
+            vids = _IDENT_RE.findall(var_part)
+            if not tids:
+                tids = idents
+            type_name = tids[-1]
+            var = vids[0] if vids else ""
+        out.append(CatchSite(path=sf.path, line=_line_of(text, m.start()),
+                             type_name=type_name, var=var, body=body))
+    return out
+
+
+# -- the model --------------------------------------------------------------
+
+# Directories whose code may hold OS-thread locks; the lockset analysis
+# extracts every function in these.
+LOCK_SCOPE_DIRS = ("parallel", "comm", "sim", "serve", "resilience")
+
+_INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
+
+# Names constants follow the k-prefix convention; used for header provides.
+_KCONST_RE = re.compile(r"\bk[A-Z]\w*\b")
+_PROVIDE_RES = (
+    re.compile(r"\b(?:class|struct|union|concept)\s+([A-Za-z_]\w*)"),
+    re.compile(r"\benum\s+(?:class\s+|struct\s+)?([A-Za-z_]\w*)"),
+    re.compile(r"\busing\s+([A-Za-z_]\w*)\s*="),
+    re.compile(r"^\s*#\s*define\s+([A-Za-z_]\w*)", re.M),
+)
+
+
+def _top_dir(path):
+    parts = path.replace("\\", "/").split("/")
+    if len(parts) >= 2 and parts[0] == "src":
+        return parts[1]
+    return ""
+
+
+class ProgramModel:
+    """Whole-program view: include graph, symbols, locks, errors, catches."""
+
+    def __init__(self, root, sources):
+        self.root = root
+        self.files = {sf.path: sf for sf in sources}
+        self.includes = {}  # path -> [IncludeEdge]
+        self.idents = {}  # path -> set of identifier tokens in code
+        self.provides = {}  # path -> public-symbol set (headers)
+        self.functions = []  # [Function]
+        self.by_short = {}  # short name -> [Function]
+        self.lock_edges = {}  # (l1, l2) -> [(path, line, via)]
+        self.cv_names = set()
+        self.mutex_owners = {}
+        self.error_family = set()
+        self.catches = []  # [CatchSite] (src/ files)
+        self._build(sources)
+
+    # include resolution: repo includes are quoted src-rooted paths.
+    def _resolve(self, includer, target):
+        cand = "src/" + target
+        if cand in self.files:
+            return cand
+        rel = os.path.normpath(
+            os.path.join(os.path.dirname(includer), target))
+        rel = rel.replace("\\", "/")
+        return rel if rel in self.files else ""
+
+    def _build(self, sources):
+        for sf in sources:
+            code = "\n".join(sf.code_lines)
+            self.idents[sf.path] = set(_IDENT_RE.findall(code))
+            edges = []
+            for idx, line in enumerate(sf.lines):
+                m = _INCLUDE_RE.match(line)
+                if m:
+                    edges.append(IncludeEdge(
+                        line=idx + 1, target=m.group(1),
+                        resolved=self._resolve(sf.path, m.group(1))))
+            self.includes[sf.path] = edges
+            provides = set()
+            for rx in _PROVIDE_RES:
+                provides.update(rx.findall(code))
+            provides.update(
+                m.group(1) for m in _CALLISH_RE.finditer(code)
+                if m.group(1) not in _CPP_KEYWORDS)
+            provides.update(_KCONST_RE.findall(code))
+            self.provides[sf.path] = provides - _CPP_KEYWORDS
+
+        # Error hierarchy: transitive closure of classes deriving from Error.
+        derived = {}  # base -> {derived}
+        base_rx = re.compile(
+            r"\b(?:class|struct)\s+([A-Za-z_]\w*)(?:\s+final)?\s*:"
+            r"([^{;]*)\{")
+        for sf in sources:
+            code = "\n".join(sf.code_lines)
+            for m in base_rx.finditer(code):
+                name, bases = m.group(1), m.group(2)
+                for b in _IDENT_RE.findall(bases):
+                    if b in ("public", "private", "protected", "virtual",
+                             "std"):
+                        continue
+                    derived.setdefault(b, set()).add(name)
+        family = {"Error"}
+        frontier = ["Error"]
+        while frontier:
+            for d in derived.get(frontier.pop(), ()):
+                if d not in family:
+                    family.add(d)
+                    frontier.append(d)
+        self.error_family = family
+
+        # Locks: scan member declarations first, then every function in the
+        # lock-scope dirs.
+        scoped = [sf for sf in sources
+                  if _top_dir(sf.path) in LOCK_SCOPE_DIRS]
+        self.mutex_owners, self.cv_names = _scan_mutex_owners(scoped)
+        for sf in scoped:
+            text = "\n".join(sf.code_lines)
+            for name, b0, b1, line in extract_functions(sf):
+                fn = Function(name=name, short=name.split("::")[-1],
+                              path=sf.path, line=line)
+                body = text[b0:b1]
+                _scan_function_locks(fn, body, _line_of(text, b0),
+                                     self.mutex_owners, sf.path)
+                self.functions.append(fn)
+                self.by_short.setdefault(fn.short, []).append(fn)
+
+        # Interprocedural lock closure: locks a function may acquire,
+        # directly or through calls into other analyzed functions.
+        closure = {id(f): set(f.locks) for f in self.functions}
+        changed = True
+        while changed:
+            changed = False
+            for f in self.functions:
+                mine = closure[id(f)]
+                before = len(mine)
+                for c in f.calls:
+                    for g in self.by_short.get(c.callee, ()):
+                        if g is not f:
+                            mine |= closure[id(g)]
+                if len(mine) != before:
+                    changed = True
+        self.lock_closure = closure
+
+        # Global acquisition-order graph: intraprocedural nesting edges plus
+        # edges through calls made while holding a lock.
+        for f in self.functions:
+            for l1, l2, line in f.lock_edges:
+                self.lock_edges.setdefault((l1, l2), []).append(
+                    (f.path, line, f.name))
+            for c in f.calls:
+                callee_locks = set()
+                for g in self.by_short.get(c.callee, ()):
+                    callee_locks |= closure[id(g)]
+                for h in c.held:
+                    for l2 in callee_locks:
+                        if l2 != h:
+                            self.lock_edges.setdefault((h, l2), []).append(
+                                (f.path, c.line,
+                                 f"{f.name} -> {c.callee}()"))
+
+        # Catch sites (src/ only; tests assert on exceptions freely).
+        for sf in sources:
+            if sf.path.replace("\\", "/").startswith("src/"):
+                self.catches.extend(_extract_catches(sf))
+
+    def function(self, qualified):
+        for f in self.functions:
+            if f.name == qualified:
+                return f
+        return None
+
+
+def _strongly_connected(nodes, edges_of):
+    """Iterative Tarjan; returns the list of SCCs (each a list of nodes)."""
+    index = {}
+    low = {}
+    on_stack = set()
+    stack = []
+    sccs = []
+    counter = [0]
+    for start in nodes:
+        if start in index:
+            continue
+        work = [(start, iter(edges_of(start)))]
+        index[start] = low[start] = counter[0]
+        counter[0] += 1
+        stack.append(start)
+        on_stack.add(start)
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for nxt in it:
+                if nxt not in index:
+                    index[nxt] = low[nxt] = counter[0]
+                    counter[0] += 1
+                    stack.append(nxt)
+                    on_stack.add(nxt)
+                    work.append((nxt, iter(edges_of(nxt))))
+                    advanced = True
+                    break
+                if nxt in on_stack:
+                    low[node] = min(low[node], index[nxt])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == index[node]:
+                scc = []
+                while True:
+                    top = stack.pop()
+                    on_stack.discard(top)
+                    scc.append(top)
+                    if top == node:
+                        break
+                sccs.append(scc)
+    return sccs
+
+
+# -- analysis registry ------------------------------------------------------
+
+ANALYSES = {}
+
+
+class Analysis:
+    def __init__(self, name, invariant, check):
+        self.name = name
+        self.invariant = invariant
+        self.check = check
+
+
+def analysis(name, invariant):
+    """Registers ``fn(model) -> iterable[Finding]`` as a whole-program
+    analysis. Finding.key must be stable across line-number drift so the
+    baseline file can grandfather it."""
+
+    def deco(fn):
+        ANALYSES[name] = Analysis(name, invariant, fn)
+        return fn
+
+    return deco
+
+
+def load_layer_manifest(root):
+    """Loads scripts/lint/layers.json under root. Returns the list of layers
+    (each a list of src/ top-level dirs) or None when absent — the layer-DAG
+    analysis is manifest-driven and silently inactive without one (fixture
+    roots opt in by committing their own manifest)."""
+    path = os.path.join(root, "scripts", "lint", "layers.json")
+    if not os.path.exists(path):
+        return None
+    with open(path, encoding="utf-8") as f:
+        data = json.load(f)
+    return data["layers"]
+
+
+@analysis(
+    "layer-dag",
+    "architecture layering (DESIGN.md section 17): the committed layer "
+    "manifest (scripts/lint/layers.json) is the allowed dependency order of "
+    "src/ subsystems; the real include graph may not include upward or "
+    "laterally across layers, may not form cycles, and every repo include "
+    "must be used (IWYU-lite: the includer references at least one symbol "
+    "the header provides)",
+)
+def layer_dag(model):
+    layers = load_layer_manifest(model.root)
+    if layers is None:
+        return
+    layer_of = {}
+    for i, layer in enumerate(layers):
+        for d in layer:
+            layer_of[d] = i
+
+    src_files = sorted(p for p in model.files
+                       if p.replace("\\", "/").startswith("src/"))
+
+    # (a) every src/ directory with sources is a manifest citizen.
+    seen_dirs = set()
+    for path in src_files:
+        d = _top_dir(path)
+        if d and d not in layer_of and d not in seen_dirs:
+            seen_dirs.add(d)
+            yield Finding(
+                "layer-dag", path, 1,
+                f"src/{d}/ is not listed in scripts/lint/layers.json; add "
+                "it to the layer manifest so its dependencies are checked",
+                key=f"unlisted:{d}")
+
+    # (b) includes must point strictly down the layer stack.
+    for path in src_files:
+        src_dir = _top_dir(path)
+        if src_dir not in layer_of:
+            continue
+        for e in model.includes[path]:
+            if not e.resolved or not e.resolved.startswith("src/"):
+                continue
+            dst_dir = _top_dir(e.resolved)
+            if dst_dir == src_dir or dst_dir not in layer_of:
+                continue
+            if layer_of[dst_dir] >= layer_of[src_dir]:
+                how = ("upward" if layer_of[dst_dir] > layer_of[src_dir]
+                       else "lateral")
+                yield Finding(
+                    "layer-dag", path, e.line,
+                    f"{how} include: src/{src_dir}/ (layer "
+                    f"{layer_of[src_dir]}) may not include "
+                    f"\"{e.target}\" from src/{dst_dir}/ (layer "
+                    f"{layer_of[dst_dir]}); the manifest orders "
+                    f"{dst_dir} at or above {src_dir}",
+                    key=f"{how}:{path}->{dst_dir}")
+
+    # (c) no include cycles anywhere in src/.
+    def edges_of(p):
+        return sorted({e.resolved for e in model.includes.get(p, ())
+                       if e.resolved and e.resolved.startswith("src/")})
+
+    for scc in _strongly_connected(src_files, edges_of):
+        self_loop = len(scc) == 1 and scc[0] in edges_of(scc[0])
+        if len(scc) < 2 and not self_loop:
+            continue
+        members = sorted(scc)
+        anchor = members[0]
+        anchor_line = 1
+        for e in model.includes[anchor]:
+            if e.resolved in scc:
+                anchor_line = e.line
+                break
+        yield Finding(
+            "layer-dag", anchor, anchor_line,
+            "include cycle: " + " -> ".join(members + [members[0]]) +
+            "; break the cycle with a forward declaration or by moving the "
+            "shared piece down a layer",
+            key="cycle:" + "|".join(members))
+
+    # (d) IWYU-lite: a repo include whose provided symbols the includer
+    # never references is a phantom dependency that widens rebuilds and
+    # hides the real layering.
+    for path in src_files:
+        stem = os.path.splitext(os.path.basename(path))[0]
+        own = os.path.dirname(path).replace("\\", "/") + f"/{stem}.hpp"
+        used = model.idents[path]
+        for e in model.includes[path]:
+            if not e.resolved or not e.resolved.startswith("src/"):
+                continue
+            if path.endswith(".cpp") and e.resolved == own:
+                continue  # own header: always included, proves completeness
+            provided = model.provides.get(e.resolved, set())
+            if provided and not (provided & used):
+                yield Finding(
+                    "layer-dag", path, e.line,
+                    f"unused include \"{e.target}\": nothing this file "
+                    "references is provided by that header; drop it (or "
+                    "suppress with a reason when re-exporting "
+                    "deliberately)",
+                    key=f"unused:{path}->{e.resolved}")
+
+
+@analysis(
+    "lock-order",
+    "deadlock freedom (DESIGN.md section 17): across src/parallel, "
+    "src/comm, src/sim, src/serve, and src/resilience, the global "
+    "lock-acquisition-order graph (lock A held while acquiring lock B, "
+    "directly or through calls) must be acyclic, and every "
+    "condition_variable::wait must pass a predicate so spurious wakeups "
+    "cannot break the invariant the wait guards",
+)
+def lock_order(model):
+    nodes = sorted({l for pair in model.lock_edges for l in pair})
+    adj = {}
+    for (a, b) in model.lock_edges:
+        adj.setdefault(a, set()).add(b)
+
+    def edges_of(n):
+        return sorted(adj.get(n, ()))
+
+    for scc in _strongly_connected(nodes, edges_of):
+        self_loop = len(scc) == 1 and scc[0] in adj.get(scc[0], ())
+        if len(scc) < 2 and not self_loop:
+            continue
+        members = sorted(scc)
+        witnesses = []
+        for (a, b), sites in sorted(model.lock_edges.items()):
+            if a in scc and b in scc:
+                p, line, via = sites[0]
+                witnesses.append(f"{a} -> {b} at {p}:{line} ({via})")
+        p, line, _ = next(
+            sites[0] for (a, b), sites in sorted(model.lock_edges.items())
+            if a in scc and b in scc)
+        yield Finding(
+            "lock-order", p, line,
+            "potential deadlock: lock-order cycle between "
+            + ", ".join(members) + "; " + "; ".join(witnesses)
+            + " — pick one global order (or suppress with a reason if the "
+            "locks can provably never contend)",
+            key="lock-cycle:" + "|".join(members))
+
+    # cv.wait without a predicate: scan lock-scope files for waits on a
+    # declared condition_variable whose argument list has no predicate.
+    wait_rx = re.compile(r"\b([A-Za-z_]\w*)\s*\.\s*wait\s*\(")
+    for path in sorted(model.files):
+        if _top_dir(path) not in LOCK_SCOPE_DIRS:
+            continue
+        sf = model.files[path]
+        text = "\n".join(sf.code_lines)
+        for m in wait_rx.finditer(text):
+            if m.group(1) not in model.cv_names:
+                continue
+            args = _split_top_level_args(text[m.end():])
+            if args is not None and len(args) == 1:
+                yield Finding(
+                    "lock-order", path, _line_of(text, m.start()),
+                    f"{m.group(1)}.wait(lock) without a predicate: a "
+                    "spurious wakeup returns with the condition false; "
+                    "pass the predicate lambda so the wait re-checks it",
+                    key=f"cv-wait:{path}:{m.group(1)}")
+
+
+@analysis(
+    "error-flow",
+    "typed-error flow (DESIGN.md section 17): a catch clause that can bind "
+    "a burst::Error (a subclass, std::exception, or ...) may not silently "
+    "swallow it — the handler must rethrow, convert to a typed error, or "
+    "visibly consume the exception; an empty handler erases the failure "
+    "from every supervisor and report downstream",
+)
+def error_flow(model):
+    swallowable = model.error_family | {
+        "exception", "runtime_error", "logic_error", "..."}
+    for c in model.catches:
+        if c.type_name not in swallowable:
+            continue
+        body = c.body
+        if re.search(r"\bthrow\b", body):
+            continue  # rethrow or typed conversion
+        if c.var and re.search(rf"\b{re.escape(c.var)}\b", body):
+            continue  # the handler reads the error: consumed visibly
+        if _CALLISH_RE.search(body):
+            continue  # delegates somewhere (logging, conversion helper)
+        if re.search(r"[^=!<>+\-*/&|^]=[^=]", body):
+            continue  # records the failure in state: classification, not loss
+        yield Finding(
+            "error-flow", c.path, c.line,
+            f"catch ({c.type_name}) swallows the error: the body neither "
+            "rethrows, converts to a typed burst::Error, nor consumes the "
+            "exception; handle it or suppress with a reason explaining "
+            "why dropping is correct",
+            key=f"swallow:{c.path}:{c.type_name}")
+
+
+# -- baseline ---------------------------------------------------------------
+
+
+def default_baseline_path(root):
+    return os.path.join(root, "scripts", "lint", "baseline.json")
+
+
+def load_baseline(path):
+    """Returns the set of (rule, path, key) triples grandfathered in the
+    committed baseline, or an empty set when the file does not exist."""
+    if not path or not os.path.exists(path):
+        return set()
+    with open(path, encoding="utf-8") as f:
+        data = json.load(f)
+    return {(e["rule"], e["path"], e["key"]) for e in data.get("findings", ())}
+
+
+def write_baseline_file(path, findings):
+    entries = sorted(
+        {(f.rule, f.path, f.key) for f in findings if f.key})
+    data = {
+        "schema": "burst.lint_baseline",
+        "version": 1,
+        "comment": (
+            "Grandfathered whole-program findings. Entries are matched by "
+            "(rule, path, key) so line drift does not invalidate them; "
+            "regenerate with burst_lint.py --write-baseline. Stale entries "
+            "(matching nothing) are themselves lint violations."),
+        "findings": [
+            {"rule": r, "path": p, "key": k} for r, p, k in entries],
+    }
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(data, f, indent=2)
+        f.write("\n")
+
+
+def run_analyses(model, baseline):
+    """Runs every registered analysis, applying inline suppressions and the
+    baseline. Returns (reported, baselined_count, stale_entries)."""
+    reported = []
+    matched = set()
+    baselined = 0
+    for a in ANALYSES.values():
+        for f in a.check(model) or ():
+            sf = model.files.get(f.path)
+            if sf is not None and sf.is_allowed(a.name, f.line):
+                continue
+            triple = (f.rule, f.path, f.key)
+            if f.key and triple in baseline:
+                matched.add(triple)
+                baselined += 1
+                continue
+            reported.append(f)
+    stale = sorted(baseline - matched)
+    return reported, baselined, stale
+
+
 # --------------------------------------------------------------------------
 # Directive resolution (needs RULES populated, hence defined last)
 # --------------------------------------------------------------------------
@@ -608,14 +1564,15 @@ def resolve_directives(sf):
             )
             continue
         for r in d.rules:
-            if r not in RULES:
+            if r not in RULES and r not in ANALYSES:
+                known = sorted(RULES) + sorted(ANALYSES)
                 bad.append(
                     Finding(
                         "lint-directive",
                         sf.path,
                         d.line,
                         f"unknown rule '{r}' in burst-lint: {d.verb} "
-                        f"(known: {', '.join(sorted(RULES))})",
+                        f"(known: {', '.join(known)})",
                     )
                 )
                 continue
@@ -691,25 +1648,35 @@ def collect_files(root, paths):
     return files
 
 
-def lint_file(abs_path, root):
-    display = os.path.relpath(abs_path, root)
+def parse_source(abs_path, root):
+    display = os.path.relpath(abs_path, root).replace("\\", "/")
     if display.startswith(".."):
         display = abs_path
     sf = parse_file(abs_path, display)
     sf.abs_path = abs_path
+    return sf
+
+
+def check_rules(sf):
     findings = resolve_directives(sf)
     for r in RULES.values():
-        if not r.applies(display):
+        if not r.applies(sf.path):
             continue
         for line, message in r.check(sf) or ():
             if sf.is_allowed(r.name, line):
                 continue
-            findings.append(Finding(r.name, display, line, message))
+            findings.append(Finding(r.name, sf.path, line, message))
     return findings
 
 
-def write_report(path, files_scanned, findings):
+def lint_file(abs_path, root):
+    """Per-file rules only (tier 1); kept for one-file spot checks."""
+    return check_rules(parse_source(abs_path, root))
+
+
+def write_report(path, files_scanned, findings, baselined=0):
     per_rule = {name: 0 for name in sorted(RULES)}
+    per_rule.update({name: 0 for name in sorted(ANALYSES)})
     per_rule["lint-directive"] = 0
     for f in findings:
         per_rule[f.rule] = per_rule.get(f.rule, 0) + 1
@@ -724,6 +1691,7 @@ def write_report(path, files_scanned, findings):
         "name": "burst_lint",
         "config": {
             "rules": ", ".join(sorted(RULES)),
+            "analyses": ", ".join(sorted(ANALYSES)),
             "files_scanned": files_scanned,
         },
         "measurements": [
@@ -741,7 +1709,10 @@ def write_report(path, files_scanned, findings):
             },
         ],
         "metrics": {
-            "counters": {f"lint.{k}": v for k, v in sorted(per_rule.items())},
+            "counters": dict(
+                {f"lint.{k}": v for k, v in sorted(per_rule.items())},
+                **{"lint.baselined": baselined},
+            ),
             "gauges": {},
             "histograms": {},
         },
@@ -766,27 +1737,66 @@ def main(argv=None):
     ap.add_argument("--root", default=default_root)
     ap.add_argument("--json", dest="json_out", default=None)
     ap.add_argument("--list-rules", action="store_true")
+    ap.add_argument(
+        "--baseline", default=None,
+        help="baseline file for whole-program findings (default: "
+        "scripts/lint/baseline.json under --root, when present)")
+    ap.add_argument(
+        "--write-baseline", action="store_true",
+        help="write the surviving whole-program findings to the baseline "
+        "file and exit 0; subsequent runs treat them as grandfathered")
+    ap.add_argument(
+        "--no-analyses", action="store_true",
+        help="run only the per-file rules (tier 1), skipping the "
+        "ProgramModel analyses")
     ap.add_argument("paths", nargs="*")
     args = ap.parse_args(argv)
 
     if args.list_rules:
         for name in sorted(RULES):
             print(f"{name}: {RULES[name].invariant}")
+        for name in sorted(ANALYSES):
+            print(f"{name} [whole-program]: {ANALYSES[name].invariant}")
         return 0
 
     root = os.path.abspath(args.root)
     files = collect_files(root, args.paths)
+    sources = [parse_source(p, root) for p in files]
+
     findings = []
-    for path in files:
-        findings.extend(lint_file(path, root))
+    for sf in sources:
+        findings.extend(check_rules(sf))
+
+    baselined = 0
+    if not args.no_analyses:
+        model = ProgramModel(root, sources)
+        baseline_path = args.baseline or default_baseline_path(root)
+        # Regeneration captures every current finding, so it runs against an
+        # empty baseline; normal runs grandfather via the committed one.
+        baseline = set() if args.write_baseline else load_baseline(
+            baseline_path)
+        analysis_findings, baselined, stale = run_analyses(model, baseline)
+        if args.write_baseline:
+            write_baseline_file(baseline_path, analysis_findings)
+            print(f"burst-lint: wrote {len(analysis_findings)} "
+                  f"grandfathered finding(s) to {baseline_path}")
+            return 0
+        findings.extend(analysis_findings)
+        for rule_name, path, key in stale:
+            findings.append(Finding(
+                "lint-directive", path, 1,
+                f"stale baseline entry ({rule_name}: {key}) matches no "
+                "current finding; remove it from the baseline file"))
+
     findings.sort(key=lambda f: (f.path, f.line, f.rule))
 
     for f in findings:
         print(f.render(), file=sys.stderr)
     if args.json_out:
-        write_report(args.json_out, len(files), findings)
+        write_report(args.json_out, len(files), findings, baselined)
     status = "clean" if not findings else f"{len(findings)} violation(s)"
-    print(f"burst-lint: {len(files)} file(s) scanned, {status}")
+    extra = f", {baselined} baselined" if baselined else ""
+    print(f"burst-lint: {len(files)} file(s) scanned, {status}{extra}")
     return 1 if findings else 0
 
 

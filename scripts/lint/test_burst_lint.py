@@ -114,18 +114,24 @@ class TestSuppressionAndNoise(unittest.TestCase):
             rc, _, err = run_lint(["--root", tmp, path])
             self.assertEqual(rc, 0, err)
 
-    def test_typed_errors_rule_scoped_to_serving_dirs(self):
-        # A raw throw in src/sim/ is outside the rule's scope: the cluster
-        # simulator predates the typed serving taxonomy.
-        with tempfile.TemporaryDirectory() as tmp:
-            src = os.path.join(tmp, "src", "sim")
-            os.makedirs(src)
-            path = os.path.join(src, "raw_throw.cpp")
-            with open(path, "w") as f:
-                f.write("#include <stdexcept>\n"
-                        "void f() { throw std::logic_error(\"x\"); }\n")
-            rc, _, err = run_lint(["--root", tmp, path])
-            self.assertEqual(rc, 0, err)
+    def test_typed_errors_rule_covers_all_of_src(self):
+        # Since the whole-program tier landed, the typed-error invariant
+        # covers every src/ directory — a raw throw in src/sim/ is flagged —
+        # while tests/ (which throw freely to exercise handlers) stay out.
+        body = ("#include <stdexcept>\n"
+                "void f() { throw std::logic_error(\"x\"); }\n")
+        for rel, expect_rc in ((("src", "sim", "raw_throw.cpp"), 1),
+                               (("tests", "raw_throw.cpp"), 0)):
+            with tempfile.TemporaryDirectory() as tmp:
+                d = os.path.join(tmp, *rel[:-1])
+                os.makedirs(d)
+                path = os.path.join(d, rel[-1])
+                with open(path, "w") as f:
+                    f.write(body)
+                rc, _, err = run_lint(["--root", tmp, path])
+                self.assertEqual(rc, expect_rc, f"{'/'.join(rel)}:\n{err}")
+                if expect_rc:
+                    self.assertIn("[typed-errors-only]", err)
 
     def test_direct_cluster_rule_exempts_sim_and_backend(self):
         # src/sim/ itself and the simulator transport backend are the two

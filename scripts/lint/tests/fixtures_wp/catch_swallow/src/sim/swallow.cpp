@@ -1,0 +1,32 @@
+#include <exception>
+int work();
+int swallowing() {
+  try {
+    return work();
+  } catch (...) {
+  }
+  return 0;
+}
+int rethrowing() {
+  try {
+    return work();
+  } catch (const std::exception&) {
+    throw;
+  }
+}
+int reading(int* out) {
+  try {
+    return work();
+  } catch (const std::exception& e) {
+    *out = static_cast<int>(sizeof(e));
+  }
+  return 0;
+}
+int recording(bool* failed) {
+  try {
+    return work();
+  } catch (...) {
+    *failed = true;
+  }
+  return 0;
+}

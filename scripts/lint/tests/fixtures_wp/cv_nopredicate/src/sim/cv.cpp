@@ -1,0 +1,18 @@
+#include <condition_variable>
+#include <mutex>
+class Waiter {
+ public:
+  void good() {
+    std::unique_lock<std::mutex> lk(m_);
+    cv_.wait(lk, [this] { return ready_; });
+  }
+  void bad() {
+    std::unique_lock<std::mutex> lk(m_);
+    cv_.wait(lk);
+    ready_ = false;
+  }
+ private:
+  std::mutex m_;
+  std::condition_variable cv_;
+  bool ready_ = false;
+};

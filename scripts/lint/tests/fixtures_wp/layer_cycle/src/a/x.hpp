@@ -1,0 +1,6 @@
+#pragma once
+#include "a/y.hpp"
+struct XThing {
+  int use() { return y_helper(); }
+};
+inline int x_helper() { return 1; }

@@ -1,0 +1,3 @@
+#pragma once
+#include "a/x.hpp"
+inline int y_helper() { return x_helper(); }

@@ -1,0 +1,2 @@
+#pragma once
+inline int base_helper() { return 3; }

@@ -1,0 +1,2 @@
+#include "a/base.hpp"
+int standalone() { return 4; }

@@ -1,0 +1,3 @@
+#pragma once
+#include "b/high.hpp"
+inline int low_uses_high() { return high_helper(); }

@@ -1,0 +1,2 @@
+#pragma once
+inline int high_helper() { return 2; }

@@ -1,0 +1,21 @@
+#include <mutex>
+class Deep {
+ public:
+  void lock_second() {
+    std::lock_guard<std::mutex> b(m2_);
+    ++v_;
+  }
+  void outer() {
+    std::lock_guard<std::mutex> a(m1_);
+    lock_second();
+  }
+  void reversed() {
+    std::lock_guard<std::mutex> b(m2_);
+    std::lock_guard<std::mutex> a(m1_);
+    --v_;
+  }
+ private:
+  std::mutex m1_;
+  std::mutex m2_;
+  int v_ = 0;
+};

@@ -1,0 +1,18 @@
+#include <mutex>
+class Pair {
+ public:
+  void ab() {
+    std::lock_guard<std::mutex> a(m1_);
+    std::lock_guard<std::mutex> b(m2_);
+    ++v_;
+  }
+  void ba() {
+    std::lock_guard<std::mutex> b(m2_);
+    std::lock_guard<std::mutex> a(m1_);
+    --v_;
+  }
+ private:
+  std::mutex m1_;
+  std::mutex m2_;
+  int v_ = 0;
+};

@@ -1,0 +1,23 @@
+#include <mutex>
+class Seq {
+ public:
+  void nested() {
+    std::lock_guard<std::mutex> a(m1_);
+    std::lock_guard<std::mutex> b(m2_);
+    ++v_;
+  }
+  void sequential() {
+    {
+      std::lock_guard<std::mutex> b(m2_);
+      ++v_;
+    }
+    {
+      std::lock_guard<std::mutex> a(m1_);
+      --v_;
+    }
+  }
+ private:
+  std::mutex m1_;
+  std::mutex m2_;
+  int v_ = 0;
+};

@@ -1,12 +1,15 @@
 #!/usr/bin/env bash
-# clang-tidy driver: runs the checked-in .clang-tidy (bugprone-*,
-# performance-*, concurrency-*) over every TU in compile_commands.json.
+# clang-tidy driver: runs the checked-in .clang-tidy (a pinned, explicit
+# bugprone/performance/concurrency check list) over every TU in
+# compile_commands.json.
 #
 # Degrades gracefully: when clang-tidy is not installed (the default CI
 # image ships only gcc) the script prints a notice and exits 0, so
 # scripts/verify.sh can invoke it unconditionally without making the gate
-# depend on an optional tool. When clang-tidy IS present, findings promoted
-# by WarningsAsErrors fail the script.
+# depend on an optional tool. When the compilation database is missing the
+# script configures BUILD_DIR itself (CMAKE_EXPORT_COMPILE_COMMANDS is ON
+# in the top-level CMakeLists). When clang-tidy IS present, findings
+# promoted by WarningsAsErrors fail the script.
 #
 # Usage: scripts/run_clang_tidy.sh [BUILD_DIR]   (default: build)
 # Env:   CLANG_TIDY (override the binary), JOBS (default nproc).
@@ -26,8 +29,11 @@ fi
 
 db="$BUILD_DIR/compile_commands.json"
 if [[ ! -f "$db" ]]; then
-  echo "run_clang_tidy: $db missing; configure first:" >&2
-  echo "  cmake -B $BUILD_DIR -S .   (CMAKE_EXPORT_COMPILE_COMMANDS is ON)" >&2
+  echo "run_clang_tidy: $db missing; configuring $BUILD_DIR"
+  cmake -B "$BUILD_DIR" -S . >/dev/null
+fi
+if [[ ! -f "$db" ]]; then
+  echo "run_clang_tidy: configure did not produce $db" >&2
   exit 2
 fi
 

@@ -1,10 +1,16 @@
 #!/usr/bin/env bash
 # Full verification gate, in order:
 #
-#   lint      burst-lint over the tree (JSON RunReport written next to the
-#             bench reports and gated on self_check, like every bench), then
-#             clang-tidy when installed (scripts/run_clang_tidy.sh no-ops
-#             gracefully when it is not).
+#   lint      burst-lint over the tree — both tiers: the per-file rules and
+#             the whole-program analyses (layer-dag against
+#             scripts/lint/layers.json, lock-order, error-flow) — with the
+#             JSON RunReport written next to the bench reports and gated on
+#             self_check, like every bench; then both lint self-test suites
+#             (per-file rules + program analyses).
+#   tidy      clang-tidy with the pinned .clang-tidy check list over
+#             compile_commands.json (scripts/run_clang_tidy.sh configures
+#             the build tree when the database is missing; the gate shows
+#             "skip" when clang-tidy is not installed).
 #   build     configure + build everything Release with -DBURST_WERROR=ON:
 #             the tree must compile warning-clean under
 #             -Wall -Wextra -Wshadow -Wconversion -Werror.
@@ -34,9 +40,9 @@
 #             regression gate against the committed BENCH_baseline.json
 #             (gated metrics may not fall more than 10% below baseline).
 #
-# Usage: scripts/verify.sh [--skip-lint] [--skip-asan] [--skip-tsan]
-#                          [--skip-bench] [--skip-perf] [--skip-chaos]
-#                          [--skip-transport] [--skip-quant]
+# Usage: scripts/verify.sh [--skip-lint] [--skip-tidy] [--skip-asan]
+#                          [--skip-tsan] [--skip-bench] [--skip-perf]
+#                          [--skip-chaos] [--skip-transport] [--skip-quant]
 # Env:   BUILD_DIR (default build-verify), ASAN_BUILD_DIR (default
 #        build-asan), TSAN_BUILD_DIR (default build-tsan), JOBS (default
 #        nproc), BURST_REPORT_DIR (default: fresh mktemp -d, removed on exit;
@@ -50,6 +56,7 @@ ASAN_BUILD_DIR=${ASAN_BUILD_DIR:-build-asan}
 TSAN_BUILD_DIR=${TSAN_BUILD_DIR:-build-tsan}
 JOBS=${JOBS:-$(nproc)}
 RUN_LINT=1
+RUN_TIDY=1
 RUN_ASAN=1
 RUN_TSAN=1
 RUN_BENCH=1
@@ -60,6 +67,7 @@ RUN_QUANT=1
 for arg in "$@"; do
   case "$arg" in
     --skip-lint) RUN_LINT=0 ;;
+    --skip-tidy) RUN_TIDY=0 ;;
     --skip-asan) RUN_ASAN=0 ;;
     --skip-tsan) RUN_TSAN=0 ;;
     --skip-bench) RUN_BENCH=0 ;;
@@ -81,7 +89,7 @@ fi
 
 # Per-gate results for the summary table: "pass" / "FAIL" / "skip".
 declare -A gate_status
-for g in lint build test perf chaos transport asan quant tsan bench; do
+for g in lint tidy build test perf chaos transport asan quant tsan bench; do
   gate_status[$g]=skip
 done
 overall=0
@@ -122,11 +130,21 @@ lint_gate() {
   python3 scripts/lint/burst_lint.py --json "$report" || return 1
   check_run_report "$report" burst_lint || return 1
   python3 scripts/lint/test_burst_lint.py || return 1
-  scripts/run_clang_tidy.sh "$BUILD_DIR" || return 1
+  python3 scripts/lint/test_program_analysis.py || return 1
 }
 if [[ $RUN_LINT -eq 1 ]]; then
-  echo "== lint (burst-lint + self-tests + clang-tidy when present)"
+  echo "== lint (burst-lint rules + whole-program analyses + self-tests)"
   run_gate lint lint_gate
+fi
+
+# ---- clang-tidy (own gate row; "skip" when the tool is not installed) ------
+if [[ $RUN_TIDY -eq 1 ]]; then
+  if command -v "${CLANG_TIDY:-clang-tidy}" >/dev/null 2>&1; then
+    echo "== clang-tidy (pinned check list over compile_commands.json)"
+    run_gate tidy scripts/run_clang_tidy.sh "$BUILD_DIR"
+  else
+    echo "== clang-tidy not installed; tidy gate skipped"
+  fi
 fi
 
 # ---- build (warning-clean under -Werror) -----------------------------------
@@ -241,7 +259,7 @@ fi
 echo
 echo "== verify summary"
 printf '   %-9s %s\n' gate result
-for g in lint build test perf chaos transport asan quant tsan bench; do
+for g in lint tidy build test perf chaos transport asan quant tsan bench; do
   printf '   %-9s %s\n' "$g" "${gate_status[$g]}"
 done
 if [[ $overall -ne 0 ]]; then

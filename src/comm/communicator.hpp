@@ -36,7 +36,6 @@
 #include <vector>
 
 #include "comm/errors.hpp"
-#include "comm/ring.hpp"
 #include "comm/transport.hpp"
 #include "tensor/tensor.hpp"
 

@@ -5,7 +5,6 @@
 #include <limits>
 
 #include "sim/phase_metrics.hpp"
-#include "tensor/ops.hpp"
 
 namespace burst::core {
 

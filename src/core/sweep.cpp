@@ -1,8 +1,8 @@
 #include "core/sweep.hpp"
 
 #include <cassert>
-#include <stdexcept>
 
+#include "obs/error.hpp"
 #include "sim/clock.hpp"
 #include "tensor/ops.hpp"
 
@@ -162,7 +162,7 @@ std::vector<Tensor> ring_sweep_gradient(
       tp.wait(sim::kCompute, tp.record(stream));
     }
     if (acc.meta != cur.meta) {
-      throw std::logic_error("gradient sweep: accumulator/shard mismatch");
+      throw burst::InvariantError("gradient sweep: accumulator/shard mismatch");
     }
     assert(acc.tensors.size() == contrib.size());
     for (std::size_t i = 0; i < contrib.size(); ++i) {
@@ -204,7 +204,8 @@ std::vector<Tensor> ring_sweep_gradient(
   Communicator::Bundle home =
       comm.recv_bundle(src, acc_tag(opt, steps - 1), stream);
   if (home.meta != me) {
-    throw std::logic_error("gradient sweep: returned accumulator is not ours");
+    throw burst::InvariantError(
+        "gradient sweep: returned accumulator is not ours");
   }
   tp.wait(sim::kCompute, tp.record(stream));
   return std::move(home.tensors);

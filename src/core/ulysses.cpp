@@ -4,7 +4,6 @@
 
 #include "core/head_exchange.hpp"
 #include "kernels/index_map.hpp"
-#include "tensor/ops.hpp"
 
 namespace burst::core {
 

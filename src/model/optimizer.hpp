@@ -11,7 +11,6 @@
 #include <cstdint>
 #include <vector>
 
-#include "model/config.hpp"
 #include "model/transformer.hpp"
 #include "sim/memory.hpp"
 

@@ -9,6 +9,7 @@
 #include "kernels/rope.hpp"
 #include "tensor/gemm.hpp"
 #include "tensor/ops.hpp"
+#include "tensor/rng.hpp"
 
 namespace burst::model {
 

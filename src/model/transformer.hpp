@@ -17,7 +17,6 @@
 #include "kernels/mask.hpp"
 #include "model/config.hpp"
 #include "model/kv_cache.hpp"
-#include "tensor/rng.hpp"
 #include "tensor/tensor.hpp"
 
 namespace burst::model {

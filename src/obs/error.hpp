@@ -31,6 +31,9 @@ enum class ErrorCode {
   kDeadlineExceeded,    // request missed its virtual-time deadline (HTTP 504)
   kOverloaded,          // load shedding dropped the request (HTTP 503)
   kRecoveryInProgress,  // circuit breaker open during recovery (HTTP 503)
+  kInvariantViolation,  // internal consistency check failed (a bug, not input)
+  kSnapshotCorrupt,     // snapshot failed magic/version/checksum validation
+  kSnapshotIo,          // snapshot file could not be written/read
 };
 
 /// Stable serialization name of a code ("comm_timeout", "device_oom", ...).
@@ -62,6 +65,12 @@ inline const char* error_code_name(ErrorCode code) {
       return "overloaded";
     case ErrorCode::kRecoveryInProgress:
       return "recovery_in_progress";
+    case ErrorCode::kInvariantViolation:
+      return "invariant_violation";
+    case ErrorCode::kSnapshotCorrupt:
+      return "snapshot_corrupt";
+    case ErrorCode::kSnapshotIo:
+      return "snapshot_io";
     case ErrorCode::kUnknown:
       break;
   }
@@ -78,6 +87,15 @@ class Error : public std::runtime_error {
 
  private:
   ErrorCode code_;
+};
+
+/// An internal consistency check failed: the program reached a state its
+/// own invariants forbid. Unlike the other codes this is always a bug in
+/// the engine, never bad input — supervisors must not retry it.
+class InvariantError : public Error {
+ public:
+  explicit InvariantError(const std::string& what)
+      : Error(ErrorCode::kInvariantViolation, what) {}
 };
 
 /// Stable code name for an arbitrary in-flight exception: the burst::Error

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "perfmodel/flops.hpp"
+
 namespace burst::perfmodel {
 
 using core::CkptConfig;

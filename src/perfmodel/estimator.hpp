@@ -26,7 +26,6 @@
 #include "core/checkpoint.hpp"
 #include "model/config.hpp"
 #include "perfmodel/comm_model.hpp"
-#include "perfmodel/flops.hpp"
 #include "perfmodel/hardware.hpp"
 #include "perfmodel/memory_model.hpp"
 

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <stdexcept>
 
 namespace burst::resilience {
 
@@ -82,8 +83,10 @@ std::int64_t step_of(const fs::path& p) {
   }
   try {
     return std::stoll(name.substr(5));
-  } catch (...) {
-    return -1;
+  } catch (const std::invalid_argument&) {
+    return -1;  // not a number: some other file in the snapshot dir
+  } catch (const std::out_of_range&) {
+    return -1;  // absurdly long digit string: not one of our files
   }
 }
 
@@ -104,7 +107,7 @@ std::uint64_t write_checked_blob(const std::string& final_path,
   {
     std::ofstream os(tmp_path, std::ios::binary | std::ios::trunc);
     if (!os) {
-      throw std::runtime_error("cannot open " + tmp_path);
+      throw SnapshotIoError("cannot open " + tmp_path);
     }
     const std::uint64_t size = payload.size();
     os.write(reinterpret_cast<const char*>(&kMagic), sizeof(kMagic));
@@ -114,7 +117,7 @@ std::uint64_t write_checked_blob(const std::string& final_path,
     os.write(reinterpret_cast<const char*>(payload.data()),
              static_cast<std::streamsize>(payload.size()));
     if (!os) {
-      throw std::runtime_error("short write to " + tmp_path);
+      throw SnapshotIoError("short write to " + tmp_path);
     }
   }
   // Atomic commit: the final name either holds the complete old file or the
@@ -211,8 +214,10 @@ TrainSnapshot SnapshotManager::load_latest() const {
   for (auto it = all.rbegin(); it != all.rend(); ++it) {
     try {
       return load(*it);
+      // burst-lint: allow(error-flow) load_latest's contract is exactly
+      // this fallback: skip each corrupt snapshot and try the next-newest;
+      // if none validates, the typed throw below reports it.
     } catch (const SnapshotCorruptError&) {
-      // Fall back to the next-newest snapshot.
     }
   }
   throw SnapshotCorruptError("no valid snapshot in " + dir_);

@@ -14,23 +14,32 @@
 
 #include <cstdint>
 #include <cstring>
-#include <stdexcept>
 #include <string>
 #include <vector>
 
-#include "model/config.hpp"
 #include "model/optimizer.hpp"
 #include "model/transformer.hpp"
+#include "obs/error.hpp"
 #include "tensor/rng.hpp"
 
 namespace burst::resilience {
 
 /// Raised when a snapshot file fails validation (bad magic, wrong version,
-/// truncated payload, or checksum mismatch).
-class SnapshotCorruptError : public std::runtime_error {
+/// truncated payload, or checksum mismatch). burst::Error code:
+/// snapshot_corrupt.
+class SnapshotCorruptError : public burst::Error {
  public:
   explicit SnapshotCorruptError(const std::string& what)
-      : std::runtime_error("corrupt snapshot: " + what) {}
+      : burst::Error(ErrorCode::kSnapshotCorrupt, "corrupt snapshot: " + what) {
+  }
+};
+
+/// Raised when a snapshot file cannot be written or read at the I/O level
+/// (open/write failure, not validation). burst::Error code: snapshot_io.
+class SnapshotIoError : public burst::Error {
+ public:
+  explicit SnapshotIoError(const std::string& what)
+      : burst::Error(ErrorCode::kSnapshotIo, "snapshot io: " + what) {}
 };
 
 // ---- generic checked-blob container ---------------------------------------

@@ -158,6 +158,9 @@ ResilientServeReport serve_with_recovery(Engine& engine,
         try {
           resume_ck = mgr->load_latest();
           have_ck = true;
+          // burst-lint: allow(error-flow) recovery policy: when no usable
+          // checkpoint exists the supervisor deliberately restarts the run
+          // from scratch; the recovery event still records the crash cause.
         } catch (const resilience::SnapshotCorruptError&) {
           // No usable checkpoint on disk: restart the run from scratch.
         }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <filesystem>
+#include <stdexcept>
 #include <utility>
 
 #include "resilience/snapshot.hpp"
@@ -101,8 +102,10 @@ std::int64_t iteration_of(const fs::path& p) {
   }
   try {
     return std::stoll(name.substr(6));
-  } catch (...) {
-    return -1;
+  } catch (const std::invalid_argument&) {
+    return -1;  // not a number: some other file in the checkpoint dir
+  } catch (const std::out_of_range&) {
+    return -1;  // absurdly long digit string: not one of our files
   }
 }
 
@@ -135,8 +138,10 @@ EngineCheckpoint ServeSnapshotManager::load_latest() const {
   for (auto it = all.rbegin(); it != all.rend(); ++it) {
     try {
       return load(*it);
+      // burst-lint: allow(error-flow) load_latest's contract is exactly
+      // this fallback: skip each corrupt checkpoint and try the
+      // next-newest; if none validates, the typed throw below reports it.
     } catch (const SnapshotCorruptError&) {
-      // Fall back to the next-newest checkpoint.
     }
   }
   throw SnapshotCorruptError("no valid serve checkpoint in " + dir_);

@@ -21,7 +21,6 @@
 #include <string>
 #include <vector>
 
-#include "serve/request.hpp"
 #include "tensor/tensor.hpp"
 
 namespace burst::serve {

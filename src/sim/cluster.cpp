@@ -5,6 +5,7 @@
 #include <string>
 #include <thread>
 
+#include "obs/error.hpp"
 #include "obs/metrics.hpp"
 
 namespace burst::sim {
@@ -351,7 +352,7 @@ void Cluster::run(const std::function<void(DeviceContext&)>& fn) {
   for (const auto& [key, box] : mailboxes_) {
     for (const auto& msg : box) {
       if (!msg.injected_dup) {
-        throw std::logic_error(
+        throw burst::InvariantError(
             "Cluster::run finished with undelivered messages");
       }
     }
@@ -455,6 +456,9 @@ void Cluster::report_failure(int rank, double fail_time_s,
     std::rethrow_exception(error);
   } catch (const ClusterAbortedError&) {
     secondary = true;  // raised while unwinding from someone else's failure
+    // burst-lint: allow(error-flow) classification, not a swallow: any
+    // non-abort exception is a root cause; the exception_ptr itself is kept
+    // in first_error_ below and rethrown to the caller of run().
   } catch (...) {
   }
   // Earliest virtual failure time wins, ties broken by rank: the winner is

@@ -51,7 +51,7 @@ class MemoryTracker {
     // Accounting bug guard: freeing more than allocated is a programming
     // error in a checkpoint planner / buffer manager.
     if (bytes > used_) {
-      throw std::logic_error("MemoryTracker: free exceeds used");
+      throw burst::InvariantError("MemoryTracker: free exceeds used");
     }
     used_ -= bytes;
   }

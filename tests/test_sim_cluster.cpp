@@ -77,10 +77,10 @@ TEST(MemoryTracker, ThrowsOnOverCapacity) {
   EXPECT_EQ(mem.used(), 90u);  // failed alloc must not be charged
 }
 
-TEST(MemoryTracker, OverFreeIsLogicError) {
+TEST(MemoryTracker, OverFreeIsInvariantError) {
   MemoryTracker mem;
   mem.alloc(10, "a");
-  EXPECT_THROW(mem.free(20), std::logic_error);
+  EXPECT_THROW(mem.free(20), burst::InvariantError);
 }
 
 TEST(ScopedAlloc, FreesOnScopeExit) {
@@ -220,7 +220,7 @@ TEST(Cluster, UndeliveredMessagesAreAProtocolError) {
       ctx.send(1, 99, std::move(m), kIntraComm);  // nobody receives
     }
   }),
-               std::logic_error);
+               burst::InvariantError);
 }
 
 TEST(Cluster, ReusableAcrossRuns) {
